@@ -1,0 +1,41 @@
+// Ablation (paper Section 5, related work): flexFTL vs the Lee et al. [4]
+// style SLC-mode FTL. slcFTL gets SLC-class writes by never using MSB
+// pages — at half the capacity; flexFTL reaches the same burst speed while
+// exporting the full MLC capacity. Both run the same Varmail request
+// stream (sized to fit the smaller device).
+#include <cstdio>
+
+#include "bench/bench_fig8_common.hpp"
+#include "src/util/table.hpp"
+
+using namespace rps;
+
+int main() {
+  std::printf("Ablation: flexFTL vs the capacity-sacrificing SLC-mode baseline\n\n");
+
+  sim::ExperimentSpec spec = bench::fig8_spec();
+  spec.requests = 150'000;
+  // Size the working set for the SLC device (half capacity) so the same
+  // trace is fair to both.
+  spec.working_set_fraction = 0.40;
+
+  TablePrinter table({"FTL", "exported pages", "IOPS", "p50 lat (us)",
+                      "bw p99.5 (MB/s)", "WAF", "erases"});
+  for (const sim::FtlKind kind :
+       {sim::FtlKind::kPage, sim::FtlKind::kFlex, sim::FtlKind::kSlc}) {
+    const sim::SimResult r = run_experiment(kind, workload::Preset::kVarmail, spec);
+    auto ftl = sim::make_ftl(kind, spec.ftl_config);
+    table.add_row({r.ftl_name,
+                   TablePrinter::fmt_int(static_cast<std::int64_t>(ftl->exported_pages())),
+                   TablePrinter::fmt(r.iops_makespan(), 0),
+                   TablePrinter::fmt(r.latency_us.percentile(50), 0),
+                   TablePrinter::fmt(r.write_bw_mbps.percentile(99.5), 1),
+                   TablePrinter::fmt(r.waf(), 2),
+                   TablePrinter::fmt_int(static_cast<std::int64_t>(r.erases))});
+    std::fflush(stdout);
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("flexFTL approaches slcFTL's speed at twice the exported capacity —\n");
+  std::printf("the paper's argument against capacity-sacrificing LSB-only designs.\n");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Ablation (ours): the policy manager's utilization thresholds u_high and
+// u_low (the paper uses 80% / 10%). Sweeps the decision boundaries and
+// reports how the LSB/MSB mix and performance respond on Varmail.
+#include <cstdio>
+
+#include "bench/bench_fig8_common.hpp"
+#include "src/util/table.hpp"
+
+using namespace rps;
+
+int main() {
+  std::printf("Ablation: flexFTL policy thresholds (u_high, u_low) on Varmail\n");
+  std::printf("(paper setting: u_high = 0.80, u_low = 0.10)\n\n");
+
+  struct Setting {
+    double u_high;
+    double u_low;
+  };
+  const Setting settings[] = {{0.95, 0.05}, {0.80, 0.10}, {0.60, 0.20},
+                              {0.50, 0.50}, {0.20, 0.10}, {1.01, 0.00}};
+  // (1.01, 0.00): u never exceeds u_high and never drops below u_low —
+  // the policy degenerates to pure alternation (an FPS-like flexFTL).
+
+  TablePrinter table({"u_high", "u_low", "IOPS", "p50 lat (us)",
+                      "bw p99.5 (MB/s)", "LSB share"});
+  for (const Setting& s : settings) {
+    sim::ExperimentSpec spec = bench::fig8_spec();
+    spec.requests = 150'000;
+    spec.ftl_config.u_high = s.u_high;
+    spec.ftl_config.u_low = s.u_low;
+    const sim::SimResult r =
+        run_experiment(sim::FtlKind::kFlex, workload::Preset::kVarmail, spec);
+    const double lsb_share =
+        static_cast<double>(r.ftl_stats.host_lsb_writes) /
+        static_cast<double>(r.ftl_stats.host_lsb_writes + r.ftl_stats.host_msb_writes);
+    table.add_row({TablePrinter::fmt(s.u_high, 2), TablePrinter::fmt(s.u_low, 2),
+                   TablePrinter::fmt(r.iops_makespan(), 0),
+                   TablePrinter::fmt(r.latency_us.percentile(50), 0),
+                   TablePrinter::fmt(r.write_bw_mbps.percentile(99.5), 1),
+                   TablePrinter::fmt(lsb_share, 2)});
+    std::fflush(stdout);
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  return 0;
+}

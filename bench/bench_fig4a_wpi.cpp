@@ -1,0 +1,64 @@
+// Fig. 4(a) reproduction: distributions of the per-page summed Vth
+// distribution widths (sum of WPi) under FPS, RPSfull and RPShalf — the
+// paper's device-level validation that relaxing constraint 4 does not
+// increase cell-to-cell interference. The unconstrained random order is
+// included as the strawman that motivates ordering constraints (Fig. 2a).
+//
+// The paper measured >90 blocks of real 2X-nm MLC chips; we Monte-Carlo
+// the same experiment over the interference model (see DESIGN.md for why
+// the relative relation is preserved exactly).
+#include <cstdio>
+
+#include "src/reliability/study.hpp"
+#include "src/util/table.hpp"
+
+using namespace rps;
+using reliability::Scheme;
+
+int main() {
+  reliability::StudyConfig config;
+  config.blocks = 96;       // "more than 90 blocks"
+  config.wordlines = 64;
+  config.interference.cells_per_wordline = 1024;
+  config.seed = 42;
+
+  const std::vector<Scheme> schemes = {Scheme::kFps, Scheme::kRpsFull,
+                                       Scheme::kRpsHalf, Scheme::kRpsRandom,
+                                       Scheme::kUnconstrained};
+  const auto results = run_studies(schemes, config);
+
+  std::printf("Fig. 4(a): per-page sum of Vth distribution widths (WPi) [V]\n");
+  std::printf("%u blocks x %u word lines, %u cells per word line\n\n",
+              config.blocks, config.wordlines,
+              config.interference.cells_per_wordline);
+
+  TablePrinter table({"Scheme", "min", "q1", "median", "q3", "max", "mean",
+                      "aggressors(max)"});
+  double fps_median = 0.0;
+  for (const reliability::StudyResult& r : results) {
+    const BoxPlot box = r.wpi_per_page.box_plot();
+    if (r.scheme == Scheme::kFps) fps_median = box.median;
+    table.add_row({to_string(r.scheme), TablePrinter::fmt(box.min, 4),
+                   TablePrinter::fmt(box.q1, 4), TablePrinter::fmt(box.median, 4),
+                   TablePrinter::fmt(box.q3, 4), TablePrinter::fmt(box.max, 4),
+                   TablePrinter::fmt(box.mean, 4),
+                   TablePrinter::fmt(r.aggressors.max(), 0)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  std::printf("Paper's claim: WPi under RPSfull/RPShalf is NOT higher than FPS.\n");
+  for (const reliability::StudyResult& r : results) {
+    if (r.scheme == Scheme::kRpsFull || r.scheme == Scheme::kRpsHalf ||
+        r.scheme == Scheme::kRpsRandom) {
+      const double delta = r.wpi_per_page.median() - fps_median;
+      // Each scheme uses an independent Monte-Carlo stream; differences
+      // within 0.5% of the FPS median are sampling noise.
+      std::printf("  %-10s median - FPS median = %+.4f V (%s)\n", to_string(r.scheme),
+                  delta, delta <= 0.005 * fps_median ? "holds" : "VIOLATED");
+    }
+  }
+  const double wild_delta = results.back().wpi_per_page.median() - fps_median;
+  std::printf("  %-10s median - FPS median = %+.4f V (motivates constraints)\n",
+              "Unconstr.", wild_delta);
+  return 0;
+}

@@ -1,0 +1,19 @@
+// Shared configuration for the Fig. 8 benches: the evaluation setup of
+// Section 4.1 scaled to 128 blocks per chip (4 GB) so each full run of
+// 4 FTLs x 5 workloads completes in seconds. See DESIGN.md for the
+// methodology (precondition + locality-matched warm-up + closed-loop
+// think-time replay).
+#pragma once
+
+#include "src/sim/runner.hpp"
+
+namespace rps::bench {
+
+inline sim::ExperimentSpec fig8_spec() {
+  sim::ExperimentSpec spec = sim::ExperimentSpec::bench_default();
+  spec.requests = 300'000;
+  spec.seed = 1;
+  return spec;
+}
+
+}  // namespace rps::bench

@@ -1,0 +1,46 @@
+// Fig. 8(a) reproduction: normalized IOPS of pageFTL, parityFTL, rtfFTL
+// and flexFTL across the five workloads. The paper's headline numbers:
+// flexFTL beats pageFTL by up to 16% (5% avg), parityFTL by up to 56%
+// (35% avg) and rtfFTL by up to 61% (29% avg); it matches pageFTL on the
+// idle-less OLTP/NTRX and the read-dominant Webserver.
+#include <cstdio>
+
+#include "bench/bench_fig8_common.hpp"
+#include "src/util/table.hpp"
+
+using namespace rps;
+
+int main() {
+  const sim::ExperimentSpec spec = bench::fig8_spec();
+  std::printf("Fig. 8(a): normalized IOPS, 4 FTLs x 5 workloads\n");
+  std::printf("(%llu requests per run; IOPS over makespan, closed-loop think time)\n\n",
+              static_cast<unsigned long long>(spec.requests));
+
+  TablePrinter table({"Workload", "pageFTL", "parityFTL", "rtfFTL", "flexFTL",
+                      "flex/page", "flex/parity", "flex/rtf"});
+  double sums[3] = {0, 0, 0};
+  for (const workload::Preset preset : workload::kAllPresets) {
+    const std::vector<sim::SimResult> results = run_all_ftls(preset, spec);
+    const double page = results[0].iops_makespan();
+    const double parity = results[1].iops_makespan();
+    const double rtf = results[2].iops_makespan();
+    const double flex = results[3].iops_makespan();
+    table.add_row({workload::to_string(preset), TablePrinter::fmt(1.0, 2),
+                   TablePrinter::fmt(parity / page, 2),
+                   TablePrinter::fmt(rtf / page, 2),
+                   TablePrinter::fmt(flex / page, 2),
+                   TablePrinter::fmt(flex / page, 2),
+                   TablePrinter::fmt(flex / parity, 2),
+                   TablePrinter::fmt(flex / rtf, 2)});
+    sums[0] += flex / page;
+    sums[1] += flex / parity;
+    sums[2] += flex / rtf;
+    std::fflush(stdout);
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("flexFTL average gain: vs pageFTL %+.0f%% (paper: +5%%), "
+              "vs parityFTL %+.0f%% (paper: +35%%), vs rtfFTL %+.0f%% (paper: +29%%)\n",
+              (sums[0] / 5 - 1) * 100, (sums[1] / 5 - 1) * 100,
+              (sums[2] / 5 - 1) * 100);
+  return 0;
+}

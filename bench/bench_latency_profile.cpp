@@ -1,0 +1,31 @@
+// Extension of Fig. 8: request-latency distributions across the four FTLs
+// and five workloads. The paper reports IOPS and bandwidth; tail latency
+// is where the paired-page backup cost and the LSB/MSB asymmetry are most
+// visible to an application.
+#include <cstdio>
+
+#include "bench/bench_fig8_common.hpp"
+#include "src/util/table.hpp"
+
+using namespace rps;
+
+int main() {
+  sim::ExperimentSpec spec = bench::fig8_spec();
+  spec.requests = 150'000;
+  std::printf("Latency profile: per-request latency percentiles (us)\n\n");
+
+  for (const workload::Preset preset : workload::kAllPresets) {
+    TablePrinter table({"FTL", "p50", "p90", "p99", "p99.9", "max"});
+    for (const sim::FtlKind kind : sim::kAllFtls) {
+      const sim::SimResult r = run_experiment(kind, preset, spec);
+      table.add_row({r.ftl_name, TablePrinter::fmt(r.latency_us.percentile(50), 0),
+                     TablePrinter::fmt(r.latency_us.percentile(90), 0),
+                     TablePrinter::fmt(r.latency_us.percentile(99), 0),
+                     TablePrinter::fmt(r.latency_us.percentile(99.9), 0),
+                     TablePrinter::fmt(r.latency_us.max(), 0)});
+      std::fflush(stdout);
+    }
+    std::printf("%s:\n%s\n", workload::to_string(preset), table.to_string().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Drive the host block-device layer with a journaling-filesystem-shaped
+// pattern: small unaligned metadata commits into a circular journal,
+// full-page data writes, periodic checkpoints that TRIM the journal tail.
+// Shows the sector interface, read-modify-write accounting, and how
+// flexFTL's fast phase absorbs the fsync-heavy journal traffic.
+//
+//   $ ./filesystem_journal
+#include <cstdio>
+
+#include "src/core/flex_ftl.hpp"
+#include "src/host/block_device.hpp"
+#include "src/util/random.hpp"
+
+using namespace rps;
+
+int main() {
+  ftl::FtlConfig config = ftl::FtlConfig::tiny();
+  config.geometry.wordlines_per_block = 16;
+  config.geometry.blocks_per_chip = 32;
+  config.geometry.page_size_bytes = 4096;
+  core::FlexFtl ftl(config);
+  host::BlockDevice dev(ftl, {.sector_bytes = 512});
+
+  std::printf("block device: %llu sectors x %u B = %.1f MiB (on flexFTL)\n\n",
+              static_cast<unsigned long long>(dev.num_sectors()), dev.sector_bytes(),
+              static_cast<double>(dev.capacity_bytes()) / (1 << 20));
+
+  // Layout: journal in the first 1024 sectors, data area after it.
+  const std::uint64_t journal_sectors = 1024;
+  const std::uint64_t data_start = journal_sectors;
+  const std::uint64_t data_sectors = dev.num_sectors() / 2;
+
+  Rng rng(11);
+  Microseconds now = 0;
+  std::uint64_t journal_head = 0;
+  std::uint64_t commits = 0;
+
+  for (int txn = 0; txn < 400; ++txn) {
+    // 1. Journal commit: a 1-sector metadata record (unaligned on purpose).
+    std::vector<std::uint8_t> record(dev.sector_bytes(),
+                                     static_cast<std::uint8_t>(txn));
+    auto committed = dev.write(journal_head, record, now, /*buffer_utilization=*/0.9);
+    if (!committed.is_ok()) break;
+    now = committed.value();  // fsync semantics: wait for durability
+    journal_head = (journal_head + 1) % journal_sectors;
+    ++commits;
+
+    // 2. Data write-back: 2-6 full pages somewhere in the data area.
+    const std::uint64_t pages = 2 + rng.next_below(5);
+    const std::uint64_t sectors = pages * dev.sectors_per_page();
+    const std::uint64_t where =
+        data_start + rng.next_below(data_sectors - sectors);
+    std::vector<std::uint8_t> data(sectors * dev.sector_bytes(),
+                                   static_cast<std::uint8_t>(txn * 7));
+    auto written = dev.write(where - where % dev.sectors_per_page(), data, now, 0.6);
+    if (!written.is_ok()) break;
+
+    // 3. Checkpoint every 64 transactions: journal tail becomes reusable.
+    if (txn % 64 == 63) {
+      (void)dev.trim(0, journal_sectors);
+      const Microseconds idle_from = ftl.device().all_idle_at();
+      ftl.on_idle(idle_from, idle_from + 200'000);
+      now = idle_from + 200'000;
+    }
+  }
+
+  const host::BlockDeviceStats& stats = dev.stats();
+  std::printf("transactions committed:   %llu\n",
+              static_cast<unsigned long long>(commits));
+  std::printf("write requests:           %llu (%llu sectors)\n",
+              static_cast<unsigned long long>(stats.write_requests),
+              static_cast<unsigned long long>(stats.sectors_written));
+  std::printf("read-modify-write cycles: %llu (journal records share pages)\n",
+              static_cast<unsigned long long>(stats.rmw_cycles));
+  std::printf("host LSB / MSB writes:    %llu / %llu\n",
+              static_cast<unsigned long long>(ftl.stats().host_lsb_writes),
+              static_cast<unsigned long long>(ftl.stats().host_msb_writes));
+  std::printf("flexFTL quota q:          %lld\n", static_cast<long long>(ftl.quota()));
+  std::printf("\nfsync-bound journal commits ride the LSB fast phase (500 us each);\n");
+  std::printf("checkpoint idle time repays the MSB debt in the background.\n");
+  return ftl.check_consistency() ? 0 : 1;
+}

@@ -1,0 +1,341 @@
+#include "src/core/flex_ftl.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rps::core {
+
+namespace {
+
+PolicyManager::Params policy_params(const ftl::FtlConfig& config) {
+  PolicyManager::Params p;
+  p.u_high = config.u_high;
+  p.u_low = config.u_low;
+  // The quota starts at a fraction of all LSB pages in the device
+  // (Section 3.2: 5%). There is one LSB page per word line.
+  const auto total_lsb_pages =
+      static_cast<double>(config.geometry.total_blocks()) *
+      config.geometry.wordlines_per_block;
+  p.initial_quota =
+      static_cast<std::int64_t>(total_lsb_pages * config.initial_quota_fraction);
+  p.chips = config.geometry.num_chips();
+  return p;
+}
+
+}  // namespace
+
+FlexFtl::FlexFtl(const ftl::FtlConfig& config)
+    : FtlBase(config, nand::SequenceKind::kRps),
+      chips_(config.geometry.num_chips()),
+      policy_(policy_params(config)) {}
+
+nand::PageData FlexFtl::zeroed_parity() {
+  nand::PageData d;
+  d.lpn = 0;  // XOR identity; PageData's default LPN is the all-ones sentinel
+  return d;
+}
+
+Result<Microseconds> FlexFtl::write_lsb(std::uint32_t chip, Lpn lpn,
+                                        nand::PageData data, Microseconds now,
+                                        bool gc, bool cold) {
+  ChipState& cs = chips_.at(chip);
+  std::optional<std::uint32_t>& fast_slot = cold ? cs.cold_fast : cs.fast;
+  nand::PageData& acc = cold ? cs.cold_acc : cs.parity_acc;
+  std::deque<std::uint32_t>& queue = cold ? cs.cold_sbqueue : cs.sbqueue;
+  if (!fast_slot) {
+    // Host-path allocation may trigger foreground GC whose copies recurse
+    // into write_lsb and install a fast block; re-check before installing
+    // our own (clobbering it would orphan a half-filled active block).
+    if (!gc && blocks_.free_blocks(chip) <= config_.gc_reserve_blocks) {
+      const Status freed = ensure_free_block(chip, now);
+      if (!freed.is_ok() && !fast_slot) return freed.code();
+    }
+    if (!fast_slot) {
+      Result<std::uint32_t> block = blocks_.allocate(
+          chip, ftl::BlockUse::kActive, gc ? 0 : config_.gc_reserve_blocks);
+      if (!block.is_ok()) return block.code();
+      fast_slot = block.value();
+      acc = zeroed_parity();
+    }
+  }
+
+  const std::uint32_t fast = *fast_slot;
+  nand::Block& block = device_.chip(chip).block(fast);
+  const std::optional<nand::PagePos> pos = block.next_lsb();
+  assert(pos.has_value());  // invariant: an active fast block has LSB space
+  const nand::PageAddress addr{chip, fast, *pos};
+
+  acc.xor_with(data);  // parity page buffer accumulates every LSB
+  Result<nand::OpTiming> timing = device_.program(addr, std::move(data), now);
+  assert(timing.is_ok());
+  commit_mapping(lpn, addr);
+  policy_.note_lsb_write();
+  if (!gc) {
+    ++stats_.host_lsb_writes;
+    ++lsb_since_idle_;
+  }
+
+  if (!block.next_lsb()) {
+    // Last LSB page written: flush the accumulated parity page, then the
+    // block joins its slow-block queue (Fig. 6's fast -> slow transition).
+    flush_parity_from(chip, fast, acc, timing.value().complete);
+    queue.push_back(fast);
+    fast_slot.reset();
+  }
+  return timing.value().complete;
+}
+
+Microseconds FlexFtl::flush_parity(std::uint32_t chip, std::uint32_t fast_block,
+                                   Microseconds now) {
+  return flush_parity_from(chip, fast_block, chips_.at(chip).parity_acc, now);
+}
+
+Microseconds FlexFtl::flush_parity_from(std::uint32_t chip, std::uint32_t fast_block,
+                                        const nand::PageData& acc, Microseconds now) {
+  ChipState& cs = chips_.at(chip);
+  if (!cs.backup) {
+    // Never take the final free block: GC depends on it as a relocation
+    // destination when the SBQueue is empty.
+    Result<std::uint32_t> block =
+        blocks_.allocate(chip, ftl::BlockUse::kBackup, /*reserve=*/1);
+    if (!block.is_ok()) {
+      // No backup space: the block proceeds unprotected (counted, and the
+      // recovery path reports such pages as lost).
+      ++skipped_backups_;
+      return now;
+    }
+    cs.backup = BackupBlock{.block = block.value(), .next_lsb = 0, .live_pages = 0};
+  }
+
+  // Parity pages go to the backup block's LSB pages only (footnote 2) —
+  // consecutive LSB programs are exactly what RPS makes legal.
+  const nand::PageAddress dst{chip, cs.backup->block,
+                              {cs.backup->next_lsb, nand::PageType::kLsb}};
+  // The parity page is the XOR of the block's LSB pages — including their
+  // LPN fields, which is what lets recovery reconstruct a lost page's LPN.
+  // Only the spare word is claimed for the inverse map (host pages keep
+  // spare = 0, so recovery can still XOR it away).
+  nand::PageData parity = acc;
+  // Inverse map for power-off recovery, plus the metadata flag that keeps
+  // mapping reconstruction from mistaking the parity page for host data.
+  parity.spare = fast_block | nand::kNonHostSpareFlag;
+  Result<nand::OpTiming> timing = device_.program(dst, std::move(parity), now);
+  assert(timing.is_ok());
+  ++cs.backup->next_lsb;
+  ++cs.backup->live_pages;
+  blocks_.add_written({chip, cs.backup->block});
+  ++stats_.backup_pages;
+
+  cs.parity_page[fast_block] = dst;
+  cs.parity_durable[fast_block] = timing.value().complete;
+
+  if (cs.backup->next_lsb >= device_.geometry().wordlines_per_block) {
+    cs.retiring.push_back(*cs.backup);
+    cs.backup.reset();
+  }
+  return timing.value().complete;
+}
+
+void FlexFtl::invalidate_parity(std::uint32_t chip, std::uint32_t slow_block,
+                                Microseconds now) {
+  ChipState& cs = chips_.at(chip);
+  cs.parity_durable.erase(slow_block);
+  const auto it = cs.parity_page.find(slow_block);
+  if (it == cs.parity_page.end()) return;  // was never protected
+  const std::uint32_t backup_block = it->second.block;
+  cs.parity_page.erase(it);
+
+  if (cs.backup && cs.backup->block == backup_block) {
+    assert(cs.backup->live_pages > 0);
+    --cs.backup->live_pages;
+    return;
+  }
+  for (auto retiring = cs.retiring.begin(); retiring != cs.retiring.end(); ++retiring) {
+    if (retiring->block != backup_block) continue;
+    assert(retiring->live_pages > 0);
+    if (--retiring->live_pages == 0) {
+      // Every parity page in this retired backup block is stale: recycle.
+      const Result<nand::OpTiming> erased = device_.erase({chip, backup_block}, now);
+      assert(erased.is_ok());
+      (void)erased;
+      blocks_.release({chip, backup_block});
+      cs.retiring.erase(retiring);
+    }
+    return;
+  }
+}
+
+Result<Microseconds> FlexFtl::write_msb(std::uint32_t chip, Lpn lpn,
+                                        nand::PageData data, Microseconds now,
+                                        bool gc, bool prefer_cold) {
+  ChipState& cs = chips_.at(chip);
+  // Stream preference with cross-stream fallback (deadlock safety).
+  std::deque<std::uint32_t>* queue = prefer_cold ? &cs.cold_sbqueue : &cs.sbqueue;
+  std::deque<std::uint32_t>* other = prefer_cold ? &cs.sbqueue : &cs.cold_sbqueue;
+  if (queue->empty()) queue = other;
+  if (queue->empty()) return ErrorCode::kNoFreePage;
+  // FIFO: the head of the SBQueue is the active slow block (Section 3.1).
+  const std::uint32_t slow = queue->front();
+  nand::Block& block = device_.chip(chip).block(slow);
+  const std::optional<nand::PagePos> pos = block.next_msb();
+  assert(pos.has_value());  // invariant: SBQueue blocks have MSB space
+
+  // The block's parity page must be durable before its (destructive) MSB
+  // phase begins; normally it became durable long ago.
+  Microseconds start = now;
+  const auto durable = cs.parity_durable.find(slow);
+  if (durable != cs.parity_durable.end()) start = std::max(start, durable->second);
+
+  const nand::PageAddress addr{chip, slow, *pos};
+  Result<nand::OpTiming> timing = device_.program(addr, std::move(data), start);
+  assert(timing.is_ok());
+  commit_mapping(lpn, addr);
+  policy_.note_msb_write();
+  if (!gc) ++stats_.host_msb_writes;
+
+  if (block.is_fully_programmed()) {
+    // Slow -> full transition: the backup parity page is no longer needed.
+    blocks_.set_use({chip, slow}, ftl::BlockUse::kFull);
+    queue->pop_front();
+    invalidate_parity(chip, slow, timing.value().complete);
+  }
+  return timing.value().complete;
+}
+
+Result<Microseconds> FlexFtl::program_host_page(Lpn lpn, nand::PageData data,
+                                                Microseconds now,
+                                                double buffer_utilization) {
+  const std::uint32_t chip = pick_chip();
+  ChipState& cs = chips_.at(chip);
+  const bool has_slow = !cs.sbqueue.empty() || !cs.cold_sbqueue.empty();
+  nand::PageType choice = policy_.choose(chip, buffer_utilization, has_slow);
+
+  // Block-pool-status feedback (Fig. 5: the block pool manager reports its
+  // state to the page allocator to balance page-type consumption): when
+  // free LSB capacity is nearly exhausted but MSB capacity is banked in the
+  // SBQueue, consume MSB pages instead of forcing foreground GC.
+  if (choice == nand::PageType::kLsb && has_slow) {
+    const bool lsb_starved =
+        blocks_.free_blocks(chip) <= config_.gc_reserve_blocks + 2 && !cs.fast;
+    const bool sbqueue_bloated =
+        cs.sbqueue.size() + cs.cold_sbqueue.size() >
+        device_.geometry().blocks_per_chip / 2;
+    if (lsb_starved || sbqueue_bloated) choice = nand::PageType::kMsb;
+  }
+
+  // choose() only picks MSB when a slow block exists (footnote 1).
+  if (choice == nand::PageType::kMsb && has_slow) {
+    return write_msb(chip, lpn, std::move(data), now, /*gc=*/false);
+  }
+  return write_lsb(chip, lpn, std::move(data), now, /*gc=*/false);
+}
+
+Result<Microseconds> FlexFtl::program_gc_page(std::uint32_t chip, Lpn lpn,
+                                              nand::PageData data, Microseconds now,
+                                              bool background) {
+  (void)background;
+  // GC copies consume slow MSB pages (raising q); LSB only as a fallback.
+  // With hot/cold separation on, copies live in their own stream.
+  const bool cold = config_.separate_gc_stream;
+  ChipState& cs = chips_.at(chip);
+  const bool has_slow = !cs.sbqueue.empty() || !cs.cold_sbqueue.empty();
+  if (has_slow) {
+    return write_msb(chip, lpn, std::move(data), now, /*gc=*/true,
+                     /*prefer_cold=*/cold);
+  }
+  return write_lsb(chip, lpn, std::move(data), now, /*gc=*/true, /*cold=*/cold);
+}
+
+void FlexFtl::on_idle(Microseconds now, Microseconds deadline) {
+  // Burst observation happens on every idle, even ones too short to work
+  // in — the predictor must see the workload's rhythm either way.
+  if (config_.use_write_predictor) {
+    if (lsb_since_idle_ > 0) predictor_.observe_burst(lsb_since_idle_);
+    lsb_since_idle_ = 0;
+  }
+
+  FtlBase::on_idle(now, deadline);
+  // Same spill guard as the base background GC.
+  deadline -= 2 * config_.timing.program_msb_us;
+  if (deadline <= now) return;
+
+  // Quota replenishment: while q is below its target, relocate victims
+  // (copies go to MSB pages, each incrementing q) until the quota is back,
+  // the idle window closes, or no victim passes the yield guard. The
+  // target is the static ceiling, unless the write predictor (paper's
+  // conclusion / future work) is enabled — then the observed burst sizes
+  // bound how much idle GC is worth doing.
+  std::int64_t target = policy_.initial_quota();
+  if (config_.use_write_predictor) {
+    const std::int64_t predicted = predictor_.predicted_demand();
+    if (predicted >= 0) {
+      target = std::min(target, std::max(policy_.quota(), predicted));
+    }
+  }
+  const std::uint32_t chips = device_.geometry().num_chips();
+  std::uint32_t stalled = 0;
+  std::uint32_t chip = bgc_rr_chip_ % chips;
+  while (policy_.quota() < target && stalled < chips) {
+    const bool msb_available = !chips_[chip].sbqueue.empty() ||
+                               !chips_[chip].cold_sbqueue.empty();
+    if (!msb_available || device_.chip(chip).busy_until() >= deadline ||
+        blocks_.best_victim_gain(chip) <
+            blocks_.pages_per_block() / config_.bgc_min_yield_divisor) {
+      ++stalled;
+      chip = (chip + 1) % chips;
+      continue;
+    }
+    const std::optional<std::uint32_t> victim = blocks_.pick_victim(chip);
+    if (!victim) {
+      ++stalled;
+      chip = (chip + 1) % chips;
+      continue;
+    }
+    const Microseconds start = std::max(now, device_.chip(chip).busy_until());
+    if (!collect_block(chip, *victim, start, deadline, /*background=*/true)) {
+      ++stalled;
+    } else {
+      stalled = 0;
+    }
+    chip = (chip + 1) % chips;
+  }
+}
+
+std::optional<Lpn> FlexFtl::find_lpn_of(const nand::PageAddress& addr) const {
+  for (Lpn lpn = 0; lpn < mapping_.exported_pages(); ++lpn) {
+    if (mapping_.maps_to(lpn, addr)) return lpn;
+  }
+  return std::nullopt;
+}
+
+std::optional<nand::PageAddress> FlexFtl::find_newest_copy(
+    Lpn lpn, const nand::PageAddress& exclude) const {
+  std::optional<nand::PageAddress> best;
+  std::uint64_t best_version = 0;
+  const nand::Geometry& geometry = device_.geometry();
+  for (std::uint32_t chip = 0; chip < geometry.num_chips(); ++chip) {
+    for (std::uint32_t b = 0; b < geometry.blocks_per_chip; ++b) {
+      const nand::Block& block = device_.block({chip, b});
+      if (block.is_erased()) continue;
+      for (std::uint32_t wl = 0; wl < geometry.wordlines_per_block; ++wl) {
+        for (const nand::PageType type : {nand::PageType::kLsb, nand::PageType::kMsb}) {
+          const nand::PagePos pos{wl, type};
+          const nand::PageAddress addr{chip, b, pos};
+          if (addr == exclude) continue;
+          if (block.page_state(pos) != nand::PageState::kValid) continue;
+          const Result<nand::PageData> data = block.read(pos);
+          if (!data.is_ok()) continue;
+          if (data.value().spare & nand::kNonHostSpareFlag) continue;
+          if (data.value().lpn != lpn) continue;
+          if (!best || data.value().version > best_version) {
+            best = addr;
+            best_version = data.value().version;
+          }
+        }
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace rps::core

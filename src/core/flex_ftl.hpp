@@ -1,0 +1,149 @@
+// flexFTL: the paper's RPS-aware FTL (Section 3).
+//
+// Blocks are programmed under the relaxed program sequence with two-phase
+// ordering (2PO): all LSB pages first (the block is a *fast block*), then
+// all MSB pages (a *slow block*). Per chip, the block pool manager keeps
+//   - one active fast block serving LSB writes,
+//   - a FIFO slow-block queue (SBQueue) of LSB-full blocks, whose head is
+//     the active slow block serving MSB writes,
+//   - full and free pools.
+// The adaptive page allocator (PolicyManager) picks LSB vs MSB per write
+// from write-buffer utilization and the LSB quota q. While a fast block
+// fills, an XOR parity of all its LSB pages accumulates in the parity page
+// buffer; one parity page per block is flushed to a backup block (to the
+// backup block's LSB pages — legal under RPS) when the last LSB page is
+// written, replacing per-paired-page backups entirely. Background GC
+// relocates with MSB pages during idle time, reclaiming LSB capacity and
+// raising q for future bursts.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/policy.hpp"
+#include "src/core/write_predictor.hpp"
+#include "src/ftl/ftl_base.hpp"
+
+namespace rps::core {
+
+/// Outcome of the post-power-loss recovery procedure (Section 3.3).
+struct RecoveryReport {
+  std::uint64_t slow_blocks_checked = 0;
+  std::uint64_t fast_blocks_checked = 0;
+  std::uint64_t lsb_pages_read = 0;      // parity recomputation reads
+  std::uint64_t parity_pages_read = 0;
+  std::uint64_t pages_recovered = 0;     // rebuilt from parity
+  std::uint64_t pages_lost = 0;          // unrecoverable (no parity coverage)
+  std::uint64_t interrupted_writes_discarded = 0;  // in-flight, unacknowledged
+  /// Interrupted GC relocation copies rolled back to their still-intact
+  /// source pages (the victim block outlives the relocation pass).
+  std::uint64_t relocations_rolled_back = 0;
+  Microseconds recovery_time_us = 0;
+};
+
+class FlexFtl : public ftl::FtlBase {
+ public:
+  explicit FlexFtl(const ftl::FtlConfig& config);
+
+  [[nodiscard]] std::string_view name() const override { return "flexFTL"; }
+
+  /// Idle-time work (Section 3.2): besides the common low-free-space
+  /// background GC, flexFTL keeps the LSB quota q in a high range — GC
+  /// relocation copies consume MSB pages, each raising q, so future bursts
+  /// can again be absorbed with fast LSB writes.
+  void on_idle(Microseconds now, Microseconds deadline) override;
+
+  /// Power-loss recovery: verifies every slow block's LSB data by parity
+  /// recomputation, rebuilds lost pages from the per-block parity pages,
+  /// discards interrupted unacknowledged writes, and recomputes the parity
+  /// accumulators of active fast blocks. `victims` is what the device
+  /// reported from NandDevice::inject_power_loss.
+  RecoveryReport recover_from_power_loss(
+      const std::vector<nand::PowerLossVictim>& victims, Microseconds now);
+
+  // --- observability (tests, benches, examples) ---
+  [[nodiscard]] const PolicyManager& policy() const { return policy_; }
+  [[nodiscard]] std::int64_t quota() const { return policy_.quota(); }
+  [[nodiscard]] std::optional<std::uint32_t> active_fast_block(std::uint32_t chip) const {
+    return chips_.at(chip).fast;
+  }
+  [[nodiscard]] std::size_t sbqueue_depth(std::uint32_t chip) const {
+    return chips_.at(chip).sbqueue.size();
+  }
+  [[nodiscard]] std::size_t cold_sbqueue_depth(std::uint32_t chip) const {
+    return chips_.at(chip).cold_sbqueue.size();
+  }
+  [[nodiscard]] std::optional<std::uint32_t> active_slow_block(std::uint32_t chip) const {
+    const auto& q = chips_.at(chip).sbqueue;
+    return q.empty() ? std::nullopt : std::optional<std::uint32_t>(q.front());
+  }
+  [[nodiscard]] std::uint64_t skipped_parity_backups() const { return skipped_backups_; }
+  [[nodiscard]] const WritePredictor& write_predictor() const { return predictor_; }
+
+ protected:
+  Result<Microseconds> program_host_page(Lpn lpn, nand::PageData data, Microseconds now,
+                                         double buffer_utilization) override;
+  Result<Microseconds> program_gc_page(std::uint32_t chip, Lpn lpn, nand::PageData data,
+                                       Microseconds now, bool background) override;
+
+ private:
+  /// A backup block holding per-block parity pages on its LSB pages.
+  struct BackupBlock {
+    std::uint32_t block = 0;
+    std::uint32_t next_lsb = 0;     // parity write frontier
+    std::uint32_t live_pages = 0;   // parity pages still protecting a block
+  };
+
+  struct ChipState {
+    std::optional<std::uint32_t> fast;   // active fast block (host stream)
+    std::deque<std::uint32_t> sbqueue;   // head = active slow block
+    nand::PageData parity_acc;           // parity page buffer for `fast`
+    /// Cold stream (GC relocation copies), used when separate_gc_stream:
+    std::optional<std::uint32_t> cold_fast;
+    std::deque<std::uint32_t> cold_sbqueue;
+    nand::PageData cold_acc;
+    std::optional<BackupBlock> backup;   // current backup block
+    std::vector<BackupBlock> retiring;   // full backup blocks, still live
+    /// slow block -> when its parity page became durable (MSB writes wait).
+    std::unordered_map<std::uint32_t, Microseconds> parity_durable;
+    /// slow block -> where its parity page lives.
+    std::unordered_map<std::uint32_t, nand::PageAddress> parity_page;
+  };
+
+  static nand::PageData zeroed_parity();
+
+  Result<Microseconds> write_lsb(std::uint32_t chip, Lpn lpn, nand::PageData data,
+                                 Microseconds now, bool gc, bool cold = false);
+  Result<Microseconds> write_msb(std::uint32_t chip, Lpn lpn, nand::PageData data,
+                                 Microseconds now, bool gc, bool prefer_cold = false);
+
+  /// Flush the chip's accumulated parity page for `fast_block` (just
+  /// LSB-completed); returns when it is durable.
+  Microseconds flush_parity(std::uint32_t chip, std::uint32_t fast_block,
+                            Microseconds now);
+  Microseconds flush_parity_from(std::uint32_t chip, std::uint32_t fast_block,
+                                 const nand::PageData& acc, Microseconds now);
+
+  /// The slow block finished its MSB phase: its parity page is stale.
+  void invalidate_parity(std::uint32_t chip, std::uint32_t slow_block,
+                         Microseconds now);
+
+  /// Find the LPN currently mapped to `addr` (linear scan; recovery only).
+  [[nodiscard]] std::optional<Lpn> find_lpn_of(const nand::PageAddress& addr) const;
+
+  /// Media scan for the newest intact copy of `lpn` other than `exclude` —
+  /// how recovery rolls an interrupted relocation back to its source.
+  [[nodiscard]] std::optional<nand::PageAddress> find_newest_copy(
+      Lpn lpn, const nand::PageAddress& exclude) const;
+
+  std::vector<ChipState> chips_;
+  PolicyManager policy_;
+  WritePredictor predictor_;
+  std::uint64_t lsb_since_idle_ = 0;  // burst-size observation for the predictor
+  std::uint64_t skipped_backups_ = 0;
+};
+
+}  // namespace rps::core

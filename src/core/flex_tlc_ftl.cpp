@@ -1,0 +1,545 @@
+#include "src/core/flex_tlc_ftl.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace rps::core {
+
+namespace {
+constexpr double kBgcFreeThreshold = 0.10;
+}
+
+FlexTlcFtl::FlexTlcFtl(const TlcFtlConfig& config)
+    : config_(config),
+      device_(config.geometry, config.timing, nand::TlcSequenceKind::kRps),
+      chips_(config.geometry.num_chips()),
+      rotate_(config.geometry.num_chips(), 0) {
+  const auto exported = static_cast<Lpn>(
+      std::floor(static_cast<double>(config.geometry.total_pages()) *
+                 (1.0 - config.overprovisioning)));
+  mapping_.resize(exported);
+  const auto lsb_pages = static_cast<double>(config.geometry.num_chips()) *
+                         config.geometry.blocks_per_chip *
+                         config.geometry.wordlines_per_block;
+  initial_quota_ =
+      static_cast<std::int64_t>(lsb_pages * config.initial_quota_fraction);
+  quota_ = initial_quota_;
+  for (ChipState& cs : chips_) {
+    cs.use.assign(config.geometry.blocks_per_chip, Use::kFree);
+    cs.valid.assign(config.geometry.blocks_per_chip, 0);
+    cs.written.assign(config.geometry.blocks_per_chip, 0);
+    for (std::uint32_t b = 0; b < config.geometry.blocks_per_chip; ++b) {
+      cs.free.push_back(b);
+    }
+  }
+}
+
+nand::PageData FlexTlcFtl::zeroed_parity() {
+  nand::PageData d;
+  d.lpn = 0;
+  return d;
+}
+
+std::uint64_t FlexTlcFtl::make_signature(Lpn lpn) {
+  std::uint64_t x = lpn * 0x9e3779b97f4a7c15ull + (++write_version_);
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  return x ^ (x >> 31);
+}
+
+std::uint32_t FlexTlcFtl::pick_chip() {
+  // Headroom-based placement with round-robin tie-breaking (the same
+  // balance rule as the MLC FtlBase; see DESIGN.md).
+  const std::uint32_t chips = device_.geometry().num_chips();
+  const std::uint64_t chip_pages =
+      static_cast<std::uint64_t>(device_.geometry().blocks_per_chip) *
+      device_.geometry().pages_per_block();
+  const std::uint32_t start = rr_chip_++ % chips;
+  std::uint32_t best = start;
+  std::uint64_t best_headroom = 0;
+  for (std::uint32_t i = 0; i < chips; ++i) {
+    const std::uint32_t chip = (start + i) % chips;
+    std::uint64_t valid = 0;
+    for (const std::uint32_t v : chips_[chip].valid) valid += v;
+    const std::uint64_t headroom = chip_pages - valid;
+    if (i == 0 || headroom > best_headroom) {
+      best = chip;
+      best_headroom = headroom;
+    }
+  }
+  return best;
+}
+
+Result<std::uint32_t> FlexTlcFtl::allocate(std::uint32_t chip, Use use,
+                                           std::uint32_t reserve) {
+  ChipState& cs = chips_.at(chip);
+  if (cs.free.size() <= reserve) return ErrorCode::kNoFreeBlock;
+  const std::uint32_t block = cs.free.front();
+  cs.free.pop_front();
+  cs.use[block] = use;
+  cs.valid[block] = 0;
+  cs.written[block] = 0;
+  return block;
+}
+
+void FlexTlcFtl::release(std::uint32_t chip, std::uint32_t block) {
+  ChipState& cs = chips_.at(chip);
+  assert(cs.valid[block] == 0);
+  cs.use[block] = Use::kFree;
+  cs.free.push_back(block);
+}
+
+void FlexTlcFtl::commit_mapping(Lpn lpn, const nand::TlcPageAddress& addr) {
+  if (const std::optional<nand::TlcPageAddress>& old = mapping_[lpn]) {
+    assert(chips_[old->chip].valid[old->block] > 0);
+    --chips_[old->chip].valid[old->block];
+  }
+  mapping_[lpn] = addr;
+  ++chips_[addr.chip].valid[addr.block];
+}
+
+Microseconds FlexTlcFtl::flush_parity(std::uint32_t chip, std::uint32_t block,
+                                      const nand::PageData& acc, bool csb_pass,
+                                      Microseconds now) {
+  ChipState& cs = chips_.at(chip);
+  if (!cs.backup) {
+    // Never take the final free block: garbage collection depends on it as
+    // a relocation destination when every phase queue is empty.
+    const Result<std::uint32_t> fresh = allocate(chip, Use::kBackup, /*reserve=*/1);
+    if (!fresh.is_ok()) return now;  // unprotected; recovery reports losses
+    cs.backup = BackupBlock{fresh.value(), 0, 0};
+  }
+  const nand::TlcPageAddress dst{chip, cs.backup->block,
+                                 {cs.backup->next_lsb, nand::TlcPageType::kLsb}};
+  nand::PageData parity = acc;
+  parity.spare = static_cast<std::uint64_t>(block) | nand::kNonHostSpareFlag;
+  const Result<nand::OpTiming> timing = device_.program(dst, std::move(parity), now);
+  assert(timing.is_ok());
+  ++cs.backup->next_lsb;
+  ++cs.backup->live_pages;
+  ++stats_.backup_pages;
+  (csb_pass ? cs.csb_parity : cs.lsb_parity)[block] = dst;
+  if (cs.backup->next_lsb >= device_.geometry().wordlines_per_block) {
+    cs.retiring.push_back(*cs.backup);
+    cs.backup.reset();
+  }
+  return timing.value().complete;
+}
+
+void FlexTlcFtl::drop_backup_reference(std::uint32_t chip, std::uint32_t backup_block,
+                                       Microseconds now) {
+  ChipState& cs = chips_.at(chip);
+  if (cs.backup && cs.backup->block == backup_block) {
+    --cs.backup->live_pages;
+    return;
+  }
+  for (auto it = cs.retiring.begin(); it != cs.retiring.end(); ++it) {
+    if (it->block != backup_block) continue;
+    if (--it->live_pages == 0) {
+      const Result<nand::OpTiming> erased = device_.erase(chip, backup_block, now);
+      assert(erased.is_ok());
+      (void)erased;
+      release(chip, backup_block);
+      cs.retiring.erase(it);
+    }
+    return;
+  }
+}
+
+void FlexTlcFtl::invalidate_parities(std::uint32_t chip, std::uint32_t block,
+                                     Microseconds now) {
+  ChipState& cs = chips_.at(chip);
+  for (auto* map : {&cs.lsb_parity, &cs.csb_parity}) {
+    const auto it = map->find(block);
+    if (it == map->end()) continue;
+    drop_backup_reference(chip, it->second.block, now);
+    map->erase(it);
+  }
+  cs.csb_acc.erase(block);
+}
+
+Result<Microseconds> FlexTlcFtl::write_pass(std::uint32_t chip, nand::TlcPageType pass,
+                                            Lpn lpn, nand::PageData data,
+                                            Microseconds now, bool gc) {
+  ChipState& cs = chips_.at(chip);
+  const std::uint32_t wordlines = device_.geometry().wordlines_per_block;
+
+  std::uint32_t block = 0;
+  switch (pass) {
+    case nand::TlcPageType::kLsb: {
+      if (!cs.fast) {
+        Result<std::uint32_t> fresh =
+            allocate(chip, Use::kActive, gc ? 0 : config_.gc_reserve_blocks);
+        if (!fresh.is_ok() && !gc) {
+          const Status freed = ensure_free_block(chip, now);
+          if (!freed.is_ok() && !cs.fast) return freed.code();
+          if (!cs.fast) fresh = allocate(chip, Use::kActive, 0);
+        }
+        if (!cs.fast) {
+          if (!fresh.is_ok()) return fresh.code();
+          cs.fast = fresh.value();
+          cs.lsb_acc = zeroed_parity();
+        }
+      }
+      block = *cs.fast;
+      break;
+    }
+    case nand::TlcPageType::kCsb:
+      if (cs.csb_queue.empty()) return ErrorCode::kNoFreePage;
+      block = cs.csb_queue.front();
+      break;
+    case nand::TlcPageType::kMsb:
+      if (cs.msb_queue.empty()) return ErrorCode::kNoFreePage;
+      block = cs.msb_queue.front();
+      break;
+  }
+
+  nand::TlcBlock& device_block = device_.chip(chip).block(block);
+  const std::optional<nand::TlcPagePos> pos = device_block.next_in_pass(pass);
+  assert(pos.has_value());
+  const nand::TlcPageAddress addr{chip, block, *pos};
+
+  if (pass == nand::TlcPageType::kLsb) cs.lsb_acc.xor_with(data);
+  if (pass == nand::TlcPageType::kCsb) {
+    auto [it, inserted] = cs.csb_acc.try_emplace(block, zeroed_parity());
+    it->second.xor_with(data);
+  }
+
+  const Result<nand::OpTiming> timing = device_.program(addr, std::move(data), now);
+  assert(timing.is_ok());
+  ++chips_[chip].written[block];
+  commit_mapping(lpn, addr);
+
+  switch (pass) {
+    case nand::TlcPageType::kLsb:
+      --quota_;
+      if (!gc) ++stats_.host_writes_by_pass[0];
+      if (device_block.programmed_in_pass(nand::TlcPageType::kLsb) >= wordlines) {
+        // Fast phase complete: flush the LSB parity, hand to the CSB queue.
+        flush_parity(chip, block, cs.lsb_acc, /*csb_pass=*/false,
+                     timing.value().complete);
+        cs.csb_queue.push_back(block);
+        cs.fast.reset();
+      }
+      break;
+    case nand::TlcPageType::kCsb:
+      if (!gc) ++stats_.host_writes_by_pass[1];
+      if (device_block.programmed_in_pass(nand::TlcPageType::kCsb) >= wordlines) {
+        const auto acc = cs.csb_acc.find(block);
+        assert(acc != cs.csb_acc.end());
+        flush_parity(chip, block, acc->second, /*csb_pass=*/true,
+                     timing.value().complete);
+        cs.csb_queue.pop_front();
+        cs.msb_queue.push_back(block);
+      }
+      break;
+    case nand::TlcPageType::kMsb:
+      quota_ = std::min(quota_ + 1, initial_quota_);
+      if (!gc) ++stats_.host_writes_by_pass[2];
+      if (device_block.is_fully_programmed()) {
+        cs.msb_queue.pop_front();
+        cs.use[block] = Use::kFull;
+        invalidate_parities(chip, block, timing.value().complete);
+      }
+      break;
+  }
+  return timing.value().complete;
+}
+
+Result<Microseconds> FlexTlcFtl::write(Lpn lpn, Microseconds now,
+                                       double buffer_utilization) {
+  return write_data(lpn, {}, now, buffer_utilization);
+}
+
+Result<Microseconds> FlexTlcFtl::write_data(Lpn lpn, std::vector<std::uint8_t> bytes,
+                                            Microseconds now,
+                                            double buffer_utilization) {
+  if (lpn >= mapping_.size()) return ErrorCode::kOutOfRange;
+  nand::PageData data;
+  data.lpn = lpn;
+  data.signature = make_signature(lpn);
+  data.version = write_version_;
+  data.bytes = std::move(bytes);
+  const std::uint32_t chip = pick_chip();
+  ChipState& cs = chips_.at(chip);
+
+  // Pass selection (the MLC policy generalized to three passes).
+  const bool has_c = !cs.csb_queue.empty();
+  const bool has_m = !cs.msb_queue.empty();
+  nand::TlcPageType pass = nand::TlcPageType::kLsb;
+  if (buffer_utilization > config_.u_high && quota_ > 0) {
+    pass = nand::TlcPageType::kLsb;
+  } else if (buffer_utilization < config_.u_low) {
+    pass = has_m ? nand::TlcPageType::kMsb
+                 : (has_c ? nand::TlcPageType::kCsb : nand::TlcPageType::kLsb);
+  } else {
+    // Rotate L -> C -> M, skipping phases with no open block.
+    for (int i = 0; i < 3; ++i) {
+      const std::uint8_t r = rotate_[chip]++ % 3;
+      if (r == 0) break;  // LSB always available (allocates)
+      if (r == 1 && has_c) {
+        pass = nand::TlcPageType::kCsb;
+        break;
+      }
+      if (r == 2 && has_m) {
+        pass = nand::TlcPageType::kMsb;
+        break;
+      }
+    }
+  }
+  // Block-pool feedback: don't burn the last free blocks on LSB when
+  // mid/slow capacity is banked in the queues.
+  if (pass == nand::TlcPageType::kLsb && !cs.fast &&
+      cs.free.size() <= config_.gc_reserve_blocks + 1 && (has_c || has_m)) {
+    pass = has_m ? nand::TlcPageType::kMsb : nand::TlcPageType::kCsb;
+  }
+  Result<Microseconds> done = write_pass(chip, pass, lpn, std::move(data), now,
+                                         /*gc=*/false);
+  if (done.is_ok()) ++stats_.host_write_pages;
+  return done;
+}
+
+Result<nand::PageData> FlexTlcFtl::read_data(Lpn lpn, Microseconds now) {
+  if (lpn >= mapping_.size()) return ErrorCode::kOutOfRange;
+  if (!mapping_[lpn]) return ErrorCode::kNotFound;
+  Result<nand::TlcDevice::ReadResult> got = device_.read(*mapping_[lpn], now);
+  assert(got.is_ok());
+  if (!got.value().data.is_ok()) return got.value().data.code();
+  return std::move(got.value().data).take();
+}
+
+Result<Microseconds> FlexTlcFtl::program_gc_copy(std::uint32_t chip, Lpn lpn,
+                                                 nand::PageData data,
+                                                 Microseconds now) {
+  ChipState& cs = chips_.at(chip);
+  if (!cs.msb_queue.empty()) {
+    return write_pass(chip, nand::TlcPageType::kMsb, lpn, std::move(data), now, true);
+  }
+  if (!cs.csb_queue.empty()) {
+    return write_pass(chip, nand::TlcPageType::kCsb, lpn, std::move(data), now, true);
+  }
+  return write_pass(chip, nand::TlcPageType::kLsb, lpn, std::move(data), now, true);
+}
+
+std::optional<std::uint32_t> FlexTlcFtl::pick_victim(std::uint32_t chip) const {
+  const ChipState& cs = chips_.at(chip);
+  std::optional<std::uint32_t> best;
+  std::uint32_t best_invalid = 0;
+  for (std::uint32_t b = 0; b < cs.use.size(); ++b) {
+    if (cs.use[b] != Use::kFull) continue;
+    const std::uint32_t invalid = cs.written[b] - cs.valid[b];
+    if (invalid > best_invalid) {
+      best_invalid = invalid;
+      best = b;
+    }
+  }
+  return best;
+}
+
+bool FlexTlcFtl::collect_block(std::uint32_t chip, std::uint32_t victim,
+                               Microseconds now, Microseconds deadline) {
+  nand::TlcBlock& block = device_.chip(chip).block(victim);
+  for (std::uint32_t wl = 0; wl < block.wordlines(); ++wl) {
+    for (const nand::TlcPageType pass :
+         {nand::TlcPageType::kLsb, nand::TlcPageType::kCsb, nand::TlcPageType::kMsb}) {
+      const nand::TlcPagePos pos{wl, pass};
+      if (block.page_state(pos) != nand::PageState::kValid) continue;
+      const nand::TlcPageAddress addr{chip, victim, pos};
+      const Lpn lpn = block.read(pos).value().lpn;
+      if (lpn >= mapping_.size() || !mapping_[lpn] || !(*mapping_[lpn] == addr)) {
+        continue;
+      }
+      if (device_.chip(chip).busy_until() >= deadline) return false;
+      Result<nand::TlcDevice::ReadResult> got = device_.read(addr, now);
+      assert(got.is_ok());
+      if (!got.value().data.is_ok()) continue;
+      Result<Microseconds> copied =
+          program_gc_copy(chip, lpn, std::move(got.value().data).take(),
+                          got.value().timing.complete);
+      if (!copied.is_ok()) return false;
+      ++stats_.gc_copy_pages;
+    }
+  }
+  if (chips_[chip].valid[victim] != 0) return false;
+  const Result<nand::OpTiming> erased = device_.erase(chip, victim, now);
+  assert(erased.is_ok());
+  (void)erased;
+  release(chip, victim);
+  ++stats_.gc_blocks;
+  return true;
+}
+
+Status FlexTlcFtl::ensure_free_block(std::uint32_t chip, Microseconds now) {
+  while (chips_[chip].free.size() <= config_.gc_reserve_blocks) {
+    const std::optional<std::uint32_t> victim = pick_victim(chip);
+    if (!victim) return Status{ErrorCode::kNoFreeBlock};
+    if (!collect_block(chip, *victim, now, kTimeNever)) {
+      return Status{ErrorCode::kNoFreeBlock};
+    }
+  }
+  return Status::ok();
+}
+
+void FlexTlcFtl::on_idle(Microseconds now, Microseconds deadline) {
+  deadline -= 2 * config_.timing.program_msb_us;  // spill guard
+  if (deadline <= now) return;
+  const std::uint32_t blocks = device_.geometry().blocks_per_chip;
+  const std::uint32_t pages = device_.geometry().pages_per_block();
+  for (std::uint32_t chip = 0; chip < chips_.size(); ++chip) {
+    while (device_.chip(chip).busy_until() < deadline) {
+      const double free_fraction =
+          static_cast<double>(chips_[chip].free.size()) / blocks;
+      const bool need_space = free_fraction < kBgcFreeThreshold;
+      const bool need_quota = quota_ < initial_quota_;
+      if (!need_space && !need_quota) break;
+      const std::optional<std::uint32_t> victim = pick_victim(chip);
+      if (!victim) break;
+      // Yield guard, as in the MLC base.
+      if (chips_[chip].written[*victim] - chips_[chip].valid[*victim] < pages / 4 &&
+          !need_space) {
+        break;
+      }
+      const Microseconds start = std::max(now, device_.chip(chip).busy_until());
+      if (!collect_block(chip, *victim, start, deadline)) break;
+    }
+  }
+}
+
+std::optional<Lpn> FlexTlcFtl::find_lpn_of(const nand::TlcPageAddress& addr) const {
+  for (Lpn lpn = 0; lpn < mapping_.size(); ++lpn) {
+    if (mapping_[lpn] && *mapping_[lpn] == addr) return lpn;
+  }
+  return std::nullopt;
+}
+
+TlcRecoveryReport FlexTlcFtl::recover_from_power_loss(
+    const std::vector<nand::TlcDevice::PowerLossVictim>& victims, Microseconds now) {
+  TlcRecoveryReport report;
+
+  // Interrupted, unacknowledged writes roll back.
+  for (const nand::TlcDevice::PowerLossVictim& victim : victims) {
+    const nand::TlcPageAddress addr{victim.chip, victim.block, victim.pos};
+    if (const std::optional<Lpn> lpn = find_lpn_of(addr)) {
+      --chips_[addr.chip].valid[addr.block];
+      mapping_[*lpn].reset();
+      ++report.interrupted_writes_discarded;
+    }
+  }
+
+  const std::uint32_t wordlines = device_.geometry().wordlines_per_block;
+  for (std::uint32_t chip = 0; chip < chips_.size(); ++chip) {
+    ChipState& cs = chips_[chip];
+
+    // A pass in flight can only have damaged blocks in the CSB/MSB queues.
+    // Check each queued block's lower passes against their parity pages.
+    auto recover_pass = [&](std::uint32_t blk, nand::TlcPageType pass,
+                            std::unordered_map<std::uint32_t, nand::TlcPageAddress>&
+                                parity_map,
+                            std::uint32_t pages_in_pass) {
+      nand::PageData recomputed = zeroed_parity();
+      std::optional<nand::TlcPagePos> lost;
+      for (std::uint32_t wl = 0; wl < pages_in_pass; ++wl) {
+        const nand::TlcPageAddress addr{chip, blk, {wl, pass}};
+        Result<nand::TlcDevice::ReadResult> got = device_.read(addr, now);
+        assert(got.is_ok());
+        ++report.pages_read;
+        if (got.value().data.is_ok()) {
+          recomputed.xor_with(got.value().data.value());
+        } else {
+          lost = addr.pos;
+        }
+      }
+      if (!lost) return;
+      const nand::TlcPageAddress lost_addr{chip, blk, *lost};
+      const auto parity_it = parity_map.find(blk);
+      if (parity_it == parity_map.end()) {
+        if (const std::optional<Lpn> lpn = find_lpn_of(lost_addr)) {
+          --cs.valid[blk];
+          mapping_[*lpn].reset();
+          ++report.pages_lost;
+        }
+        return;
+      }
+      Result<nand::TlcDevice::ReadResult> saved = device_.read(parity_it->second, now);
+      assert(saved.is_ok());
+      ++report.parity_pages_read;
+      if (!saved.value().data.is_ok()) return;  // parity itself interrupted
+      nand::PageData recovered = std::move(saved.value().data).take();
+      recovered.xor_with(recomputed);
+      recovered.spare = 0;
+      if (recovered.lpn >= mapping_.size() || !mapping_[recovered.lpn] ||
+          !(*mapping_[recovered.lpn] == lost_addr)) {
+        return;  // stale data; nothing to restore
+      }
+      const Lpn lpn = recovered.lpn;
+      if (program_gc_copy(chip, lpn, std::move(recovered), now).is_ok()) {
+        ++report.pages_recovered;
+      } else {
+        --cs.valid[blk];
+        mapping_[lpn].reset();
+        ++report.pages_lost;
+      }
+    };
+
+    const std::vector<std::uint32_t> csb_blocks(cs.csb_queue.begin(),
+                                                cs.csb_queue.end());
+    for (const std::uint32_t blk : csb_blocks) {
+      ++report.blocks_checked;
+      recover_pass(blk, nand::TlcPageType::kLsb, cs.lsb_parity, wordlines);
+    }
+    const std::vector<std::uint32_t> msb_blocks(cs.msb_queue.begin(),
+                                                cs.msb_queue.end());
+    for (const std::uint32_t blk : msb_blocks) {
+      ++report.blocks_checked;
+      recover_pass(blk, nand::TlcPageType::kLsb, cs.lsb_parity, wordlines);
+      recover_pass(blk, nand::TlcPageType::kCsb, cs.csb_parity, wordlines);
+    }
+
+    // Rebuild the in-RAM accumulators of the open passes.
+    if (cs.fast) {
+      nand::PageData acc = zeroed_parity();
+      const nand::TlcBlock& block = device_.chip(chip).block(*cs.fast);
+      for (std::uint32_t wl = 0;
+           wl < block.programmed_in_pass(nand::TlcPageType::kLsb); ++wl) {
+        const Result<nand::TlcDevice::ReadResult> got =
+            device_.read({chip, *cs.fast, {wl, nand::TlcPageType::kLsb}}, now);
+        ++report.pages_read;
+        if (got.value().data.is_ok()) acc.xor_with(got.value().data.value());
+      }
+      cs.lsb_acc = acc;
+    }
+    if (!cs.csb_queue.empty()) {
+      const std::uint32_t head = cs.csb_queue.front();
+      nand::PageData acc = zeroed_parity();
+      const nand::TlcBlock& block = device_.chip(chip).block(head);
+      for (std::uint32_t wl = 0;
+           wl < block.programmed_in_pass(nand::TlcPageType::kCsb); ++wl) {
+        const Result<nand::TlcDevice::ReadResult> got =
+            device_.read({chip, head, {wl, nand::TlcPageType::kCsb}}, now);
+        ++report.pages_read;
+        if (got.value().data.is_ok()) acc.xor_with(got.value().data.value());
+      }
+      cs.csb_acc[head] = acc;
+    }
+  }
+  return report;
+}
+
+bool FlexTlcFtl::check_consistency() const {
+  std::uint64_t valid_total = 0;
+  for (const ChipState& cs : chips_) {
+    for (const std::uint32_t v : cs.valid) valid_total += v;
+  }
+  std::uint64_t mapped = 0;
+  for (const auto& entry : mapping_) {
+    if (!entry) continue;
+    ++mapped;
+    if (device_.chip(entry->chip).block(entry->block).page_state(entry->pos) ==
+        nand::PageState::kErased) {
+      return false;
+    }
+  }
+  return valid_total == mapped;
+}
+
+}  // namespace rps::core

@@ -1,0 +1,38 @@
+#include "src/core/policy.hpp"
+
+#include <algorithm>
+
+namespace rps::core {
+
+PolicyManager::PolicyManager(const Params& params)
+    : params_(params),
+      quota_(params.initial_quota),
+      alternate_toggle_(std::max<std::uint32_t>(1, params.chips), 0) {}
+
+nand::PageType PolicyManager::alternate(std::uint32_t chip, bool slow_block_available) {
+  if (!slow_block_available) return nand::PageType::kLsb;
+  std::uint8_t& toggle = alternate_toggle_.at(chip);
+  toggle ^= 1;
+  return toggle ? nand::PageType::kLsb : nand::PageType::kMsb;
+}
+
+nand::PageType PolicyManager::choose(std::uint32_t chip, double buffer_utilization,
+                                     bool slow_block_available) {
+  if (buffer_utilization > params_.u_high) {
+    if (quota_ > 0) return nand::PageType::kLsb;
+    return alternate(chip, slow_block_available);
+  }
+  if (buffer_utilization < params_.u_low) {
+    // No bandwidth pressure: consume a slow page, banking quota.
+    return slow_block_available ? nand::PageType::kMsb : nand::PageType::kLsb;
+  }
+  return alternate(chip, slow_block_available);
+}
+
+void PolicyManager::note_lsb_write() { --quota_; }
+
+void PolicyManager::note_msb_write() {
+  quota_ = std::min(quota_ + 1, params_.initial_quota);
+}
+
+}  // namespace rps::core

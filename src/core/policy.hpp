@@ -1,0 +1,64 @@
+// flexFTL's adaptive page-allocation policy (Section 3.2).
+//
+// The policy manager picks the page type for each write from two signals:
+//   u — write-buffer utilization: high u means a burst is underway and the
+//       host needs peak bandwidth now;
+//   q — the quota of successive LSB-page writes: how many more LSB pages
+//       can be consumed before future bandwidth is endangered. Every LSB
+//       write decrements q, every MSB write increments it (background GC,
+//       which copies with MSB pages in idle time, is what replenishes q).
+//
+// Decision rule (paper, verbatim):
+//   u > u_high: LSB if q > 0, else alternate LSB/MSB;
+//   u < u_low : MSB (or LSB if no slow block exists — footnote 1);
+//   otherwise : alternate LSB/MSB.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/nand/address.hpp"
+
+namespace rps::core {
+
+class PolicyManager {
+ public:
+  struct Params {
+    double u_high = 0.80;
+    double u_low = 0.10;
+    /// Initial quota: the paper uses 5% of all LSB pages in the device.
+    std::int64_t initial_quota = 0;
+    /// Chips in the device: the alternate-LSB/MSB state is kept per chip.
+    /// (A single global toggle resonates with round-robin write striping
+    /// when the chip count is even — half the chips would see only LSB
+    /// choices — so alternation must be tracked where it is consumed.)
+    std::uint32_t chips = 1;
+  };
+
+  explicit PolicyManager(const Params& params);
+
+  /// Choose the page type for the next write on `chip`.
+  /// `slow_block_available` is whether an MSB frontier currently exists on
+  /// that chip (footnote 1's corner case).
+  [[nodiscard]] nand::PageType choose(std::uint32_t chip, double buffer_utilization,
+                                      bool slow_block_available);
+
+  /// Quota bookkeeping, driven by the writes actually performed (host and
+  /// GC alike). q is capped at its initial value: the quota models the
+  /// largest burst the system promises to absorb.
+  void note_lsb_write();
+  void note_msb_write();
+
+  [[nodiscard]] std::int64_t quota() const { return quota_; }
+  [[nodiscard]] std::int64_t initial_quota() const { return params_.initial_quota; }
+  [[nodiscard]] const Params& params() const { return params_; }
+
+ private:
+  nand::PageType alternate(std::uint32_t chip, bool slow_block_available);
+
+  Params params_;
+  std::int64_t quota_;
+  std::vector<std::uint8_t> alternate_toggle_;  // per chip
+};
+
+}  // namespace rps::core

@@ -1,0 +1,154 @@
+// Power-loss recovery (Section 3.3, Fig. 7b).
+//
+// A sudden power-off during an MSB program destroys the paired LSB page's
+// previously-acknowledged data. At reboot, flexFTL:
+//   1. discards interrupted in-flight writes (they were never acknowledged),
+//   2. re-reads every LSB page of every slow block, recomputing the parity;
+//      an ECC-uncorrectable page is reconstructed by XOR-ing the saved
+//      per-block parity page with the readable pages, and rewritten,
+//   3. re-reads the written LSB pages of each active fast block to rebuild
+//      its partially-accumulated parity page buffer.
+// All reads are charged to the device timeline, so the report's recovery
+// time reproduces the paper's reboot-cost estimate.
+#include <cassert>
+
+#include "src/core/flex_ftl.hpp"
+
+namespace rps::core {
+
+RecoveryReport FlexFtl::recover_from_power_loss(
+    const std::vector<nand::PowerLossVictim>& victims, Microseconds now) {
+  RecoveryReport report;
+  const Microseconds start = now;
+
+  // Step 1: interrupted programs never completed. If the destroyed page
+  // was a relocation copy, its source still exists (a victim block is only
+  // erased after its pass commits): roll the mapping back to the newest
+  // intact copy. Otherwise it was an in-flight host write that was never
+  // acknowledged: discard it.
+  for (const nand::PowerLossVictim& victim : victims) {
+    const nand::PageAddress addr{victim.chip, victim.block, victim.pos};
+    const std::optional<Lpn> lpn = find_lpn_of(addr);
+    if (!lpn) continue;
+    if (const std::optional<nand::PageAddress> source = find_newest_copy(*lpn, addr)) {
+      mapping_.update(*lpn, *source);  // returns `addr`; fix the counters
+      blocks_.remove_valid({addr.chip, addr.block});
+      blocks_.add_valid({source->chip, source->block});
+      ++report.relocations_rolled_back;
+    } else {
+      mapping_.unmap(*lpn);
+      blocks_.remove_valid({addr.chip, addr.block});
+      ++report.interrupted_writes_discarded;
+    }
+  }
+
+  const std::uint32_t wordlines = device_.geometry().wordlines_per_block;
+  for (std::uint32_t chip = 0; chip < chips_.size(); ++chip) {
+    ChipState& cs = chips_[chip];
+
+    // Step 2: verify every slow block's LSB data by parity recomputation.
+    // (Snapshot the queue: rewriting a recovered page may consume MSB pages
+    // and retire the head slow block, mutating the deque.)
+    std::vector<std::uint32_t> slow_blocks(cs.sbqueue.begin(), cs.sbqueue.end());
+    slow_blocks.insert(slow_blocks.end(), cs.cold_sbqueue.begin(),
+                       cs.cold_sbqueue.end());
+    for (const std::uint32_t blk : slow_blocks) {
+      ++report.slow_blocks_checked;
+      nand::PageData recomputed = zeroed_parity();
+      std::optional<nand::PagePos> lost;
+      for (std::uint32_t wl = 0; wl < wordlines; ++wl) {
+        const nand::PageAddress addr{chip, blk, {wl, nand::PageType::kLsb}};
+        Result<nand::NandDevice::ReadResult> got = device_.read(addr, now);
+        assert(got.is_ok());
+        ++report.lsb_pages_read;
+        if (got.value().data.is_ok()) {
+          recomputed.xor_with(got.value().data.value());
+        } else {
+          // Skip the unreadable page; keep accumulating the rest (Fig. 7b).
+          lost = addr.pos;
+        }
+      }
+      if (!lost) continue;
+
+      const nand::PageAddress lost_addr{chip, blk, *lost};
+      const auto parity_it = cs.parity_page.find(blk);
+      if (parity_it == cs.parity_page.end()) {
+        // The block was never protected (backup allocation failed). A
+        // stale intact copy elsewhere can still save the data.
+        if (const std::optional<Lpn> lpn = find_lpn_of(lost_addr)) {
+          if (const auto source = find_newest_copy(*lpn, lost_addr)) {
+            mapping_.update(*lpn, *source);
+            blocks_.remove_valid({chip, blk});
+            blocks_.add_valid({source->chip, source->block});
+            ++report.relocations_rolled_back;
+          } else {
+            mapping_.unmap(*lpn);
+            blocks_.remove_valid({chip, blk});
+            ++report.pages_lost;
+          }
+        }
+        continue;
+      }
+      Result<nand::NandDevice::ReadResult> saved =
+          device_.read(parity_it->second, now);
+      assert(saved.is_ok());
+      ++report.parity_pages_read;
+      if (!saved.value().data.is_ok()) {
+        // The parity page itself was the interrupted program (a power cut
+        // during the flush). No MSB of this block can have started — the
+        // MSB phase waits for parity durability — so nothing is lost; the
+        // block simply proceeds unprotected until its pages are stale.
+        cs.parity_page.erase(blk);
+        cs.parity_durable.erase(blk);
+        ++skipped_backups_;
+        continue;
+      }
+
+      // lost page = saved parity XOR (XOR of all readable LSB pages).
+      nand::PageData recovered = std::move(saved.value().data).take();
+      recovered.xor_with(recomputed);
+      recovered.spare = 0;  // the parity page's spare held the inverse map
+
+      if (!mapping_.maps_to(recovered.lpn, lost_addr)) {
+        // The destroyed page held stale data; nothing to restore.
+        continue;
+      }
+      // Rewrite the reconstructed page at a fresh location and remap.
+      const Lpn lpn = recovered.lpn;
+      Result<Microseconds> rewritten =
+          program_gc_page(chip, lpn, std::move(recovered), now, /*background=*/false);
+      if (rewritten.is_ok()) {
+        ++report.pages_recovered;
+      } else {
+        mapping_.unmap(lpn);
+        blocks_.remove_valid({chip, blk});
+        ++report.pages_lost;
+      }
+    }
+
+    // Step 3: rebuild the parity page buffers of the active fast blocks
+    // (host and cold streams) from their already-written LSB pages.
+    for (const bool cold : {false, true}) {
+      const std::optional<std::uint32_t>& fast = cold ? cs.cold_fast : cs.fast;
+      if (!fast) continue;
+      ++report.fast_blocks_checked;
+      const nand::Block& block = device_.block({chip, *fast});
+      nand::PageData acc = zeroed_parity();
+      for (std::uint32_t wl = 0; wl < block.programmed_lsb_pages(); ++wl) {
+        const nand::PageAddress addr{chip, *fast, {wl, nand::PageType::kLsb}};
+        Result<nand::NandDevice::ReadResult> got = device_.read(addr, now);
+        assert(got.is_ok());
+        ++report.lsb_pages_read;
+        // An interrupted (corrupt) LSB program contributes nothing; its
+        // write was already discarded in step 1.
+        if (got.value().data.is_ok()) acc.xor_with(got.value().data.value());
+      }
+      (cold ? cs.cold_acc : cs.parity_acc) = acc;
+    }
+  }
+
+  report.recovery_time_us = std::max<Microseconds>(0, device_.all_idle_at() - start);
+  return report;
+}
+
+}  // namespace rps::core

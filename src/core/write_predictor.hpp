@@ -1,0 +1,54 @@
+// Future-write predictor (the paper's conclusion, citing Hahn et al. [9]):
+// "if flexFTL can more accurately estimate the amount of future writes, a
+// background garbage collector can reclaim free blocks more efficiently so
+// that more LSB-page writes can be used for future write requests."
+//
+// This is a deliberately simple instance: an exponentially weighted moving
+// average of recent burst sizes (LSB pages consumed between idle periods)
+// predicts the next burst, and flexFTL's idle-time quota replenishment
+// targets that prediction (plus head-room) instead of always refilling to
+// the static ceiling — less idle GC churn with the same burst absorption.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace rps::core {
+
+class WritePredictor {
+ public:
+  /// `smoothing` in (0, 1]: weight of the newest burst observation.
+  explicit WritePredictor(double smoothing = 0.3) : smoothing_(smoothing) {}
+
+  /// Record LSB pages consumed since the previous idle period.
+  void observe_burst(std::uint64_t lsb_pages) {
+    if (!seeded_) {
+      ewma_ = static_cast<double>(lsb_pages);
+      seeded_ = true;
+    } else {
+      ewma_ = smoothing_ * static_cast<double>(lsb_pages) + (1.0 - smoothing_) * ewma_;
+    }
+    peak_ = std::max(peak_, lsb_pages);
+  }
+
+  /// Predicted LSB demand of the next burst, with 2x head-room. The EWMA
+  /// forgets one-off outliers (such as the initial fill, which arrives as
+  /// one giant "burst"); the caller caps the result at the static quota,
+  /// which remains the conservative ceiling the paper's 5% setting gives.
+  [[nodiscard]] std::int64_t predicted_demand() const {
+    if (!seeded_) return -1;  // no observation yet: caller uses the static quota
+    return static_cast<std::int64_t>(2.0 * ewma_ + 1.0);
+  }
+
+  [[nodiscard]] bool seeded() const { return seeded_; }
+  [[nodiscard]] double ewma() const { return ewma_; }
+  [[nodiscard]] std::uint64_t peak() const { return peak_; }
+
+ private:
+  double smoothing_;
+  double ewma_ = 0.0;
+  std::uint64_t peak_ = 0;
+  bool seeded_ = false;
+};
+
+}  // namespace rps::core

@@ -1,0 +1,88 @@
+#include "src/ftl/block_manager.hpp"
+
+#include <cassert>
+
+namespace rps::ftl {
+
+BlockManager::BlockManager(std::uint32_t chips, std::uint32_t blocks_per_chip,
+                           std::uint32_t pages_per_block)
+    : blocks_per_chip_(blocks_per_chip), pages_per_block_(pages_per_block) {
+  per_chip_.resize(chips);
+  for (ChipState& chip : per_chip_) {
+    chip.blocks.resize(blocks_per_chip);
+    for (std::uint32_t b = 0; b < blocks_per_chip; ++b) chip.free.push_back(b);
+  }
+}
+
+Result<std::uint32_t> BlockManager::allocate(std::uint32_t chip, BlockUse use,
+                                             std::uint32_t reserve) {
+  assert(use != BlockUse::kFree);
+  ChipState& state = per_chip_.at(chip);
+  if (state.free.size() <= reserve) return ErrorCode::kNoFreeBlock;
+  const std::uint32_t block = state.free.front();
+  state.free.pop_front();
+  BlockInfo& bi = state.blocks[block];
+  assert(bi.use == BlockUse::kFree);
+  bi.use = use;
+  bi.valid_pages = 0;
+  bi.written_pages = 0;
+  return block;
+}
+
+void BlockManager::set_use(nand::BlockAddress addr, BlockUse use) {
+  assert(use != BlockUse::kFree);  // use release() to free a block
+  info(addr).use = use;
+}
+
+BlockUse BlockManager::use(nand::BlockAddress addr) const { return info(addr).use; }
+
+void BlockManager::release(nand::BlockAddress addr) {
+  BlockInfo& bi = info(addr);
+  assert(bi.use != BlockUse::kFree);
+  assert(bi.valid_pages == 0);
+  bi.use = BlockUse::kFree;
+  bi.valid_pages = 0;
+  bi.written_pages = 0;
+  per_chip_.at(addr.chip).free.push_back(addr.block);
+}
+
+void BlockManager::remove_valid(nand::BlockAddress addr) {
+  BlockInfo& bi = info(addr);
+  assert(bi.valid_pages > 0);
+  --bi.valid_pages;
+  --per_chip_.at(addr.chip).valid_pages;
+}
+
+std::uint64_t BlockManager::total_free_blocks() const {
+  std::uint64_t total = 0;
+  for (const ChipState& chip : per_chip_) total += chip.free.size();
+  return total;
+}
+
+std::optional<std::uint32_t> BlockManager::pick_victim(std::uint32_t chip) const {
+  const ChipState& state = per_chip_.at(chip);
+  std::optional<std::uint32_t> best;
+  std::uint32_t best_invalid = 0;
+  for (std::uint32_t b = 0; b < state.blocks.size(); ++b) {
+    const BlockInfo& bi = state.blocks[b];
+    if (bi.use != BlockUse::kFull) continue;
+    const std::uint32_t invalid = bi.written_pages - bi.valid_pages;
+    if (invalid > best_invalid) {
+      best_invalid = invalid;
+      best = b;
+    }
+  }
+  return best;
+}
+
+std::uint32_t BlockManager::best_victim_gain(std::uint32_t chip) const {
+  const ChipState& state = per_chip_.at(chip);
+  std::uint32_t best_invalid = 0;
+  for (const BlockInfo& bi : state.blocks) {
+    if (bi.use != BlockUse::kFull) continue;
+    best_invalid = std::max(best_invalid, bi.written_pages - bi.valid_pages);
+  }
+  return best_invalid;
+}
+
+}  // namespace rps::ftl

@@ -1,0 +1,105 @@
+// Per-chip block bookkeeping shared by all FTLs: free lists, block roles,
+// valid-page counts and greedy victim selection.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "src/nand/address.hpp"
+#include "src/util/result.hpp"
+
+namespace rps::ftl {
+
+/// How a block is currently used by the FTL.
+enum class BlockUse : std::uint8_t {
+  kFree = 0,
+  kActive,   // host/GC data being appended (fast or slow phase)
+  kFull,     // completely written, GC candidate
+  kBackup,   // holds parity / paired-page backup pages
+};
+
+class BlockManager {
+ public:
+  BlockManager(std::uint32_t chips, std::uint32_t blocks_per_chip,
+               std::uint32_t pages_per_block);
+
+  [[nodiscard]] std::uint32_t chips() const { return static_cast<std::uint32_t>(per_chip_.size()); }
+  [[nodiscard]] std::uint32_t blocks_per_chip() const { return blocks_per_chip_; }
+  [[nodiscard]] std::uint32_t pages_per_block() const { return pages_per_block_; }
+
+  /// Allocate a free block on `chip`. Host allocations respect `reserve`
+  /// (they fail when at most `reserve` free blocks remain, leaving room for
+  /// GC); pass reserve = 0 for GC's own allocations.
+  Result<std::uint32_t> allocate(std::uint32_t chip, BlockUse use, std::uint32_t reserve);
+
+  /// Move a block between roles (e.g. kActive -> kFull when it fills).
+  void set_use(nand::BlockAddress addr, BlockUse use);
+  [[nodiscard]] BlockUse use(nand::BlockAddress addr) const;
+
+  /// Return an erased block to the free pool.
+  void release(nand::BlockAddress addr);
+
+  /// Valid-page accounting (driven by mapping updates).
+  void add_valid(nand::BlockAddress addr) {
+    ++info(addr).valid_pages;
+    ++per_chip_.at(addr.chip).valid_pages;
+  }
+  void remove_valid(nand::BlockAddress addr);
+  [[nodiscard]] std::uint32_t valid_pages(nand::BlockAddress addr) const {
+    return info(addr).valid_pages;
+  }
+  /// Total valid pages on a chip. The chip's write headroom —
+  /// physical pages minus this — is what host-write placement balances.
+  [[nodiscard]] std::uint64_t chip_valid_pages(std::uint32_t chip) const {
+    return per_chip_.at(chip).valid_pages;
+  }
+
+  /// Written-page accounting (monotonic until erase).
+  void add_written(nand::BlockAddress addr) { ++info(addr).written_pages; }
+  [[nodiscard]] std::uint32_t written_pages(nand::BlockAddress addr) const {
+    return info(addr).written_pages;
+  }
+
+  [[nodiscard]] std::uint32_t free_blocks(std::uint32_t chip) const {
+    return static_cast<std::uint32_t>(per_chip_.at(chip).free.size());
+  }
+  [[nodiscard]] std::uint64_t total_free_blocks() const;
+  [[nodiscard]] double free_fraction(std::uint32_t chip) const {
+    return static_cast<double>(free_blocks(chip)) / blocks_per_chip_;
+  }
+
+  /// Greedy victim selection among kFull blocks of `chip`: the block with
+  /// the most invalid pages. Blocks with no invalid page are not victims
+  /// (relocating them reclaims nothing).
+  [[nodiscard]] std::optional<std::uint32_t> pick_victim(std::uint32_t chip) const;
+
+  /// Invalid pages of a chip's best victim (0 if none).
+  [[nodiscard]] std::uint32_t best_victim_gain(std::uint32_t chip) const;
+
+ private:
+  struct BlockInfo {
+    BlockUse use = BlockUse::kFree;
+    std::uint32_t valid_pages = 0;
+    std::uint32_t written_pages = 0;
+  };
+  struct ChipState {
+    std::vector<BlockInfo> blocks;
+    std::deque<std::uint32_t> free;
+    std::uint64_t valid_pages = 0;
+  };
+
+  [[nodiscard]] const BlockInfo& info(nand::BlockAddress addr) const {
+    return per_chip_.at(addr.chip).blocks.at(addr.block);
+  }
+  [[nodiscard]] BlockInfo& info(nand::BlockAddress addr) {
+    return per_chip_.at(addr.chip).blocks.at(addr.block);
+  }
+
+  std::uint32_t blocks_per_chip_;
+  std::uint32_t pages_per_block_;
+  std::vector<ChipState> per_chip_;
+};
+
+}  // namespace rps::ftl

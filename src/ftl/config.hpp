@@ -1,0 +1,92 @@
+// Shared configuration for every FTL under test.
+#pragma once
+
+#include <cstdint>
+
+#include "src/nand/geometry.hpp"
+#include "src/nand/timing.hpp"
+
+namespace rps::ftl {
+
+struct FtlConfig {
+  nand::Geometry geometry = nand::Geometry::paper();
+  nand::TimingSpec timing = nand::TimingSpec::paper();
+
+  /// Fraction of physical pages *not* exported as logical capacity
+  /// (overprovisioning for GC plus backup-block headroom).
+  double overprovisioning = 0.13;
+
+  /// Extra scaling of the exported capacity. FTLs that cannot use every
+  /// physical page set this (slcFTL writes only LSB pages: 0.5).
+  double capacity_factor = 1.0;
+
+  /// Background GC triggers when a chip's free blocks drop below this
+  /// fraction of its blocks (Section 3.2: 10% of total capacity).
+  double bgc_free_threshold = 0.10;
+
+  /// Free blocks per chip held back for garbage collection's own use.
+  std::uint32_t gc_reserve_blocks = 2;
+
+  /// Background GC yield guard: only relocate a victim in idle time when
+  /// it has at least pages_per_block / this-divisor invalid pages.
+  std::uint32_t bgc_min_yield_divisor = 4;
+
+  /// Incremental foreground GC: at most this many relocation copies are
+  /// piggybacked on one host write when a chip runs low on free blocks.
+  std::uint32_t gc_incremental_copies = 4;
+
+  /// Host write-buffer capacity in pages; its utilization u feeds
+  /// flexFTL's policy manager.
+  std::uint32_t write_buffer_pages = 64;
+
+  /// flexFTL policy parameters (Section 4.1: u_high 80%, u_low 10%,
+  /// initial quota 5% of all LSB pages).
+  double u_high = 0.80;
+  double u_low = 0.10;
+  double initial_quota_fraction = 0.05;
+
+  /// rtfFTL: active blocks per chip (Section 4.1 uses 8).
+  std::uint32_t rtf_active_blocks = 8;
+
+  /// flexFTL extension (paper's conclusion): predict the next burst's LSB
+  /// demand from recent bursts and replenish the quota only that far in
+  /// idle time, instead of always refilling to the static ceiling.
+  bool use_write_predictor = false;
+
+  /// Static wear leveling: during idle time, if a chip's least-worn full
+  /// block trails its most-worn block by at least this many erases, its
+  /// (cold) data is migrated so the block re-enters circulation. 0 = off.
+  std::uint64_t wear_level_threshold = 0;
+
+  /// Program suspension: reads preempt in-flight programs (read-latency
+  /// QoS against 2 ms MSB programs). Off by default, as in the paper's
+  /// evaluation hardware.
+  bool program_suspend = false;
+
+  /// Read-disturb scrubbing: during idle time, refresh (relocate + erase)
+  /// any full block whose reads-since-erase exceed this count. 0 = off.
+  std::uint64_t read_scrub_threshold = 0;
+
+  /// flexFTL hot/cold separation: GC relocation copies get their own
+  /// fast-block / slow-block stream, so long-lived (cold) data ages in
+  /// blocks of its own instead of diluting hot host blocks — the standard
+  /// write-amplification reducer for skewed workloads.
+  bool separate_gc_stream = false;
+
+  /// A small configuration for unit tests.
+  static FtlConfig tiny() {
+    FtlConfig c;
+    c.geometry = nand::Geometry::tiny();
+    c.timing = nand::TimingSpec::paper();
+    c.overprovisioning = 0.25;
+    c.gc_reserve_blocks = 1;
+    c.write_buffer_pages = 8;
+    c.rtf_active_blocks = 2;
+    // The tiny device has so few LSB pages that the paper's 5% quota would
+    // round to a handful of writes; keep it meaningful for tests.
+    c.initial_quota_fraction = 0.5;
+    return c;
+  }
+};
+
+}  // namespace rps::ftl

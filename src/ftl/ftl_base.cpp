@@ -1,0 +1,355 @@
+#include "src/ftl/ftl_base.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace rps::ftl {
+
+Lpn FtlBase::compute_exported_pages(const FtlConfig& config) {
+  const auto total = static_cast<double>(config.geometry.total_pages());
+  return static_cast<Lpn>(
+      std::floor(total * (1.0 - config.overprovisioning) * config.capacity_factor));
+}
+
+FtlBase::FtlBase(const FtlConfig& config, nand::SequenceKind kind)
+    : config_(config),
+      device_(config.geometry, config.timing, kind),
+      mapping_(compute_exported_pages(config)),
+      blocks_(config.geometry.num_chips(), config.geometry.blocks_per_chip,
+              config.geometry.pages_per_block()) {
+  device_.set_program_suspend(config.program_suspend);
+}
+
+std::uint64_t FtlBase::make_signature(Lpn lpn) {
+  // splitmix64-style mix of (lpn, version) — unique per write.
+  std::uint64_t x = lpn * 0x9e3779b97f4a7c15ull + (++write_version_);
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+Result<HostOp> FtlBase::write(Lpn lpn, Microseconds now, double buffer_utilization) {
+  if (lpn >= mapping_.exported_pages()) return ErrorCode::kOutOfRange;
+  nand::PageData data;
+  data.lpn = lpn;
+  data.signature = make_signature(lpn);
+  data.version = write_version_;
+  Result<Microseconds> done =
+      program_host_page(lpn, std::move(data), now, buffer_utilization);
+  if (!done.is_ok()) return done.code();
+  ++stats_.host_write_pages;
+  incremental_gc(now);
+  return HostOp{done.value()};
+}
+
+Result<HostOp> FtlBase::write_data(Lpn lpn, std::vector<std::uint8_t> bytes,
+                                   Microseconds now, double buffer_utilization) {
+  if (lpn >= mapping_.exported_pages()) return ErrorCode::kOutOfRange;
+  nand::PageData data;
+  data.lpn = lpn;
+  data.signature = make_signature(lpn);
+  data.version = write_version_;
+  data.bytes = std::move(bytes);
+  Result<Microseconds> done =
+      program_host_page(lpn, std::move(data), now, buffer_utilization);
+  if (!done.is_ok()) return done.code();
+  ++stats_.host_write_pages;
+  incremental_gc(now);
+  return HostOp{done.value()};
+}
+
+Result<HostOp> FtlBase::read(Lpn lpn, Microseconds now) {
+  if (lpn >= mapping_.exported_pages()) return ErrorCode::kOutOfRange;
+  const Result<nand::PageAddress> addr = mapping_.lookup(lpn);
+  ++stats_.host_read_pages;
+  if (!addr.is_ok()) {
+    // Never-written page: zero-fill, satisfied without touching the device.
+    ++stats_.unmapped_reads;
+    return HostOp{now};
+  }
+  Result<nand::NandDevice::ReadResult> got = device_.read(addr.value(), now);
+  assert(got.is_ok());
+  if (!got.value().data.is_ok()) {
+    ++stats_.read_errors;
+    return got.value().data.code();
+  }
+  return HostOp{got.value().timing.complete};
+}
+
+Result<nand::PageData> FtlBase::read_data(Lpn lpn, Microseconds now,
+                                          Microseconds* complete) {
+  if (complete != nullptr) *complete = now;
+  if (lpn >= mapping_.exported_pages()) return ErrorCode::kOutOfRange;
+  const Result<nand::PageAddress> addr = mapping_.lookup(lpn);
+  if (!addr.is_ok()) {
+    ++stats_.unmapped_reads;
+    return ErrorCode::kNotFound;
+  }
+  Result<nand::NandDevice::ReadResult> got = device_.read(addr.value(), now);
+  assert(got.is_ok());
+  if (complete != nullptr) *complete = got.value().timing.complete;
+  if (!got.value().data.is_ok()) {
+    ++stats_.read_errors;
+    return got.value().data.code();
+  }
+  return std::move(got.value().data).take();
+}
+
+void FtlBase::commit_mapping(Lpn lpn, const nand::PageAddress& addr) {
+  const nand::BlockAddress block{addr.chip, addr.block};
+  blocks_.add_written(block);
+  const std::optional<nand::PageAddress> old = mapping_.update(lpn, addr);
+  if (old) blocks_.remove_valid({old->chip, old->block});
+  blocks_.add_valid(block);
+}
+
+bool FtlBase::collect_block(std::uint32_t chip, std::uint32_t victim, Microseconds now,
+                            Microseconds deadline, bool background,
+                            std::uint32_t max_copies) {
+  nand::Block& block = device_.chip(chip).block(victim);
+  const nand::BlockAddress victim_addr{chip, victim};
+  std::uint32_t copies = 0;
+  for (std::uint32_t wl = 0; wl < block.wordlines(); ++wl) {
+    for (const nand::PageType type : {nand::PageType::kLsb, nand::PageType::kMsb}) {
+      if (blocks_.valid_pages(victim_addr) == 0) break;
+      const nand::PagePos pos{wl, type};
+      if (block.page_state(pos) != nand::PageState::kValid) continue;
+      const nand::PageAddress page_addr{chip, victim, pos};
+      // Validity test: does the mapping still point here?
+      const Lpn lpn = block.read(pos).value().lpn;
+      if (!mapping_.maps_to(lpn, page_addr)) continue;
+      if (copies >= max_copies) return false;           // out of copy budget
+      if (device_.chip(chip).busy_until() >= deadline) return false;  // out of idle budget
+      // Charge the copy: page read, then FTL-policy program.
+      Result<nand::NandDevice::ReadResult> got = device_.read(page_addr, now);
+      assert(got.is_ok());
+      if (!got.value().data.is_ok()) continue;  // corrupted page: leave for recovery
+      Result<Microseconds> programmed =
+          program_gc_page(chip, lpn, std::move(got.value().data).take(),
+                          got.value().timing.complete, background);
+      if (!programmed.is_ok()) return false;  // destination exhausted; retry later
+      ++stats_.gc_copy_pages;
+      ++copies;
+    }
+  }
+  if (blocks_.valid_pages(victim_addr) != 0) return false;
+  const Result<nand::OpTiming> erased = device_.erase(victim_addr, now);
+  assert(erased.is_ok());
+  (void)erased;
+  blocks_.release(victim_addr);
+  if (background) {
+    ++stats_.background_gc_blocks;
+  } else {
+    ++stats_.foreground_gc_blocks;
+  }
+  return true;
+}
+
+std::uint32_t FtlBase::pick_chip() {
+  // Place the write on the chip with the most headroom (physical pages not
+  // holding valid data), ties broken round-robin. Free-block counts alone
+  // are too coarse: a chip whose pages are ~100% valid still shows a few
+  // free blocks right after GC, keeps attracting writes, and eventually
+  // packs itself into an un-collectable state.
+  const std::uint32_t chips = device_.geometry().num_chips();
+  const std::uint64_t chip_pages = device_.geometry().pages_per_chip();
+  const std::uint32_t start = rr_chip_++ % chips;
+  std::uint32_t best = start;
+  std::uint64_t best_headroom = chip_pages - blocks_.chip_valid_pages(start);
+  for (std::uint32_t i = 1; i < chips; ++i) {
+    const std::uint32_t chip = (start + i) % chips;
+    const std::uint64_t headroom = chip_pages - blocks_.chip_valid_pages(chip);
+    if (headroom > best_headroom) {
+      best = chip;
+      best_headroom = headroom;
+    }
+  }
+  return best;
+}
+
+void FtlBase::incremental_gc(Microseconds now) {
+  const std::uint32_t chips = device_.geometry().num_chips();
+  const std::uint32_t chip = igc_rr_chip_++ % chips;
+  const std::uint32_t free = blocks_.free_blocks(chip);
+  if (free > config_.gc_reserve_blocks + 1) return;
+  // Unless critically low, wait for a worthwhile victim — relocating
+  // immature victims inflates write amplification for nothing.
+  const bool urgent = free <= config_.gc_reserve_blocks;
+  if (!urgent && blocks_.best_victim_gain(chip) <
+                     blocks_.pages_per_block() / config_.bgc_min_yield_divisor) {
+    return;
+  }
+  const std::optional<std::uint32_t> victim = blocks_.pick_victim(chip);
+  if (!victim) return;
+  collect_block(chip, *victim, now, kTimeNever, /*background=*/false,
+                config_.gc_incremental_copies);
+}
+
+Status FtlBase::ensure_free_block(std::uint32_t chip, Microseconds now) {
+  while (blocks_.free_blocks(chip) <= config_.gc_reserve_blocks) {
+    const std::optional<std::uint32_t> victim = blocks_.pick_victim(chip);
+    if (!victim) return Status{ErrorCode::kNoFreeBlock};
+    if (!collect_block(chip, *victim, now, kTimeNever, /*background=*/false)) {
+      return Status{ErrorCode::kNoFreeBlock};
+    }
+  }
+  return Status::ok();
+}
+
+void FtlBase::on_idle(Microseconds now, Microseconds deadline) {
+  // Stop background work early enough that an in-flight MSB program (plus
+  // its copy read) cannot spill into the next burst's first requests.
+  const Microseconds guarded =
+      deadline - 2 * config_.timing.program_msb_us;
+  if (guarded <= now) return;
+  if (config_.wear_level_threshold > 0) static_wear_level(now, guarded);
+  if (config_.read_scrub_threshold > 0) scrub_read_disturbed(now, guarded);
+  const std::uint32_t chips = device_.geometry().num_chips();
+  for (std::uint32_t i = 0; i < chips; ++i) {
+    const std::uint32_t chip = (bgc_rr_chip_ + i) % chips;
+    while (blocks_.free_fraction(chip) < config_.bgc_free_threshold &&
+           device_.chip(chip).busy_until() < guarded) {
+      // Yield guard: background GC only runs victims that reclaim a decent
+      // fraction of a block; low-yield relocation is deferred until
+      // invalidation catches up (or foreground GC truly needs the space).
+      if (blocks_.best_victim_gain(chip) <
+          blocks_.pages_per_block() / config_.bgc_min_yield_divisor) {
+        break;
+      }
+      const std::optional<std::uint32_t> victim = blocks_.pick_victim(chip);
+      if (!victim) break;
+      const Microseconds start = std::max(now, device_.chip(chip).busy_until());
+      if (!collect_block(chip, *victim, start, guarded, /*background=*/true)) break;
+    }
+  }
+  bgc_rr_chip_ = (bgc_rr_chip_ + 1) % chips;
+}
+
+Status FtlBase::trim(Lpn lpn) {
+  if (lpn >= mapping_.exported_pages()) return Status{ErrorCode::kOutOfRange};
+  if (const std::optional<nand::PageAddress> old = mapping_.unmap(lpn)) {
+    blocks_.remove_valid({old->chip, old->block});
+  }
+  return Status::ok();
+}
+
+void FtlBase::rebuild_mapping() {
+  // Pass 1: scan every valid page's OOB, keeping the newest copy per LPN.
+  struct Newest {
+    nand::PageAddress addr;
+    std::uint64_t version = 0;
+    bool present = false;
+  };
+  std::vector<Newest> newest(mapping_.exported_pages());
+  const nand::Geometry& geometry = device_.geometry();
+  for (std::uint32_t chip = 0; chip < geometry.num_chips(); ++chip) {
+    for (std::uint32_t b = 0; b < geometry.blocks_per_chip; ++b) {
+      const nand::Block& block = device_.block({chip, b});
+      for (std::uint32_t wl = 0; wl < geometry.wordlines_per_block; ++wl) {
+        for (const nand::PageType type : {nand::PageType::kLsb, nand::PageType::kMsb}) {
+          const nand::PagePos pos{wl, type};
+          if (block.page_state(pos) != nand::PageState::kValid) continue;
+          const Result<nand::PageData> data = block.read(pos);
+          assert(data.is_ok());
+          const nand::PageData& d = data.value();
+          if (d.spare & nand::kNonHostSpareFlag) continue;  // FTL metadata
+          if (d.lpn >= mapping_.exported_pages()) continue; // parity / junk
+          Newest& slot = newest[d.lpn];
+          if (!slot.present || d.version > slot.version) {
+            slot = Newest{{chip, b, pos}, d.version, true};
+          }
+        }
+      }
+    }
+  }
+  // Pass 2: replace the mapping and the valid-page accounting.
+  MappingTable fresh(mapping_.exported_pages());
+  BlockManager fresh_blocks(geometry.num_chips(), geometry.blocks_per_chip,
+                            geometry.pages_per_block());
+  // Preserve block roles, written counts and free lists from the old
+  // bookkeeping (an FTL snapshots those separately; only the valid counts
+  // derive from the media scan).
+  fresh_blocks = blocks_;
+  for (std::uint32_t chip = 0; chip < geometry.num_chips(); ++chip) {
+    for (std::uint32_t b = 0; b < geometry.blocks_per_chip; ++b) {
+      while (fresh_blocks.valid_pages({chip, b}) > 0) {
+        fresh_blocks.remove_valid({chip, b});
+      }
+    }
+  }
+  for (Lpn lpn = 0; lpn < newest.size(); ++lpn) {
+    if (!newest[lpn].present) continue;
+    fresh.update(lpn, newest[lpn].addr);
+    fresh_blocks.add_valid({newest[lpn].addr.chip, newest[lpn].addr.block});
+  }
+  mapping_ = std::move(fresh);
+  blocks_ = std::move(fresh_blocks);
+}
+
+void FtlBase::static_wear_level(Microseconds now, Microseconds deadline) {
+  const nand::Geometry& geometry = device_.geometry();
+  for (std::uint32_t chip = 0; chip < geometry.num_chips(); ++chip) {
+    // Migrate trailing cold blocks until none is behind by the threshold
+    // (or the idle window closes). Cold data lives in full blocks that
+    // stopped cycling; freeing them returns low-wear blocks to rotation.
+    while (device_.chip(chip).busy_until() < deadline) {
+      std::uint64_t max_erases = 0;
+      std::optional<std::uint32_t> coldest;
+      std::uint64_t coldest_erases = 0;
+      for (std::uint32_t b = 0; b < geometry.blocks_per_chip; ++b) {
+        const std::uint64_t erases = device_.chip(chip).block(b).erase_count();
+        max_erases = std::max(max_erases, erases);
+        if (blocks_.use({chip, b}) != BlockUse::kFull) continue;
+        if (!coldest || erases < coldest_erases) {
+          coldest = b;
+          coldest_erases = erases;
+        }
+      }
+      if (!coldest || max_erases < coldest_erases + config_.wear_level_threshold) {
+        break;
+      }
+      const Microseconds start = std::max(now, device_.chip(chip).busy_until());
+      if (!collect_block(chip, *coldest, start, deadline, /*background=*/true)) {
+        break;  // out of idle budget mid-block; resume next idle
+      }
+    }
+  }
+}
+
+void FtlBase::scrub_read_disturbed(Microseconds now, Microseconds deadline) {
+  const nand::Geometry& geometry = device_.geometry();
+  for (std::uint32_t chip = 0; chip < geometry.num_chips(); ++chip) {
+    for (std::uint32_t b = 0; b < geometry.blocks_per_chip; ++b) {
+      if (device_.chip(chip).busy_until() >= deadline) break;
+      if (blocks_.use({chip, b}) != BlockUse::kFull) continue;
+      if (device_.chip(chip).block(b).reads_since_erase() <
+          config_.read_scrub_threshold) {
+        continue;
+      }
+      const Microseconds start = std::max(now, device_.chip(chip).busy_until());
+      if (collect_block(chip, b, start, deadline, /*background=*/true)) {
+        ++stats_.scrubbed_blocks;
+      }
+    }
+  }
+}
+
+bool FtlBase::check_consistency() const {
+  std::uint64_t valid_total = 0;
+  for (std::uint32_t c = 0; c < device_.geometry().num_chips(); ++c) {
+    for (std::uint32_t b = 0; b < device_.geometry().blocks_per_chip; ++b) {
+      valid_total += blocks_.valid_pages({c, b});
+    }
+  }
+  if (valid_total != mapping_.mapped_count()) return false;
+  for (Lpn lpn = 0; lpn < mapping_.exported_pages(); ++lpn) {
+    const Result<nand::PageAddress> addr = mapping_.lookup(lpn);
+    if (!addr.is_ok()) continue;
+    const nand::Block& block = device_.block({addr.value().chip, addr.value().block});
+    if (!block.is_programmed(addr.value().pos)) return false;
+  }
+  return true;
+}
+
+}  // namespace rps::ftl

@@ -1,0 +1,177 @@
+// Abstract FTL with the machinery every policy shares: page-level mapping,
+// block bookkeeping, greedy foreground/background garbage collection, and
+// host read/write entry points with device-time accounting.
+//
+// Concrete FTLs (pageFTL, parityFTL, rtfFTL, flexFTL) implement the page
+// *allocation policy*: where a host write and a GC copy land, and what
+// backup work surrounds them.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "src/ftl/block_manager.hpp"
+#include "src/ftl/config.hpp"
+#include "src/ftl/mapping.hpp"
+#include "src/nand/device.hpp"
+#include "src/util/result.hpp"
+#include "src/util/types.hpp"
+
+namespace rps::ftl {
+
+struct FtlStats {
+  std::uint64_t host_write_pages = 0;
+  std::uint64_t host_read_pages = 0;
+  std::uint64_t host_lsb_writes = 0;   // host writes served by LSB pages
+  std::uint64_t host_msb_writes = 0;
+  std::uint64_t gc_copy_pages = 0;     // pages relocated by GC
+  std::uint64_t backup_pages = 0;      // parity / paired-page backup writes
+  std::uint64_t foreground_gc_blocks = 0;
+  std::uint64_t background_gc_blocks = 0;
+  std::uint64_t unmapped_reads = 0;
+  std::uint64_t read_errors = 0;
+  std::uint64_t scrubbed_blocks = 0;   // read-disturb refreshes
+
+  /// Write amplification: NAND programs per host page write.
+  [[nodiscard]] double waf(const nand::OpCounters& device) const {
+    return host_write_pages == 0
+               ? 0.0
+               : static_cast<double>(device.programs()) /
+                     static_cast<double>(host_write_pages);
+  }
+};
+
+/// Completion information for one host operation.
+struct HostOp {
+  Microseconds complete = 0;  // when the data is durable / delivered
+};
+
+class FtlBase {
+ public:
+  FtlBase(const FtlConfig& config, nand::SequenceKind kind);
+  virtual ~FtlBase() = default;
+
+  FtlBase(const FtlBase&) = delete;
+  FtlBase& operator=(const FtlBase&) = delete;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Service a one-page host write arriving at `now`.
+  /// `buffer_utilization` is the host write buffer's fill level in [0, 1]
+  /// (flexFTL's policy input; other FTLs ignore it).
+  Result<HostOp> write(Lpn lpn, Microseconds now, double buffer_utilization = 0.0);
+
+  /// Service a host write carrying a real payload (recovery tests and the
+  /// examples verify data contents end to end).
+  Result<HostOp> write_data(Lpn lpn, std::vector<std::uint8_t> bytes, Microseconds now,
+                            double buffer_utilization = 0.0);
+
+  /// Service a one-page host read arriving at `now`. Reads of never-written
+  /// pages complete immediately (zero-fill). A kEccUncorrectable error means
+  /// the stored data was destroyed (power loss without recovery).
+  Result<HostOp> read(Lpn lpn, Microseconds now);
+
+  /// Read back a stored payload (verification helper, charges device time).
+  /// When `complete` is non-null it receives the delivery time (`now` for
+  /// zero-fill reads of unwritten pages).
+  Result<nand::PageData> read_data(Lpn lpn, Microseconds now,
+                                   Microseconds* complete = nullptr);
+
+  /// Offer the FTL an idle window [now, deadline). Default: background GC
+  /// on chips under the free-block threshold.
+  virtual void on_idle(Microseconds now, Microseconds deadline);
+
+  /// TRIM/discard: drop the mapping for `lpn`. The physical page becomes
+  /// invalid (reclaimable by GC); subsequent reads are zero-fill. No-op on
+  /// unmapped pages. TRIM is volatile: no trim journal is modeled, so
+  /// rebuild_mapping() after a reboot may resurrect trimmed data (as on
+  /// journal-less real FTLs).
+  Status trim(Lpn lpn);
+
+  /// Rebuild the logical-to-physical mapping by scanning the out-of-band
+  /// metadata of every valid page on the media — what a real FTL does on
+  /// boot after its RAM tables are lost. When several physical copies of
+  /// an LPN exist (GC copies, backups not yet erased), the highest
+  /// host-write version wins. Replaces the in-memory mapping and the
+  /// per-block valid-page accounting.
+  void rebuild_mapping();
+
+  [[nodiscard]] const FtlStats& stats() const { return stats_; }
+  [[nodiscard]] nand::NandDevice& device() { return device_; }
+  [[nodiscard]] const nand::NandDevice& device() const { return device_; }
+  [[nodiscard]] const FtlConfig& config() const { return config_; }
+  [[nodiscard]] const MappingTable& mapping() const { return mapping_; }
+  [[nodiscard]] const BlockManager& blocks() const { return blocks_; }
+  [[nodiscard]] Lpn exported_pages() const { return mapping_.exported_pages(); }
+
+  /// Debug invariant: every mapped LPN's block accounts it as valid, and
+  /// per-block valid counts sum to the mapped count.
+  [[nodiscard]] bool check_consistency() const;
+
+ protected:
+  /// Program one host page. Must allocate per the FTL's policy, write
+  /// `data` to the device at/after `now`, commit the mapping, and return
+  /// the program completion time.
+  virtual Result<Microseconds> program_host_page(Lpn lpn, nand::PageData data,
+                                                 Microseconds now,
+                                                 double buffer_utilization) = 0;
+
+  /// Program one GC relocation copy on `chip` (same-chip relocation).
+  /// `background` distinguishes idle-time GC (flexFTL uses MSB pages and
+  /// raises its quota there).
+  virtual Result<Microseconds> program_gc_page(std::uint32_t chip, Lpn lpn,
+                                               nand::PageData data, Microseconds now,
+                                               bool background) = 0;
+
+  /// Update mapping + valid counters for a page just written to `addr`.
+  void commit_mapping(Lpn lpn, const nand::PageAddress& addr);
+
+  /// Relocate valid pages out of `victim` until done, `deadline`, or
+  /// `max_copies` pages; erases and frees the block when fully cleaned.
+  /// Returns true if the block was freed.
+  bool collect_block(std::uint32_t chip, std::uint32_t victim, Microseconds now,
+                     Microseconds deadline, bool background,
+                     std::uint32_t max_copies = UINT32_MAX);
+
+  /// Amortized foreground GC: a few relocation copies per host write on a
+  /// low-free chip. Keeps reclaim incremental — a whole-block relocation in
+  /// the write path is a multi-hundred-millisecond stall that a real FTL
+  /// never takes at once.
+  void incremental_gc(Microseconds now);
+
+  /// Foreground GC: make sure `chip` has more than the reserve free blocks.
+  Status ensure_free_block(std::uint32_t chip, Microseconds now);
+
+  /// Static wear leveling (idle time, opt-in via wear_level_threshold):
+  /// migrate the coldest full block on each chip whose wear trails the
+  /// chip's hottest block by the configured threshold.
+  void static_wear_level(Microseconds now, Microseconds deadline);
+
+  /// Read-disturb scrubbing (idle time, opt-in via read_scrub_threshold):
+  /// refresh full blocks whose read count since erase passed the threshold.
+  void scrub_read_disturbed(Microseconds now, Microseconds deadline);
+
+  /// Chip selection for host-write striping: the chip with the most free
+  /// blocks, ties broken round-robin. Pure round-robin lets the valid-data
+  /// share of a chip random-walk into its physical capacity (GC cannot
+  /// reclaim a chip that is 100% valid); free-space-aware placement keeps
+  /// the chips balanced while still spreading consecutive writes.
+  std::uint32_t pick_chip();
+
+  /// Unique content signature for a simulated write.
+  std::uint64_t make_signature(Lpn lpn);
+
+  [[nodiscard]] static Lpn compute_exported_pages(const FtlConfig& config);
+
+  FtlConfig config_;
+  nand::NandDevice device_;
+  MappingTable mapping_;
+  BlockManager blocks_;
+  FtlStats stats_;
+  std::uint32_t rr_chip_ = 0;
+  std::uint32_t bgc_rr_chip_ = 0;
+  std::uint32_t igc_rr_chip_ = 0;
+  std::uint64_t write_version_ = 0;
+};
+
+}  // namespace rps::ftl

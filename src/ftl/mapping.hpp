@@ -1,0 +1,45 @@
+// Page-level logical-to-physical mapping table.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/nand/address.hpp"
+#include "src/util/result.hpp"
+#include "src/util/types.hpp"
+
+namespace rps::ftl {
+
+/// Dense LPN -> physical page map. All four FTLs in the paper are
+/// page-level mapping FTLs; they differ in allocation policy, not mapping.
+class MappingTable {
+ public:
+  explicit MappingTable(Lpn exported_pages);
+
+  [[nodiscard]] Lpn exported_pages() const { return static_cast<Lpn>(entries_.size()); }
+
+  [[nodiscard]] bool is_mapped(Lpn lpn) const;
+  [[nodiscard]] Result<nand::PageAddress> lookup(Lpn lpn) const;
+
+  /// Map `lpn` to `addr`, returning the previous address if one existed
+  /// (the caller invalidates it in its block bookkeeping).
+  std::optional<nand::PageAddress> update(Lpn lpn, const nand::PageAddress& addr);
+
+  /// Drop the mapping (TRIM). Returns the old address if mapped.
+  std::optional<nand::PageAddress> unmap(Lpn lpn);
+
+  /// True iff `lpn` currently maps exactly to `addr` — the GC validity test.
+  [[nodiscard]] bool maps_to(Lpn lpn, const nand::PageAddress& addr) const;
+
+  [[nodiscard]] Lpn mapped_count() const { return mapped_count_; }
+
+ private:
+  struct Entry {
+    nand::PageAddress addr;
+    bool mapped = false;
+  };
+  std::vector<Entry> entries_;
+  Lpn mapped_count_ = 0;
+};
+
+}  // namespace rps::ftl

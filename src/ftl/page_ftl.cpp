@@ -1,0 +1,82 @@
+#include "src/ftl/page_ftl.hpp"
+
+#include <cassert>
+
+namespace rps::ftl {
+
+PageFtl::PageFtl(const FtlConfig& config, nand::SequenceKind kind)
+    : FtlBase(config, kind),
+      order_(nand::fps_order(config.geometry.wordlines_per_block)),
+      active_(config.geometry.num_chips()) {}
+
+Result<std::uint32_t> PageFtl::activate_block(std::uint32_t chip, Microseconds now,
+                                              bool gc, BlockUse use) {
+  if (gc) return blocks_.allocate(chip, use, /*reserve=*/0);
+  Result<std::uint32_t> block = blocks_.allocate(chip, use, config_.gc_reserve_blocks);
+  if (block.is_ok()) return block;
+  const Status freed = ensure_free_block(chip, now);
+  if (!freed.is_ok()) return freed.code();
+  return blocks_.allocate(chip, use, /*reserve=*/0);
+}
+
+Result<Microseconds> PageFtl::append_to_active(std::uint32_t chip, Lpn lpn,
+                                               nand::PageData data, Microseconds now,
+                                               bool gc) {
+  ActiveCursor& cursor = active_.at(chip);
+  if (!cursor.valid || cursor.exhausted(order_)) {
+    // Careful with reentrancy: a host-path allocation below may trigger
+    // foreground GC, whose relocation copies recurse into this function and
+    // install (and partially fill) a fresh cursor themselves. Clobbering it
+    // afterwards would orphan a half-written active block — a permanent
+    // capacity leak. So make room first, then re-check the cursor.
+    if (!gc && blocks_.free_blocks(chip) <= config_.gc_reserve_blocks) {
+      const Status freed = ensure_free_block(chip, now);
+      if (!freed.is_ok() && !(cursor.valid && !cursor.exhausted(order_))) {
+        return freed.code();
+      }
+    }
+    if (!cursor.valid || cursor.exhausted(order_)) {
+      Result<std::uint32_t> block = blocks_.allocate(
+          chip, BlockUse::kActive, gc ? 0 : config_.gc_reserve_blocks);
+      if (!block.is_ok()) return block.code();
+      cursor = ActiveCursor{.valid = true, .block = block.value(), .next = 0};
+    }
+  }
+  const nand::PagePos pos = order_[cursor.next];
+  const nand::PageAddress addr{chip, cursor.block, pos};
+
+  const Microseconds start = before_program(addr, data, now, gc);
+  Result<nand::OpTiming> timing = device_.program(addr, std::move(data), start);
+  assert(timing.is_ok());  // the cursor follows the device's own order
+  ++cursor.next;
+  if (cursor.exhausted(order_)) {
+    blocks_.set_use({chip, cursor.block}, BlockUse::kFull);
+    cursor.valid = false;
+  }
+  commit_mapping(lpn, addr);
+  if (!gc) {
+    if (pos.type == nand::PageType::kLsb) {
+      ++stats_.host_lsb_writes;
+    } else {
+      ++stats_.host_msb_writes;
+    }
+  }
+  after_program(addr, timing.value().complete);
+  return timing.value().complete;
+}
+
+Result<Microseconds> PageFtl::program_host_page(Lpn lpn, nand::PageData data,
+                                                Microseconds now,
+                                                double buffer_utilization) {
+  (void)buffer_utilization;  // pageFTL is asymmetry-oblivious
+  return append_to_active(pick_chip(), lpn, std::move(data), now, /*gc=*/false);
+}
+
+Result<Microseconds> PageFtl::program_gc_page(std::uint32_t chip, Lpn lpn,
+                                              nand::PageData data, Microseconds now,
+                                              bool background) {
+  (void)background;
+  return append_to_active(chip, lpn, std::move(data), now, /*gc=*/true);
+}
+
+}  // namespace rps::ftl

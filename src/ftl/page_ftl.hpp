@@ -1,0 +1,82 @@
+// pageFTL: the FPS-based page-mapping baseline (Section 4.1).
+//
+// One active block per chip, programmed strictly in the device's fixed
+// program sequence, so host writes alternate between fast LSB and slow MSB
+// pages regardless of workload. Assumes no sudden power-off, hence no
+// paired-page backups — the paper uses it as the performance ceiling of an
+// FPS FTL.
+//
+// The program path exposes two hooks (before_program / after_program) that
+// parityFTL layers its pre-backup bookkeeping onto.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "src/ftl/ftl_base.hpp"
+#include "src/nand/program_order.hpp"
+
+namespace rps::ftl {
+
+class PageFtl : public FtlBase {
+ public:
+  explicit PageFtl(const FtlConfig& config,
+                   nand::SequenceKind kind = nand::SequenceKind::kFps);
+
+  [[nodiscard]] std::string_view name() const override { return "pageFTL"; }
+
+ protected:
+  /// A block being appended to, with its position in a whole-block order.
+  struct ActiveCursor {
+    bool valid = false;
+    std::uint32_t block = 0;
+    std::uint32_t next = 0;
+
+    [[nodiscard]] bool exhausted(const nand::ProgramOrder& order) const {
+      return next >= order.size();
+    }
+  };
+
+  Result<Microseconds> program_host_page(Lpn lpn, nand::PageData data, Microseconds now,
+                                         double buffer_utilization) override;
+  Result<Microseconds> program_gc_page(std::uint32_t chip, Lpn lpn, nand::PageData data,
+                                       Microseconds now, bool background) override;
+
+  /// Append one page at `chip`'s active cursor (allocating / running
+  /// foreground GC as needed) and commit the mapping.
+  Result<Microseconds> append_to_active(std::uint32_t chip, Lpn lpn, nand::PageData data,
+                                        Microseconds now, bool gc);
+
+  /// Hook: called with the chosen physical page before it is programmed.
+  /// May delay the program (return a later time) — parityFTL waits for the
+  /// covering parity page to become durable before an MSB program.
+  /// `gc` marks relocation copies: those need no backup coverage, because
+  /// the victim block is not erased until the relocation completes, so an
+  /// interrupted GC pass is simply redone from the intact source.
+  virtual Microseconds before_program(const nand::PageAddress& addr,
+                                      const nand::PageData& data, Microseconds now,
+                                      bool gc) {
+    (void)addr;
+    (void)data;
+    (void)gc;
+    return now;
+  }
+
+  /// Hook: called after the program completes.
+  virtual void after_program(const nand::PageAddress& addr, Microseconds complete) {
+    (void)addr;
+    (void)complete;
+  }
+
+  /// Allocate a fresh active block on `chip` (foreground GC if required for
+  /// host writes; GC allocations dip into the reserve).
+  Result<std::uint32_t> activate_block(std::uint32_t chip, Microseconds now, bool gc,
+                                       BlockUse use = BlockUse::kActive);
+
+  [[nodiscard]] const nand::ProgramOrder& order() const { return order_; }
+
+  nand::ProgramOrder order_;  // the device's FPS order, one per block shape
+  std::vector<ActiveCursor> active_;  // per chip
+};
+
+}  // namespace rps::ftl

@@ -1,0 +1,98 @@
+#include "src/ftl/parity_ftl.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rps::ftl {
+
+ParityFtl::ParityFtl(const FtlConfig& config)
+    : PageFtl(config), backup_(config.geometry.num_chips()) {}
+
+Microseconds ParityFtl::flush_parity(Microseconds now) {
+  if (pending_.empty()) return now;
+  if (pending_.size() < kLsbPagesPerParity) ++partial_flushes_;
+
+  // Round-robin the parity writes over chips to use channel parallelism.
+  const std::uint32_t chips = device_.geometry().num_chips();
+  std::uint32_t chip = backup_rr_++ % chips;
+  SlcCursor* cursor = &backup_[chip];
+  if (!cursor->valid) {
+    // Keep one free block in reserve for GC relocation destinations.
+    Result<std::uint32_t> block = blocks_.allocate(chip, BlockUse::kBackup, /*reserve=*/1);
+    if (!block.is_ok()) {
+      // No space anywhere for a backup: drop coverage (counted, not silent).
+      ++skipped_backups_;
+      pending_.clear();
+      parity_acc_ = nand::PageData{};
+      return now;
+    }
+    const Status slc = device_.chip(chip).block(block.value()).set_slc_mode();
+    assert(slc.is_ok());
+    (void)slc;
+    *cursor = SlcCursor{.valid = true, .block = block.value(), .next = 0};
+  }
+
+  const nand::PagePos pos{cursor->next, nand::PageType::kLsb};
+  const nand::PageAddress addr{chip, cursor->block, pos};
+  nand::PageData parity = parity_acc_;
+  parity.lpn = kInvalidLpn;  // not user data; never a GC relocation source
+  parity.spare |= nand::kNonHostSpareFlag;
+  Result<nand::OpTiming> timing = device_.program(addr, std::move(parity), now);
+  assert(timing.is_ok());
+  ++cursor->next;
+  blocks_.add_written({chip, cursor->block});
+  ++stats_.backup_pages;
+
+  const Microseconds durable = timing.value().complete;
+  for (const nand::PageAddress& covered : pending_) {
+    parity_durable_at_[wl_key(covered)] = durable;
+  }
+  pending_.clear();
+  parity_acc_ = nand::PageData{};
+
+  if (cursor->next >= device_.geometry().wordlines_per_block) {
+    // Backup blocks cycle: once the SLC pages are used up, the parity pages
+    // are (almost all) stale — the covered MSB programs have long
+    // completed — so the block is erased and returned to the free pool.
+    const Result<nand::OpTiming> erased = device_.erase({chip, cursor->block}, durable);
+    assert(erased.is_ok());
+    (void)erased;
+    blocks_.release({chip, cursor->block});
+    cursor->valid = false;
+  }
+  return durable;
+}
+
+Microseconds ParityFtl::before_program(const nand::PageAddress& addr,
+                                       const nand::PageData& data, Microseconds now,
+                                       bool gc) {
+  if (addr.pos.type == nand::PageType::kLsb) {
+    // GC relocation copies need no coverage: their source pages survive
+    // until the relocation completes, so an interrupted pass is redone.
+    if (gc) return now;
+    parity_acc_.xor_with(data);
+    pending_.push_back(addr);
+    if (pending_.size() >= kLsbPagesPerParity) {
+      // The flush runs on another chip's timeline; this LSB program does
+      // not wait for it (pre-backup, not write-through).
+      flush_parity(now);
+    }
+    return now;
+  }
+
+  // MSB program: the paired LSB page's covering parity must be durable.
+  const nand::PageAddress paired{addr.chip, addr.block,
+                                 {addr.pos.wordline, nand::PageType::kLsb}};
+  const bool uncovered =
+      std::find(pending_.begin(), pending_.end(), paired) != pending_.end();
+  Microseconds start = now;
+  if (uncovered) start = std::max(start, flush_parity(now));
+  const auto it = parity_durable_at_.find(wl_key(paired));
+  if (it != parity_durable_at_.end()) {
+    start = std::max(start, it->second);
+    parity_durable_at_.erase(it);
+  }
+  return start;
+}
+
+}  // namespace rps::ftl

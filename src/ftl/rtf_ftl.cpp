@@ -1,0 +1,213 @@
+#include "src/ftl/rtf_ftl.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rps::ftl {
+
+RtfFtl::RtfFtl(const FtlConfig& config)
+    : FtlBase(config, nand::SequenceKind::kFps),
+      order_(nand::fps_order(config.geometry.wordlines_per_block)),
+      actives_(config.geometry.num_chips(),
+               std::vector<Cursor>(config.rtf_active_blocks)),
+      backup_(config.geometry.num_chips()),
+      lsb_debt_(config.geometry.num_chips(), 0) {}
+
+std::uint32_t RtfFtl::lsb_ready_cursors(std::uint32_t chip) const {
+  std::uint32_t ready = 0;
+  for (const Cursor& c : actives_.at(chip)) {
+    if (c.valid && next_type(c) == nand::PageType::kLsb) ++ready;
+  }
+  return ready;
+}
+
+std::optional<std::size_t> RtfFtl::find_cursor(std::uint32_t chip,
+                                               nand::PageType type) const {
+  const std::vector<Cursor>& cursors = actives_.at(chip);
+  for (std::size_t i = 0; i < cursors.size(); ++i) {
+    if (cursors[i].valid && next_type(cursors[i]) == type) return i;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::size_t> RtfFtl::replenish_slot(std::uint32_t chip, Microseconds now,
+                                                  bool gc) {
+  std::vector<Cursor>& cursors = actives_.at(chip);
+  auto empty_slot = [&]() -> std::optional<std::size_t> {
+    for (std::size_t i = 0; i < cursors.size(); ++i) {
+      if (!cursors[i].valid) return i;
+    }
+    return std::nullopt;
+  };
+  std::optional<std::size_t> slot = empty_slot();
+  if (!slot) return std::nullopt;
+  // Host-path allocation may trigger foreground GC whose copies recurse
+  // into this FTL and fill slots; re-scan afterwards instead of clobbering.
+  if (!gc && blocks_.free_blocks(chip) <= config_.gc_reserve_blocks) {
+    if (!ensure_free_block(chip, now).is_ok()) return std::nullopt;
+    slot = empty_slot();
+    if (!slot) return std::nullopt;
+  }
+  Result<std::uint32_t> block = blocks_.allocate(
+      chip, BlockUse::kActive, gc ? 0 : config_.gc_reserve_blocks);
+  if (!block.is_ok()) return std::nullopt;
+  cursors[*slot] = Cursor{.valid = true, .block = block.value(), .next = 0};
+  return slot;
+}
+
+Microseconds RtfFtl::backup_paired_lsb(const nand::PageAddress& msb_addr,
+                                       Microseconds now) {
+  const nand::PageAddress paired{msb_addr.chip, msb_addr.block,
+                                 {msb_addr.pos.wordline, nand::PageType::kLsb}};
+  const nand::Block& block = device_.block({paired.chip, paired.block});
+  if (block.page_state(paired.pos) != nand::PageState::kValid) return now;
+  const Lpn lpn = block.read(paired.pos).value().lpn;
+  // Only still-referenced data needs protecting.
+  if (lpn == kInvalidLpn || !mapping_.maps_to(lpn, paired)) return now;
+
+  // The copy is a real page read followed by a program to a backup block.
+  Result<nand::NandDevice::ReadResult> got = device_.read(paired, now);
+  assert(got.is_ok() && got.value().data.is_ok());
+
+  // Backups go to an SLC-mode block: consecutive fast LSB-speed writes,
+  // which MLC-mode FPS ordering would forbid.
+  Cursor& cursor = backup_.at(msb_addr.chip);
+  if (!cursor.valid) {
+    // Keep one free block in reserve for GC relocation destinations.
+    Result<std::uint32_t> block_id =
+        blocks_.allocate(msb_addr.chip, BlockUse::kBackup, /*reserve=*/1);
+    if (!block_id.is_ok()) {
+      ++skipped_backups_;
+      return got.value().timing.complete;
+    }
+    const Status slc = device_.chip(msb_addr.chip).block(block_id.value()).set_slc_mode();
+    assert(slc.is_ok());
+    (void)slc;
+    cursor = Cursor{.valid = true, .block = block_id.value(), .next = 0};
+  }
+  const nand::PageAddress dst{msb_addr.chip, cursor.block,
+                              {cursor.next, nand::PageType::kLsb}};
+  nand::PageData copy = std::move(got.value().data).take();
+  copy.spare |= nand::kNonHostSpareFlag;  // backup copy, not the mapped page
+  Result<nand::OpTiming> timing =
+      device_.program(dst, std::move(copy), got.value().timing.complete);
+  assert(timing.is_ok());
+  ++cursor.next;
+  blocks_.add_written({dst.chip, dst.block});
+  ++stats_.backup_pages;
+  if (cursor.next >= device_.geometry().wordlines_per_block) {
+    // A full backup block's copies are stale (their MSB programs finished);
+    // erase and recycle it.
+    const Result<nand::OpTiming> erased =
+        device_.erase({dst.chip, cursor.block}, timing.value().complete);
+    assert(erased.is_ok());
+    (void)erased;
+    blocks_.release({dst.chip, cursor.block});
+    cursor.valid = false;
+  }
+  return timing.value().complete;
+}
+
+Result<Microseconds> RtfFtl::append_at(std::uint32_t chip, std::size_t slot, Lpn lpn,
+                                       nand::PageData data, Microseconds now, bool gc) {
+  Cursor& cursor = actives_.at(chip)[slot];
+  const nand::PagePos pos = order_[cursor.next];
+  const nand::PageAddress addr{chip, cursor.block, pos};
+
+  Microseconds start = now;
+  if (pos.type == nand::PageType::kMsb && !gc) {
+    // Destructive MSB program: its paired LSB data must be backed up first.
+    // GC relocation copies skip this: their sources survive until the pass
+    // completes, so an interrupted pass is redone rather than recovered.
+    start = backup_paired_lsb(addr, now);
+  }
+  Result<nand::OpTiming> timing = device_.program(addr, std::move(data), start);
+  assert(timing.is_ok());
+  ++cursor.next;
+  if (cursor.next >= order_.size()) {
+    blocks_.set_use({chip, cursor.block}, BlockUse::kFull);
+    cursor.valid = false;
+  }
+  commit_mapping(lpn, addr);
+  if (!gc) {
+    if (pos.type == nand::PageType::kLsb) {
+      ++stats_.host_lsb_writes;
+      ++lsb_debt_[chip];
+    } else {
+      ++stats_.host_msb_writes;
+      if (lsb_debt_[chip] > 0) --lsb_debt_[chip];
+    }
+  }
+  return timing.value().complete;
+}
+
+Result<Microseconds> RtfFtl::program_host_page(Lpn lpn, nand::PageData data,
+                                               Microseconds now,
+                                               double buffer_utilization) {
+  (void)buffer_utilization;
+  const std::uint32_t chip = pick_chip();
+  // Return-to-fast: serve from an LSB frontier when one exists.
+  std::optional<std::size_t> slot = find_cursor(chip, nand::PageType::kLsb);
+  if (!slot) slot = replenish_slot(chip, now, /*gc=*/false);  // fresh block => LSB
+  if (!slot) slot = find_cursor(chip, nand::PageType::kMsb);
+  if (!slot) return ErrorCode::kNoFreeBlock;
+  return append_at(chip, *slot, lpn, std::move(data), now, /*gc=*/false);
+}
+
+Result<Microseconds> RtfFtl::program_gc_page(std::uint32_t chip, Lpn lpn,
+                                             nand::PageData data, Microseconds now,
+                                             bool background) {
+  // GC copies consume MSB pages first: that is what returns blocks toward
+  // the fast state (and what the paper's rtfFTL does in idle times).
+  (void)background;
+  std::optional<std::size_t> slot = find_cursor(chip, nand::PageType::kMsb);
+  if (!slot) slot = find_cursor(chip, nand::PageType::kLsb);
+  if (!slot) slot = replenish_slot(chip, now, /*gc=*/true);
+  if (!slot) return ErrorCode::kNoFreeBlock;
+  return append_at(chip, *slot, lpn, std::move(data), now, /*gc=*/true);
+}
+
+void RtfFtl::on_idle(Microseconds now, Microseconds deadline) {
+  // Standard low-free-space background GC first.
+  FtlBase::on_idle(now, deadline);
+
+  // Return-to-fast maintenance: consume MSB frontiers via GC relocation so
+  // the next burst finds LSB-ready blocks. The work done is proportional
+  // to the LSB skew the host has accumulated (one victim relocation fills
+  // roughly a block's worth of MSB holes) — not an unconditional churn.
+  const std::uint32_t chips = device_.geometry().num_chips();
+  const std::uint32_t wordlines = device_.geometry().wordlines_per_block;
+  for (std::uint32_t chip = 0; chip < chips; ++chip) {
+    // Fill empty slots so every slot contributes an LSB frontier.
+    while (replenish_slot(chip, now, /*gc=*/false)) {
+    }
+    while (lsb_debt_[chip] >= wordlines &&
+           device_.chip(chip).busy_until() < deadline) {
+      const std::optional<std::uint32_t> victim = blocks_.pick_victim(chip);
+      if (!victim) break;
+      const Microseconds start = std::max(now, device_.chip(chip).busy_until());
+      if (!collect_block(chip, *victim, start, deadline, /*background=*/true)) break;
+      lsb_debt_[chip] -= std::min<std::uint64_t>(lsb_debt_[chip], wordlines);
+    }
+    // Finish off MSB-next cursors with single-page GC copies so the next
+    // burst finds LSB frontiers (after an MSB program the FPS order always
+    // returns to an LSB page).
+    const std::size_t slots = actives_[chip].size();
+    for (std::size_t i = 0;
+         i < slots && find_cursor(chip, nand::PageType::kMsb).has_value() &&
+         device_.chip(chip).busy_until() < deadline;
+         ++i) {
+      const std::optional<std::uint32_t> victim = blocks_.pick_victim(chip);
+      if (!victim) break;
+      const Microseconds start = std::max(now, device_.chip(chip).busy_until());
+      collect_block(chip, *victim, start, deadline, /*background=*/true,
+                    /*max_copies=*/1);
+    }
+    // A finished MSB may have been a block's last page; refill empty slots
+    // so the pool is fast-ready when the burst arrives.
+    while (replenish_slot(chip, now, /*gc=*/false)) {
+    }
+  }
+}
+
+}  // namespace rps::ftl

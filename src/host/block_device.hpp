@@ -1,0 +1,79 @@
+// Host-facing block-device layer.
+//
+// The FTLs expose a page-granular (4 KB) address space; real hosts issue
+// sector-granular I/O (512 B or 4 KB logical sectors) of arbitrary length
+// and alignment. This adapter provides that interface on top of any FTL:
+// sector addressing, multi-page requests, and read-modify-write for
+// partial-page writes — the glue a downstream user needs to mount a
+// filesystem-shaped workload on the simulator.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/ftl/ftl_base.hpp"
+
+namespace rps::host {
+
+struct BlockDeviceConfig {
+  std::uint32_t sector_bytes = 512;
+};
+
+/// Byte-addressable view statistics.
+struct BlockDeviceStats {
+  std::uint64_t read_requests = 0;
+  std::uint64_t write_requests = 0;
+  std::uint64_t sectors_read = 0;
+  std::uint64_t sectors_written = 0;
+  std::uint64_t rmw_cycles = 0;  // partial-page writes needing read-modify-write
+};
+
+class BlockDevice {
+ public:
+  BlockDevice(ftl::FtlBase& ftl, const BlockDeviceConfig& config = {});
+
+  [[nodiscard]] std::uint32_t sector_bytes() const { return config_.sector_bytes; }
+  [[nodiscard]] std::uint32_t sectors_per_page() const { return sectors_per_page_; }
+  [[nodiscard]] std::uint64_t num_sectors() const {
+    return ftl_.exported_pages() * sectors_per_page_;
+  }
+  [[nodiscard]] std::uint64_t capacity_bytes() const {
+    return num_sectors() * config_.sector_bytes;
+  }
+
+  /// Write `data` (sized a multiple of the sector size) at `sector`.
+  /// Unaligned head/tail pages are handled with read-modify-write.
+  /// Returns the completion time of the last page program.
+  Result<Microseconds> write(std::uint64_t sector, const std::vector<std::uint8_t>& data,
+                             Microseconds now, double buffer_utilization = 0.0);
+
+  /// Read `sectors` sectors starting at `sector`. Unwritten regions read
+  /// as zeroes. Returns the data and delivery time.
+  struct ReadResult {
+    std::vector<std::uint8_t> data;
+    Microseconds complete = 0;
+  };
+  Result<ReadResult> read(std::uint64_t sector, std::uint64_t sectors, Microseconds now);
+
+  /// Discard whole pages covered by the sector range (partial pages at the
+  /// edges are left intact, as real devices do for unaligned TRIM).
+  Status trim(std::uint64_t sector, std::uint64_t sectors);
+
+  /// Flush barrier: returns when every previously issued write is durable.
+  [[nodiscard]] Microseconds flush() const { return ftl_.device().all_idle_at(); }
+
+  [[nodiscard]] const BlockDeviceStats& stats() const { return stats_; }
+  [[nodiscard]] ftl::FtlBase& ftl() { return ftl_; }
+
+ private:
+  /// Current contents of a page as bytes (zero-filled when unwritten),
+  /// charging the read to the device timeline.
+  std::vector<std::uint8_t> page_bytes(Lpn lpn, Microseconds now, Microseconds* complete);
+
+  ftl::FtlBase& ftl_;
+  BlockDeviceConfig config_;
+  std::uint32_t sectors_per_page_;
+  BlockDeviceStats stats_;
+};
+
+}  // namespace rps::host

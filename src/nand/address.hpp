@@ -1,0 +1,76 @@
+// Page addressing for the MLC NAND model.
+//
+// A physical page is identified word-line-centrically: (chip, block,
+// word line, LSB|MSB). This makes the paper's program-order constraints —
+// which are all phrased over word lines and page types — direct to express.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace rps::nand {
+
+/// Which bit of the 2-bit MLC cell a page maps to.
+enum class PageType : std::uint8_t { kLsb = 0, kMsb = 1 };
+
+constexpr const char* to_string(PageType type) {
+  return type == PageType::kLsb ? "LSB" : "MSB";
+}
+
+constexpr PageType paired_type(PageType type) {
+  return type == PageType::kLsb ? PageType::kMsb : PageType::kLsb;
+}
+
+/// Position of a page within a block.
+struct PagePos {
+  std::uint32_t wordline = 0;
+  PageType type = PageType::kLsb;
+
+  /// Flat index within the block: LSB(k) -> 2k, MSB(k) -> 2k+1.
+  /// (A storage index, unrelated to any program order.)
+  [[nodiscard]] constexpr std::uint32_t flat_index() const {
+    return wordline * 2 + (type == PageType::kMsb ? 1u : 0u);
+  }
+  static constexpr PagePos from_flat(std::uint32_t index) {
+    return PagePos{index / 2, (index % 2) ? PageType::kMsb : PageType::kLsb};
+  }
+
+  [[nodiscard]] std::string to_string() const {
+    return std::string(nand::to_string(type)) + "(" + std::to_string(wordline) + ")";
+  }
+
+  friend constexpr bool operator==(const PagePos&, const PagePos&) = default;
+};
+
+/// Fully-qualified physical page address.
+struct PageAddress {
+  std::uint32_t chip = 0;   // global chip index
+  std::uint32_t block = 0;  // block index within the chip
+  PagePos pos;
+
+  [[nodiscard]] std::string to_string() const {
+    return "chip" + std::to_string(chip) + "/blk" + std::to_string(block) +
+           "/" + pos.to_string();
+  }
+
+  friend constexpr bool operator==(const PageAddress&, const PageAddress&) = default;
+};
+
+/// Physical block address.
+struct BlockAddress {
+  std::uint32_t chip = 0;
+  std::uint32_t block = 0;
+
+  friend constexpr bool operator==(const BlockAddress&, const BlockAddress&) = default;
+  friend constexpr auto operator<=>(const BlockAddress&, const BlockAddress&) = default;
+};
+
+}  // namespace rps::nand
+
+template <>
+struct std::hash<rps::nand::BlockAddress> {
+  std::size_t operator()(const rps::nand::BlockAddress& a) const noexcept {
+    return (static_cast<std::size_t>(a.chip) << 32) ^ a.block;
+  }
+};

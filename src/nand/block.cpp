@@ -1,0 +1,84 @@
+#include "src/nand/block.hpp"
+
+#include <algorithm>
+
+namespace rps::nand {
+
+void PageData::xor_with(const PageData& other) {
+  signature ^= other.signature;
+  spare ^= other.spare;
+  lpn ^= other.lpn;
+  version ^= other.version;
+  if (bytes.size() < other.bytes.size()) bytes.resize(other.bytes.size(), 0);
+  for (std::size_t i = 0; i < other.bytes.size(); ++i) bytes[i] ^= other.bytes[i];
+}
+
+Block::Block(std::uint32_t wordlines, SequenceKind kind)
+    : kind_(kind), program_state_(wordlines), slots_(wordlines * 2) {}
+
+Status Block::program(PagePos pos, PageData data) {
+  const Status legal = can_program(pos);
+  if (!legal.is_ok()) return legal;
+  program_state_.mark_programmed(pos);
+  PageSlot& s = slot(pos);
+  s.state = PageState::kValid;
+  s.data = std::move(data);
+  ++programmed_pages_;
+  if (pos.type == PageType::kLsb) ++programmed_lsb_;
+  return Status::ok();
+}
+
+Result<PageData> Block::read(PagePos pos) const {
+  if (pos.wordline >= wordlines()) return ErrorCode::kOutOfRange;
+  ++reads_since_erase_;
+  const PageSlot& s = slot(pos);
+  switch (s.state) {
+    case PageState::kErased: return ErrorCode::kNotProgrammed;
+    case PageState::kCorrupted: return ErrorCode::kEccUncorrectable;
+    case PageState::kValid: return s.data;
+  }
+  return ErrorCode::kInvalidArgument;
+}
+
+PageState Block::page_state(PagePos pos) const { return slot(pos).state; }
+
+void Block::erase() {
+  for (PageSlot& s : slots_) s = PageSlot{};
+  program_state_.reset();
+  programmed_pages_ = 0;
+  programmed_lsb_ = 0;
+  reads_since_erase_ = 0;
+  slc_mode_ = false;
+  ++erase_count_;
+}
+
+Status Block::set_slc_mode() {
+  if (!is_erased()) return Status{ErrorCode::kNotErased};
+  slc_mode_ = true;
+  return Status::ok();
+}
+
+void Block::corrupt(PagePos pos) {
+  PageSlot& s = slot(pos);
+  if (s.state == PageState::kValid) {
+    s.state = PageState::kCorrupted;
+    s.data = PageData{};
+  }
+}
+
+std::optional<PagePos> Block::next_lsb() const {
+  // C1 forces ascending LSB order, so the frontier is the count of
+  // LSB-programmed word lines.
+  if (programmed_lsb_ >= wordlines()) return std::nullopt;
+  return PagePos{programmed_lsb_, PageType::kLsb};
+}
+
+std::optional<PagePos> Block::next_msb() const {
+  const std::uint32_t programmed_msb = programmed_msb_pages();
+  if (programmed_msb >= wordlines()) return std::nullopt;
+  const PagePos candidate{programmed_msb, PageType::kMsb};
+  if (!can_program(candidate).is_ok()) return std::nullopt;
+  return candidate;
+}
+
+}  // namespace rps::nand

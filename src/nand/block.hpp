@@ -1,0 +1,140 @@
+// One MLC NAND block: word-line program state, stored page contents, wear.
+//
+// The block enforces the active program-sequence policy on every program;
+// an FTL physically cannot violate the device's constraint set. Page
+// contents are stored as a compact record (logical page number + a 64-bit
+// payload signature + optional raw bytes) so large simulations stay small
+// in memory while recovery tests can still verify real data.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/nand/address.hpp"
+#include "src/nand/program_order.hpp"
+#include "src/util/result.hpp"
+#include "src/util/types.hpp"
+
+namespace rps::nand {
+
+/// Spare-area flag marking a page as FTL metadata (parity or paired-page
+/// backup), not host data. Mapping reconstruction after a reboot skips
+/// flagged pages; host pages never set it.
+inline constexpr std::uint64_t kNonHostSpareFlag = 1ull << 63;
+
+/// What a program operation stores into a page.
+///
+/// `spare` models the out-of-band area; FTLs use it for the reverse map
+/// (LPN) and flexFTL's parity backup stores the fast-block number there.
+/// `version` is the host-write sequence number, the tie-breaker mapping
+/// reconstruction uses when several physical copies of an LPN exist.
+struct PageData {
+  Lpn lpn = kInvalidLpn;
+  std::uint64_t signature = 0;          // stands in for the 4 KB payload
+  std::uint64_t spare = 0;              // OOB metadata word
+  std::uint64_t version = 0;            // host-write sequence number
+  std::vector<std::uint8_t> bytes;      // optional raw payload (tests/examples)
+
+  /// XOR combine, the primitive behind every parity-backup scheme here.
+  void xor_with(const PageData& other);
+
+  friend bool operator==(const PageData&, const PageData&) = default;
+};
+
+/// Lifecycle state of a stored page.
+enum class PageState : std::uint8_t {
+  kErased = 0,
+  kValid,         // programmed, data intact
+  kCorrupted,     // programmed but destroyed (power loss) — ECC-uncorrectable
+};
+
+class Block {
+ public:
+  Block(std::uint32_t wordlines, SequenceKind kind);
+
+  [[nodiscard]] std::uint32_t wordlines() const { return program_state_.wordlines(); }
+  [[nodiscard]] std::uint32_t num_pages() const { return wordlines() * 2; }
+  [[nodiscard]] SequenceKind sequence_kind() const { return kind_; }
+
+  /// Legality of programming `pos` next, without performing it.
+  [[nodiscard]] Status can_program(PagePos pos) const {
+    if (slc_mode_) {
+      if (pos.type == PageType::kMsb) return Status{ErrorCode::kSequenceViolation};
+      // LSB pages only, ascending (constraint 1); no cross-type constraints.
+      return check_program_legality(program_state_, pos, SequenceKind::kRps);
+    }
+    return check_program_legality(program_state_, pos, kind_);
+  }
+
+  /// Program a page; fails (and changes nothing) if the order is illegal.
+  Status program(PagePos pos, PageData data);
+
+  /// Read a page: kNotProgrammed for erased pages, kEccUncorrectable for
+  /// pages destroyed by a power loss.
+  [[nodiscard]] Result<PageData> read(PagePos pos) const;
+
+  /// Raw page state (for FTL bookkeeping and tests).
+  [[nodiscard]] PageState page_state(PagePos pos) const;
+  [[nodiscard]] WordlineState wordline_state(std::uint32_t wl) const {
+    return program_state_.state(wl);
+  }
+  [[nodiscard]] bool is_programmed(PagePos pos) const {
+    return program_state_.is_programmed(pos);
+  }
+
+  /// Erase the whole block, incrementing wear. Clears SLC mode.
+  void erase();
+
+  /// Put the (erased) block into SLC mode: only its LSB pages are used, in
+  /// ascending word-line order, each at LSB program speed; MSB programs are
+  /// rejected. Real MLC parts expose this per-block mode, and FPS-based
+  /// FTLs use it for backup blocks, where MLC ordering constraints would
+  /// otherwise forbid consecutive fast writes. Returns kNotErased if the
+  /// block already holds data.
+  Status set_slc_mode();
+  [[nodiscard]] bool slc_mode() const { return slc_mode_; }
+
+  /// Destroy a programmed page's contents (power-loss injection). The page
+  /// still counts as programmed for ordering purposes.
+  void corrupt(PagePos pos);
+
+  [[nodiscard]] std::uint64_t erase_count() const { return erase_count_; }
+  /// Read operations since the last erase — the read-disturb exposure that
+  /// scrubbing policies act on (every sensing pass stresses the block).
+  [[nodiscard]] std::uint64_t reads_since_erase() const { return reads_since_erase_; }
+  [[nodiscard]] std::uint32_t programmed_pages() const { return programmed_pages_; }
+  [[nodiscard]] std::uint32_t programmed_lsb_pages() const { return programmed_lsb_; }
+  [[nodiscard]] std::uint32_t programmed_msb_pages() const {
+    return programmed_pages_ - programmed_lsb_;
+  }
+  [[nodiscard]] bool is_fully_programmed() const {
+    return programmed_pages_ == num_pages();
+  }
+  [[nodiscard]] bool is_erased() const { return programmed_pages_ == 0; }
+
+  /// Next legal LSB / MSB page in ascending word-line order, if any.
+  /// Under RPS these are the two program frontiers flexFTL consumes.
+  [[nodiscard]] std::optional<PagePos> next_lsb() const;
+  [[nodiscard]] std::optional<PagePos> next_msb() const;
+
+ private:
+  struct PageSlot {
+    PageState state = PageState::kErased;
+    PageData data;
+  };
+
+  [[nodiscard]] const PageSlot& slot(PagePos pos) const { return slots_[pos.flat_index()]; }
+  [[nodiscard]] PageSlot& slot(PagePos pos) { return slots_[pos.flat_index()]; }
+
+  SequenceKind kind_;
+  BlockProgramState program_state_;
+  std::vector<PageSlot> slots_;
+  std::uint64_t erase_count_ = 0;
+  mutable std::uint64_t reads_since_erase_ = 0;
+  std::uint32_t programmed_pages_ = 0;
+  std::uint32_t programmed_lsb_ = 0;
+  bool slc_mode_ = false;
+};
+
+}  // namespace rps::nand

@@ -1,0 +1,108 @@
+#include "src/nand/chip.hpp"
+
+#include <cassert>
+
+namespace rps::nand {
+
+Chip::Chip(std::uint32_t blocks, std::uint32_t wordlines, SequenceKind kind,
+           const TimingSpec& timing)
+    : timing_(timing) {
+  blocks_.reserve(blocks);
+  for (std::uint32_t b = 0; b < blocks; ++b) blocks_.emplace_back(wordlines, kind);
+}
+
+Microseconds Chip::occupy(Microseconds now, Microseconds latency) {
+  const Microseconds start = std::max(now, busy_until_);
+  busy_until_ = start + latency;
+  busy_total_ += latency;
+  return start;
+}
+
+Result<OpTiming> Chip::program(std::uint32_t b, PagePos pos, PageData data, Microseconds now) {
+  if (b >= blocks_.size()) return ErrorCode::kOutOfRange;
+  Block& block = blocks_[b];
+  // Validate before touching the timeline so a rejected program is free.
+  const Status legal = block.can_program(pos);
+  if (!legal.is_ok()) return legal.code();
+
+  const Microseconds latency = pos.type == PageType::kLsb
+                                   ? timing_.program_lsb_us
+                                   : timing_.program_msb_us;
+  const Microseconds start = occupy(now, latency);
+  const Status programmed = block.program(pos, std::move(data));
+  assert(programmed.is_ok());
+  (void)programmed;
+
+  if (pos.type == PageType::kLsb) {
+    ++counters_.lsb_programs;
+  } else {
+    ++counters_.msb_programs;
+  }
+  const OpTiming timing{start, busy_until_};
+  last_program_ = InFlightProgram{b, pos, timing.start, timing.complete};
+  return timing;
+}
+
+Result<Chip::ReadOutcome> Chip::read(std::uint32_t b, PagePos pos, Microseconds now) {
+  if (b >= blocks_.size()) return ErrorCode::kOutOfRange;
+  if (pos.wordline >= blocks_[b].wordlines()) return ErrorCode::kOutOfRange;
+  ++counters_.reads;
+  ReadOutcome outcome;
+  outcome.data = blocks_[b].read(pos);
+
+  // Program suspension: jump the queue past an in-flight program. The read
+  // runs immediately; the program (and the chip) is pushed back by the
+  // read plus the suspend/resume overhead.
+  if (program_suspend_ && last_program_ && last_program_->start <= now &&
+      now < last_program_->complete &&
+      last_program_->suspends < timing_.max_suspends_per_program) {
+    ++last_program_->suspends;
+    const Microseconds stretch = timing_.read_us + timing_.suspend_resume_us;
+    last_program_->complete += stretch;
+    busy_until_ += stretch;
+    busy_total_ += timing_.read_us;
+    outcome.timing = OpTiming{now, now + timing_.read_us};
+    return outcome;
+  }
+
+  const Microseconds start = occupy(now, timing_.read_us);
+  outcome.timing = OpTiming{start, busy_until_};
+  return outcome;
+}
+
+Result<OpTiming> Chip::erase(std::uint32_t b, Microseconds now) {
+  if (b >= blocks_.size()) return ErrorCode::kOutOfRange;
+  const Microseconds start = occupy(now, timing_.erase_us);
+  blocks_[b].erase();
+  ++counters_.erases;
+  return OpTiming{start, busy_until_};
+}
+
+std::uint64_t Chip::total_erase_count() const {
+  std::uint64_t total = 0;
+  for (const Block& b : blocks_) total += b.erase_count();
+  return total;
+}
+
+std::optional<Chip::InFlightProgram> Chip::program_in_flight_at(Microseconds t) const {
+  if (last_program_ && last_program_->start <= t && t < last_program_->complete) {
+    return last_program_;
+  }
+  return std::nullopt;
+}
+
+std::optional<Chip::InFlightProgram> Chip::apply_power_loss(Microseconds t) {
+  const auto in_flight = program_in_flight_at(t);
+  if (!in_flight) return std::nullopt;
+  Block& block = blocks_[in_flight->block];
+  // The interrupted program itself never completed.
+  block.corrupt(in_flight->pos);
+  if (in_flight->pos.type == PageType::kMsb) {
+    // Destructive MSB programming: the paired LSB page's Vth states were
+    // mid-rearrangement, so its previously valid data is lost (Section 1).
+    block.corrupt({in_flight->pos.wordline, PageType::kLsb});
+  }
+  return in_flight;
+}
+
+}  // namespace rps::nand

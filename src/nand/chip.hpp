@@ -1,0 +1,110 @@
+// One NAND chip (die): an array of blocks plus a timeline.
+//
+// Timing model: a chip executes one operation at a time. An operation
+// issued at time T starts at max(T, busy_until) and occupies the chip for
+// its latency; the channel bus is modeled one level up, in NandDevice.
+// The in-flight operation is tracked so a power loss can be resolved to
+// the exact page being programmed (destructive MSB programming).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/nand/block.hpp"
+#include "src/nand/timing.hpp"
+#include "src/util/types.hpp"
+
+namespace rps::nand {
+
+/// Operation counters, aggregated per chip and per device.
+struct OpCounters {
+  std::uint64_t reads = 0;
+  std::uint64_t lsb_programs = 0;
+  std::uint64_t msb_programs = 0;
+  std::uint64_t erases = 0;
+
+  [[nodiscard]] std::uint64_t programs() const { return lsb_programs + msb_programs; }
+
+  OpCounters& operator+=(const OpCounters& other) {
+    reads += other.reads;
+    lsb_programs += other.lsb_programs;
+    msb_programs += other.msb_programs;
+    erases += other.erases;
+    return *this;
+  }
+};
+
+/// When an accepted operation starts and finishes on the chip timeline.
+struct OpTiming {
+  Microseconds start = 0;     // when the chip began executing
+  Microseconds complete = 0;  // when the chip becomes free again
+
+  [[nodiscard]] Microseconds busy_time() const { return complete - start; }
+};
+
+class Chip {
+ public:
+  Chip(std::uint32_t blocks, std::uint32_t wordlines, SequenceKind kind,
+       const TimingSpec& timing);
+
+  /// Enable program suspension: a read arriving while a program occupies
+  /// the chip preempts it (up to max_suspends_per_program times), paying
+  /// suspend_resume_us and stretching the program accordingly. Real MLC
+  /// controllers use this to protect read latency from 2 ms MSB programs.
+  void set_program_suspend(bool enabled) { program_suspend_ = enabled; }
+  [[nodiscard]] bool program_suspend() const { return program_suspend_; }
+
+  [[nodiscard]] std::uint32_t num_blocks() const { return static_cast<std::uint32_t>(blocks_.size()); }
+  [[nodiscard]] const Block& block(std::uint32_t b) const { return blocks_.at(b); }
+  [[nodiscard]] Block& block(std::uint32_t b) { return blocks_.at(b); }
+
+  /// Program `pos` of block `b` at (or after) `now`. On success the chip
+  /// timeline advances; on failure nothing changes.
+  Result<OpTiming> program(std::uint32_t b, PagePos pos, PageData data, Microseconds now);
+
+  /// Read a page. Timing advances even for ECC-uncorrectable reads (the
+  /// sensing happened); the data result is reported separately.
+  struct ReadOutcome {
+    OpTiming timing;
+    Result<PageData> data = ErrorCode::kNotProgrammed;
+  };
+  Result<ReadOutcome> read(std::uint32_t b, PagePos pos, Microseconds now);
+
+  Result<OpTiming> erase(std::uint32_t b, Microseconds now);
+
+  [[nodiscard]] Microseconds busy_until() const { return busy_until_; }
+  [[nodiscard]] const OpCounters& counters() const { return counters_; }
+  [[nodiscard]] Microseconds busy_time_total() const { return busy_total_; }
+
+  /// Total erases across all blocks of this chip.
+  [[nodiscard]] std::uint64_t total_erase_count() const;
+
+  /// The program operation in flight at time `t`, if any.
+  struct InFlightProgram {
+    std::uint32_t block = 0;
+    PagePos pos;
+    Microseconds start = 0;
+    Microseconds complete = 0;
+    std::uint32_t suspends = 0;
+  };
+  [[nodiscard]] std::optional<InFlightProgram> program_in_flight_at(Microseconds t) const;
+
+  /// Power loss at time `t`: if an MSB program is in flight, the paired
+  /// LSB page's stored data is destroyed and the MSB page is corrupted too
+  /// (its program never completed). Returns the victim word line, if any.
+  std::optional<InFlightProgram> apply_power_loss(Microseconds t);
+
+ private:
+  Microseconds occupy(Microseconds now, Microseconds latency);
+
+  std::vector<Block> blocks_;
+  TimingSpec timing_;
+  Microseconds busy_until_ = 0;
+  Microseconds busy_total_ = 0;
+  OpCounters counters_;
+  std::optional<InFlightProgram> last_program_;
+  bool program_suspend_ = false;
+};
+
+}  // namespace rps::nand

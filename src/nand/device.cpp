@@ -1,0 +1,137 @@
+#include "src/nand/device.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace rps::nand {
+
+NandDevice::NandDevice(const Geometry& geometry, const TimingSpec& timing, SequenceKind kind)
+    : geometry_(geometry),
+      timing_(timing),
+      kind_(kind),
+      channel_busy_until_(geometry.channels, 0) {
+  assert(geometry.valid());
+  chips_.reserve(geometry.num_chips());
+  for (std::uint32_t c = 0; c < geometry.num_chips(); ++c) {
+    chips_.push_back(std::make_unique<Chip>(geometry.blocks_per_chip,
+                                            geometry.wordlines_per_block, kind,
+                                            timing));
+  }
+}
+
+void NandDevice::set_program_suspend(bool enabled) {
+  for (auto& chip : chips_) chip->set_program_suspend(enabled);
+}
+
+bool NandDevice::in_range(const PageAddress& addr) const {
+  return addr.chip < geometry_.num_chips() &&
+         addr.block < geometry_.blocks_per_chip &&
+         addr.pos.wordline < geometry_.wordlines_per_block;
+}
+
+Microseconds NandDevice::occupy_channel(std::uint32_t channel, Microseconds now) {
+  Microseconds& busy = channel_busy_until_.at(channel);
+  const Microseconds start = std::max(now, busy);
+  busy = start + timing_.transfer_us;
+  return start;
+}
+
+Status NandDevice::can_program(const PageAddress& addr) const {
+  if (!in_range(addr)) return Status{ErrorCode::kOutOfRange};
+  return chips_[addr.chip]->block(addr.block).can_program(addr.pos);
+}
+
+Result<OpTiming> NandDevice::program(const PageAddress& addr, PageData data, Microseconds now) {
+  if (!in_range(addr)) return ErrorCode::kOutOfRange;
+  // Validate first so a rejected program leaves the bus timeline untouched.
+  const Status legal = chips_[addr.chip]->block(addr.block).can_program(addr.pos);
+  if (!legal.is_ok()) return legal.code();
+
+  const std::uint32_t channel = geometry_.channel_of_chip(addr.chip);
+  const Microseconds bus_start = occupy_channel(channel, now);
+  const Microseconds bus_end = bus_start + timing_.transfer_us;
+  Result<OpTiming> cell = chips_[addr.chip]->program(addr.block, addr.pos,
+                                                     std::move(data), bus_end);
+  assert(cell.is_ok());
+  return OpTiming{bus_start, cell.value().complete};
+}
+
+Result<NandDevice::ReadResult> NandDevice::read(const PageAddress& addr, Microseconds now) {
+  if (!in_range(addr)) return ErrorCode::kOutOfRange;
+  Result<Chip::ReadOutcome> sensed = chips_[addr.chip]->read(addr.block, addr.pos, now);
+  if (!sensed.is_ok()) return sensed.code();
+  const std::uint32_t channel = geometry_.channel_of_chip(addr.chip);
+  const Microseconds bus_start =
+      occupy_channel(channel, sensed.value().timing.complete);
+  ReadResult result;
+  result.timing = OpTiming{sensed.value().timing.start, bus_start + timing_.transfer_us};
+  result.data = std::move(sensed.value().data);
+  return result;
+}
+
+Result<OpTiming> NandDevice::erase(BlockAddress addr, Microseconds now) {
+  if (addr.chip >= geometry_.num_chips() || addr.block >= geometry_.blocks_per_chip) {
+    return ErrorCode::kOutOfRange;
+  }
+  return chips_[addr.chip]->erase(addr.block, now);
+}
+
+std::vector<PowerLossVictim> NandDevice::inject_power_loss(Microseconds t) {
+  std::vector<PowerLossVictim> victims;
+  for (std::uint32_t c = 0; c < chips_.size(); ++c) {
+    if (auto hit = chips_[c]->apply_power_loss(t)) {
+      victims.push_back(PowerLossVictim{c, hit->block, hit->pos});
+    }
+  }
+  return victims;
+}
+
+OpCounters NandDevice::total_counters() const {
+  OpCounters total;
+  for (const auto& chip : chips_) total += chip->counters();
+  return total;
+}
+
+std::uint64_t NandDevice::total_erase_count() const {
+  std::uint64_t total = 0;
+  for (const auto& chip : chips_) total += chip->total_erase_count();
+  return total;
+}
+
+NandDevice::WearStats NandDevice::wear_stats() const {
+  WearStats stats;
+  stats.min_erases = std::numeric_limits<std::uint64_t>::max();
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  std::uint64_t blocks = 0;
+  for (const auto& chip : chips_) {
+    for (std::uint32_t b = 0; b < chip->num_blocks(); ++b) {
+      const std::uint64_t erases = chip->block(b).erase_count();
+      stats.min_erases = std::min(stats.min_erases, erases);
+      stats.max_erases = std::max(stats.max_erases, erases);
+      sum += static_cast<double>(erases);
+      sum_sq += static_cast<double>(erases) * static_cast<double>(erases);
+      ++blocks;
+    }
+  }
+  if (blocks == 0) {
+    stats.min_erases = 0;
+    return stats;
+  }
+  stats.mean_erases = sum / static_cast<double>(blocks);
+  const double variance =
+      sum_sq / static_cast<double>(blocks) - stats.mean_erases * stats.mean_erases;
+  stats.stddev = variance > 0.0 ? std::sqrt(variance) : 0.0;
+  return stats;
+}
+
+Microseconds NandDevice::all_idle_at() const {
+  Microseconds latest = 0;
+  for (const auto& chip : chips_) latest = std::max(latest, chip->busy_until());
+  for (const Microseconds busy : channel_busy_until_) latest = std::max(latest, busy);
+  return latest;
+}
+
+}  // namespace rps::nand

@@ -1,0 +1,96 @@
+// The full multi-channel NAND storage device.
+//
+// Chips attached to the same channel share the channel bus: moving a page
+// between controller and chip occupies the bus for TimingSpec::transfer_us,
+// while cell operations occupy only the chip. This captures the
+// inter-channel parallelism the paper's parityFTL baseline exploits and
+// bounds the aggregate peak bandwidth realistically.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/nand/address.hpp"
+#include "src/nand/chip.hpp"
+#include "src/nand/geometry.hpp"
+#include "src/nand/timing.hpp"
+#include "src/util/result.hpp"
+
+namespace rps::nand {
+
+/// What a power loss interrupted, per chip.
+struct PowerLossVictim {
+  std::uint32_t chip = 0;
+  std::uint32_t block = 0;
+  PagePos pos;
+};
+
+class NandDevice {
+ public:
+  NandDevice(const Geometry& geometry, const TimingSpec& timing, SequenceKind kind);
+
+  [[nodiscard]] const Geometry& geometry() const { return geometry_; }
+  [[nodiscard]] const TimingSpec& timing() const { return timing_; }
+  [[nodiscard]] SequenceKind sequence_kind() const { return kind_; }
+
+  [[nodiscard]] const Chip& chip(std::uint32_t c) const { return *chips_.at(c); }
+  [[nodiscard]] Chip& chip(std::uint32_t c) { return *chips_.at(c); }
+
+  /// Enable program suspension on every chip (see Chip::set_program_suspend).
+  void set_program_suspend(bool enabled);
+
+  [[nodiscard]] const Block& block(BlockAddress addr) const {
+    return chips_.at(addr.chip)->block(addr.block);
+  }
+
+  /// Legality of programming `addr` next (no side effects).
+  [[nodiscard]] Status can_program(const PageAddress& addr) const;
+
+  /// Program: bus-in transfer, then cell program. `complete` is when the
+  /// chip finishes; the caller's view of service time is complete - now.
+  Result<OpTiming> program(const PageAddress& addr, PageData data, Microseconds now);
+
+  /// Read: cell sensing, then bus-out transfer.
+  struct ReadResult {
+    OpTiming timing;             // start of sensing .. end of bus transfer
+    Result<PageData> data = ErrorCode::kNotProgrammed;
+  };
+  Result<ReadResult> read(const PageAddress& addr, Microseconds now);
+
+  Result<OpTiming> erase(BlockAddress addr, Microseconds now);
+
+  /// Inject a power loss at time `t`. Every chip with an in-flight program
+  /// has that program's page corrupted; an in-flight MSB program also
+  /// destroys its paired LSB page. Returns all interrupted programs.
+  std::vector<PowerLossVictim> inject_power_loss(Microseconds t);
+
+  /// Aggregate counters across chips.
+  [[nodiscard]] OpCounters total_counters() const;
+  [[nodiscard]] std::uint64_t total_erase_count() const;
+
+  /// Wear summary across all blocks — lifetime evenness at a glance.
+  struct WearStats {
+    std::uint64_t min_erases = 0;
+    std::uint64_t max_erases = 0;
+    double mean_erases = 0.0;
+    double stddev = 0.0;
+  };
+  [[nodiscard]] WearStats wear_stats() const;
+
+  /// The earliest time every chip and channel is free.
+  [[nodiscard]] Microseconds all_idle_at() const;
+
+ private:
+  [[nodiscard]] bool in_range(const PageAddress& addr) const;
+
+  Microseconds occupy_channel(std::uint32_t channel, Microseconds now);
+
+  Geometry geometry_;
+  TimingSpec timing_;
+  SequenceKind kind_;
+  std::vector<std::unique_ptr<Chip>> chips_;
+  std::vector<Microseconds> channel_busy_until_;
+};
+
+}  // namespace rps::nand

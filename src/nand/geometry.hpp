@@ -1,0 +1,67 @@
+// Physical organization of the simulated MLC NAND storage system.
+//
+// The paper's testbed (BlueDBM, 16 GB slice) is 8 channels x 4 chips per
+// channel, 512 blocks per chip, 256 pages (128 word lines) per block,
+// 4 KB pages. `Geometry::paper()` reproduces that; tests and examples use
+// smaller instances.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rps::nand {
+
+struct Geometry {
+  std::uint32_t channels = 8;
+  std::uint32_t chips_per_channel = 4;
+  std::uint32_t blocks_per_chip = 512;
+  std::uint32_t wordlines_per_block = 128;  // 2 pages (LSB+MSB) per word line
+  std::uint32_t page_size_bytes = 4096;
+  std::uint32_t spare_bytes = 128;  // out-of-band area per page
+
+  /// The configuration used in the paper's evaluation (Section 4.1).
+  static constexpr Geometry paper() { return Geometry{}; }
+
+  /// A small configuration for unit tests (fast, still multi-chip).
+  static constexpr Geometry tiny() {
+    return Geometry{.channels = 2,
+                    .chips_per_channel = 2,
+                    .blocks_per_chip = 16,
+                    .wordlines_per_block = 4,
+                    .page_size_bytes = 512,
+                    .spare_bytes = 16};
+  }
+
+  [[nodiscard]] constexpr std::uint32_t num_chips() const {
+    return channels * chips_per_channel;
+  }
+  [[nodiscard]] constexpr std::uint32_t pages_per_block() const {
+    return wordlines_per_block * 2;
+  }
+  [[nodiscard]] constexpr std::uint64_t pages_per_chip() const {
+    return static_cast<std::uint64_t>(blocks_per_chip) * pages_per_block();
+  }
+  [[nodiscard]] constexpr std::uint64_t total_blocks() const {
+    return static_cast<std::uint64_t>(num_chips()) * blocks_per_chip;
+  }
+  [[nodiscard]] constexpr std::uint64_t total_pages() const {
+    return static_cast<std::uint64_t>(num_chips()) * pages_per_chip();
+  }
+  [[nodiscard]] constexpr std::uint64_t capacity_bytes() const {
+    return total_pages() * page_size_bytes;
+  }
+
+  [[nodiscard]] constexpr bool valid() const {
+    return channels > 0 && chips_per_channel > 0 && blocks_per_chip > 0 &&
+           wordlines_per_block >= 2 && page_size_bytes > 0;
+  }
+
+  /// Channel that a (global) chip index is attached to.
+  [[nodiscard]] constexpr std::uint32_t channel_of_chip(std::uint32_t chip) const {
+    return chip / chips_per_channel;
+  }
+
+  friend constexpr bool operator==(const Geometry&, const Geometry&) = default;
+};
+
+}  // namespace rps::nand

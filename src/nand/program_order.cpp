@@ -1,0 +1,183 @@
+#include "src/nand/program_order.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rps::nand {
+
+void BlockProgramState::mark_programmed(PagePos pos) {
+  WordlineState& s = states_.at(pos.wordline);
+  if (pos.type == PageType::kLsb) {
+    assert(s == WordlineState::kErased);
+    s = WordlineState::kLsbProgrammed;
+  } else {
+    assert(s == WordlineState::kLsbProgrammed);
+    s = WordlineState::kFullyProgrammed;
+  }
+}
+
+Status check_program_legality(const BlockProgramState& block, PagePos pos, SequenceKind kind) {
+  const std::uint32_t n = block.wordlines();
+  if (pos.wordline >= n) return Status{ErrorCode::kOutOfRange};
+  const std::uint32_t k = pos.wordline;
+
+  // Physical constraints first: no reprogram, and the MSB program refines
+  // LSB-programmed cells so the paired LSB must exist.
+  if (block.is_programmed(pos)) return Status{ErrorCode::kAlreadyProgrammed};
+  if (pos.type == PageType::kMsb &&
+      block.state(k) != WordlineState::kLsbProgrammed) {
+    return Status{ErrorCode::kNotErased};
+  }
+
+  if (kind == SequenceKind::kUnconstrained) return Status::ok();
+
+  if (pos.type == PageType::kLsb) {
+    // C1: LSB pages are written in ascending word-line order.
+    if (k >= 1 && !block.is_programmed({k - 1, PageType::kLsb})) {
+      return Status{ErrorCode::kSequenceViolation};
+    }
+    // C4 (FPS only): before LSB(k), MSB(k-2) must be written.
+    if (kind == SequenceKind::kFps && k >= 2 &&
+        !block.is_programmed({k - 2, PageType::kMsb})) {
+      return Status{ErrorCode::kSequenceViolation};
+    }
+  } else {
+    // C2: MSB pages are written in ascending word-line order.
+    if (k >= 1 && !block.is_programmed({k - 1, PageType::kMsb})) {
+      return Status{ErrorCode::kSequenceViolation};
+    }
+    // C3: before MSB(k), LSB(k+1) must be written (when WL(k+1) exists).
+    if (k + 1 < n && !block.is_programmed({k + 1, PageType::kLsb})) {
+      return Status{ErrorCode::kSequenceViolation};
+    }
+  }
+  return Status::ok();
+}
+
+std::vector<PagePos> legal_programs(const BlockProgramState& block, SequenceKind kind) {
+  std::vector<PagePos> legal;
+  for (std::uint32_t k = 0; k < block.wordlines(); ++k) {
+    for (PageType type : {PageType::kLsb, PageType::kMsb}) {
+      if (check_program_legality(block, {k, type}, kind).is_ok()) {
+        legal.push_back({k, type});
+      }
+    }
+  }
+  return legal;
+}
+
+ProgramOrder fps_order(std::uint32_t wordlines) {
+  assert(wordlines >= 2);
+  ProgramOrder order;
+  order.reserve(wordlines * 2);
+  // Fig. 2(b): LSB(0), LSB(1), then MSB(k), LSB(k+2) pairs, ending with the
+  // last two MSB pages.
+  order.push_back({0, PageType::kLsb});
+  order.push_back({1, PageType::kLsb});
+  for (std::uint32_t k = 0; k + 2 < wordlines; ++k) {
+    order.push_back({k, PageType::kMsb});
+    order.push_back({k + 2, PageType::kLsb});
+  }
+  order.push_back({wordlines - 2, PageType::kMsb});
+  order.push_back({wordlines - 1, PageType::kMsb});
+  return order;
+}
+
+ProgramOrder rps_full_order(std::uint32_t wordlines) {
+  ProgramOrder order;
+  order.reserve(wordlines * 2);
+  for (std::uint32_t k = 0; k < wordlines; ++k) order.push_back({k, PageType::kLsb});
+  for (std::uint32_t k = 0; k < wordlines; ++k) order.push_back({k, PageType::kMsb});
+  return order;
+}
+
+ProgramOrder rps_half_order(std::uint32_t wordlines) {
+  assert(wordlines >= 2);
+  ProgramOrder order;
+  order.reserve(wordlines * 2);
+  const std::uint32_t half = wordlines / 2 + 1;  // LSB frontier head start
+  std::uint32_t next_lsb = 0;
+  std::uint32_t next_msb = 0;
+  for (; next_lsb < std::min(half, wordlines); ++next_lsb) {
+    order.push_back({next_lsb, PageType::kLsb});
+  }
+  // Interleave the remaining LSB pages with MSB programs; C3 holds because
+  // the LSB frontier stays at least one word line ahead of the MSB frontier.
+  while (next_msb < wordlines) {
+    order.push_back({next_msb, PageType::kMsb});
+    ++next_msb;
+    if (next_lsb < wordlines) {
+      order.push_back({next_lsb, PageType::kLsb});
+      ++next_lsb;
+    }
+  }
+  return order;
+}
+
+namespace {
+
+ProgramOrder random_order_under(std::uint32_t wordlines, SequenceKind kind, Rng& rng) {
+  BlockProgramState block(wordlines);
+  ProgramOrder order;
+  order.reserve(wordlines * 2);
+  for (std::uint32_t step = 0; step < wordlines * 2; ++step) {
+    const std::vector<PagePos> legal = legal_programs(block, kind);
+    assert(!legal.empty());
+    const PagePos pick = legal[rng.next_below(legal.size())];
+    block.mark_programmed(pick);
+    order.push_back(pick);
+  }
+  return order;
+}
+
+}  // namespace
+
+ProgramOrder random_rps_order(std::uint32_t wordlines, Rng& rng) {
+  return random_order_under(wordlines, SequenceKind::kRps, rng);
+}
+
+ProgramOrder random_unconstrained_order(std::uint32_t wordlines, Rng& rng) {
+  return random_order_under(wordlines, SequenceKind::kUnconstrained, rng);
+}
+
+bool order_satisfies(const ProgramOrder& order, std::uint32_t wordlines, SequenceKind kind) {
+  if (order.size() != static_cast<std::size_t>(wordlines) * 2) return false;
+  BlockProgramState block(wordlines);
+  for (const PagePos pos : order) {
+    if (!check_program_legality(block, pos, kind).is_ok()) return false;
+    block.mark_programmed(pos);
+  }
+  return true;
+}
+
+std::vector<WordlineExposure> analyze_exposure(const ProgramOrder& order, std::uint32_t wordlines) {
+  // step_of[x] = position of page x in the order.
+  std::vector<std::uint32_t> lsb_step(wordlines, 0);
+  std::vector<std::uint32_t> msb_step(wordlines, 0);
+  for (std::uint32_t i = 0; i < order.size(); ++i) {
+    const PagePos pos = order[i];
+    (pos.type == PageType::kLsb ? lsb_step : msb_step)[pos.wordline] = i;
+  }
+  std::vector<WordlineExposure> exposure(wordlines);
+  for (std::uint32_t k = 0; k < wordlines; ++k) {
+    auto count_neighbors = [&](auto predicate) {
+      std::uint32_t count = 0;
+      for (const std::int64_t nb : {static_cast<std::int64_t>(k) - 1,
+                                    static_cast<std::int64_t>(k) + 1}) {
+        if (nb < 0 || nb >= static_cast<std::int64_t>(wordlines)) continue;
+        const auto w = static_cast<std::uint32_t>(nb);
+        if (predicate(lsb_step[w])) ++count;
+        if (predicate(msb_step[w])) ++count;
+      }
+      return count;
+    };
+    exposure[k].aggressors_after_msb =
+        count_neighbors([&](std::uint32_t step) { return step > msb_step[k]; });
+    exposure[k].aggressors_on_lsb = count_neighbors([&](std::uint32_t step) {
+      return step > lsb_step[k] && step < msb_step[k];
+    });
+  }
+  return exposure;
+}
+
+}  // namespace rps::nand

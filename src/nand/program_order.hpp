@@ -1,0 +1,130 @@
+// The paper's program-order constraint engine (Section 2).
+//
+// The fixed program sequence (FPS) of 2-bit MLC NAND is formalized as four
+// constraints over word lines k and page types:
+//
+//   C1: before LSB(k), LSB(k-1) must be written          (k >= 1)
+//   C2: before MSB(k), MSB(k-1) must be written          (k >= 1)
+//   C3: before MSB(k), LSB(k+1) must be written          (k+1 < wordlines)
+//   C4: before LSB(k), MSB(k-2) must be written          (k >= 2)
+//
+// The paper's contribution at the device level is that C4 is an
+// over-specification: a sequence satisfying only C1-C3 (a *relaxed* program
+// sequence, RPS) accumulates no more cell-to-cell interference than FPS.
+// This module provides:
+//   - per-program legality checking against a block's word-line state,
+//   - canonical whole-block order generators (FPS, RPSfull, RPShalf,
+//     random RPS, unconstrained random),
+//   - order analysis (aggressor counting) used by the reliability study.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/nand/address.hpp"
+#include "src/util/random.hpp"
+#include "src/util/result.hpp"
+
+namespace rps::nand {
+
+/// Which constraint set a device enforces.
+enum class SequenceKind : std::uint8_t {
+  kFps,            // constraints 1-4 (conventional devices)
+  kRps,            // constraints 1-3 (the paper's relaxed sequence)
+  kUnconstrained,  // physical constraints only (reliability study strawman)
+};
+
+constexpr const char* to_string(SequenceKind kind) {
+  switch (kind) {
+    case SequenceKind::kFps: return "FPS";
+    case SequenceKind::kRps: return "RPS";
+    case SequenceKind::kUnconstrained: return "Unconstrained";
+  }
+  return "?";
+}
+
+/// Program state of one word line. MSB-only is physically impossible: the
+/// MSB program refines the LSB-programmed Vth states.
+enum class WordlineState : std::uint8_t {
+  kErased = 0,
+  kLsbProgrammed = 1,
+  kFullyProgrammed = 2,
+};
+
+/// Word-line program state of a whole block, independent of data storage.
+/// Kept as a separate value type so order generators and the reliability
+/// simulator can explore sequences without instantiating device blocks.
+class BlockProgramState {
+ public:
+  explicit BlockProgramState(std::uint32_t wordlines) : states_(wordlines, WordlineState::kErased) {}
+
+  [[nodiscard]] std::uint32_t wordlines() const { return static_cast<std::uint32_t>(states_.size()); }
+  [[nodiscard]] WordlineState state(std::uint32_t wl) const { return states_.at(wl); }
+
+  [[nodiscard]] bool is_programmed(PagePos pos) const {
+    const WordlineState s = states_.at(pos.wordline);
+    return pos.type == PageType::kLsb ? s != WordlineState::kErased
+                                      : s == WordlineState::kFullyProgrammed;
+  }
+
+  /// Records a program without legality checking (callers check first).
+  void mark_programmed(PagePos pos);
+
+  void reset() { std::fill(states_.begin(), states_.end(), WordlineState::kErased); }
+
+ private:
+  std::vector<WordlineState> states_;
+};
+
+/// Validates one page program against `kind`'s constraint set.
+///
+/// Returns kOk, kAlreadyProgrammed, kNotErased (MSB before paired LSB,
+/// physically impossible), kOutOfRange, or kSequenceViolation.
+Status check_program_legality(const BlockProgramState& block, PagePos pos, SequenceKind kind);
+
+/// All pages currently legal to program under `kind`. At most a handful for
+/// FPS; potentially one LSB and one MSB frontier page for RPS.
+std::vector<PagePos> legal_programs(const BlockProgramState& block, SequenceKind kind);
+
+/// A whole-block program order: a permutation of all 2*wordlines pages.
+using ProgramOrder = std::vector<PagePos>;
+
+/// The representative FPS order of Fig. 2(b): LSB(0), LSB(1), MSB(0),
+/// LSB(2), MSB(1), ..., LSB(n-1), MSB(n-2), MSB(n-1).
+ProgramOrder fps_order(std::uint32_t wordlines);
+
+/// RPSfull (Fig. 3a): all LSB pages in word-line order, then all MSB pages.
+/// This is the 2PO order flexFTL uses.
+ProgramOrder rps_full_order(std::uint32_t wordlines);
+
+/// RPShalf (Fig. 3b): the first half of the LSB pages are written up front;
+/// the remainder interleaves MSB programs with the remaining LSB pages.
+ProgramOrder rps_half_order(std::uint32_t wordlines);
+
+/// A uniformly random order that satisfies the RPS constraints: at each
+/// step, pick uniformly among the currently legal pages.
+ProgramOrder random_rps_order(std::uint32_t wordlines, Rng& rng);
+
+/// A random order with only the physical LSB-before-paired-MSB constraint.
+/// Used as the reliability study's worst case (Fig. 2a scenario).
+ProgramOrder random_unconstrained_order(std::uint32_t wordlines, Rng& rng);
+
+/// True iff `order` is a permutation of all pages and every step is legal
+/// under `kind`.
+bool order_satisfies(const ProgramOrder& order, std::uint32_t wordlines, SequenceKind kind);
+
+/// Interference exposure of each word line under a given program order.
+///
+/// The paper's metric (Section 2.1): the cell-to-cell interference seen by
+/// WL(k)'s final data is proportional to the number of *aggressor*
+/// programs — programs to WL(k-1) or WL(k+1) performed after MSB(k).
+/// FPS and every RPS order expose each word line to at most one aggressor;
+/// unconstrained orders expose up to four.
+struct WordlineExposure {
+  std::uint32_t aggressors_after_msb = 0;  // disturbs the final 2-bit state
+  std::uint32_t aggressors_on_lsb = 0;     // neighbor programs between LSB(k) and MSB(k)
+};
+
+std::vector<WordlineExposure> analyze_exposure(const ProgramOrder& order, std::uint32_t wordlines);
+
+}  // namespace rps::nand

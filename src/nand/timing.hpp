@@ -1,0 +1,48 @@
+// Operation latencies of the simulated MLC NAND device.
+//
+// Defaults follow the paper: 500 us LSB program, 2000 us MSB program
+// (Section 1, citing 2X-nm MLC parts), 40 us page read (Section 3.3's
+// reboot-cost estimate). Erase and bus-transfer times are typical values
+// for the same device class.
+#pragma once
+
+#include <cstdint>
+
+#include "src/util/types.hpp"
+
+namespace rps::nand {
+
+struct TimingSpec {
+  Microseconds read_us = 40;         // cell sensing, occupies the chip
+  Microseconds program_lsb_us = 500;
+  Microseconds program_msb_us = 2000;
+  Microseconds erase_us = 3500;
+  /// Channel-bus occupancy to move one page between controller and chip.
+  /// 4 KB over a 400 MB/s toggle-DDR interface is ~10 us.
+  Microseconds transfer_us = 10;
+
+  /// Program-suspend support: cost of suspending and later resuming an
+  /// in-flight program so a read can jump the queue. 0 keeps the feature
+  /// available but free; suspension itself is enabled per-device.
+  Microseconds suspend_resume_us = 30;
+  /// Reads may preempt one program at most this many times (unbounded
+  /// suspension would starve the program).
+  std::uint32_t max_suspends_per_program = 4;
+
+  static constexpr TimingSpec paper() { return TimingSpec{}; }
+
+  /// An idealized zero-latency spec for logic-only unit tests.
+  static constexpr TimingSpec zero() {
+    return TimingSpec{.read_us = 0,
+                      .program_lsb_us = 0,
+                      .program_msb_us = 0,
+                      .erase_us = 0,
+                      .transfer_us = 0,
+                      .suspend_resume_us = 0,
+                      .max_suspends_per_program = 4};
+  }
+
+  friend constexpr bool operator==(const TimingSpec&, const TimingSpec&) = default;
+};
+
+}  // namespace rps::nand

@@ -1,0 +1,158 @@
+#include "src/nand/tlc.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rps::nand {
+
+void TlcBlockState::mark_programmed(TlcPagePos pos) {
+  std::uint8_t& pass = passes_.at(pos.wordline);
+  assert(pass == static_cast<std::uint8_t>(pos.type));
+  ++pass;
+}
+
+Status check_tlc_program_legality(const TlcBlockState& block, TlcPagePos pos,
+                                  TlcSequenceKind kind) {
+  const std::uint32_t n = block.wordlines();
+  if (pos.wordline >= n) return Status{ErrorCode::kOutOfRange};
+  const std::uint32_t k = pos.wordline;
+  const std::uint8_t pass = block.passes(k);
+  const auto wanted = static_cast<std::uint8_t>(pos.type);
+
+  // Physical progression: LSB, then CSB, then MSB, no reprogram.
+  if (pass > wanted) return Status{ErrorCode::kAlreadyProgrammed};
+  if (pass < wanted) return Status{ErrorCode::kNotErased};
+
+  if (kind == TlcSequenceKind::kUnconstrained) return Status::ok();
+
+  // T1/T2/T3: same-type pages ascend word lines.
+  if (k >= 1 && !block.is_programmed({k - 1, pos.type})) {
+    return Status{ErrorCode::kSequenceViolation};
+  }
+  switch (pos.type) {
+    case TlcPageType::kLsb:
+      // T6 (FPS only): before LSB(k), MSB(k-3) must be written.
+      if (kind == TlcSequenceKind::kFps && k >= 3 &&
+          !block.is_programmed({k - 3, TlcPageType::kMsb})) {
+        return Status{ErrorCode::kSequenceViolation};
+      }
+      break;
+    case TlcPageType::kCsb:
+      // T4: before CSB(k), LSB(k+1) must be written.
+      if (k + 1 < n && !block.is_programmed({k + 1, TlcPageType::kLsb})) {
+        return Status{ErrorCode::kSequenceViolation};
+      }
+      break;
+    case TlcPageType::kMsb:
+      // T5: before MSB(k), CSB(k+1) must be written.
+      if (k + 1 < n && !block.is_programmed({k + 1, TlcPageType::kCsb})) {
+        return Status{ErrorCode::kSequenceViolation};
+      }
+      break;
+  }
+  return Status::ok();
+}
+
+std::vector<TlcPagePos> legal_tlc_programs(const TlcBlockState& block,
+                                           TlcSequenceKind kind) {
+  std::vector<TlcPagePos> legal;
+  for (std::uint32_t k = 0; k < block.wordlines(); ++k) {
+    for (const TlcPageType type :
+         {TlcPageType::kLsb, TlcPageType::kCsb, TlcPageType::kMsb}) {
+      if (check_tlc_program_legality(block, {k, type}, kind).is_ok()) {
+        legal.push_back({k, type});
+      }
+    }
+  }
+  return legal;
+}
+
+TlcProgramOrder tlc_fps_order(std::uint32_t wordlines) {
+  assert(wordlines >= 2);
+  TlcProgramOrder order;
+  order.reserve(wordlines * 3);
+  order.push_back({0, TlcPageType::kLsb});
+  order.push_back({1, TlcPageType::kLsb});
+  order.push_back({0, TlcPageType::kCsb});
+  for (std::uint32_t k = 0; k + 2 < wordlines; ++k) {
+    order.push_back({k + 2, TlcPageType::kLsb});
+    order.push_back({k + 1, TlcPageType::kCsb});
+    order.push_back({k, TlcPageType::kMsb});
+  }
+  order.push_back({wordlines - 1, TlcPageType::kCsb});
+  order.push_back({wordlines - 2, TlcPageType::kMsb});
+  order.push_back({wordlines - 1, TlcPageType::kMsb});
+  return order;
+}
+
+TlcProgramOrder tlc_rps_full_order(std::uint32_t wordlines) {
+  TlcProgramOrder order;
+  order.reserve(wordlines * 3);
+  for (const TlcPageType type :
+       {TlcPageType::kLsb, TlcPageType::kCsb, TlcPageType::kMsb}) {
+    for (std::uint32_t k = 0; k < wordlines; ++k) order.push_back({k, type});
+  }
+  return order;
+}
+
+namespace {
+
+TlcProgramOrder random_order_under(std::uint32_t wordlines, TlcSequenceKind kind,
+                                   Rng& rng) {
+  TlcBlockState block(wordlines);
+  TlcProgramOrder order;
+  order.reserve(wordlines * 3);
+  for (std::uint32_t step = 0; step < wordlines * 3; ++step) {
+    const std::vector<TlcPagePos> legal = legal_tlc_programs(block, kind);
+    assert(!legal.empty());
+    const TlcPagePos pick = legal[rng.next_below(legal.size())];
+    block.mark_programmed(pick);
+    order.push_back(pick);
+  }
+  return order;
+}
+
+}  // namespace
+
+TlcProgramOrder random_tlc_rps_order(std::uint32_t wordlines, Rng& rng) {
+  return random_order_under(wordlines, TlcSequenceKind::kRps, rng);
+}
+
+TlcProgramOrder random_tlc_unconstrained_order(std::uint32_t wordlines, Rng& rng) {
+  return random_order_under(wordlines, TlcSequenceKind::kUnconstrained, rng);
+}
+
+bool tlc_order_satisfies(const TlcProgramOrder& order, std::uint32_t wordlines,
+                         TlcSequenceKind kind) {
+  if (order.size() != static_cast<std::size_t>(wordlines) * 3) return false;
+  TlcBlockState block(wordlines);
+  for (const TlcPagePos pos : order) {
+    if (!check_tlc_program_legality(block, pos, kind).is_ok()) return false;
+    block.mark_programmed(pos);
+  }
+  return true;
+}
+
+std::vector<std::uint32_t> analyze_tlc_exposure(const TlcProgramOrder& order,
+                                                std::uint32_t wordlines) {
+  std::vector<std::uint32_t> step_of(wordlines * 3, 0);
+  for (std::uint32_t i = 0; i < order.size(); ++i) {
+    step_of[order[i].flat_index()] = i;
+  }
+  std::vector<std::uint32_t> exposure(wordlines, 0);
+  for (std::uint32_t k = 0; k < wordlines; ++k) {
+    const std::uint32_t final_step = step_of[TlcPagePos{k, TlcPageType::kMsb}.flat_index()];
+    for (const std::int64_t nb : {static_cast<std::int64_t>(k) - 1,
+                                  static_cast<std::int64_t>(k) + 1}) {
+      if (nb < 0 || nb >= static_cast<std::int64_t>(wordlines)) continue;
+      const auto w = static_cast<std::uint32_t>(nb);
+      for (const TlcPageType type :
+           {TlcPageType::kLsb, TlcPageType::kCsb, TlcPageType::kMsb}) {
+        if (step_of[TlcPagePos{w, type}.flat_index()] > final_step) ++exposure[k];
+      }
+    }
+  }
+  return exposure;
+}
+
+}  // namespace rps::nand

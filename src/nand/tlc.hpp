@@ -1,0 +1,122 @@
+// TLC (3-bit-per-cell) generalization of the relaxed program sequence.
+//
+// The paper (Section 1) notes the RPS idea applies to TLC devices with a
+// similar program scheme; this module works that claim out. A TLC word
+// line holds three pages — LSB, CSB, MSB — programmed progressively. The
+// conventional TLC "shadow" program sequence generalizes Fig. 2(b):
+//
+//   T1/T2/T3: LSB, CSB and MSB pages are each written in ascending
+//             word-line order (same-type ordering);
+//   T4:       before CSB(k), LSB(k+1) must be written  (k+1 < wordlines);
+//   T5:       before MSB(k), CSB(k+1) must be written  (k+1 < wordlines);
+//   T6:       before LSB(k), MSB(k-3) must be written  (k >= 3).
+//
+// T4/T5 bound the cell-to-cell interference exactly like MLC constraint 3:
+// they force both neighbors' earlier-pass programs to precede a page's
+// final (MSB) pass. T6 is the TLC analogue of MLC constraint 4 — and the
+// same argument shows it is an over-specification: programs to WL(k-3)
+// cannot disturb WL(k). Dropping T6 yields the relaxed TLC sequence,
+// under which all LSB pages of a block (three times cheaper to program
+// than MSB pages on real TLC parts) can be written consecutively.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/random.hpp"
+#include "src/util/result.hpp"
+
+namespace rps::nand {
+
+enum class TlcPageType : std::uint8_t { kLsb = 0, kCsb = 1, kMsb = 2 };
+
+constexpr const char* to_string(TlcPageType type) {
+  switch (type) {
+    case TlcPageType::kLsb: return "LSB";
+    case TlcPageType::kCsb: return "CSB";
+    case TlcPageType::kMsb: return "MSB";
+  }
+  return "?";
+}
+
+struct TlcPagePos {
+  std::uint32_t wordline = 0;
+  TlcPageType type = TlcPageType::kLsb;
+
+  [[nodiscard]] constexpr std::uint32_t flat_index() const {
+    return wordline * 3 + static_cast<std::uint32_t>(type);
+  }
+
+  friend constexpr bool operator==(const TlcPagePos&, const TlcPagePos&) = default;
+};
+
+enum class TlcSequenceKind : std::uint8_t {
+  kFps,            // T1-T6 (conventional shadow sequence)
+  kRps,            // T1-T5 (the relaxed sequence)
+  kUnconstrained,  // physical progression only
+};
+
+constexpr const char* to_string(TlcSequenceKind kind) {
+  switch (kind) {
+    case TlcSequenceKind::kFps: return "TLC-FPS";
+    case TlcSequenceKind::kRps: return "TLC-RPS";
+    case TlcSequenceKind::kUnconstrained: return "TLC-Unconstrained";
+  }
+  return "?";
+}
+
+/// Per-word-line progression: 0 = erased, 1 = LSB done, 2 = +CSB, 3 = +MSB.
+class TlcBlockState {
+ public:
+  explicit TlcBlockState(std::uint32_t wordlines) : passes_(wordlines, 0) {}
+
+  [[nodiscard]] std::uint32_t wordlines() const {
+    return static_cast<std::uint32_t>(passes_.size());
+  }
+  [[nodiscard]] std::uint8_t passes(std::uint32_t wl) const { return passes_.at(wl); }
+
+  [[nodiscard]] bool is_programmed(TlcPagePos pos) const {
+    return passes_.at(pos.wordline) > static_cast<std::uint8_t>(pos.type);
+  }
+
+  void mark_programmed(TlcPagePos pos);
+  void reset() { std::fill(passes_.begin(), passes_.end(), 0); }
+
+ private:
+  std::vector<std::uint8_t> passes_;
+};
+
+/// Validate one TLC page program against `kind`'s constraint set.
+Status check_tlc_program_legality(const TlcBlockState& block, TlcPagePos pos,
+                                  TlcSequenceKind kind);
+
+/// All currently legal page programs under `kind`.
+std::vector<TlcPagePos> legal_tlc_programs(const TlcBlockState& block,
+                                           TlcSequenceKind kind);
+
+using TlcProgramOrder = std::vector<TlcPagePos>;
+
+/// The conventional shadow sequence: L0 L1 C0, then (L(k+2) C(k+1) M(k))
+/// triples, then C(n-1) M(n-2) M(n-1).
+TlcProgramOrder tlc_fps_order(std::uint32_t wordlines);
+
+/// The TLC 2PO order: all LSB pages, then all CSB pages, then all MSB
+/// pages — three phases instead of MLC's two.
+TlcProgramOrder tlc_rps_full_order(std::uint32_t wordlines);
+
+/// A uniformly random order satisfying T1-T5.
+TlcProgramOrder random_tlc_rps_order(std::uint32_t wordlines, Rng& rng);
+
+/// A random order with only the per-word-line pass progression enforced.
+TlcProgramOrder random_tlc_unconstrained_order(std::uint32_t wordlines, Rng& rng);
+
+/// True iff `order` covers all pages and every step is legal under `kind`.
+bool tlc_order_satisfies(const TlcProgramOrder& order, std::uint32_t wordlines,
+                         TlcSequenceKind kind);
+
+/// Aggressor programs to WL(k)'s neighbors after WL(k)'s final (MSB)
+/// program — the interference exposure metric, as in the MLC analysis.
+std::vector<std::uint32_t> analyze_tlc_exposure(const TlcProgramOrder& order,
+                                                std::uint32_t wordlines);
+
+}  // namespace rps::nand

@@ -1,0 +1,53 @@
+#include "src/reliability/ber.hpp"
+
+#include <cmath>
+
+namespace rps::reliability {
+
+std::uint32_t bit_errors_for_cell(std::size_t state, double vth, const VthModel& model) {
+  // Resolve the read state from the three references.
+  std::size_t read_state = 0;
+  while (read_state < kNumStates - 1 && vth > model.read_ref[read_state]) {
+    ++read_state;
+  }
+  if (read_state == state) return 0;
+  // States are Gray-coded (11, 01, 00, 10): adjacent misreads cost one bit.
+  static constexpr std::uint8_t kGray[kNumStates] = {0b11, 0b01, 0b00, 0b10};
+  const std::uint8_t diff = kGray[state] ^ kGray[read_state];
+  return static_cast<std::uint32_t>((diff & 1u) + ((diff >> 1) & 1u));
+}
+
+double apply_stress(double vth, std::size_t state, const StressCondition& stress,
+                    const VthModel& model, Rng& rng) {
+  const double kcycles = stress.pe_cycles / 1000.0;
+  if (kcycles > 0.0) {
+    vth += model.pe_mean_shift_per_kcycle * kcycles;
+    vth += rng.normal(0.0, model.pe_sigma_per_kcycle * kcycles);
+  }
+  if (stress.retention_days > 0.0 && state != 0) {
+    // Charge loss scales with how much charge the state holds; normalize by
+    // the highest state's level above erased.
+    const double level = (model.state_mean[state] - model.state_mean[0]) /
+                         (model.state_mean[kNumStates - 1] - model.state_mean[0]);
+    const double decades = std::log10(1.0 + stress.retention_days);
+    vth -= model.retention_shift_per_decade * decades * level;
+    vth += rng.normal(0.0, model.retention_sigma_per_decade * decades * level);
+  }
+  return vth;
+}
+
+double page_ber(const CellPopulation& population, const StressCondition& stress,
+                const VthModel& model, Rng& rng) {
+  std::uint64_t bit_errors = 0;
+  std::uint64_t bits = 0;
+  for (std::size_t state = 0; state < kNumStates; ++state) {
+    for (const double vth : population.vth_by_state[state]) {
+      const double stressed = apply_stress(vth, state, stress, model, rng);
+      bit_errors += bit_errors_for_cell(state, stressed, model);
+      bits += 2;
+    }
+  }
+  return bits == 0 ? 0.0 : static_cast<double>(bit_errors) / static_cast<double>(bits);
+}
+
+}  // namespace rps::reliability

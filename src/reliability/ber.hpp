@@ -1,0 +1,26 @@
+// Bit-error-rate model: applies P/E-cycling and retention stress to the
+// post-interference Vth populations and counts read-reference crossings.
+#pragma once
+
+#include <cstdint>
+
+#include "src/reliability/interference.hpp"
+#include "src/reliability/vth_model.hpp"
+#include "src/util/random.hpp"
+
+namespace rps::reliability {
+
+/// Number of bit errors when reading one cell whose final state is `state`
+/// but whose stressed Vth is `vth`: 2-bit Gray coding means adjacent-state
+/// misreads flip exactly one bit, two-state misreads flip up to two.
+std::uint32_t bit_errors_for_cell(std::size_t state, double vth, const VthModel& model);
+
+/// Apply stress to one cell's Vth (in place semantics via return value).
+double apply_stress(double vth, std::size_t state, const StressCondition& stress,
+                    const VthModel& model, Rng& rng);
+
+/// BER of one word line's population under `stress`.
+double page_ber(const CellPopulation& population, const StressCondition& stress,
+                const VthModel& model, Rng& rng);
+
+}  // namespace rps::reliability

@@ -1,0 +1,99 @@
+#include "src/reliability/interference.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rps::reliability {
+
+double distribution_width(const std::vector<double>& vth) {
+  if (vth.size() < 2) return 0.0;
+  SampleSet samples;
+  samples.add_all(vth);
+  return samples.percentile(99.9) - samples.percentile(0.1);
+}
+
+namespace {
+
+/// Vth increase of one aggressor cell during its program step. The victim
+/// sees coupling_ratio times this. LSB programs move half the cells from
+/// the erased level to the transient X1 level; MSB programs move cells from
+/// {E, X1} to their final state.
+double aggressor_delta_v(nand::PageType type, const VthModel& m, Rng& rng) {
+  if (type == nand::PageType::kLsb) {
+    // LSB data '1' keeps the cell erased (no shift); '0' programs to X1.
+    if (rng.chance(0.5)) return 0.0;
+    return m.lsb_programmed_mean - m.state_mean[0];
+  }
+  // MSB program, transitions of Fig. 1: '11' stays erased (no shift),
+  // '01' and '00' are refined from the transient X1 level, '10' is driven
+  // from X1 to the highest state.
+  switch (rng.next_below(4)) {
+    case 0: return 0.0;                                            // stays 11
+    case 1: return std::max(0.0, m.state_mean[1] - m.lsb_programmed_mean);
+    case 2: return std::max(0.0, m.state_mean[2] - m.lsb_programmed_mean);
+    default: return m.state_mean[3] - m.lsb_programmed_mean;
+  }
+}
+
+}  // namespace
+
+std::vector<WordlineResult> simulate_block(const nand::ProgramOrder& order,
+                                           std::uint32_t wordlines,
+                                           const InterferenceConfig& config,
+                                           Rng& rng) {
+  assert(order.size() == static_cast<std::size_t>(wordlines) * 2);
+  const VthModel& m = config.model;
+
+  // Per word line: cumulative coupling shift each of its cells will absorb
+  // after its *final* (MSB) program, sampled per cell at the end. We track
+  // the total aggressor delta-V sum per victim cell position.
+  // Cells are simulated independently: victim cell i has its own aggressor
+  // draws (neighbor cells are distinct physical cells per victim column).
+  std::vector<std::uint32_t> msb_step(wordlines, 0);
+  std::vector<std::uint32_t> lsb_step(wordlines, 0);
+  for (std::uint32_t i = 0; i < order.size(); ++i) {
+    const auto pos = order[i];
+    (pos.type == nand::PageType::kLsb ? lsb_step : msb_step)[pos.wordline] = i;
+  }
+
+  // For each victim word line, the list of aggressor programs that land
+  // after its MSB program: (page type of aggressor).
+  std::vector<std::vector<nand::PageType>> aggressors(wordlines);
+  for (std::uint32_t k = 0; k < wordlines; ++k) {
+    for (const std::int64_t nb : {static_cast<std::int64_t>(k) - 1,
+                                  static_cast<std::int64_t>(k) + 1}) {
+      if (nb < 0 || nb >= static_cast<std::int64_t>(wordlines)) continue;
+      const auto w = static_cast<std::uint32_t>(nb);
+      if (lsb_step[w] > msb_step[k]) aggressors[k].push_back(nand::PageType::kLsb);
+      if (msb_step[w] > msb_step[k]) aggressors[k].push_back(nand::PageType::kMsb);
+    }
+  }
+
+  std::vector<WordlineResult> results(wordlines);
+  for (std::uint32_t k = 0; k < wordlines; ++k) {
+    WordlineResult& out = results[k];
+    out.aggressors_after_msb = static_cast<std::uint32_t>(aggressors[k].size());
+    for (auto& v : out.population.vth_by_state) {
+      v.reserve(config.cells_per_wordline / kNumStates + 1);
+    }
+    for (std::uint32_t cell = 0; cell < config.cells_per_wordline; ++cell) {
+      // Final programmed state: the four 2-bit patterns are equally likely
+      // for random data.
+      const auto state = static_cast<std::size_t>(rng.next_below(kNumStates));
+      const double sigma = state == 0 ? m.sigma_erased : m.sigma_program;
+      double vth = rng.normal(m.state_mean[state], sigma);
+      // Post-program aggressor coupling: each later neighbor program adds
+      // coupling_ratio * (that neighbor cell's Vth increase).
+      for (const nand::PageType aggressor_type : aggressors[k]) {
+        vth += m.coupling_ratio * aggressor_delta_v(aggressor_type, m, rng);
+      }
+      out.population.vth_by_state[state].push_back(vth);
+    }
+    for (const auto& v : out.population.vth_by_state) {
+      out.wpi_sum += distribution_width(v);
+    }
+  }
+  return results;
+}
+
+}  // namespace rps::reliability

@@ -1,0 +1,58 @@
+// Monte-Carlo simulation of cell-to-cell interference under a program order.
+//
+// Programs a block's word lines in a given order while tracking, per victim
+// word line, the coupling shifts induced by *later* programs to neighboring
+// word lines (earlier neighbor programs are compensated by the victim's own
+// program-verify step, which is why only post-program aggressors matter —
+// Section 2.1). Produces per-state Vth sample populations from which WPi
+// (distribution width per state, Fig. 4a) and BER (Fig. 4b) are computed.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "src/nand/program_order.hpp"
+#include "src/reliability/vth_model.hpp"
+#include "src/util/random.hpp"
+#include "src/util/stats.hpp"
+
+namespace rps::reliability {
+
+/// Vth samples of one word line's cells after the whole block is programmed,
+/// grouped by the cell's final 2-bit state.
+struct CellPopulation {
+  std::array<std::vector<double>, kNumStates> vth_by_state;
+
+  [[nodiscard]] std::size_t total_cells() const {
+    std::size_t n = 0;
+    for (const auto& v : vth_by_state) n += v.size();
+    return n;
+  }
+};
+
+/// Width of one state's Vth distribution: the p0.1..p99.9 spread, a robust
+/// stand-in for the read-window width the paper measures.
+double distribution_width(const std::vector<double>& vth);
+
+/// Per-word-line interference outcome.
+struct WordlineResult {
+  CellPopulation population;
+  /// Sum of the four per-state widths — the paper's per-page ΣWPi metric.
+  double wpi_sum = 0.0;
+  std::uint32_t aggressors_after_msb = 0;
+};
+
+struct InterferenceConfig {
+  std::uint32_t cells_per_wordline = 1024;
+  VthModel model = VthModel::nominal();
+};
+
+/// Simulate programming one block under `order`; returns one result per
+/// word line.
+std::vector<WordlineResult> simulate_block(const nand::ProgramOrder& order,
+                                           std::uint32_t wordlines,
+                                           const InterferenceConfig& config,
+                                           Rng& rng);
+
+}  // namespace rps::reliability

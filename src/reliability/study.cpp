@@ -1,0 +1,47 @@
+#include "src/reliability/study.hpp"
+
+namespace rps::reliability {
+
+nand::ProgramOrder make_order(Scheme scheme, std::uint32_t wordlines, Rng& rng) {
+  switch (scheme) {
+    case Scheme::kFps: return nand::fps_order(wordlines);
+    case Scheme::kRpsFull: return nand::rps_full_order(wordlines);
+    case Scheme::kRpsHalf: return nand::rps_half_order(wordlines);
+    case Scheme::kRpsRandom: return nand::random_rps_order(wordlines, rng);
+    case Scheme::kUnconstrained: return nand::random_unconstrained_order(wordlines, rng);
+  }
+  return nand::fps_order(wordlines);
+}
+
+StudyResult run_study(Scheme scheme, const StudyConfig& config) {
+  Rng rng(config.seed ^ (static_cast<std::uint64_t>(scheme) << 32));
+  StudyResult result;
+  result.scheme = scheme;
+  const std::size_t pages = static_cast<std::size_t>(config.blocks) * config.wordlines;
+  result.wpi_per_page.reserve(pages);
+  result.ber_per_page.reserve(pages);
+  result.aggressors.reserve(pages);
+
+  for (std::uint32_t b = 0; b < config.blocks; ++b) {
+    const nand::ProgramOrder order = make_order(scheme, config.wordlines, rng);
+    const std::vector<WordlineResult> block =
+        simulate_block(order, config.wordlines, config.interference, rng);
+    for (const WordlineResult& wl : block) {
+      result.wpi_per_page.add(wl.wpi_sum);
+      result.ber_per_page.add(
+          page_ber(wl.population, config.stress, config.interference.model, rng));
+      result.aggressors.add(static_cast<double>(wl.aggressors_after_msb));
+    }
+  }
+  return result;
+}
+
+std::vector<StudyResult> run_studies(const std::vector<Scheme>& schemes,
+                                     const StudyConfig& config) {
+  std::vector<StudyResult> results;
+  results.reserve(schemes.size());
+  for (const Scheme scheme : schemes) results.push_back(run_study(scheme, config));
+  return results;
+}
+
+}  // namespace rps::reliability

@@ -1,0 +1,58 @@
+// The Fig. 4 reliability study harness: run many blocks under each program
+// scheme and collect the per-page ΣWPi and BER sample populations that the
+// paper reports as box plots.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/nand/program_order.hpp"
+#include "src/reliability/ber.hpp"
+#include "src/reliability/interference.hpp"
+#include "src/util/stats.hpp"
+
+namespace rps::reliability {
+
+/// The program schemes compared in Fig. 4 (plus the unconstrained strawman
+/// of Fig. 2a that motivates ordering constraints in the first place).
+enum class Scheme { kFps, kRpsFull, kRpsHalf, kRpsRandom, kUnconstrained };
+
+constexpr const char* to_string(Scheme scheme) {
+  switch (scheme) {
+    case Scheme::kFps: return "FPS";
+    case Scheme::kRpsFull: return "RPSfull";
+    case Scheme::kRpsHalf: return "RPShalf";
+    case Scheme::kRpsRandom: return "RPSrandom";
+    case Scheme::kUnconstrained: return "Unconstrained";
+  }
+  return "?";
+}
+
+/// Generate the program order a scheme uses for one block. Random schemes
+/// draw a fresh order per block from `rng`.
+nand::ProgramOrder make_order(Scheme scheme, std::uint32_t wordlines, Rng& rng);
+
+struct StudyConfig {
+  std::uint32_t blocks = 90;          // the paper verified >90 blocks
+  std::uint32_t wordlines = 64;
+  InterferenceConfig interference;
+  StressCondition stress = StressCondition::worst_case();
+  std::uint64_t seed = 42;
+};
+
+struct StudyResult {
+  Scheme scheme;
+  SampleSet wpi_per_page;   // ΣWPi of each simulated word line (Fig. 4a)
+  SampleSet ber_per_page;   // stressed BER of each word line (Fig. 4b)
+  SampleSet aggressors;     // post-MSB aggressor count per word line
+};
+
+/// Run the study for one scheme.
+StudyResult run_study(Scheme scheme, const StudyConfig& config);
+
+/// Run the study for a list of schemes with a shared configuration.
+std::vector<StudyResult> run_studies(const std::vector<Scheme>& schemes,
+                                     const StudyConfig& config);
+
+}  // namespace rps::reliability

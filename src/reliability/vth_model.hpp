@@ -1,0 +1,67 @@
+// Analog model of a 2-bit MLC cell's threshold-voltage (Vth) behaviour.
+//
+// This is the substitute for the paper's silicon measurements (Fig. 4): the
+// paper characterized real 2X-nm chips; we model the same mechanisms —
+// program-verify placement noise, cell-to-cell coupling from later
+// neighbor programs, P/E-cycling widening and retention loss — with
+// representative constants. The paper's Fig. 4 claim is *relative*
+// (RPS accumulates no more interference than FPS), and that relation is a
+// combinatorial property of the program order which the model preserves
+// exactly; the constants only scale the axes.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace rps::reliability {
+
+/// The four final Vth states of a 2-bit cell, in Gray order 11,01,00,10
+/// (Fig. 1). State 0 is erased.
+inline constexpr std::size_t kNumStates = 4;
+
+struct VthModel {
+  /// Nominal post-program state means [V].
+  std::array<double, kNumStates> state_mean{-2.7, 0.8, 2.0, 3.2};
+  /// Read references between adjacent states [V] (VRef1..VRef3 in Fig. 1).
+  std::array<double, kNumStates - 1> read_ref{-0.8, 1.4, 2.6};
+  /// Program-verify placement noise (per-cell sigma) for programmed states.
+  double sigma_program = 0.11;
+  /// Erased-state distribution is wide (erase is coarse).
+  double sigma_erased = 0.30;
+  /// The transient LSB-only placement (X1 in Fig. 1) sits between E and P2.
+  double lsb_programmed_mean = 1.2;
+  double lsb_read_ref = -0.8;  // VRef0: separates E from X1 with a big margin
+  double sigma_lsb = 0.18;
+
+  /// Cell-to-cell coupling ratio: a neighbor cell's Vth increase of dV
+  /// shifts the victim by coupling_ratio * dV.
+  double coupling_ratio = 0.08;
+
+  /// P/E-cycle stress: per-1K-cycle additive sigma (oxide damage widens
+  /// distributions) and mean upshift (trapped charge).
+  double pe_sigma_per_kcycle = 0.035;
+  double pe_mean_shift_per_kcycle = 0.02;
+
+  /// Retention: charge loss moves programmed states down and widens them,
+  /// roughly logarithmically in time; coefficients are per log10(1+days).
+  double retention_shift_per_decade = 0.12;
+  double retention_sigma_per_decade = 0.05;
+
+  /// Bits stored per page per simulated cell sample. Used to convert
+  /// misread counts to a bit error rate.
+  static constexpr double kBitsPerCell = 2.0;
+
+  static constexpr VthModel nominal() { return VthModel{}; }
+};
+
+/// Stress condition applied before a BER measurement. The paper's
+/// worst-case condition is 3K P/E cycles and 1 year of retention.
+struct StressCondition {
+  double pe_cycles = 0.0;
+  double retention_days = 0.0;
+
+  static constexpr StressCondition fresh() { return {0.0, 0.0}; }
+  static constexpr StressCondition worst_case() { return {3000.0, 365.0}; }
+};
+
+}  // namespace rps::reliability

@@ -1,0 +1,64 @@
+// Shared experiment harness: builds an FTL, preconditions it, generates a
+// workload preset and measures it. Every Fig. 8 bench and the examples go
+// through this, so configurations stay comparable.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/ftl/config.hpp"
+#include "src/ftl/ftl_base.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/workload/generator.hpp"
+
+namespace rps::sim {
+
+/// The four FTLs of the paper's evaluation, plus the capacity-sacrificing
+/// SLC-mode baseline from the related work (Lee et al. [4]).
+enum class FtlKind { kPage, kParity, kRtf, kFlex, kSlc };
+
+/// The evaluation set of Fig. 8 (kSlc is a related-work extra).
+inline constexpr FtlKind kAllFtls[] = {FtlKind::kPage, FtlKind::kParity,
+                                       FtlKind::kRtf, FtlKind::kFlex};
+
+constexpr const char* to_string(FtlKind kind) {
+  switch (kind) {
+    case FtlKind::kPage: return "pageFTL";
+    case FtlKind::kParity: return "parityFTL";
+    case FtlKind::kRtf: return "rtfFTL";
+    case FtlKind::kFlex: return "flexFTL";
+    case FtlKind::kSlc: return "slcFTL";
+  }
+  return "?";
+}
+
+/// Instantiate an FTL by kind.
+std::unique_ptr<ftl::FtlBase> make_ftl(FtlKind kind, const ftl::FtlConfig& config);
+
+/// The geometry the benchmarks use: the paper's channel/chip organization
+/// (8 x 4) with fewer blocks per chip (128 instead of 512) so a full
+/// steady-state run fits in seconds. 256 x 4 KB pages per block as in the
+/// paper; 4 GB total.
+nand::Geometry bench_geometry();
+
+struct ExperimentSpec {
+  ftl::FtlConfig ftl_config;
+  SimConfig sim;
+  std::uint64_t requests = 200'000;
+  /// Fraction of exported pages the workload touches.
+  double working_set_fraction = 0.90;
+  std::uint64_t seed = 1;
+
+  static ExperimentSpec bench_default();
+};
+
+/// Precondition + replay one preset against one FTL.
+SimResult run_experiment(FtlKind kind, workload::Preset preset,
+                         const ExperimentSpec& spec);
+
+/// Run all four FTLs against one preset (shared trace).
+std::vector<SimResult> run_all_ftls(workload::Preset preset, const ExperimentSpec& spec);
+
+}  // namespace rps::sim

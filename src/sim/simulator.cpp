@@ -1,0 +1,245 @@
+#include "src/sim/simulator.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <queue>
+
+#include "src/util/random.hpp"
+#include <vector>
+
+namespace rps::sim {
+
+Simulator::Simulator(ftl::FtlBase& ftl, const SimConfig& config)
+    : ftl_(ftl), config_(config) {}
+
+void Simulator::precondition() {
+  const Lpn fill_pages = static_cast<Lpn>(
+      static_cast<double>(ftl_.exported_pages()) * config_.precondition_fraction);
+  for (Lpn lpn = 0; lpn < fill_pages; ++lpn) {
+    const Result<ftl::HostOp> op =
+        ftl_.write(lpn, /*now=*/0, config_.precondition_utilization);
+    assert(op.is_ok());
+    (void)op;
+  }
+  // Random overwrites until garbage collection reaches steady state.
+  Rng rng(config_.precondition_seed);
+  const auto overwrites = static_cast<std::uint64_t>(
+      static_cast<double>(ftl_.exported_pages()) *
+      config_.precondition_overwrite_fraction);
+  for (std::uint64_t i = 0; i < overwrites && fill_pages > 0; ++i) {
+    const Lpn lpn = rng.next_below(fill_pages);
+    const Result<ftl::HostOp> op = ftl_.write(
+        lpn, ftl_.device().all_idle_at(), config_.precondition_utilization);
+    assert(op.is_ok());
+    (void)op;
+  }
+  preconditioned_ = true;
+}
+
+void Simulator::warm_up(const workload::Trace& trace) {
+  const Lpn exported = ftl_.exported_pages();
+  for (const workload::IoRequest& req : trace.requests()) {
+    if (req.kind != workload::IoKind::kWrite) continue;
+    for (std::uint32_t j = 0; j < req.page_count; ++j) {
+      if (req.lpn + j >= exported) break;
+      const Result<ftl::HostOp> op =
+          ftl_.write(req.lpn + j, ftl_.device().all_idle_at(),
+                     config_.precondition_utilization);
+      assert(op.is_ok());
+      (void)op;
+    }
+  }
+  preconditioned_ = true;
+}
+
+SimResult Simulator::run(const workload::Trace& trace) {
+  SimResult result;
+  result.ftl_name = std::string(ftl_.name());
+  result.workload_name = trace.name();
+  if (trace.empty()) return result;
+  assert(trace.is_sorted());
+
+  // Start after any preconditioning activity has drained.
+  const Microseconds base =
+      ftl_.device().all_idle_at() + (preconditioned_ ? 10'000 : 0);
+  const Microseconds first_arrival = trace.requests().front().arrival_us;
+
+  // Baselines for delta counters.
+  const std::uint64_t erases_before = ftl_.device().total_erase_count();
+  const nand::OpCounters ops_before = ftl_.device().total_counters();
+  const ftl::FtlStats ftl_before = ftl_.stats();
+
+  // Closed-loop window: at most queue_depth requests outstanding. A new
+  // request issues when the earliest-finishing outstanding one completes.
+  std::priority_queue<Microseconds, std::vector<Microseconds>, std::greater<>>
+      outstanding;
+
+  // Write-buffer model. Writes are acknowledged when the RAM write buffer
+  // accepts them — instantly while there is room, otherwise when enough
+  // earlier flushes complete on the device. Device program latency is
+  // invisible to a write's latency unless the buffer is full, exactly like
+  // the paper's testbed (and any real storage stack).
+  //
+  // Two occupancy views: `in_flush` tracks pages handed to the FTL whose
+  // programs have not finished (gates ACKs); the arrival-based counters
+  // additionally include queued-but-unissued writes (that total is the
+  // utilization u the policy manager sees).
+  std::priority_queue<std::pair<Microseconds, std::uint32_t>,
+                      std::vector<std::pair<Microseconds, std::uint32_t>>,
+                      std::greater<>>
+      in_flush;  // (device completion, pages)
+  std::uint64_t flush_pending_pages = 0;
+  std::uint64_t arrived_write_pages = 0;
+  std::uint64_t completed_write_pages = 0;
+  std::size_t arrival_scan = 0;  // lookahead over trace arrivals
+  const std::uint64_t buffer_capacity = ftl_.config().write_buffer_pages;
+
+  // Windowed write-bandwidth accumulation (bytes per completion window).
+  std::map<std::int64_t, std::uint64_t> bw_bytes;
+  const auto page_bytes =
+      static_cast<std::uint64_t>(ftl_.config().geometry.page_size_bytes);
+
+  Microseconds busy_start = 0;
+  Microseconds busy_end = -1;  // current merged busy interval; empty
+  Microseconds last_completion = base;
+
+  Microseconds prev_arrival = base;       // adjusted arrival of previous request
+  Microseconds prev_raw = first_arrival;  // raw trace arrival of previous request
+  for (const workload::IoRequest& req : trace.requests()) {
+    const Microseconds raw_gap = req.arrival_us - prev_raw;
+    prev_raw = req.arrival_us;
+    Microseconds arrival;
+    if (config_.think_time_follows_completion &&
+        raw_gap > config_.idle_threshold_us) {
+      // Think/idle periods start once all prior work has completed.
+      arrival = std::max(prev_arrival, last_completion) + raw_gap;
+    } else {
+      arrival = prev_arrival + raw_gap;
+    }
+    prev_arrival = arrival;
+
+    // Idle window detection: the host is idle when every past request has
+    // completed and the next arrival is still ahead. (Issue-stream gaps are
+    // NOT idleness — a saturated device paces issues in latency-sized
+    // steps.) Device-side flush backlog is handled by on_idle's per-chip
+    // deadline checks.
+    if (arrival > last_completion + config_.idle_threshold_us) {
+      ++result.idle_windows;
+      result.idle_time_us += arrival - last_completion;
+      ftl_.on_idle(last_completion, arrival);
+    }
+
+    Microseconds issue = arrival;
+    while (!outstanding.empty() && outstanding.top() <= arrival) outstanding.pop();
+    while (outstanding.size() >= config_.queue_depth) {
+      issue = std::max(issue, outstanding.top());
+      outstanding.pop();
+    }
+
+    // Advance the buffer model to the issue time: pages of every write that
+    // has arrived by now occupy the buffer...
+    const std::vector<workload::IoRequest>& all = trace.requests();
+    while (arrival_scan < all.size() &&
+           base + (all[arrival_scan].arrival_us - first_arrival) <= issue) {
+      if (all[arrival_scan].kind == workload::IoKind::kWrite) {
+        arrived_write_pages += all[arrival_scan].page_count;
+      }
+      ++arrival_scan;
+    }
+    // ...minus those whose flush already completed.
+    while (!in_flush.empty() && in_flush.top().first <= issue) {
+      completed_write_pages += in_flush.top().second;
+      flush_pending_pages -= in_flush.top().second;
+      in_flush.pop();
+    }
+    const double utilization = std::min(
+        1.0, static_cast<double>(arrived_write_pages - completed_write_pages) /
+                 static_cast<double>(buffer_capacity));
+
+    Microseconds completion = issue;
+    if (req.kind == workload::IoKind::kWrite) {
+      ++result.write_requests;
+      // ACK when the buffer has room: wait for earlier flushes if needed.
+      Microseconds ack = issue;
+      while (flush_pending_pages + req.page_count > buffer_capacity &&
+             !in_flush.empty()) {
+        ack = std::max(ack, in_flush.top().first);
+        completed_write_pages += in_flush.top().second;
+        flush_pending_pages -= in_flush.top().second;
+        in_flush.pop();
+      }
+      Microseconds flushed = ack;
+      for (std::uint32_t j = 0; j < req.page_count; ++j) {
+        const Result<ftl::HostOp> op = ftl_.write(req.lpn + j, ack, utilization);
+        assert(op.is_ok());
+        flushed = std::max(flushed, op.value().complete);
+        ++result.pages_written;
+      }
+      in_flush.emplace(flushed, req.page_count);
+      flush_pending_pages += req.page_count;
+      bw_bytes[flushed / config_.bw_window_us] += page_bytes * req.page_count;
+      completion = ack;
+    } else {
+      ++result.read_requests;
+      for (std::uint32_t j = 0; j < req.page_count; ++j) {
+        const Result<ftl::HostOp> op = ftl_.read(req.lpn + j, issue);
+        if (op.is_ok()) {
+          completion = std::max(completion, op.value().complete);
+        } else {
+          ++result.read_errors;
+        }
+        ++result.pages_read;
+      }
+    }
+    ++result.requests;
+    result.latency_us.add(static_cast<double>(completion - arrival));
+
+    // Busy-interval merging over [issue, completion].
+    if (busy_end < busy_start || issue > busy_end) {
+      if (busy_end >= busy_start) result.busy_us += busy_end - busy_start;
+      busy_start = issue;
+      busy_end = completion;
+    } else {
+      busy_end = std::max(busy_end, completion);
+    }
+
+    outstanding.push(completion);
+    last_completion = std::max(last_completion, completion);
+  }
+  if (busy_end >= busy_start) result.busy_us += busy_end - busy_start;
+
+  result.makespan_us = last_completion - base;
+  result.erases = ftl_.device().total_erase_count() - erases_before;
+
+  const nand::OpCounters ops_after = ftl_.device().total_counters();
+  result.ops.reads = ops_after.reads - ops_before.reads;
+  result.ops.lsb_programs = ops_after.lsb_programs - ops_before.lsb_programs;
+  result.ops.msb_programs = ops_after.msb_programs - ops_before.msb_programs;
+  result.ops.erases = ops_after.erases - ops_before.erases;
+
+  const ftl::FtlStats& fs = ftl_.stats();
+  result.ftl_stats.host_write_pages = fs.host_write_pages - ftl_before.host_write_pages;
+  result.ftl_stats.host_read_pages = fs.host_read_pages - ftl_before.host_read_pages;
+  result.ftl_stats.host_lsb_writes = fs.host_lsb_writes - ftl_before.host_lsb_writes;
+  result.ftl_stats.host_msb_writes = fs.host_msb_writes - ftl_before.host_msb_writes;
+  result.ftl_stats.gc_copy_pages = fs.gc_copy_pages - ftl_before.gc_copy_pages;
+  result.ftl_stats.backup_pages = fs.backup_pages - ftl_before.backup_pages;
+  result.ftl_stats.foreground_gc_blocks =
+      fs.foreground_gc_blocks - ftl_before.foreground_gc_blocks;
+  result.ftl_stats.background_gc_blocks =
+      fs.background_gc_blocks - ftl_before.background_gc_blocks;
+  result.ftl_stats.unmapped_reads = fs.unmapped_reads - ftl_before.unmapped_reads;
+  result.ftl_stats.read_errors = fs.read_errors - ftl_before.read_errors;
+
+  // Windowed bandwidth samples (windows in which writes completed).
+  const double window_seconds =
+      static_cast<double>(config_.bw_window_us) / 1e6;
+  for (const auto& [window_index, bytes] : bw_bytes) {
+    (void)window_index;
+    result.write_bw_mbps.add(static_cast<double>(bytes) / 1e6 / window_seconds);
+  }
+  return result;
+}
+
+}  // namespace rps::sim

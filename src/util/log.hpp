@@ -1,0 +1,34 @@
+// Minimal leveled logger. The simulation core never logs on hot paths;
+// logging exists for examples, benches and debugging FTL behaviour.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace rps {
+
+enum class LogLevel { kDebug = 0, kInfo, kWarn, kError, kOff };
+
+/// Process-wide minimum level; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message);
+}
+
+#define RPS_LOG(level, expr)                                        \
+  do {                                                              \
+    if (static_cast<int>(level) >= static_cast<int>(::rps::log_level())) { \
+      std::ostringstream rps_log_stream_;                           \
+      rps_log_stream_ << expr;                                      \
+      ::rps::detail::log_emit(level, rps_log_stream_.str());        \
+    }                                                               \
+  } while (0)
+
+#define RPS_DEBUG(expr) RPS_LOG(::rps::LogLevel::kDebug, expr)
+#define RPS_INFO(expr) RPS_LOG(::rps::LogLevel::kInfo, expr)
+#define RPS_WARN(expr) RPS_LOG(::rps::LogLevel::kWarn, expr)
+#define RPS_ERROR(expr) RPS_LOG(::rps::LogLevel::kError, expr)
+
+}  // namespace rps

@@ -1,0 +1,104 @@
+// Lightweight status / result types used on device and FTL hot paths.
+//
+// flexnand avoids exceptions in the simulation core: a program-sequence
+// violation is an *observable outcome* that tests assert on, not a crash.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string_view>
+#include <utility>
+
+namespace rps {
+
+/// Error codes produced by the NAND device model and the FTL layers.
+enum class ErrorCode {
+  kOk = 0,
+  kSequenceViolation,   // program order violates the active policy
+  kAlreadyProgrammed,   // page was programmed before the enclosing erase
+  kNotErased,           // erase/program target in an unexpected state
+  kOutOfRange,          // address outside the device geometry
+  kEccUncorrectable,    // read failed: data destroyed (e.g. power loss)
+  kNotProgrammed,       // read of a never-written page
+  kNoFreeBlock,         // block allocation failed (GC could not keep up)
+  kNoFreePage,          // active block exhausted
+  kBufferFull,          // write buffer rejected a request
+  kNotFound,            // mapping lookup miss
+  kInvalidArgument,
+  kPowerLoss,           // operation interrupted by an injected power loss
+};
+
+/// Human-readable name for an ErrorCode (for logs and test failure output).
+constexpr std::string_view to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return "Ok";
+    case ErrorCode::kSequenceViolation: return "SequenceViolation";
+    case ErrorCode::kAlreadyProgrammed: return "AlreadyProgrammed";
+    case ErrorCode::kNotErased: return "NotErased";
+    case ErrorCode::kOutOfRange: return "OutOfRange";
+    case ErrorCode::kEccUncorrectable: return "EccUncorrectable";
+    case ErrorCode::kNotProgrammed: return "NotProgrammed";
+    case ErrorCode::kNoFreeBlock: return "NoFreeBlock";
+    case ErrorCode::kNoFreePage: return "NoFreePage";
+    case ErrorCode::kBufferFull: return "BufferFull";
+    case ErrorCode::kNotFound: return "NotFound";
+    case ErrorCode::kInvalidArgument: return "InvalidArgument";
+    case ErrorCode::kPowerLoss: return "PowerLoss";
+  }
+  return "Unknown";
+}
+
+/// A success/failure status without a payload.
+class Status {
+ public:
+  constexpr Status() : code_(ErrorCode::kOk) {}
+  constexpr explicit Status(ErrorCode code) : code_(code) {}
+
+  static constexpr Status ok() { return Status{}; }
+
+  [[nodiscard]] constexpr bool is_ok() const { return code_ == ErrorCode::kOk; }
+  [[nodiscard]] constexpr ErrorCode code() const { return code_; }
+  [[nodiscard]] constexpr std::string_view message() const { return to_string(code_); }
+
+  constexpr explicit operator bool() const { return is_ok(); }
+  friend constexpr bool operator==(Status a, Status b) { return a.code_ == b.code_; }
+
+ private:
+  ErrorCode code_;
+};
+
+/// A value-or-error result. Minimal by design (no monadic chains needed).
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)), code_(ErrorCode::kOk) {}  // NOLINT(google-explicit-constructor)
+  Result(ErrorCode code) : code_(code) { assert(code != ErrorCode::kOk); }  // NOLINT
+
+  [[nodiscard]] bool is_ok() const { return code_ == ErrorCode::kOk; }
+  [[nodiscard]] ErrorCode code() const { return code_; }
+  explicit operator bool() const { return is_ok(); }
+
+  /// Precondition: is_ok().
+  [[nodiscard]] const T& value() const& {
+    assert(is_ok());
+    return *value_;
+  }
+  [[nodiscard]] T& value() & {
+    assert(is_ok());
+    return *value_;
+  }
+  [[nodiscard]] T&& take() && {
+    assert(is_ok());
+    return std::move(*value_);
+  }
+
+  [[nodiscard]] T value_or(T fallback) const {
+    return is_ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  ErrorCode code_;
+};
+
+}  // namespace rps

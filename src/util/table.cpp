@@ -1,0 +1,64 @@
+#include "src/util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace rps {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::add_row(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::fmt(double value, int precision) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << value;
+  return out.str();
+}
+
+std::string TablePrinter::fmt_int(std::int64_t value) {
+  return std::to_string(value);
+}
+
+std::string TablePrinter::to_string() const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << std::left << std::setw(static_cast<int>(widths[c]) + 2) << row[c];
+    }
+    out << "\n";
+  };
+  emit_row(header_);
+  std::size_t total = 0;
+  for (auto w : widths) total += w + 2;
+  out << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+std::string TablePrinter::to_csv() const {
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out << ",";
+      out << row[c];
+    }
+    out << "\n";
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+}  // namespace rps

@@ -1,0 +1,33 @@
+// Console table rendering for benchmark harnesses: every figure/table
+// reproduction prints an aligned, paper-style table plus an optional CSV
+// dump for plotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rps {
+
+/// A simple right-padded text table with a header row.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: format doubles with fixed precision.
+  static std::string fmt(double value, int precision = 2);
+  static std::string fmt_int(std::int64_t value);
+
+  /// Render with column alignment and a separator under the header.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Comma-separated dump (header + rows).
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rps

@@ -1,0 +1,33 @@
+// Core scalar types shared by every flexnand module.
+//
+// Simulated time is kept in integral microseconds so that event ordering is
+// exact and reproducible across platforms; all latency constants in the
+// paper (500 us LSB program, 2000 us MSB program, 40 us read) are integral
+// in this unit anyway.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace rps {
+
+/// Simulated time / duration in microseconds.
+using Microseconds = std::int64_t;
+
+inline constexpr Microseconds kMicrosecondsPerSecond = 1'000'000;
+inline constexpr Microseconds kMicrosecondsPerMillisecond = 1'000;
+
+/// A sentinel for "never" when tracking deadlines / busy-until times.
+inline constexpr Microseconds kTimeNever = std::numeric_limits<Microseconds>::max();
+
+/// Logical page number — the address space an FTL exposes upward.
+using Lpn = std::uint64_t;
+
+inline constexpr Lpn kInvalidLpn = std::numeric_limits<Lpn>::max();
+
+/// Convert a byte count and a duration to MB/s (decimal megabytes).
+constexpr double bytes_per_us_to_mbps(double bytes, double us) {
+  return us <= 0.0 ? 0.0 : (bytes / us) * (1e6 / 1e6);  // bytes/us == MB/s
+}
+
+}  // namespace rps

@@ -1,0 +1,158 @@
+#include "src/workload/generator.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rps::workload {
+
+SyntheticConfig preset_config(Preset preset, Lpn working_set_pages,
+                              std::uint64_t total_requests, std::uint64_t seed) {
+  SyntheticConfig c;
+  c.name = to_string(preset);
+  c.working_set_pages = working_set_pages;
+  c.total_requests = total_requests;
+  c.seed = seed;
+  switch (preset) {
+    case Preset::kOltp:
+      // Intensive DB point queries/updates: small requests, read-mostly,
+      // essentially no idle time between successive I/Os.
+      c.read_fraction = 0.7;
+      c.size_dist = {{1, 0.65}, {2, 0.25}, {4, 0.10}};
+      c.mean_burst_requests = 5000.0;
+      c.intra_burst_gap_us = 20;
+      c.inter_burst_gap_us = 500;
+      c.idle_probability = 0.01;
+      c.idle_mean_us = 2'000;
+      c.zipf_theta = 0.9;
+      break;
+    case Preset::kNtrx:
+      // Write-heavy transactional load, same intensity profile as OLTP.
+      c.read_fraction = 0.3;
+      c.size_dist = {{1, 0.60}, {2, 0.30}, {4, 0.10}};
+      c.mean_burst_requests = 5000.0;
+      c.intra_burst_gap_us = 40;
+      c.inter_burst_gap_us = 500;
+      c.idle_probability = 0.01;
+      c.idle_mean_us = 2'000;
+      c.zipf_theta = 0.9;
+      break;
+    case Preset::kWebserver:
+      // Read-dominant page serving with large idle times.
+      c.read_fraction = 0.8;
+      c.size_dist = {{1, 0.30}, {2, 0.30}, {4, 0.25}, {8, 0.15}};
+      c.mean_burst_requests = 60.0;
+      c.intra_burst_gap_us = 250;
+      c.inter_burst_gap_us = 5'000;
+      c.idle_probability = 0.5;
+      c.idle_mean_us = 300'000;
+      c.zipf_theta = 0.8;
+      break;
+    case Preset::kVarmail:
+      // Mail server: write-intensive bursts (message delivery + fsync
+      // storms) separated by a fair amount of idle time.
+      c.read_fraction = 0.5;
+      c.size_dist = {{1, 0.50}, {2, 0.35}, {4, 0.15}};
+      c.mean_burst_requests = 600.0;
+      c.intra_burst_gap_us = 8;
+      c.inter_burst_gap_us = 2'000;
+      c.idle_probability = 0.55;
+      c.idle_mean_us = 320'000;
+      c.zipf_theta = 0.85;
+      break;
+    case Preset::kFileserver:
+      // File server: larger writes, bursty, idle periods between sessions.
+      c.read_fraction = 1.0 / 3.0;
+      c.size_dist = {{1, 0.20}, {2, 0.30}, {4, 0.30}, {8, 0.20}};
+      c.mean_burst_requests = 200.0;
+      c.intra_burst_gap_us = 25;
+      c.inter_burst_gap_us = 2'500;
+      c.idle_probability = 0.60;
+      c.idle_mean_us = 500'000;
+      c.zipf_theta = 0.95;
+      break;
+  }
+  return c;
+}
+
+namespace {
+
+std::uint32_t sample_size(const SizeDistribution& dist, Rng& rng) {
+  double total = 0.0;
+  for (const auto& [pages, weight] : dist) total += weight;
+  double pick = rng.next_double() * total;
+  for (const auto& [pages, weight] : dist) {
+    pick -= weight;
+    if (pick <= 0.0) return pages;
+  }
+  return dist.back().first;
+}
+
+}  // namespace
+
+Trace generate(const SyntheticConfig& config) {
+  assert(config.working_set_pages > 0);
+  assert(!config.size_dist.empty());
+  Rng rng(config.seed);
+  // Zipf over "chunks" rather than raw pages so multi-page requests stay
+  // aligned and hot chunks are rewritten as units (realistic invalidation).
+  const std::uint32_t chunk_pages =
+      std::max_element(config.size_dist.begin(), config.size_dist.end(),
+                       [](const auto& a, const auto& b) { return a.first < b.first; })
+          ->first;
+  const std::uint64_t chunks =
+      std::max<std::uint64_t>(1, config.working_set_pages / chunk_pages);
+  const ZipfGenerator zipf(chunks, config.zipf_theta);
+
+  Trace trace(config.name);
+  trace.reserve(config.total_requests);
+
+  Microseconds now = 0;
+  std::uint64_t emitted = 0;
+  while (emitted < config.total_requests) {
+    // Geometric burst length with the configured mean (>= 1).
+    const double p = 1.0 / std::max(1.0, config.mean_burst_requests);
+    std::uint64_t burst = 1;
+    while (burst < config.total_requests && !rng.chance(p)) ++burst;
+
+    for (std::uint64_t i = 0; i < burst && emitted < config.total_requests; ++i) {
+      IoRequest r;
+      r.arrival_us = now;
+      r.kind = rng.chance(config.read_fraction) ? IoKind::kRead : IoKind::kWrite;
+      r.page_count = sample_size(config.size_dist, rng);
+      const std::uint64_t chunk = zipf.sample(rng);
+      const Lpn base = static_cast<Lpn>(chunk) * chunk_pages;
+      // Offset within the chunk when the request is smaller than it.
+      const std::uint32_t slack = chunk_pages - std::min(chunk_pages, r.page_count);
+      const Lpn offset = slack == 0 ? 0 : rng.next_below(slack + 1);
+      r.lpn = std::min<Lpn>(base + offset,
+                            config.working_set_pages - r.page_count);
+      trace.add(r);
+      ++emitted;
+      now += static_cast<Microseconds>(
+          rng.exponential(static_cast<double>(config.intra_burst_gap_us)) + 1.0);
+    }
+    // Burst boundary: long idle period or short think time.
+    const double mean_gap = rng.chance(config.idle_probability)
+                                ? static_cast<double>(config.idle_mean_us)
+                                : static_cast<double>(config.inter_burst_gap_us);
+    now += static_cast<Microseconds>(rng.exponential(mean_gap) + 1.0);
+  }
+  return trace;
+}
+
+Trace sequential_fill(Lpn pages, std::uint32_t pages_per_request) {
+  Trace trace("sequential-fill");
+  trace.reserve(pages / pages_per_request + 1);
+  for (Lpn lpn = 0; lpn < pages; lpn += pages_per_request) {
+    IoRequest r;
+    r.arrival_us = 0;
+    r.kind = IoKind::kWrite;
+    r.lpn = lpn;
+    r.page_count = static_cast<std::uint32_t>(
+        std::min<Lpn>(pages_per_request, pages - lpn));
+    trace.add(r);
+  }
+  return trace;
+}
+
+}  // namespace rps::workload

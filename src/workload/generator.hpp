@@ -1,0 +1,77 @@
+// Synthetic workload synthesis.
+//
+// The paper drives its FTLs with Sysbench (OLTP, NTRX) and Filebench
+// (Webserver, Varmail, Fileserver). Those generators produce block-level
+// request streams characterized in Table 1 by read:write ratio and I/O
+// intensiveness, with prose descriptions of their idle behaviour. We
+// reproduce the *streams* with a bursty open/closed hybrid model:
+// requests arrive in bursts (geometric length, exponential intra-burst
+// gaps); burst boundaries are either short think times or long idle
+// periods. Write locality is Zipfian, which is what gives garbage
+// collection realistic invalid-page distributions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/random.hpp"
+#include "src/workload/trace.hpp"
+
+namespace rps::workload {
+
+/// Weighted request-size distribution: (pages, weight) entries.
+using SizeDistribution = std::vector<std::pair<std::uint32_t, double>>;
+
+struct SyntheticConfig {
+  std::string name = "custom";
+  double read_fraction = 0.5;
+  /// Logical pages the workload touches. Callers size this to the FTL's
+  /// exported capacity (minus headroom).
+  Lpn working_set_pages = 1 << 20;
+  /// Zipf skew for address selection (higher = hotter hot set).
+  double zipf_theta = 0.85;
+  SizeDistribution size_dist{{1, 0.6}, {2, 0.3}, {4, 0.1}};
+
+  /// Burst model.
+  double mean_burst_requests = 200.0;       // geometric
+  Microseconds intra_burst_gap_us = 100;    // exponential mean
+  Microseconds inter_burst_gap_us = 2000;   // short think time between bursts
+  double idle_probability = 0.3;            // long idle instead of think time
+  Microseconds idle_mean_us = 50'000;       // exponential mean of long idles
+
+  std::uint64_t total_requests = 100'000;
+  std::uint64_t seed = 1;
+};
+
+/// The five evaluation workloads of Table 1.
+enum class Preset { kOltp, kNtrx, kWebserver, kVarmail, kFileserver };
+
+inline constexpr Preset kAllPresets[] = {Preset::kOltp, Preset::kNtrx,
+                                         Preset::kWebserver, Preset::kVarmail,
+                                         Preset::kFileserver};
+
+constexpr const char* to_string(Preset preset) {
+  switch (preset) {
+    case Preset::kOltp: return "OLTP";
+    case Preset::kNtrx: return "NTRX";
+    case Preset::kWebserver: return "Webserver";
+    case Preset::kVarmail: return "Varmail";
+    case Preset::kFileserver: return "Fileserver";
+  }
+  return "?";
+}
+
+/// Build the configuration for a preset over `working_set_pages` logical
+/// pages, emitting `total_requests` requests.
+SyntheticConfig preset_config(Preset preset, Lpn working_set_pages,
+                              std::uint64_t total_requests, std::uint64_t seed = 1);
+
+/// Generate a trace from a configuration.
+Trace generate(const SyntheticConfig& config);
+
+/// A sequential full-span write pass (one request per `pages_per_request`
+/// chunk, back to back). Used to precondition an FTL to steady state.
+Trace sequential_fill(Lpn pages, std::uint32_t pages_per_request = 8);
+
+}  // namespace rps::workload

@@ -1,0 +1,29 @@
+// Block-level I/O request stream types.
+//
+// The FTLs under test see exactly what the paper's host-level FTL saw from
+// Sysbench/Filebench: a time-stamped stream of page-granular reads and
+// writes over a logical address space.
+#pragma once
+
+#include <cstdint>
+
+#include "src/util/types.hpp"
+
+namespace rps::workload {
+
+enum class IoKind : std::uint8_t { kRead = 0, kWrite = 1 };
+
+constexpr const char* to_string(IoKind kind) {
+  return kind == IoKind::kRead ? "R" : "W";
+}
+
+struct IoRequest {
+  Microseconds arrival_us = 0;
+  IoKind kind = IoKind::kWrite;
+  Lpn lpn = 0;                 // first logical page
+  std::uint32_t page_count = 1;
+
+  friend bool operator==(const IoRequest&, const IoRequest&) = default;
+};
+
+}  // namespace rps::workload

@@ -1,0 +1,110 @@
+// The adaptive page-allocation decision rule of Section 3.2, verbatim.
+#include "src/core/policy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rps::core {
+namespace {
+
+PolicyManager make_policy(std::int64_t quota = 10) {
+  PolicyManager::Params p;
+  p.u_high = 0.8;
+  p.u_low = 0.1;
+  p.initial_quota = quota;
+  p.chips = 2;
+  return PolicyManager(p);
+}
+
+TEST(PolicyManager, HighUtilizationWithQuotaPicksLsb) {
+  PolicyManager policy = make_policy();
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(policy.choose(0, 0.9, true), nand::PageType::kLsb);
+  }
+}
+
+TEST(PolicyManager, HighUtilizationWithoutQuotaAlternates) {
+  PolicyManager policy = make_policy(0);
+  const nand::PageType first = policy.choose(0, 0.9, true);
+  const nand::PageType second = policy.choose(0, 0.9, true);
+  EXPECT_NE(first, second);
+  EXPECT_NE(policy.choose(0, 0.9, true), second);
+}
+
+TEST(PolicyManager, LowUtilizationPicksMsb) {
+  PolicyManager policy = make_policy();
+  EXPECT_EQ(policy.choose(0, 0.05, true), nand::PageType::kMsb);
+}
+
+TEST(PolicyManager, LowUtilizationWithoutSlowBlockFallsBackToLsb) {
+  // Footnote 1: if there is no slow block, an LSB page is selected.
+  PolicyManager policy = make_policy();
+  EXPECT_EQ(policy.choose(0, 0.05, false), nand::PageType::kLsb);
+}
+
+TEST(PolicyManager, MidUtilizationAlternates) {
+  PolicyManager policy = make_policy();
+  int lsb = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (policy.choose(0, 0.5, true) == nand::PageType::kLsb) ++lsb;
+  }
+  EXPECT_EQ(lsb, 5);
+}
+
+TEST(PolicyManager, AlternationIsPerChip) {
+  // Chip-interleaved striping must not see a globally flapping toggle:
+  // consecutive decisions for the *same* chip alternate.
+  PolicyManager policy = make_policy(0);
+  const nand::PageType c0_first = policy.choose(0, 0.5, true);
+  const nand::PageType c1_first = policy.choose(1, 0.5, true);
+  const nand::PageType c0_second = policy.choose(0, 0.5, true);
+  const nand::PageType c1_second = policy.choose(1, 0.5, true);
+  EXPECT_NE(c0_first, c0_second);
+  EXPECT_NE(c1_first, c1_second);
+}
+
+TEST(PolicyManager, QuotaBookkeeping) {
+  PolicyManager policy = make_policy(2);
+  EXPECT_EQ(policy.quota(), 2);
+  policy.note_lsb_write();
+  policy.note_lsb_write();
+  policy.note_lsb_write();
+  EXPECT_EQ(policy.quota(), -1);
+  policy.note_msb_write();
+  EXPECT_EQ(policy.quota(), 0);
+}
+
+TEST(PolicyManager, QuotaCappedAtInitialValue) {
+  PolicyManager policy = make_policy(3);
+  for (int i = 0; i < 10; ++i) policy.note_msb_write();
+  EXPECT_EQ(policy.quota(), 3);
+  EXPECT_EQ(policy.initial_quota(), 3);
+}
+
+TEST(PolicyManager, QuotaExhaustionSwitchesRegime) {
+  // The paper's performance-fluctuation guard: with u high, LSB is used
+  // until q runs out, then the policy degrades to alternation.
+  PolicyManager policy = make_policy(2);
+  EXPECT_EQ(policy.choose(0, 0.95, true), nand::PageType::kLsb);
+  policy.note_lsb_write();
+  EXPECT_EQ(policy.choose(0, 0.95, true), nand::PageType::kLsb);
+  policy.note_lsb_write();
+  // q == 0 now: alternate.
+  const nand::PageType a = policy.choose(0, 0.95, true);
+  const nand::PageType b = policy.choose(0, 0.95, true);
+  EXPECT_NE(a, b);
+}
+
+TEST(PolicyManager, ThresholdBoundariesExclusive) {
+  PolicyManager policy = make_policy();
+  // u == u_high is NOT "higher than u_high" -> alternate zone.
+  const nand::PageType a = policy.choose(0, 0.8, true);
+  const nand::PageType b = policy.choose(0, 0.8, true);
+  EXPECT_NE(a, b);
+  // u == u_low is NOT "lower than u_low" -> alternate zone too.
+  const nand::PageType c = policy.choose(1, 0.1, true);
+  const nand::PageType d = policy.choose(1, 0.1, true);
+  EXPECT_NE(c, d);
+}
+
+}  // namespace
+}  // namespace rps::core

@@ -1,0 +1,108 @@
+#include "src/ftl/block_manager.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rps::ftl {
+namespace {
+
+TEST(BlockManager, InitialStateAllFree) {
+  BlockManager bm(2, 8, 16);
+  EXPECT_EQ(bm.chips(), 2u);
+  EXPECT_EQ(bm.free_blocks(0), 8u);
+  EXPECT_EQ(bm.total_free_blocks(), 16u);
+  EXPECT_DOUBLE_EQ(bm.free_fraction(0), 1.0);
+  EXPECT_EQ(bm.chip_valid_pages(0), 0u);
+}
+
+TEST(BlockManager, AllocateRespectsReserve) {
+  BlockManager bm(1, 4, 16);
+  EXPECT_TRUE(bm.allocate(0, BlockUse::kActive, 2).is_ok());
+  EXPECT_TRUE(bm.allocate(0, BlockUse::kActive, 2).is_ok());
+  // Two left == reserve: host allocation fails, GC allocation succeeds.
+  EXPECT_EQ(bm.allocate(0, BlockUse::kActive, 2).code(), ErrorCode::kNoFreeBlock);
+  EXPECT_TRUE(bm.allocate(0, BlockUse::kActive, 0).is_ok());
+  EXPECT_TRUE(bm.allocate(0, BlockUse::kActive, 0).is_ok());
+  EXPECT_EQ(bm.allocate(0, BlockUse::kActive, 0).code(), ErrorCode::kNoFreeBlock);
+}
+
+TEST(BlockManager, UseTransitionsAndRelease) {
+  BlockManager bm(1, 4, 16);
+  const Result<std::uint32_t> block = bm.allocate(0, BlockUse::kActive, 0);
+  ASSERT_TRUE(block.is_ok());
+  const nand::BlockAddress addr{0, block.value()};
+  EXPECT_EQ(bm.use(addr), BlockUse::kActive);
+  bm.set_use(addr, BlockUse::kFull);
+  EXPECT_EQ(bm.use(addr), BlockUse::kFull);
+  bm.release(addr);
+  EXPECT_EQ(bm.use(addr), BlockUse::kFree);
+  EXPECT_EQ(bm.free_blocks(0), 4u);
+}
+
+TEST(BlockManager, ValidAccountingPerBlockAndChip) {
+  BlockManager bm(2, 4, 16);
+  const nand::BlockAddress a{0, 0};
+  const nand::BlockAddress b{1, 2};
+  bm.add_valid(a);
+  bm.add_valid(a);
+  bm.add_valid(b);
+  EXPECT_EQ(bm.valid_pages(a), 2u);
+  EXPECT_EQ(bm.chip_valid_pages(0), 2u);
+  EXPECT_EQ(bm.chip_valid_pages(1), 1u);
+  bm.remove_valid(a);
+  EXPECT_EQ(bm.valid_pages(a), 1u);
+  EXPECT_EQ(bm.chip_valid_pages(0), 1u);
+}
+
+TEST(BlockManager, VictimSelectionGreedy) {
+  BlockManager bm(1, 4, 16);
+  // Block 0: 16 written, 10 valid (6 invalid). Block 1: 16 written, 2 valid.
+  for (const auto& [block, valid] : std::vector<std::pair<std::uint32_t, int>>{{0, 10}, {1, 2}}) {
+    const Result<std::uint32_t> id = bm.allocate(0, BlockUse::kActive, 0);
+    ASSERT_TRUE(id.is_ok());
+    ASSERT_EQ(id.value(), block);
+    const nand::BlockAddress addr{0, block};
+    for (int i = 0; i < 16; ++i) bm.add_written(addr);
+    for (int i = 0; i < valid; ++i) bm.add_valid(addr);
+    bm.set_use(addr, BlockUse::kFull);
+  }
+  const auto victim = bm.pick_victim(0);
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(*victim, 1u);
+  EXPECT_EQ(bm.best_victim_gain(0), 14u);
+}
+
+TEST(BlockManager, VictimIgnoresNonFullAndFullyValidBlocks) {
+  BlockManager bm(1, 4, 16);
+  // An active block with invalid pages is not a victim.
+  const Result<std::uint32_t> active = bm.allocate(0, BlockUse::kActive, 0);
+  ASSERT_TRUE(active.is_ok());
+  for (int i = 0; i < 8; ++i) bm.add_written({0, active.value()});
+  EXPECT_FALSE(bm.pick_victim(0).has_value());
+  // A full block with zero invalid pages is not a victim either.
+  const Result<std::uint32_t> full = bm.allocate(0, BlockUse::kBackup, 0);
+  ASSERT_TRUE(full.is_ok());
+  const nand::BlockAddress addr{0, full.value()};
+  for (int i = 0; i < 16; ++i) {
+    bm.add_written(addr);
+    bm.add_valid(addr);
+  }
+  bm.set_use(addr, BlockUse::kFull);
+  EXPECT_FALSE(bm.pick_victim(0).has_value());
+  EXPECT_EQ(bm.best_victim_gain(0), 0u);
+}
+
+TEST(BlockManager, ReleaseRecyclesInFifoOrder) {
+  BlockManager bm(1, 3, 4);
+  const auto a = bm.allocate(0, BlockUse::kActive, 0);
+  const auto b = bm.allocate(0, BlockUse::kActive, 0);
+  ASSERT_TRUE(a.is_ok() && b.is_ok());
+  bm.release({0, a.value()});
+  bm.release({0, b.value()});
+  // Remaining fresh block first, then the released ones in release order.
+  EXPECT_EQ(bm.allocate(0, BlockUse::kActive, 0).value(), 2u);
+  EXPECT_EQ(bm.allocate(0, BlockUse::kActive, 0).value(), a.value());
+  EXPECT_EQ(bm.allocate(0, BlockUse::kActive, 0).value(), b.value());
+}
+
+}  // namespace
+}  // namespace rps::ftl

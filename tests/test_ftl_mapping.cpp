@@ -1,0 +1,55 @@
+#include "src/ftl/mapping.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rps::ftl {
+namespace {
+
+constexpr nand::PageAddress kA{0, 1, {2, nand::PageType::kLsb}};
+constexpr nand::PageAddress kB{3, 4, {5, nand::PageType::kMsb}};
+
+TEST(MappingTable, StartsUnmapped) {
+  MappingTable m(100);
+  EXPECT_EQ(m.exported_pages(), 100u);
+  EXPECT_EQ(m.mapped_count(), 0u);
+  EXPECT_FALSE(m.is_mapped(0));
+  EXPECT_EQ(m.lookup(0).code(), ErrorCode::kNotFound);
+  EXPECT_EQ(m.lookup(100).code(), ErrorCode::kOutOfRange);
+}
+
+TEST(MappingTable, UpdateAndLookup) {
+  MappingTable m(100);
+  EXPECT_FALSE(m.update(7, kA).has_value());
+  EXPECT_TRUE(m.is_mapped(7));
+  EXPECT_EQ(m.mapped_count(), 1u);
+  ASSERT_TRUE(m.lookup(7).is_ok());
+  EXPECT_EQ(m.lookup(7).value(), kA);
+  EXPECT_TRUE(m.maps_to(7, kA));
+  EXPECT_FALSE(m.maps_to(7, kB));
+  EXPECT_FALSE(m.maps_to(8, kA));
+}
+
+TEST(MappingTable, OverwriteReturnsOldAddress) {
+  MappingTable m(100);
+  m.update(7, kA);
+  const auto old = m.update(7, kB);
+  ASSERT_TRUE(old.has_value());
+  EXPECT_EQ(*old, kA);
+  EXPECT_EQ(m.mapped_count(), 1u);
+  EXPECT_TRUE(m.maps_to(7, kB));
+}
+
+TEST(MappingTable, Unmap) {
+  MappingTable m(100);
+  m.update(7, kA);
+  const auto old = m.unmap(7);
+  ASSERT_TRUE(old.has_value());
+  EXPECT_EQ(*old, kA);
+  EXPECT_EQ(m.mapped_count(), 0u);
+  EXPECT_FALSE(m.is_mapped(7));
+  EXPECT_FALSE(m.unmap(7).has_value());
+  EXPECT_FALSE(m.unmap(500).has_value());
+}
+
+}  // namespace
+}  // namespace rps::ftl

@@ -1,0 +1,114 @@
+#include "src/ftl/parity_ftl.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/util/random.hpp"
+
+namespace rps::ftl {
+namespace {
+
+TEST(ParityFtl, FlushesOneParityPerTwoHostLsbWrites) {
+  ParityFtl ftl(FtlConfig::tiny());
+  // Writes stripe across chips; the first writes per chip are LSB pages.
+  // After 2 host LSB writes the accumulated parity is flushed.
+  ASSERT_TRUE(ftl.write(0, 0).is_ok());
+  EXPECT_EQ(ftl.pending_lsb_pages(), 1u);
+  EXPECT_EQ(ftl.stats().backup_pages, 0u);
+  ASSERT_TRUE(ftl.write(1, 0).is_ok());
+  EXPECT_EQ(ftl.pending_lsb_pages(), 0u);
+  EXPECT_EQ(ftl.stats().backup_pages, 1u);
+}
+
+TEST(ParityFtl, BackupRateIsHalfOfLsbWrites) {
+  ParityFtl ftl(FtlConfig::tiny());
+  for (Lpn lpn = 0; lpn < 64; ++lpn) ASSERT_TRUE(ftl.write(lpn, 0).is_ok());
+  const std::uint64_t lsb = ftl.stats().host_lsb_writes;
+  // One parity page per kLsbPagesPerParity LSB writes (+/- one pending).
+  EXPECT_NEAR(static_cast<double>(ftl.stats().backup_pages),
+              static_cast<double>(lsb) / ParityFtl::kLsbPagesPerParity, 1.0);
+}
+
+TEST(ParityFtl, MsbWaitsForCoveringParity) {
+  // Build a single-chip config so the write sequence is fully forced, and
+  // verify the MSB program is delayed to at least the parity flush time.
+  FtlConfig config = FtlConfig::tiny();
+  config.geometry.channels = 1;
+  config.geometry.chips_per_channel = 1;
+  ParityFtl ftl(config);
+  // FPS on one chip: L0, L1, M0. The parity of {L0, L1} flushes when L1 is
+  // written; M0 must start no earlier than that flush completes.
+  ASSERT_TRUE(ftl.write(0, 0).is_ok());
+  const Result<HostOp> l1 = ftl.write(1, 0);
+  ASSERT_TRUE(l1.is_ok());
+  EXPECT_EQ(ftl.stats().backup_pages, 1u);
+  const Result<HostOp> m0 = ftl.write(2, 0);
+  ASSERT_TRUE(m0.is_ok());
+  // Parity flush is an extra 500us-class program on the same (only) chip,
+  // so M0 completes later than it would have without the backup scheme.
+  const Microseconds lsb_us = config.timing.program_lsb_us;
+  const Microseconds msb_us = config.timing.program_msb_us;
+  EXPECT_GE(m0.value().complete, 2 * lsb_us + lsb_us /*parity*/ + msb_us);
+}
+
+TEST(ParityFtl, BackupBlocksAreSlcMode) {
+  ParityFtl ftl(FtlConfig::tiny());
+  for (Lpn lpn = 0; lpn < 8; ++lpn) ASSERT_TRUE(ftl.write(lpn, 0).is_ok());
+  ASSERT_GT(ftl.stats().backup_pages, 0u);
+  bool found_slc_backup = false;
+  for (std::uint32_t c = 0; c < ftl.config().geometry.num_chips(); ++c) {
+    for (std::uint32_t b = 0; b < ftl.config().geometry.blocks_per_chip; ++b) {
+      if (ftl.blocks().use({c, b}) == BlockUse::kBackup) {
+        EXPECT_TRUE(ftl.device().block({c, b}).slc_mode());
+        found_slc_backup = true;
+      }
+    }
+  }
+  EXPECT_TRUE(found_slc_backup);
+}
+
+TEST(ParityFtl, GcCopiesDoNotAccumulateParity) {
+  ParityFtl ftl(FtlConfig::tiny());
+  const Lpn n = ftl.exported_pages();
+  for (Lpn lpn = 0; lpn < n; ++lpn) ASSERT_TRUE(ftl.write(lpn, 0).is_ok());
+  Rng rng(5);
+  const std::uint64_t backup_before = ftl.stats().backup_pages;
+  const std::uint64_t host_lsb_before = ftl.stats().host_lsb_writes;
+  for (int i = 0; i < 3000; ++i) ASSERT_TRUE(ftl.write(rng.next_below(n), 0).is_ok());
+  ASSERT_GT(ftl.stats().gc_copy_pages, 0u);
+  // Backups track host LSB writes only, not relocation copies. Every
+  // flush covers up to two LSB pages; MSB-forced partial flushes cover one.
+  const std::uint64_t host_lsb = ftl.stats().host_lsb_writes - host_lsb_before;
+  const std::uint64_t backups = ftl.stats().backup_pages - backup_before;
+  EXPECT_LE(backups,
+            host_lsb / ParityFtl::kLsbPagesPerParity + ftl.partial_flushes() + 2);
+  EXPECT_LE(backups, host_lsb + 2);
+}
+
+TEST(ParityFtl, SurvivesSteadyStateStress) {
+  ParityFtl ftl(FtlConfig::tiny());
+  const Lpn n = ftl.exported_pages();
+  for (Lpn lpn = 0; lpn < n; ++lpn) ASSERT_TRUE(ftl.write(lpn, 0).is_ok());
+  Rng rng(6);
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_TRUE(ftl.write(rng.next_below(n), 0).is_ok()) << i;
+  }
+  EXPECT_TRUE(ftl.check_consistency());
+  for (Lpn lpn = 0; lpn < n; ++lpn) EXPECT_TRUE(ftl.read(lpn, 0).is_ok());
+}
+
+TEST(ParityFtl, MoreErasesThanPageFtlUnderSameLoad) {
+  // Fig. 8(b)'s mechanism: backup pages consume blocks, so parityFTL wears
+  // the device faster than the backup-free baseline.
+  PageFtl page(FtlConfig::tiny());
+  ParityFtl parity(FtlConfig::tiny());
+  for (FtlBase* ftl : {static_cast<FtlBase*>(&page), static_cast<FtlBase*>(&parity)}) {
+    const Lpn n = ftl->exported_pages();
+    for (Lpn lpn = 0; lpn < n; ++lpn) ASSERT_TRUE(ftl->write(lpn, 0).is_ok());
+    Rng rng(7);
+    for (int i = 0; i < 5000; ++i) ASSERT_TRUE(ftl->write(rng.next_below(n), 0).is_ok());
+  }
+  EXPECT_GT(parity.device().total_erase_count(), page.device().total_erase_count());
+}
+
+}  // namespace
+}  // namespace rps::ftl

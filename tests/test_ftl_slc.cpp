@@ -1,0 +1,99 @@
+// slcFTL: the Lee et al. [4]-style baseline that trades half the capacity
+// for pure LSB-speed writes and inherent power-loss safety.
+#include "src/ftl/slc_ftl.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/core/flex_ftl.hpp"
+#include "src/ftl/page_ftl.hpp"
+#include "src/util/random.hpp"
+
+namespace rps::ftl {
+namespace {
+
+TEST(SlcFtl, ExportsHalfTheMlcCapacity) {
+  const FtlConfig config = FtlConfig::tiny();
+  SlcFtl slc(config);
+  PageFtl mlc(config);
+  EXPECT_EQ(slc.exported_pages() * 2, mlc.exported_pages());
+}
+
+TEST(SlcFtl, EveryWriteIsLsbSpeed) {
+  SlcFtl ftl(FtlConfig::tiny());
+  Microseconds now = 0;
+  for (Lpn lpn = 0; lpn < 32; ++lpn) {
+    const Result<HostOp> op = ftl.write(lpn, now);
+    ASSERT_TRUE(op.is_ok());
+    // Each write costs transfer + LSB program, pipelined across 4 chips.
+    now = op.value().complete;
+  }
+  EXPECT_EQ(ftl.stats().host_lsb_writes, 32u);
+  EXPECT_EQ(ftl.stats().host_msb_writes, 0u);
+  EXPECT_EQ(ftl.device().total_counters().msb_programs, 0u);
+}
+
+TEST(SlcFtl, BlocksRunInSlcMode) {
+  SlcFtl ftl(FtlConfig::tiny());
+  ASSERT_TRUE(ftl.write(0, 0).is_ok());
+  const nand::PageAddress addr = ftl.mapping().lookup(0).value();
+  EXPECT_TRUE(ftl.device().block({addr.chip, addr.block}).slc_mode());
+  EXPECT_EQ(addr.pos.type, nand::PageType::kLsb);
+}
+
+TEST(SlcFtl, PowerLossOnlyAffectsTheInFlightPage) {
+  // No MSB programs exist, so a power cut can never destroy previously
+  // acknowledged data — the paired-page problem is structurally absent.
+  SlcFtl ftl(FtlConfig::tiny());
+  Microseconds now = 0;
+  for (Lpn lpn = 0; lpn < 8; ++lpn) {
+    const Result<HostOp> op = ftl.write(lpn, now);
+    ASSERT_TRUE(op.is_ok());
+    now = op.value().complete;
+  }
+  const Result<HostOp> last = ftl.write(8, now);
+  ASSERT_TRUE(last.is_ok());
+  const auto victims = ftl.device().inject_power_loss(last.value().complete - 100);
+  ASSERT_EQ(victims.size(), 1u);
+  // All acknowledged pages still read fine without any recovery procedure.
+  for (Lpn lpn = 0; lpn < 8; ++lpn) {
+    EXPECT_TRUE(ftl.read_data(lpn, now).is_ok()) << lpn;
+  }
+}
+
+TEST(SlcFtl, SurvivesSteadyStateStress) {
+  SlcFtl ftl(FtlConfig::tiny());
+  const Lpn n = ftl.exported_pages();
+  for (Lpn lpn = 0; lpn < n; ++lpn) ASSERT_TRUE(ftl.write(lpn, 0).is_ok());
+  Rng rng(9);
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_TRUE(ftl.write(rng.next_below(n), 0).is_ok()) << i;
+  }
+  EXPECT_TRUE(ftl.check_consistency());
+  for (Lpn lpn = 0; lpn < n; ++lpn) EXPECT_TRUE(ftl.read(lpn, 0).is_ok());
+  EXPECT_EQ(ftl.device().total_counters().msb_programs, 0u);
+}
+
+TEST(SlcFtl, BurstSpeedMatchesFlexFtlFastPhase) {
+  // The paper's point: flexFTL reaches SLC-class peak write bandwidth
+  // without sacrificing capacity. Same 64-page burst, fresh devices.
+  const FtlConfig config = FtlConfig::tiny();
+  SlcFtl slc(config);
+  core::FlexFtl flex(config);
+  for (Lpn lpn = 0; lpn < 64; ++lpn) {
+    ASSERT_TRUE(slc.write(lpn, 0).is_ok());
+    ASSERT_TRUE(flex.write(lpn, 0, /*buffer_utilization=*/0.95).is_ok());
+  }
+  // flexFTL's only extra cost is one parity page per completed fast block:
+  // a 1/wordlines overhead (25% on tiny's 4-word-line blocks, 0.8% on the
+  // paper's 128-word-line blocks).
+  const auto slc_time = static_cast<double>(slc.device().all_idle_at());
+  const auto flex_time = static_cast<double>(flex.device().all_idle_at());
+  const double wordlines = config.geometry.wordlines_per_block;
+  EXPECT_LE(flex_time, slc_time * (1.0 + 1.0 / wordlines) * 1.1);
+  EXPECT_GE(flex_time, slc_time);
+  // ...but flexFTL exports twice the logical space.
+  EXPECT_EQ(flex.exported_pages(), slc.exported_pages() * 2);
+}
+
+}  // namespace
+}  // namespace rps::ftl

@@ -1,0 +1,142 @@
+// The host block-device adapter: sector addressing, read-modify-write for
+// unaligned writes, zero-fill semantics, TRIM alignment rules.
+#include "src/host/block_device.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/core/flex_ftl.hpp"
+#include "src/ftl/page_ftl.hpp"
+#include "src/util/random.hpp"
+
+namespace rps::host {
+namespace {
+
+ftl::FtlConfig small_config() {
+  ftl::FtlConfig c = ftl::FtlConfig::tiny();  // 512-byte pages
+  return c;
+}
+
+std::vector<std::uint8_t> pattern(std::size_t bytes, std::uint8_t seed) {
+  std::vector<std::uint8_t> data(bytes);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    data[i] = static_cast<std::uint8_t>(seed + i * 7);
+  }
+  return data;
+}
+
+TEST(BlockDevice, GeometryDerivation) {
+  ftl::PageFtl ftl(small_config());
+  BlockDevice dev(ftl, {.sector_bytes = 128});
+  EXPECT_EQ(dev.sectors_per_page(), 4u);  // 512-byte pages
+  EXPECT_EQ(dev.num_sectors(), ftl.exported_pages() * 4);
+  EXPECT_EQ(dev.capacity_bytes(), ftl.exported_pages() * 512);
+}
+
+TEST(BlockDevice, AlignedWriteReadRoundTrip) {
+  ftl::PageFtl ftl(small_config());
+  BlockDevice dev(ftl, {.sector_bytes = 128});
+  const std::vector<std::uint8_t> data = pattern(1024, 3);  // 2 full pages
+  const Result<Microseconds> written = dev.write(4, data, 0);
+  ASSERT_TRUE(written.is_ok());
+  EXPECT_GT(written.value(), 0);
+  EXPECT_EQ(dev.stats().rmw_cycles, 0u);  // aligned: no read-modify-write
+
+  const auto read = dev.read(4, 8, written.value());
+  ASSERT_TRUE(read.is_ok());
+  EXPECT_EQ(read.value().data, data);
+}
+
+TEST(BlockDevice, UnalignedWriteDoesReadModifyWrite) {
+  ftl::PageFtl ftl(small_config());
+  BlockDevice dev(ftl, {.sector_bytes = 128});
+  // Prime a full page, then overwrite its middle two sectors.
+  const std::vector<std::uint8_t> base = pattern(512, 1);
+  ASSERT_TRUE(dev.write(0, base, 0).is_ok());
+  const std::vector<std::uint8_t> patch = pattern(256, 9);
+  const Result<Microseconds> written = dev.write(1, patch, 10'000);
+  ASSERT_TRUE(written.is_ok());
+  EXPECT_EQ(dev.stats().rmw_cycles, 1u);
+
+  const auto read = dev.read(0, 4, written.value());
+  ASSERT_TRUE(read.is_ok());
+  std::vector<std::uint8_t> expected = base;
+  std::copy(patch.begin(), patch.end(), expected.begin() + 128);
+  EXPECT_EQ(read.value().data, expected);
+}
+
+TEST(BlockDevice, WriteSpanningPagesUnaligned) {
+  ftl::PageFtl ftl(small_config());
+  BlockDevice dev(ftl, {.sector_bytes = 128});
+  // 6 sectors starting at sector 2: tail of page 0, all of page 1.
+  const std::vector<std::uint8_t> data = pattern(768, 21);
+  ASSERT_TRUE(dev.write(2, data, 0).is_ok());
+  const auto read = dev.read(2, 6, 1'000'000);
+  ASSERT_TRUE(read.is_ok());
+  EXPECT_EQ(read.value().data, data);
+  // Head page was partial (RMW); second page was full.
+  EXPECT_EQ(dev.stats().rmw_cycles, 1u);
+}
+
+TEST(BlockDevice, UnwrittenRegionsReadZero) {
+  ftl::PageFtl ftl(small_config());
+  BlockDevice dev(ftl, {.sector_bytes = 128});
+  const auto read = dev.read(40, 4, 0);
+  ASSERT_TRUE(read.is_ok());
+  EXPECT_EQ(read.value().data, std::vector<std::uint8_t>(512, 0));
+  EXPECT_EQ(read.value().complete, 0);  // zero-fill: no device time
+}
+
+TEST(BlockDevice, ValidationErrors) {
+  ftl::PageFtl ftl(small_config());
+  BlockDevice dev(ftl, {.sector_bytes = 128});
+  EXPECT_EQ(dev.write(0, {}, 0).code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(dev.write(0, std::vector<std::uint8_t>(100, 0), 0).code(),
+            ErrorCode::kInvalidArgument);  // not sector-aligned size
+  EXPECT_EQ(dev.write(dev.num_sectors(), pattern(128, 0), 0).code(),
+            ErrorCode::kOutOfRange);
+  EXPECT_EQ(dev.read(0, 0, 0).code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(dev.read(dev.num_sectors() - 1, 2, 0).code(), ErrorCode::kOutOfRange);
+}
+
+TEST(BlockDevice, TrimDiscardsOnlyWholePages) {
+  ftl::PageFtl ftl(small_config());
+  BlockDevice dev(ftl, {.sector_bytes = 128});
+  ASSERT_TRUE(dev.write(0, pattern(512 * 3, 5), 0).is_ok());  // pages 0..2
+  // Trim sectors 2..9: pages fully covered are 1 only (sectors 4..7).
+  ASSERT_TRUE(dev.trim(2, 8).is_ok());
+  EXPECT_TRUE(ftl.mapping().is_mapped(0));
+  EXPECT_FALSE(ftl.mapping().is_mapped(1));
+  EXPECT_TRUE(ftl.mapping().is_mapped(2));
+}
+
+TEST(BlockDevice, RandomizedIntegrityAgainstShadowCopy) {
+  core::FlexFtl ftl(small_config());
+  BlockDevice dev(ftl, {.sector_bytes = 128});
+  const std::uint64_t sectors = dev.num_sectors() / 2;  // stay within capacity
+  std::vector<std::uint8_t> shadow(sectors * 128, 0);
+  Rng rng(77);
+  Microseconds now = 0;
+  for (int i = 0; i < 400; ++i) {
+    const std::uint64_t start = rng.next_below(sectors - 8);
+    const std::uint64_t len = 1 + rng.next_below(8);
+    if (rng.chance(0.6)) {
+      const std::vector<std::uint8_t> data =
+          pattern(len * 128, static_cast<std::uint8_t>(i));
+      ASSERT_TRUE(dev.write(start, data, now, 0.5).is_ok());
+      std::copy(data.begin(), data.end(),
+                shadow.begin() + static_cast<std::ptrdiff_t>(start * 128));
+    } else {
+      const auto read = dev.read(start, len, now);
+      ASSERT_TRUE(read.is_ok());
+      const std::vector<std::uint8_t> expected(
+          shadow.begin() + static_cast<std::ptrdiff_t>(start * 128),
+          shadow.begin() + static_cast<std::ptrdiff_t>((start + len) * 128));
+      ASSERT_EQ(read.value().data, expected) << "iteration " << i;
+    }
+    now += 3000;
+  }
+  EXPECT_TRUE(ftl.check_consistency());
+}
+
+}  // namespace
+}  // namespace rps::host

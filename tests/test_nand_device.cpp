@@ -1,0 +1,126 @@
+#include "src/nand/device.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rps::nand {
+namespace {
+
+NandDevice make_device(SequenceKind kind = SequenceKind::kRps) {
+  return NandDevice(Geometry::tiny(), TimingSpec::paper(), kind);
+}
+
+TEST(NandDevice, GeometryAccessors) {
+  NandDevice dev = make_device();
+  EXPECT_EQ(dev.geometry(), Geometry::tiny());
+  EXPECT_EQ(dev.sequence_kind(), SequenceKind::kRps);
+  EXPECT_EQ(dev.timing(), TimingSpec::paper());
+}
+
+TEST(NandDevice, ProgramIncludesBusTransfer) {
+  NandDevice dev = make_device();
+  const Result<OpTiming> op = dev.program({0, 0, {0, PageType::kLsb}}, {}, 0);
+  ASSERT_TRUE(op.is_ok());
+  EXPECT_EQ(op.value().start, 0);
+  EXPECT_EQ(op.value().complete, TimingSpec::paper().transfer_us + 500);
+}
+
+TEST(NandDevice, ChannelBusSerializesChipsOnSameChannel) {
+  // tiny(): 2 channels x 2 chips. Chips 0 and 1 share channel 0.
+  NandDevice dev = make_device();
+  const Result<OpTiming> a = dev.program({0, 0, {0, PageType::kLsb}}, {}, 0);
+  const Result<OpTiming> b = dev.program({1, 0, {0, PageType::kLsb}}, {}, 0);
+  ASSERT_TRUE(a.is_ok());
+  ASSERT_TRUE(b.is_ok());
+  // Chip 1's transfer waits for chip 0's transfer to release the bus.
+  EXPECT_EQ(b.value().start, TimingSpec::paper().transfer_us);
+  // Chips on a different channel are unaffected.
+  const Result<OpTiming> c = dev.program({2, 0, {0, PageType::kLsb}}, {}, 0);
+  ASSERT_TRUE(c.is_ok());
+  EXPECT_EQ(c.value().start, 0);
+}
+
+TEST(NandDevice, CellOpsOverlapAcrossChipsOfOneChannel) {
+  NandDevice dev = make_device();
+  const Result<OpTiming> a = dev.program({0, 0, {0, PageType::kLsb}}, {}, 0);
+  const Result<OpTiming> b = dev.program({1, 0, {0, PageType::kLsb}}, {}, 0);
+  ASSERT_TRUE(a.is_ok() && b.is_ok());
+  // The two 500 us cell programs overlap: chip 1 finishes only one
+  // transfer-time later than chip 0, not a full program later.
+  EXPECT_EQ(b.value().complete - a.value().complete, TimingSpec::paper().transfer_us);
+}
+
+TEST(NandDevice, ReadTransfersAfterSensing) {
+  NandDevice dev = make_device();
+  ASSERT_TRUE(dev.program({0, 0, {0, PageType::kLsb}}, {}, 0).is_ok());
+  const Microseconds t0 = dev.chip(0).busy_until();
+  const Result<NandDevice::ReadResult> read = dev.read({0, 0, {0, PageType::kLsb}}, t0);
+  ASSERT_TRUE(read.is_ok());
+  EXPECT_EQ(read.value().timing.complete,
+            t0 + TimingSpec::paper().read_us + TimingSpec::paper().transfer_us);
+  ASSERT_TRUE(read.value().data.is_ok());
+}
+
+TEST(NandDevice, CanProgramMirrorsBlockLegality) {
+  NandDevice dev = make_device(SequenceKind::kFps);
+  EXPECT_TRUE(dev.can_program({0, 0, {0, PageType::kLsb}}).is_ok());
+  EXPECT_EQ(dev.can_program({0, 0, {1, PageType::kLsb}}).code(),
+            ErrorCode::kSequenceViolation);
+  EXPECT_EQ(dev.can_program({9, 0, {0, PageType::kLsb}}).code(), ErrorCode::kOutOfRange);
+}
+
+TEST(NandDevice, RejectedProgramLeavesChannelTimelineUntouched) {
+  NandDevice dev = make_device(SequenceKind::kFps);
+  ASSERT_FALSE(dev.program({0, 0, {2, PageType::kLsb}}, {}, 0).is_ok());
+  // A subsequent valid program on the same channel starts at time zero.
+  const Result<OpTiming> op = dev.program({0, 0, {0, PageType::kLsb}}, {}, 0);
+  ASSERT_TRUE(op.is_ok());
+  EXPECT_EQ(op.value().start, 0);
+}
+
+TEST(NandDevice, EraseAndCounters) {
+  NandDevice dev = make_device();
+  ASSERT_TRUE(dev.program({0, 1, {0, PageType::kLsb}}, {}, 0).is_ok());
+  ASSERT_TRUE(dev.erase({0, 1}, 10'000).is_ok());
+  EXPECT_EQ(dev.total_erase_count(), 1u);
+  const OpCounters counters = dev.total_counters();
+  EXPECT_EQ(counters.lsb_programs, 1u);
+  EXPECT_EQ(counters.erases, 1u);
+  EXPECT_TRUE(dev.block({0, 1}).is_erased());
+}
+
+TEST(NandDevice, PowerLossAcrossChips) {
+  NandDevice dev = make_device();
+  // Start MSB programs on two chips, LSB on a third.
+  ASSERT_TRUE(dev.program({0, 0, {0, PageType::kLsb}}, {}, 0).is_ok());
+  ASSERT_TRUE(dev.program({0, 0, {1, PageType::kLsb}}, {}, 0).is_ok());
+  ASSERT_TRUE(dev.program({1, 0, {0, PageType::kLsb}}, {}, 0).is_ok());
+  ASSERT_TRUE(dev.program({1, 0, {1, PageType::kLsb}}, {}, 0).is_ok());
+  const Microseconds t = std::max(dev.chip(0).busy_until(), dev.chip(1).busy_until());
+  ASSERT_TRUE(dev.program({0, 0, {0, PageType::kMsb}}, {}, t).is_ok());
+  ASSERT_TRUE(dev.program({1, 0, {0, PageType::kMsb}}, {}, t).is_ok());
+
+  const std::vector<PowerLossVictim> victims = dev.inject_power_loss(t + 100);
+  ASSERT_EQ(victims.size(), 2u);
+  for (const PowerLossVictim& v : victims) {
+    EXPECT_EQ(v.pos.type, PageType::kMsb);
+    EXPECT_EQ(dev.block({v.chip, v.block}).read({v.pos.wordline, PageType::kLsb}).code(),
+              ErrorCode::kEccUncorrectable);
+  }
+}
+
+TEST(NandDevice, AllIdleAt) {
+  NandDevice dev = make_device();
+  EXPECT_EQ(dev.all_idle_at(), 0);
+  ASSERT_TRUE(dev.program({3, 0, {0, PageType::kLsb}}, {}, 1000).is_ok());
+  EXPECT_EQ(dev.all_idle_at(), 1000 + TimingSpec::paper().transfer_us + 500);
+}
+
+TEST(NandDevice, OutOfRangeOps) {
+  NandDevice dev = make_device();
+  EXPECT_EQ(dev.program({99, 0, {0, PageType::kLsb}}, {}, 0).code(), ErrorCode::kOutOfRange);
+  EXPECT_EQ(dev.read({0, 99, {0, PageType::kLsb}}, 0).code(), ErrorCode::kOutOfRange);
+  EXPECT_EQ(dev.erase({0, 99}, 0).code(), ErrorCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace rps::nand

@@ -1,0 +1,61 @@
+#include "src/nand/geometry.hpp"
+#include "src/nand/timing.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rps::nand {
+namespace {
+
+TEST(Geometry, PaperConfiguration) {
+  // Section 4.1: 16 GB, 8 channels x 4 chips, 512 blocks/chip,
+  // 256 x 4 KB pages per block.
+  constexpr Geometry g = Geometry::paper();
+  EXPECT_EQ(g.channels, 8u);
+  EXPECT_EQ(g.chips_per_channel, 4u);
+  EXPECT_EQ(g.num_chips(), 32u);
+  EXPECT_EQ(g.blocks_per_chip, 512u);
+  EXPECT_EQ(g.pages_per_block(), 256u);
+  EXPECT_EQ(g.page_size_bytes, 4096u);
+  EXPECT_EQ(g.capacity_bytes(), 16ull << 30);
+  EXPECT_TRUE(g.valid());
+}
+
+TEST(Geometry, DerivedQuantities) {
+  constexpr Geometry g = Geometry::tiny();
+  EXPECT_EQ(g.num_chips(), 4u);
+  EXPECT_EQ(g.pages_per_block(), 8u);
+  EXPECT_EQ(g.pages_per_chip(), 128u);
+  EXPECT_EQ(g.total_blocks(), 64u);
+  EXPECT_EQ(g.total_pages(), 512u);
+  EXPECT_TRUE(g.valid());
+}
+
+TEST(Geometry, ChannelOfChip) {
+  constexpr Geometry g = Geometry::paper();
+  EXPECT_EQ(g.channel_of_chip(0), 0u);
+  EXPECT_EQ(g.channel_of_chip(3), 0u);
+  EXPECT_EQ(g.channel_of_chip(4), 1u);
+  EXPECT_EQ(g.channel_of_chip(31), 7u);
+}
+
+TEST(Geometry, InvalidConfigurations) {
+  Geometry g = Geometry::tiny();
+  g.channels = 0;
+  EXPECT_FALSE(g.valid());
+  g = Geometry::tiny();
+  g.wordlines_per_block = 1;  // a single word line cannot satisfy C3
+  EXPECT_FALSE(g.valid());
+}
+
+TEST(TimingSpec, PaperLatencies) {
+  // Section 1: 500 us LSB vs 2000 us MSB program on 2X-nm MLC; Section 3.3
+  // uses 40 us page reads.
+  constexpr TimingSpec t = TimingSpec::paper();
+  EXPECT_EQ(t.program_lsb_us, 500);
+  EXPECT_EQ(t.program_msb_us, 2000);
+  EXPECT_EQ(t.read_us, 40);
+  EXPECT_EQ(t.program_msb_us / t.program_lsb_us, 4);
+}
+
+}  // namespace
+}  // namespace rps::nand

@@ -1,0 +1,199 @@
+// The TLC generalization: constraint T6 is an over-specification exactly
+// like MLC constraint 4 — every relaxed-TLC order exposes a word line to
+// at most one aggressor program after its final pass, the same bound the
+// conventional shadow sequence achieves.
+#include "src/nand/tlc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace rps::nand {
+namespace {
+
+bool is_permutation_of_all_pages(const TlcProgramOrder& order, std::uint32_t wordlines) {
+  std::set<std::uint32_t> seen;
+  for (const TlcPagePos pos : order) seen.insert(pos.flat_index());
+  return order.size() == static_cast<std::size_t>(wordlines) * 3 &&
+         seen.size() == order.size();
+}
+
+TEST(TlcBlockState, PassProgression) {
+  TlcBlockState s(4);
+  EXPECT_FALSE(s.is_programmed({0, TlcPageType::kLsb}));
+  s.mark_programmed({0, TlcPageType::kLsb});
+  EXPECT_TRUE(s.is_programmed({0, TlcPageType::kLsb}));
+  EXPECT_FALSE(s.is_programmed({0, TlcPageType::kCsb}));
+  s.mark_programmed({0, TlcPageType::kCsb});
+  s.mark_programmed({0, TlcPageType::kMsb});
+  EXPECT_TRUE(s.is_programmed({0, TlcPageType::kMsb}));
+  s.reset();
+  EXPECT_EQ(s.passes(0), 0);
+}
+
+TEST(TlcLegality, PhysicalProgressionEnforced) {
+  TlcBlockState s(4);
+  // CSB before LSB of the same word line is physically impossible.
+  EXPECT_EQ(check_tlc_program_legality(s, {0, TlcPageType::kCsb},
+                                       TlcSequenceKind::kUnconstrained)
+                .code(),
+            ErrorCode::kNotErased);
+  s.mark_programmed({0, TlcPageType::kLsb});
+  EXPECT_EQ(check_tlc_program_legality(s, {0, TlcPageType::kLsb},
+                                       TlcSequenceKind::kUnconstrained)
+                .code(),
+            ErrorCode::kAlreadyProgrammed);
+}
+
+TEST(TlcLegality, T4RequiresNextLsbBeforeCsb) {
+  TlcBlockState s(4);
+  s.mark_programmed({0, TlcPageType::kLsb});
+  EXPECT_EQ(check_tlc_program_legality(s, {0, TlcPageType::kCsb},
+                                       TlcSequenceKind::kRps)
+                .code(),
+            ErrorCode::kSequenceViolation);
+  s.mark_programmed({1, TlcPageType::kLsb});
+  EXPECT_TRUE(check_tlc_program_legality(s, {0, TlcPageType::kCsb},
+                                         TlcSequenceKind::kRps)
+                  .is_ok());
+}
+
+TEST(TlcLegality, T5RequiresNextCsbBeforeMsb) {
+  TlcBlockState s(4);
+  for (std::uint32_t k = 0; k < 3; ++k) s.mark_programmed({k, TlcPageType::kLsb});
+  s.mark_programmed({0, TlcPageType::kCsb});
+  EXPECT_EQ(check_tlc_program_legality(s, {0, TlcPageType::kMsb},
+                                       TlcSequenceKind::kRps)
+                .code(),
+            ErrorCode::kSequenceViolation);
+  s.mark_programmed({1, TlcPageType::kCsb});
+  EXPECT_TRUE(check_tlc_program_legality(s, {0, TlcPageType::kMsb},
+                                         TlcSequenceKind::kRps)
+                  .is_ok());
+}
+
+TEST(TlcLegality, T6OnlyUnderFps) {
+  // The over-specified constraint: LSB(3) before MSB(0) exists.
+  TlcBlockState s(6);
+  for (std::uint32_t k = 0; k < 3; ++k) s.mark_programmed({k, TlcPageType::kLsb});
+  EXPECT_EQ(check_tlc_program_legality(s, {3, TlcPageType::kLsb},
+                                       TlcSequenceKind::kFps)
+                .code(),
+            ErrorCode::kSequenceViolation);
+  EXPECT_TRUE(check_tlc_program_legality(s, {3, TlcPageType::kLsb},
+                                         TlcSequenceKind::kRps)
+                  .is_ok());
+}
+
+TEST(TlcCanonicalOrders, FpsIsNearlyForced) {
+  // Unlike MLC FPS (a total order), the TLC constraint set leaves one page
+  // of slack: T6's distance is three word lines, so at most two pages are
+  // ever simultaneously legal, and the canonical shadow order is always
+  // among them.
+  const std::uint32_t wordlines = 8;
+  TlcBlockState s(wordlines);
+  for (const TlcPagePos pos : tlc_fps_order(wordlines)) {
+    const std::vector<TlcPagePos> legal = legal_tlc_programs(s, TlcSequenceKind::kFps);
+    ASSERT_GE(legal.size(), 1u);
+    ASSERT_LE(legal.size(), 2u) << "at " << to_string(pos.type) << "(" << pos.wordline << ")";
+    EXPECT_NE(std::find(legal.begin(), legal.end(), pos), legal.end());
+    s.mark_programmed(pos);
+  }
+}
+
+class TlcOrderValidity : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(TlcOrderValidity, FpsSatisfiesAllSix) {
+  const std::uint32_t wl = GetParam();
+  const TlcProgramOrder order = tlc_fps_order(wl);
+  EXPECT_TRUE(is_permutation_of_all_pages(order, wl));
+  EXPECT_TRUE(tlc_order_satisfies(order, wl, TlcSequenceKind::kFps));
+  EXPECT_TRUE(tlc_order_satisfies(order, wl, TlcSequenceKind::kRps));
+}
+
+TEST_P(TlcOrderValidity, RpsFullSatisfiesRpsButNotFps) {
+  const std::uint32_t wl = GetParam();
+  const TlcProgramOrder order = tlc_rps_full_order(wl);
+  EXPECT_TRUE(is_permutation_of_all_pages(order, wl));
+  EXPECT_TRUE(tlc_order_satisfies(order, wl, TlcSequenceKind::kRps));
+  if (wl >= 4) EXPECT_FALSE(tlc_order_satisfies(order, wl, TlcSequenceKind::kFps));
+}
+
+TEST_P(TlcOrderValidity, RandomRpsOrdersValid) {
+  const std::uint32_t wl = GetParam();
+  Rng rng(wl * 131 + 1);
+  for (int trial = 0; trial < 15; ++trial) {
+    const TlcProgramOrder order = random_tlc_rps_order(wl, rng);
+    EXPECT_TRUE(is_permutation_of_all_pages(order, wl));
+    EXPECT_TRUE(tlc_order_satisfies(order, wl, TlcSequenceKind::kRps));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Wordlines, TlcOrderValidity,
+                         ::testing::Values(2u, 3u, 4u, 8u, 32u, 96u));
+
+class TlcExposure : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(TlcExposure, FpsExposesAtMostOne) {
+  const std::uint32_t wl = GetParam();
+  for (const std::uint32_t e : analyze_tlc_exposure(tlc_fps_order(wl), wl)) {
+    EXPECT_LE(e, 1u);
+  }
+}
+
+TEST_P(TlcExposure, EveryRpsOrderExposesAtMostOne) {
+  // The generalized theorem: T1-T5 already force LSB(k+1)/CSB(k+1) and all
+  // of WL(k-1) before MSB(k); only MSB(k+1) can follow.
+  const std::uint32_t wl = GetParam();
+  Rng rng(wl * 37 + 5);
+  for (int trial = 0; trial < 25; ++trial) {
+    const TlcProgramOrder order = random_tlc_rps_order(wl, rng);
+    for (const std::uint32_t e : analyze_tlc_exposure(order, wl)) {
+      EXPECT_LE(e, 1u);
+    }
+  }
+}
+
+TEST_P(TlcExposure, UnconstrainedCanExceedOne) {
+  const std::uint32_t wl = GetParam();
+  if (wl < 4) return;
+  Rng rng(wl * 41 + 9);
+  std::uint32_t worst = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    const TlcProgramOrder order = random_tlc_unconstrained_order(wl, rng);
+    for (const std::uint32_t e : analyze_tlc_exposure(order, wl)) {
+      worst = std::max(worst, e);
+    }
+  }
+  EXPECT_GT(worst, 1u);
+  EXPECT_LE(worst, 6u);  // 3 pages on each of 2 neighbors
+}
+
+INSTANTIATE_TEST_SUITE_P(Wordlines, TlcExposure, ::testing::Values(2u, 4u, 8u, 32u));
+
+TEST(TlcRpsCapability, AllLsbPagesBeforeAnyOtherPass) {
+  // The payoff the paper projects onto TLC: under T1-T5, a block's entire
+  // LSB capacity is writable consecutively (the fast phase triples).
+  const std::uint32_t wl = 16;
+  TlcBlockState s(wl);
+  for (std::uint32_t k = 0; k < wl; ++k) {
+    ASSERT_TRUE(check_tlc_program_legality(s, {k, TlcPageType::kLsb},
+                                           TlcSequenceKind::kRps)
+                    .is_ok())
+        << k;
+    s.mark_programmed({k, TlcPageType::kLsb});
+  }
+  // Under TLC-FPS the same run is cut off at the fourth LSB page.
+  TlcBlockState f(wl);
+  f.mark_programmed({0, TlcPageType::kLsb});
+  f.mark_programmed({1, TlcPageType::kLsb});
+  f.mark_programmed({2, TlcPageType::kLsb});
+  EXPECT_EQ(check_tlc_program_legality(f, {3, TlcPageType::kLsb},
+                                       TlcSequenceKind::kFps)
+                .code(),
+            ErrorCode::kSequenceViolation);
+}
+
+}  // namespace
+}  // namespace rps::nand

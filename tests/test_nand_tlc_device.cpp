@@ -1,0 +1,147 @@
+// Direct coverage of the TLC device layer (blocks, chips, the device) —
+// timing of the three passes, constraint enforcement at the device
+// boundary, and the TLC power-loss matrix.
+#include "src/nand/tlc_device.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rps::nand {
+namespace {
+
+TlcGeometry tiny_geometry() {
+  return TlcGeometry{.channels = 1,
+                     .chips_per_channel = 2,
+                     .blocks_per_chip = 4,
+                     .wordlines_per_block = 4,
+                     .page_size_bytes = 512};
+}
+
+TEST(TlcBlockModel, PassFrontiers) {
+  TlcBlock block(4, TlcSequenceKind::kRps);
+  ASSERT_TRUE(block.next_in_pass(TlcPageType::kLsb).has_value());
+  EXPECT_EQ(block.next_in_pass(TlcPageType::kLsb)->wordline, 0u);
+  // CSB frontier closed until LSB(1) exists (T4).
+  EXPECT_FALSE(block.next_in_pass(TlcPageType::kCsb).has_value());
+  ASSERT_TRUE(block.program({0, TlcPageType::kLsb}, {}).is_ok());
+  ASSERT_TRUE(block.program({1, TlcPageType::kLsb}, {}).is_ok());
+  ASSERT_TRUE(block.next_in_pass(TlcPageType::kCsb).has_value());
+  // MSB frontier closed until CSB(1) exists (T5).
+  EXPECT_FALSE(block.next_in_pass(TlcPageType::kMsb).has_value());
+}
+
+TEST(TlcBlockModel, FullLifecycleAndErase) {
+  TlcBlock block(4, TlcSequenceKind::kRps);
+  for (const TlcPagePos pos : tlc_rps_full_order(4)) {
+    ASSERT_TRUE(block.program(pos, {}).is_ok()) << pos.wordline;
+  }
+  EXPECT_TRUE(block.is_fully_programmed());
+  EXPECT_EQ(block.programmed_in_pass(TlcPageType::kCsb), 4u);
+  block.erase();
+  EXPECT_TRUE(block.is_erased());
+  EXPECT_EQ(block.erase_count(), 1u);
+  EXPECT_EQ(block.read({0, TlcPageType::kLsb}).code(), ErrorCode::kNotProgrammed);
+}
+
+TEST(TlcChipModel, PassLatencies) {
+  const TlcTimingSpec timing = TlcTimingSpec::nominal();
+  TlcChip chip(2, 4, TlcSequenceKind::kRps, timing);
+  const auto lsb = chip.program(0, {0, TlcPageType::kLsb}, {}, 0);
+  ASSERT_TRUE(lsb.is_ok());
+  EXPECT_EQ(lsb.value().busy_time(), timing.program_lsb_us);
+  ASSERT_TRUE(chip.program(0, {1, TlcPageType::kLsb}, {}, 0).is_ok());
+  const auto csb = chip.program(0, {0, TlcPageType::kCsb}, {}, 0);
+  ASSERT_TRUE(csb.is_ok());
+  EXPECT_EQ(csb.value().busy_time(), timing.program_csb_us);
+  ASSERT_TRUE(chip.program(0, {2, TlcPageType::kLsb}, {}, 0).is_ok());
+  ASSERT_TRUE(chip.program(0, {1, TlcPageType::kCsb}, {}, 0).is_ok());
+  const auto msb = chip.program(0, {0, TlcPageType::kMsb}, {}, 0);
+  ASSERT_TRUE(msb.is_ok());
+  EXPECT_EQ(msb.value().busy_time(), timing.program_msb_us);
+}
+
+TEST(TlcChipModel, RejectsIllegalOrderWithoutTimelineChange) {
+  TlcChip chip(2, 4, TlcSequenceKind::kRps, TlcTimingSpec::nominal());
+  EXPECT_FALSE(chip.program(0, {0, TlcPageType::kCsb}, {}, 0).is_ok());
+  EXPECT_EQ(chip.busy_until(), 0);
+}
+
+TEST(TlcChipModel, PowerLossDuringCsbKillsLsbOnly) {
+  TlcChip chip(2, 4, TlcSequenceKind::kRps, TlcTimingSpec::nominal());
+  ASSERT_TRUE(chip.program(0, {0, TlcPageType::kLsb}, {}, 0).is_ok());
+  ASSERT_TRUE(chip.program(0, {1, TlcPageType::kLsb}, {}, 0).is_ok());
+  const auto csb = chip.program(0, {0, TlcPageType::kCsb}, {}, 0);
+  ASSERT_TRUE(csb.is_ok());
+  const auto victim = chip.apply_power_loss(csb.value().complete - 50);
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(victim->pos.type, TlcPageType::kCsb);
+  EXPECT_EQ(chip.block(0).read({0, TlcPageType::kLsb}).code(),
+            ErrorCode::kEccUncorrectable);
+  EXPECT_TRUE(chip.block(0).read({1, TlcPageType::kLsb}).is_ok());
+}
+
+TEST(TlcChipModel, PowerLossDuringMsbKillsBothLowerPages) {
+  TlcChip chip(2, 4, TlcSequenceKind::kRps, TlcTimingSpec::nominal());
+  for (std::uint32_t k = 0; k < 3; ++k) {
+    ASSERT_TRUE(chip.program(0, {k, TlcPageType::kLsb}, {}, 0).is_ok());
+  }
+  ASSERT_TRUE(chip.program(0, {0, TlcPageType::kCsb}, {}, 0).is_ok());
+  ASSERT_TRUE(chip.program(0, {1, TlcPageType::kCsb}, {}, 0).is_ok());
+  const auto msb = chip.program(0, {0, TlcPageType::kMsb}, {}, 0);
+  ASSERT_TRUE(msb.is_ok());
+  ASSERT_TRUE(chip.apply_power_loss(msb.value().complete - 50).has_value());
+  EXPECT_EQ(chip.block(0).read({0, TlcPageType::kLsb}).code(),
+            ErrorCode::kEccUncorrectable);
+  EXPECT_EQ(chip.block(0).read({0, TlcPageType::kCsb}).code(),
+            ErrorCode::kEccUncorrectable);
+  EXPECT_TRUE(chip.block(0).read({1, TlcPageType::kLsb}).is_ok());
+  EXPECT_TRUE(chip.block(0).read({1, TlcPageType::kCsb}).is_ok());
+}
+
+TEST(TlcDeviceModel, ChannelBusSerialization) {
+  TlcDevice dev(tiny_geometry(), TlcTimingSpec::nominal(), TlcSequenceKind::kRps);
+  // Two chips share the single channel: the second transfer queues.
+  const auto a = dev.program({0, 0, {0, TlcPageType::kLsb}}, {}, 0);
+  const auto b = dev.program({1, 0, {0, TlcPageType::kLsb}}, {}, 0);
+  ASSERT_TRUE(a.is_ok() && b.is_ok());
+  EXPECT_EQ(b.value().start, TlcTimingSpec::nominal().transfer_us);
+  // Cell programs overlap across chips.
+  EXPECT_EQ(b.value().complete - a.value().complete,
+            TlcTimingSpec::nominal().transfer_us);
+}
+
+TEST(TlcDeviceModel, ReadRoundTripAndCounters) {
+  TlcDevice dev(tiny_geometry(), TlcTimingSpec::nominal(), TlcSequenceKind::kRps);
+  PageData d;
+  d.lpn = 9;
+  ASSERT_TRUE(dev.program({0, 1, {0, TlcPageType::kLsb}}, d, 0).is_ok());
+  const auto read = dev.read({0, 1, {0, TlcPageType::kLsb}}, 1000);
+  ASSERT_TRUE(read.is_ok());
+  ASSERT_TRUE(read.value().data.is_ok());
+  EXPECT_EQ(read.value().data.value().lpn, 9u);
+  ASSERT_TRUE(dev.erase(0, 1, 5000).is_ok());
+  const OpCounters counters = dev.total_counters();
+  EXPECT_EQ(counters.lsb_programs, 1u);
+  EXPECT_EQ(counters.reads, 1u);
+  EXPECT_EQ(dev.total_erase_count(), 1u);
+}
+
+TEST(TlcDeviceModel, OutOfRange) {
+  TlcDevice dev(tiny_geometry(), TlcTimingSpec::nominal(), TlcSequenceKind::kRps);
+  EXPECT_EQ(dev.program({9, 0, {0, TlcPageType::kLsb}}, {}, 0).code(),
+            ErrorCode::kOutOfRange);
+  EXPECT_EQ(dev.read({0, 9, {0, TlcPageType::kLsb}}, 0).code(), ErrorCode::kOutOfRange);
+  EXPECT_EQ(dev.erase(0, 9, 0).code(), ErrorCode::kOutOfRange);
+}
+
+TEST(TlcDeviceModel, FpsDeviceRejectsRpsOnlyOrders) {
+  TlcDevice dev(tiny_geometry(), TlcTimingSpec::nominal(), TlcSequenceKind::kFps);
+  ASSERT_TRUE(dev.program({0, 0, {0, TlcPageType::kLsb}}, {}, 0).is_ok());
+  ASSERT_TRUE(dev.program({0, 0, {1, TlcPageType::kLsb}}, {}, 0).is_ok());
+  ASSERT_TRUE(dev.program({0, 0, {2, TlcPageType::kLsb}}, {}, 0).is_ok());
+  // LSB(3) before MSB(0) violates T6 on a TLC-FPS device.
+  EXPECT_EQ(dev.program({0, 0, {3, TlcPageType::kLsb}}, {}, 0).code(),
+            ErrorCode::kSequenceViolation);
+}
+
+}  // namespace
+}  // namespace rps::nand

@@ -1,0 +1,177 @@
+// Tests of the Fig. 4 substitute model: the *relative* reliability claims
+// are combinatorial properties of program orders, which must hold exactly;
+// the Monte-Carlo layer must respond to aggressors, P/E stress and
+// retention in the physically expected directions.
+#include "src/reliability/study.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rps::reliability {
+namespace {
+
+InterferenceConfig small_config() {
+  InterferenceConfig c;
+  c.cells_per_wordline = 512;
+  return c;
+}
+
+TEST(Interference, DistributionWidthOfTightData) {
+  std::vector<double> vth;
+  for (int i = 0; i < 1000; ++i) vth.push_back(1.0 + 0.001 * (i % 10));
+  EXPECT_LT(distribution_width(vth), 0.01);
+  EXPECT_EQ(distribution_width({1.0}), 0.0);
+}
+
+TEST(Interference, SimulateBlockShapes) {
+  Rng rng(1);
+  const std::uint32_t wl = 8;
+  const auto results = simulate_block(nand::fps_order(wl), wl, small_config(), rng);
+  ASSERT_EQ(results.size(), wl);
+  for (const WordlineResult& r : results) {
+    EXPECT_EQ(r.population.total_cells(), 512u);
+    EXPECT_GT(r.wpi_sum, 0.0);
+    EXPECT_LE(r.aggressors_after_msb, 1u);
+  }
+}
+
+TEST(Interference, AggressorsWidenDistributions) {
+  // A word line with one post-MSB aggressor has a wider (or equal) summed
+  // Vth width than the last word line (zero aggressors), averaged over
+  // many blocks.
+  Rng rng(2);
+  const std::uint32_t wl = 8;
+  double with_aggressor = 0.0;
+  double without = 0.0;
+  const int blocks = 40;
+  for (int b = 0; b < blocks; ++b) {
+    const auto results = simulate_block(nand::fps_order(wl), wl, small_config(), rng);
+    with_aggressor += results[2].wpi_sum;   // interior: 1 aggressor
+    without += results[wl - 1].wpi_sum;     // last WL: 0 aggressors
+    EXPECT_EQ(results[2].aggressors_after_msb, 1u);
+    EXPECT_EQ(results[wl - 1].aggressors_after_msb, 0u);
+  }
+  EXPECT_GT(with_aggressor / blocks, without / blocks);
+}
+
+TEST(Ber, GrayCodingAdjacentMisreadCostsOneBit) {
+  const VthModel m = VthModel::nominal();
+  // State 1 ('01') read as state 2 ('00'): one bit flip.
+  EXPECT_EQ(bit_errors_for_cell(1, m.read_ref[1] + 0.01, m), 1u);
+  // Correct read: zero errors.
+  EXPECT_EQ(bit_errors_for_cell(1, m.state_mean[1], m), 0u);
+  // State 0 ('11') read as state 3 ('10'): one bit differs in Gray code.
+  EXPECT_EQ(bit_errors_for_cell(0, m.state_mean[3], m), 1u);
+  // State 1 ('01') read as state 3 ('10'): two bits.
+  EXPECT_EQ(bit_errors_for_cell(1, m.state_mean[3], m), 2u);
+}
+
+TEST(Ber, StressIncreasesErrors) {
+  Rng rng(3);
+  const std::uint32_t wl = 8;
+  const auto results = simulate_block(nand::rps_full_order(wl), wl, small_config(), rng);
+  const VthModel m = VthModel::nominal();
+  double fresh = 0.0;
+  double stressed = 0.0;
+  for (const WordlineResult& r : results) {
+    fresh += page_ber(r.population, StressCondition::fresh(), m, rng);
+    stressed += page_ber(r.population, StressCondition::worst_case(), m, rng);
+  }
+  EXPECT_LT(fresh, stressed);
+  EXPECT_LT(stressed / wl, 0.05);  // worst case still ECC-meaningful, not noise
+}
+
+TEST(Ber, RetentionAffectsHighStatesMore) {
+  Rng rng(4);
+  const VthModel m = VthModel::nominal();
+  const StressCondition retention{0.0, 365.0};
+  // The erased state holds no charge: retention must not move it.
+  EXPECT_DOUBLE_EQ(apply_stress(m.state_mean[0], 0, retention, m, rng), m.state_mean[0]);
+  // The top state loses the most charge.
+  double top_shift = 0.0;
+  double mid_shift = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    top_shift += m.state_mean[3] - apply_stress(m.state_mean[3], 3, retention, m, rng);
+    mid_shift += m.state_mean[1] - apply_stress(m.state_mean[1], 1, retention, m, rng);
+  }
+  EXPECT_GT(top_shift, mid_shift);
+  EXPECT_GT(top_shift, 0.0);
+}
+
+TEST(Study, MakeOrderMatchesSchemes) {
+  Rng rng(5);
+  EXPECT_EQ(make_order(Scheme::kFps, 8, rng), nand::fps_order(8));
+  EXPECT_EQ(make_order(Scheme::kRpsFull, 8, rng), nand::rps_full_order(8));
+  EXPECT_EQ(make_order(Scheme::kRpsHalf, 8, rng), nand::rps_half_order(8));
+  EXPECT_TRUE(nand::order_satisfies(make_order(Scheme::kRpsRandom, 8, rng), 8,
+                                    nand::SequenceKind::kRps));
+}
+
+TEST(Study, Fig4aRelation_RpsNoWorseThanFps) {
+  // The paper's Fig. 4(a) claim: WPi under RPSfull / RPShalf is not
+  // higher than under FPS. Compare medians with a small tolerance for
+  // Monte-Carlo noise.
+  StudyConfig config;
+  config.blocks = 24;
+  config.wordlines = 16;
+  config.interference = small_config();
+  const StudyResult fps = run_study(Scheme::kFps, config);
+  const StudyResult full = run_study(Scheme::kRpsFull, config);
+  const StudyResult half = run_study(Scheme::kRpsHalf, config);
+  const double tolerance = 0.02 * fps.wpi_per_page.median();
+  EXPECT_LE(full.wpi_per_page.median(), fps.wpi_per_page.median() + tolerance);
+  EXPECT_LE(half.wpi_per_page.median(), fps.wpi_per_page.median() + tolerance);
+}
+
+TEST(Study, Fig4bRelation_UnconstrainedIsWorse) {
+  // The motivation for ordering constraints: a fully unconstrained order
+  // accumulates visibly more interference and a higher worst-case BER.
+  StudyConfig config;
+  config.blocks = 24;
+  config.wordlines = 16;
+  config.interference = small_config();
+  const StudyResult fps = run_study(Scheme::kFps, config);
+  const StudyResult wild = run_study(Scheme::kUnconstrained, config);
+  EXPECT_GT(wild.wpi_per_page.percentile(90), fps.wpi_per_page.percentile(90));
+  EXPECT_GT(wild.ber_per_page.mean(), fps.ber_per_page.mean());
+  EXPECT_GT(wild.aggressors.max(), 1.0);
+}
+
+TEST(Study, AggressorSamplesMatchTheory) {
+  StudyConfig config;
+  config.blocks = 4;
+  config.wordlines = 16;
+  config.interference = small_config();
+  for (const Scheme scheme : {Scheme::kFps, Scheme::kRpsFull, Scheme::kRpsHalf,
+                              Scheme::kRpsRandom}) {
+    const StudyResult r = run_study(scheme, config);
+    EXPECT_LE(r.aggressors.max(), 1.0) << to_string(scheme);
+  }
+}
+
+TEST(Study, RunStudiesCoversAllSchemes) {
+  StudyConfig config;
+  config.blocks = 2;
+  config.wordlines = 8;
+  config.interference = small_config();
+  const auto results = run_studies(
+      {Scheme::kFps, Scheme::kRpsFull, Scheme::kRpsHalf}, config);
+  ASSERT_EQ(results.size(), 3u);
+  for (const StudyResult& r : results) {
+    EXPECT_EQ(r.wpi_per_page.size(), 2u * 8u);
+    EXPECT_EQ(r.ber_per_page.size(), 2u * 8u);
+  }
+}
+
+TEST(Study, DeterministicForSeed) {
+  StudyConfig config;
+  config.blocks = 2;
+  config.wordlines = 8;
+  config.interference = small_config();
+  const StudyResult a = run_study(Scheme::kRpsRandom, config);
+  const StudyResult b = run_study(Scheme::kRpsRandom, config);
+  EXPECT_EQ(a.wpi_per_page.median(), b.wpi_per_page.median());
+  EXPECT_EQ(a.ber_per_page.mean(), b.ber_per_page.mean());
+}
+
+}  // namespace
+}  // namespace rps::reliability

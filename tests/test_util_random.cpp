@@ -1,0 +1,166 @@
+#include "src/util/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+namespace rps {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, NextBelowCoversAllResidues) {
+  Rng rng(9);
+  std::map<std::uint64_t, int> seen;
+  for (int i = 0; i < 10000; ++i) ++seen[rng.next_below(7)];
+  EXPECT_EQ(seen.size(), 7u);
+  for (const auto& [value, count] : seen) {
+    EXPECT_GT(count, 10000 / 7 / 2) << "residue " << value << " under-sampled";
+  }
+}
+
+TEST(Rng, UniformIntInclusiveRange) {
+  Rng rng(11);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 20000; ++i) {
+    const std::int64_t v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceApproximatesProbability) {
+  Rng rng(17);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.chance(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(19);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, NormalShiftScale) {
+  Rng rng(21);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.normal(5.0, 2.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.05);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(23);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(40.0);
+  EXPECT_NEAR(sum / n, 40.0, 1.0);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(25);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[static_cast<std::size_t>(i)] = i;
+  std::vector<int> original = v;
+  rng.shuffle(v);
+  EXPECT_FALSE(std::equal(v.begin(), v.end(), original.begin()));  // overwhelmingly likely
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(Zipf, SamplesWithinRange) {
+  Rng rng(27);
+  ZipfGenerator zipf(1000, 0.9);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(zipf.sample(rng), 1000u);
+}
+
+TEST(Zipf, SkewConcentratesOnLowRanks) {
+  Rng rng(29);
+  ZipfGenerator zipf(10000, 0.9);
+  std::uint64_t top_decile = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    if (zipf.sample(rng) < 1000) ++top_decile;
+  }
+  // With theta = 0.9 the hottest 10% of items take well over half the mass.
+  EXPECT_GT(static_cast<double>(top_decile) / n, 0.55);
+}
+
+TEST(Zipf, HigherThetaIsMoreSkewed) {
+  Rng rng(31);
+  ZipfGenerator mild(10000, 0.5);
+  ZipfGenerator hot(10000, 0.95);
+  auto top_share = [&](ZipfGenerator& z) {
+    int hits = 0;
+    for (int i = 0; i < 30000; ++i) hits += z.sample(rng) < 100 ? 1 : 0;
+    return hits;
+  };
+  EXPECT_LT(top_share(mild), top_share(hot));
+}
+
+TEST(Zipf, SingleItem) {
+  Rng rng(33);
+  ZipfGenerator zipf(1, 0.9);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.sample(rng), 0u);
+}
+
+}  // namespace
+}  // namespace rps

@@ -1,0 +1,78 @@
+#include "src/util/result.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace rps {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_TRUE(static_cast<bool>(s));
+  EXPECT_EQ(s.code(), ErrorCode::kOk);
+}
+
+TEST(Status, ErrorCarriesCode) {
+  Status s{ErrorCode::kSequenceViolation};
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), ErrorCode::kSequenceViolation);
+  EXPECT_EQ(s.message(), "SequenceViolation");
+}
+
+TEST(Status, Equality) {
+  EXPECT_EQ(Status::ok(), Status{});
+  EXPECT_EQ(Status{ErrorCode::kNoFreeBlock}, Status{ErrorCode::kNoFreeBlock});
+  EXPECT_FALSE(Status{ErrorCode::kNoFreeBlock} == Status{ErrorCode::kNotFound});
+}
+
+TEST(ErrorCodeNames, AllDistinctAndNonEmpty) {
+  std::vector<ErrorCode> codes = {
+      ErrorCode::kOk,           ErrorCode::kSequenceViolation,
+      ErrorCode::kAlreadyProgrammed, ErrorCode::kNotErased,
+      ErrorCode::kOutOfRange,   ErrorCode::kEccUncorrectable,
+      ErrorCode::kNotProgrammed, ErrorCode::kNoFreeBlock,
+      ErrorCode::kNoFreePage,   ErrorCode::kBufferFull,
+      ErrorCode::kNotFound,     ErrorCode::kInvalidArgument,
+      ErrorCode::kPowerLoss};
+  std::vector<std::string> names;
+  for (ErrorCode c : codes) names.emplace_back(to_string(c));
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    EXPECT_FALSE(names[i].empty());
+    for (std::size_t j = i + 1; j < names.size(); ++j) {
+      EXPECT_NE(names[i], names[j]);
+    }
+  }
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.value_or(-1), 42);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r = ErrorCode::kNotFound;
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.code(), ErrorCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(Result, MoveOnlyTake) {
+  Result<std::vector<int>> r = std::vector<int>{1, 2, 3};
+  ASSERT_TRUE(r.is_ok());
+  std::vector<int> taken = std::move(r).take();
+  EXPECT_EQ(taken.size(), 3u);
+}
+
+TEST(Result, MutableAccess) {
+  Result<std::string> r = std::string("abc");
+  r.value() += "d";
+  EXPECT_EQ(r.value(), "abcd");
+}
+
+}  // namespace
+}  // namespace rps

@@ -1,0 +1,159 @@
+#include "src/util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/util/random.hpp"
+
+namespace rps {
+namespace {
+
+TEST(StreamingStats, EmptyIsSane) {
+  StreamingStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_TRUE(std::isnan(s.min()));
+  EXPECT_TRUE(std::isnan(s.max()));
+}
+
+TEST(StreamingStats, KnownMoments) {
+  StreamingStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(StreamingStats, MergeMatchesDirect) {
+  Rng rng(5);
+  StreamingStats direct;
+  StreamingStats a;
+  StreamingStats b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    direct.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), direct.count());
+  EXPECT_NEAR(a.mean(), direct.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), direct.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), direct.min());
+  EXPECT_DOUBLE_EQ(a.max(), direct.max());
+}
+
+TEST(StreamingStats, MergeWithEmpty) {
+  StreamingStats a;
+  a.add(1.0);
+  StreamingStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.0);
+}
+
+TEST(SampleSet, PercentilesOfKnownData) {
+  SampleSet s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+  EXPECT_NEAR(s.median(), 50.5, 1e-9);
+  EXPECT_NEAR(s.percentile(25), 25.75, 1e-9);
+  EXPECT_NEAR(s.percentile(75), 75.25, 1e-9);
+}
+
+TEST(SampleSet, SingleSample) {
+  SampleSet s;
+  s.add(7.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 7.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 7.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 7.0);
+}
+
+TEST(SampleSet, InsertAfterQueryResorts) {
+  SampleSet s;
+  s.add(10.0);
+  s.add(20.0);
+  EXPECT_DOUBLE_EQ(s.max(), 20.0);
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+}
+
+TEST(SampleSet, BoxPlot) {
+  SampleSet s;
+  for (int i = 0; i <= 8; ++i) s.add(i);
+  const BoxPlot box = s.box_plot();
+  EXPECT_DOUBLE_EQ(box.min, 0.0);
+  EXPECT_DOUBLE_EQ(box.median, 4.0);
+  EXPECT_DOUBLE_EQ(box.max, 8.0);
+  EXPECT_DOUBLE_EQ(box.mean, 4.0);
+  EXPECT_EQ(box.count, 9u);
+  EXPECT_DOUBLE_EQ(box.q1, 2.0);
+  EXPECT_DOUBLE_EQ(box.q3, 6.0);
+}
+
+TEST(SampleSet, CdfAt) {
+  SampleSet s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.cdf_at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.cdf_at(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(s.cdf_at(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(s.cdf_at(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.cdf_at(99.0), 1.0);
+}
+
+TEST(SampleSet, CdfCurveMonotonic) {
+  Rng rng(3);
+  SampleSet s;
+  for (int i = 0; i < 500; ++i) s.add(rng.normal(10.0, 3.0));
+  const auto curve = s.cdf_curve(50);
+  ASSERT_EQ(curve.size(), 50u);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].first, curve[i - 1].first);
+    EXPECT_GE(curve[i].second, curve[i - 1].second);
+  }
+  EXPECT_DOUBLE_EQ(curve.back().second, 1.0);
+}
+
+TEST(Histogram, BinningAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);    // bin 0
+  h.add(9.99);   // bin 9
+  h.add(-5.0);   // clamps to bin 0
+  h.add(42.0);   // clamps to bin 9
+  h.add(5.0);    // bin 5
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(9), 2u);
+  EXPECT_EQ(h.bin_count(5), 1u);
+  EXPECT_DOUBLE_EQ(h.bin_low(5), 5.0);
+  EXPECT_DOUBLE_EQ(h.bin_high(5), 6.0);
+}
+
+TEST(Histogram, WeightedAdd) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(0.25, 10);
+  h.add(0.75, 5);
+  EXPECT_EQ(h.bin_count(0), 10u);
+  EXPECT_EQ(h.bin_count(1), 5u);
+  EXPECT_EQ(h.total(), 15u);
+}
+
+TEST(Histogram, AsciiRenderNonEmpty) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(0.1);
+  h.add(0.1);
+  h.add(0.9);
+  const std::string art = h.to_ascii(20);
+  EXPECT_NE(art.find('#'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rps

@@ -1,0 +1,84 @@
+#include "src/workload/msr_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace rps::workload {
+namespace {
+
+constexpr const char* kSample =
+    "Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime\n"
+    "128166372003061629,hm,0,Read,8192,4096,151\n"
+    "128166372003061640,hm,0,Write,12288,8192,312\n"
+    "128166372003071629,hm,1,Write,0,512,100\n"
+    "128166372003081629,hm,0,Read,4095,2,90\n"
+    "garbage,row,that,should,be,skipped\n";
+
+TEST(MsrImport, ParsesRowsAndSkipsJunk) {
+  std::istringstream in(kSample);
+  const auto result = import_msr_trace(in, {.page_size_bytes = 4096});
+  ASSERT_TRUE(result.is_ok());
+  const Trace& t = result.value().trace;
+  ASSERT_EQ(t.size(), 4u);
+  EXPECT_EQ(result.value().skipped_rows, 2u);  // header + garbage
+
+  const IoRequest& first = t.requests()[0];
+  EXPECT_EQ(first.arrival_us, 0);
+  EXPECT_EQ(first.kind, IoKind::kRead);
+  EXPECT_EQ(first.lpn, 2u);        // byte 8192 / 4096
+  EXPECT_EQ(first.page_count, 1u);
+
+  const IoRequest& second = t.requests()[1];
+  EXPECT_EQ(second.arrival_us, 1);  // 11 ticks later -> 1 us
+  EXPECT_EQ(second.kind, IoKind::kWrite);
+  EXPECT_EQ(second.lpn, 3u);
+  EXPECT_EQ(second.page_count, 2u);  // 8 KB spans two pages
+}
+
+TEST(MsrImport, UnalignedRequestSpansPages) {
+  std::istringstream in(kSample);
+  const auto result = import_msr_trace(in, {.page_size_bytes = 4096});
+  ASSERT_TRUE(result.is_ok());
+  // Offset 4095, size 2: touches bytes 4095..4096 -> pages 0 and 1.
+  const IoRequest& straddler = result.value().trace.requests()[3];
+  EXPECT_EQ(straddler.lpn, 0u);
+  EXPECT_EQ(straddler.page_count, 2u);
+}
+
+TEST(MsrImport, DiskFilter) {
+  std::istringstream in(kSample);
+  MsrImportOptions options;
+  options.disk_filter = 1;
+  const auto result = import_msr_trace(in, options);
+  ASSERT_TRUE(result.is_ok());
+  ASSERT_EQ(result.value().trace.size(), 1u);
+  EXPECT_EQ(result.value().trace.requests()[0].kind, IoKind::kWrite);
+}
+
+TEST(MsrImport, WrapSpanKeepsRequestsInRange) {
+  std::istringstream in(
+      "128166372003061629,hm,0,Write,40960000,8192,10\n");
+  MsrImportOptions options;
+  options.wrap_span_pages = 100;
+  const auto result = import_msr_trace(in, options);
+  ASSERT_TRUE(result.is_ok());
+  const IoRequest& r = result.value().trace.requests()[0];
+  EXPECT_LE(r.lpn + r.page_count, 100u);
+}
+
+TEST(MsrImport, MaxRequestsCap) {
+  std::istringstream in(kSample);
+  MsrImportOptions options;
+  options.max_requests = 2;
+  const auto result = import_msr_trace(in, options);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(result.value().trace.size(), 2u);
+}
+
+TEST(MsrImport, MissingFile) {
+  EXPECT_EQ(import_msr_trace_file("/nonexistent.csv", {}).code(), ErrorCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace rps::workload

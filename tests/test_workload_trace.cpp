@@ -1,0 +1,94 @@
+#include "src/workload/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+namespace rps::workload {
+namespace {
+
+Trace make_trace() {
+  Trace t("demo");
+  t.add({0, IoKind::kWrite, 10, 2});
+  t.add({100, IoKind::kRead, 4, 1});
+  t.add({5'000, IoKind::kWrite, 100, 8});
+  return t;
+}
+
+TEST(Trace, BasicAccessors) {
+  const Trace t = make_trace();
+  EXPECT_EQ(t.name(), "demo");
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_FALSE(t.empty());
+  EXPECT_TRUE(t.is_sorted());
+  EXPECT_EQ(t.lpn_span(), 108u);
+}
+
+TEST(Trace, SortByArrival) {
+  Trace t;
+  t.add({50, IoKind::kRead, 1, 1});
+  t.add({10, IoKind::kWrite, 2, 1});
+  EXPECT_FALSE(t.is_sorted());
+  t.sort_by_arrival();
+  EXPECT_TRUE(t.is_sorted());
+  EXPECT_EQ(t.requests().front().lpn, 2u);
+}
+
+TEST(TraceStats, CountsAndRatio) {
+  const TraceStats s = make_trace().stats();
+  EXPECT_EQ(s.requests, 3u);
+  EXPECT_EQ(s.read_requests, 1u);
+  EXPECT_EQ(s.write_requests, 2u);
+  EXPECT_EQ(s.read_pages, 1u);
+  EXPECT_EQ(s.write_pages, 10u);
+  EXPECT_NEAR(s.read_fraction(), 1.0 / 3.0, 1e-12);
+  EXPECT_EQ(s.duration_us, 5'000);
+}
+
+TEST(TraceStats, IdleFraction) {
+  const TraceStats s = make_trace().stats(/*idle_threshold_us=*/1000);
+  // Only the 100 -> 5000 gap exceeds the threshold.
+  EXPECT_NEAR(s.idle_fraction, 4'900.0 / 5'000.0, 1e-9);
+  const TraceStats s2 = make_trace().stats(/*idle_threshold_us=*/10'000);
+  EXPECT_DOUBLE_EQ(s2.idle_fraction, 0.0);
+}
+
+TEST(TraceStats, IntensivenessBuckets) {
+  auto trace_with_rate = [](Microseconds gap, std::size_t n) {
+    Trace t;
+    for (std::size_t i = 0; i < n; ++i) {
+      t.add({static_cast<Microseconds>(i) * gap, IoKind::kWrite, 0, 1});
+    }
+    return t.stats();
+  };
+  EXPECT_EQ(trace_with_rate(50, 1000).intensiveness(), "Very high");   // 20k IOPS
+  EXPECT_EQ(trace_with_rate(500, 1000).intensiveness(), "High");      // 2k IOPS
+  EXPECT_EQ(trace_with_rate(5'000, 1000).intensiveness(), "Moderate");
+  EXPECT_EQ(trace_with_rate(50'000, 100).intensiveness(), "Low");
+}
+
+TEST(Trace, SaveLoadRoundTrip) {
+  const std::string path = "/tmp/rps_trace_test.txt";
+  const Trace original = make_trace();
+  ASSERT_TRUE(original.save(path).is_ok());
+  Result<Trace> loaded = Trace::load(path);
+  ASSERT_TRUE(loaded.is_ok());
+  EXPECT_EQ(loaded.value().name(), "demo");
+  EXPECT_EQ(loaded.value().requests(), original.requests());
+  std::filesystem::remove(path);
+}
+
+TEST(Trace, LoadMissingFile) {
+  EXPECT_EQ(Trace::load("/nonexistent/path/trace.txt").code(), ErrorCode::kNotFound);
+}
+
+TEST(Trace, EmptyStats) {
+  const TraceStats s = Trace().stats();
+  EXPECT_EQ(s.requests, 0u);
+  EXPECT_EQ(s.iops(), 0.0);
+  EXPECT_EQ(s.read_fraction(), 0.0);
+}
+
+}  // namespace
+}  // namespace rps::workload
