@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_slc.dir/bench_ablation_slc.cpp.o"
+  "CMakeFiles/bench_ablation_slc.dir/bench_ablation_slc.cpp.o.d"
+  "bench_ablation_slc"
+  "bench_ablation_slc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_slc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_suspend.dir/bench_ablation_suspend.cpp.o"
+  "CMakeFiles/bench_ablation_suspend.dir/bench_ablation_suspend.cpp.o.d"
+  "bench_ablation_suspend"
+  "bench_ablation_suspend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_suspend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

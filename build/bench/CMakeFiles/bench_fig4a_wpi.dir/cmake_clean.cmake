@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4a_wpi.dir/bench_fig4a_wpi.cpp.o"
+  "CMakeFiles/bench_fig4a_wpi.dir/bench_fig4a_wpi.cpp.o.d"
+  "bench_fig4a_wpi"
+  "bench_fig4a_wpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4a_wpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8a_iops.dir/bench_fig8a_iops.cpp.o"
+  "CMakeFiles/bench_fig8a_iops.dir/bench_fig8a_iops.cpp.o.d"
+  "bench_fig8a_iops"
+  "bench_fig8a_iops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8a_iops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

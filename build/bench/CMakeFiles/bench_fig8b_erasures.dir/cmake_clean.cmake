@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8b_erasures.dir/bench_fig8b_erasures.cpp.o"
+  "CMakeFiles/bench_fig8b_erasures.dir/bench_fig8b_erasures.cpp.o.d"
+  "bench_fig8b_erasures"
+  "bench_fig8b_erasures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8b_erasures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_reliability_sweep.dir/bench_reliability_sweep.cpp.o"
+  "CMakeFiles/bench_reliability_sweep.dir/bench_reliability_sweep.cpp.o.d"
+  "bench_reliability_sweep"
+  "bench_reliability_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reliability_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tlc_extension.dir/bench_tlc_extension.cpp.o"
+  "CMakeFiles/bench_tlc_extension.dir/bench_tlc_extension.cpp.o.d"
+  "bench_tlc_extension"
+  "bench_tlc_extension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tlc_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/burst_absorber.dir/burst_absorber.cpp.o"
+  "CMakeFiles/burst_absorber.dir/burst_absorber.cpp.o.d"
+  "burst_absorber"
+  "burst_absorber.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/burst_absorber.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

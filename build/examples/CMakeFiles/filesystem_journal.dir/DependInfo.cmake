@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/filesystem_journal.cpp" "examples/CMakeFiles/filesystem_journal.dir/filesystem_journal.cpp.o" "gcc" "examples/CMakeFiles/filesystem_journal.dir/filesystem_journal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/rps_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rps_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/rps_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/ftl/CMakeFiles/rps_ftl.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/rps_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/nand/CMakeFiles/rps_nand.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rps_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/filesystem_journal.dir/filesystem_journal.cpp.o"
+  "CMakeFiles/filesystem_journal.dir/filesystem_journal.cpp.o.d"
+  "filesystem_journal"
+  "filesystem_journal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/filesystem_journal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

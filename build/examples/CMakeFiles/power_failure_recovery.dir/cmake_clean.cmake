@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_failure_recovery.dir/power_failure_recovery.cpp.o"
+  "CMakeFiles/power_failure_recovery.dir/power_failure_recovery.cpp.o.d"
+  "power_failure_recovery"
+  "power_failure_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_failure_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

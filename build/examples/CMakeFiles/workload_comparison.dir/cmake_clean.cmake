@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_comparison.dir/workload_comparison.cpp.o"
+  "CMakeFiles/workload_comparison.dir/workload_comparison.cpp.o.d"
+  "workload_comparison"
+  "workload_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rps_core.dir/flex_ftl.cpp.o"
+  "CMakeFiles/rps_core.dir/flex_ftl.cpp.o.d"
+  "CMakeFiles/rps_core.dir/flex_tlc_ftl.cpp.o"
+  "CMakeFiles/rps_core.dir/flex_tlc_ftl.cpp.o.d"
+  "CMakeFiles/rps_core.dir/policy.cpp.o"
+  "CMakeFiles/rps_core.dir/policy.cpp.o.d"
+  "CMakeFiles/rps_core.dir/recovery.cpp.o"
+  "CMakeFiles/rps_core.dir/recovery.cpp.o.d"
+  "librps_core.a"
+  "librps_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rps_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

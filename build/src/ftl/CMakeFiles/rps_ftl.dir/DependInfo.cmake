@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ftl/block_manager.cpp" "src/ftl/CMakeFiles/rps_ftl.dir/block_manager.cpp.o" "gcc" "src/ftl/CMakeFiles/rps_ftl.dir/block_manager.cpp.o.d"
+  "/root/repo/src/ftl/ftl_base.cpp" "src/ftl/CMakeFiles/rps_ftl.dir/ftl_base.cpp.o" "gcc" "src/ftl/CMakeFiles/rps_ftl.dir/ftl_base.cpp.o.d"
+  "/root/repo/src/ftl/mapping.cpp" "src/ftl/CMakeFiles/rps_ftl.dir/mapping.cpp.o" "gcc" "src/ftl/CMakeFiles/rps_ftl.dir/mapping.cpp.o.d"
+  "/root/repo/src/ftl/page_ftl.cpp" "src/ftl/CMakeFiles/rps_ftl.dir/page_ftl.cpp.o" "gcc" "src/ftl/CMakeFiles/rps_ftl.dir/page_ftl.cpp.o.d"
+  "/root/repo/src/ftl/parity_ftl.cpp" "src/ftl/CMakeFiles/rps_ftl.dir/parity_ftl.cpp.o" "gcc" "src/ftl/CMakeFiles/rps_ftl.dir/parity_ftl.cpp.o.d"
+  "/root/repo/src/ftl/rtf_ftl.cpp" "src/ftl/CMakeFiles/rps_ftl.dir/rtf_ftl.cpp.o" "gcc" "src/ftl/CMakeFiles/rps_ftl.dir/rtf_ftl.cpp.o.d"
+  "/root/repo/src/ftl/slc_ftl.cpp" "src/ftl/CMakeFiles/rps_ftl.dir/slc_ftl.cpp.o" "gcc" "src/ftl/CMakeFiles/rps_ftl.dir/slc_ftl.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nand/CMakeFiles/rps_nand.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rps_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rps_ftl.dir/block_manager.cpp.o"
+  "CMakeFiles/rps_ftl.dir/block_manager.cpp.o.d"
+  "CMakeFiles/rps_ftl.dir/ftl_base.cpp.o"
+  "CMakeFiles/rps_ftl.dir/ftl_base.cpp.o.d"
+  "CMakeFiles/rps_ftl.dir/mapping.cpp.o"
+  "CMakeFiles/rps_ftl.dir/mapping.cpp.o.d"
+  "CMakeFiles/rps_ftl.dir/page_ftl.cpp.o"
+  "CMakeFiles/rps_ftl.dir/page_ftl.cpp.o.d"
+  "CMakeFiles/rps_ftl.dir/parity_ftl.cpp.o"
+  "CMakeFiles/rps_ftl.dir/parity_ftl.cpp.o.d"
+  "CMakeFiles/rps_ftl.dir/rtf_ftl.cpp.o"
+  "CMakeFiles/rps_ftl.dir/rtf_ftl.cpp.o.d"
+  "CMakeFiles/rps_ftl.dir/slc_ftl.cpp.o"
+  "CMakeFiles/rps_ftl.dir/slc_ftl.cpp.o.d"
+  "librps_ftl.a"
+  "librps_ftl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rps_ftl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rps_host.dir/block_device.cpp.o"
+  "CMakeFiles/rps_host.dir/block_device.cpp.o.d"
+  "librps_host.a"
+  "librps_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rps_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nand/block.cpp" "src/nand/CMakeFiles/rps_nand.dir/block.cpp.o" "gcc" "src/nand/CMakeFiles/rps_nand.dir/block.cpp.o.d"
+  "/root/repo/src/nand/chip.cpp" "src/nand/CMakeFiles/rps_nand.dir/chip.cpp.o" "gcc" "src/nand/CMakeFiles/rps_nand.dir/chip.cpp.o.d"
+  "/root/repo/src/nand/device.cpp" "src/nand/CMakeFiles/rps_nand.dir/device.cpp.o" "gcc" "src/nand/CMakeFiles/rps_nand.dir/device.cpp.o.d"
+  "/root/repo/src/nand/program_order.cpp" "src/nand/CMakeFiles/rps_nand.dir/program_order.cpp.o" "gcc" "src/nand/CMakeFiles/rps_nand.dir/program_order.cpp.o.d"
+  "/root/repo/src/nand/tlc.cpp" "src/nand/CMakeFiles/rps_nand.dir/tlc.cpp.o" "gcc" "src/nand/CMakeFiles/rps_nand.dir/tlc.cpp.o.d"
+  "/root/repo/src/nand/tlc_device.cpp" "src/nand/CMakeFiles/rps_nand.dir/tlc_device.cpp.o" "gcc" "src/nand/CMakeFiles/rps_nand.dir/tlc_device.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rps_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rps_nand.dir/block.cpp.o"
+  "CMakeFiles/rps_nand.dir/block.cpp.o.d"
+  "CMakeFiles/rps_nand.dir/chip.cpp.o"
+  "CMakeFiles/rps_nand.dir/chip.cpp.o.d"
+  "CMakeFiles/rps_nand.dir/device.cpp.o"
+  "CMakeFiles/rps_nand.dir/device.cpp.o.d"
+  "CMakeFiles/rps_nand.dir/program_order.cpp.o"
+  "CMakeFiles/rps_nand.dir/program_order.cpp.o.d"
+  "CMakeFiles/rps_nand.dir/tlc.cpp.o"
+  "CMakeFiles/rps_nand.dir/tlc.cpp.o.d"
+  "CMakeFiles/rps_nand.dir/tlc_device.cpp.o"
+  "CMakeFiles/rps_nand.dir/tlc_device.cpp.o.d"
+  "librps_nand.a"
+  "librps_nand.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rps_nand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

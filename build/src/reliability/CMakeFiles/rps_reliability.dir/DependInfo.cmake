@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reliability/ber.cpp" "src/reliability/CMakeFiles/rps_reliability.dir/ber.cpp.o" "gcc" "src/reliability/CMakeFiles/rps_reliability.dir/ber.cpp.o.d"
+  "/root/repo/src/reliability/interference.cpp" "src/reliability/CMakeFiles/rps_reliability.dir/interference.cpp.o" "gcc" "src/reliability/CMakeFiles/rps_reliability.dir/interference.cpp.o.d"
+  "/root/repo/src/reliability/study.cpp" "src/reliability/CMakeFiles/rps_reliability.dir/study.cpp.o" "gcc" "src/reliability/CMakeFiles/rps_reliability.dir/study.cpp.o.d"
+  "/root/repo/src/reliability/tlc_study.cpp" "src/reliability/CMakeFiles/rps_reliability.dir/tlc_study.cpp.o" "gcc" "src/reliability/CMakeFiles/rps_reliability.dir/tlc_study.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nand/CMakeFiles/rps_nand.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rps_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rps_reliability.dir/ber.cpp.o"
+  "CMakeFiles/rps_reliability.dir/ber.cpp.o.d"
+  "CMakeFiles/rps_reliability.dir/interference.cpp.o"
+  "CMakeFiles/rps_reliability.dir/interference.cpp.o.d"
+  "CMakeFiles/rps_reliability.dir/study.cpp.o"
+  "CMakeFiles/rps_reliability.dir/study.cpp.o.d"
+  "CMakeFiles/rps_reliability.dir/tlc_study.cpp.o"
+  "CMakeFiles/rps_reliability.dir/tlc_study.cpp.o.d"
+  "librps_reliability.a"
+  "librps_reliability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rps_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

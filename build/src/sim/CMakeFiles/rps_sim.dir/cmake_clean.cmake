@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rps_sim.dir/runner.cpp.o"
+  "CMakeFiles/rps_sim.dir/runner.cpp.o.d"
+  "CMakeFiles/rps_sim.dir/simulator.cpp.o"
+  "CMakeFiles/rps_sim.dir/simulator.cpp.o.d"
+  "librps_sim.a"
+  "librps_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rps_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

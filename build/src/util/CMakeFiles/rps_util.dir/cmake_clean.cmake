@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rps_util.dir/log.cpp.o"
+  "CMakeFiles/rps_util.dir/log.cpp.o.d"
+  "CMakeFiles/rps_util.dir/random.cpp.o"
+  "CMakeFiles/rps_util.dir/random.cpp.o.d"
+  "CMakeFiles/rps_util.dir/stats.cpp.o"
+  "CMakeFiles/rps_util.dir/stats.cpp.o.d"
+  "CMakeFiles/rps_util.dir/table.cpp.o"
+  "CMakeFiles/rps_util.dir/table.cpp.o.d"
+  "librps_util.a"
+  "librps_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rps_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

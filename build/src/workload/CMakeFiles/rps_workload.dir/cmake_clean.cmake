@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rps_workload.dir/generator.cpp.o"
+  "CMakeFiles/rps_workload.dir/generator.cpp.o.d"
+  "CMakeFiles/rps_workload.dir/msr_trace.cpp.o"
+  "CMakeFiles/rps_workload.dir/msr_trace.cpp.o.d"
+  "CMakeFiles/rps_workload.dir/trace.cpp.o"
+  "CMakeFiles/rps_workload.dir/trace.cpp.o.d"
+  "librps_workload.a"
+  "librps_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rps_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_core_flex.cpp" "tests/CMakeFiles/rps_tests.dir/test_core_flex.cpp.o" "gcc" "tests/CMakeFiles/rps_tests.dir/test_core_flex.cpp.o.d"
+  "/root/repo/tests/test_core_flex_tlc.cpp" "tests/CMakeFiles/rps_tests.dir/test_core_flex_tlc.cpp.o" "gcc" "tests/CMakeFiles/rps_tests.dir/test_core_flex_tlc.cpp.o.d"
+  "/root/repo/tests/test_core_hot_cold.cpp" "tests/CMakeFiles/rps_tests.dir/test_core_hot_cold.cpp.o" "gcc" "tests/CMakeFiles/rps_tests.dir/test_core_hot_cold.cpp.o.d"
+  "/root/repo/tests/test_core_policy.cpp" "tests/CMakeFiles/rps_tests.dir/test_core_policy.cpp.o" "gcc" "tests/CMakeFiles/rps_tests.dir/test_core_policy.cpp.o.d"
+  "/root/repo/tests/test_core_predictor.cpp" "tests/CMakeFiles/rps_tests.dir/test_core_predictor.cpp.o" "gcc" "tests/CMakeFiles/rps_tests.dir/test_core_predictor.cpp.o.d"
+  "/root/repo/tests/test_core_recovery.cpp" "tests/CMakeFiles/rps_tests.dir/test_core_recovery.cpp.o" "gcc" "tests/CMakeFiles/rps_tests.dir/test_core_recovery.cpp.o.d"
+  "/root/repo/tests/test_device_features.cpp" "tests/CMakeFiles/rps_tests.dir/test_device_features.cpp.o" "gcc" "tests/CMakeFiles/rps_tests.dir/test_device_features.cpp.o.d"
+  "/root/repo/tests/test_differential.cpp" "tests/CMakeFiles/rps_tests.dir/test_differential.cpp.o" "gcc" "tests/CMakeFiles/rps_tests.dir/test_differential.cpp.o.d"
+  "/root/repo/tests/test_ftl_block_manager.cpp" "tests/CMakeFiles/rps_tests.dir/test_ftl_block_manager.cpp.o" "gcc" "tests/CMakeFiles/rps_tests.dir/test_ftl_block_manager.cpp.o.d"
+  "/root/repo/tests/test_ftl_durability.cpp" "tests/CMakeFiles/rps_tests.dir/test_ftl_durability.cpp.o" "gcc" "tests/CMakeFiles/rps_tests.dir/test_ftl_durability.cpp.o.d"
+  "/root/repo/tests/test_ftl_mapping.cpp" "tests/CMakeFiles/rps_tests.dir/test_ftl_mapping.cpp.o" "gcc" "tests/CMakeFiles/rps_tests.dir/test_ftl_mapping.cpp.o.d"
+  "/root/repo/tests/test_ftl_page.cpp" "tests/CMakeFiles/rps_tests.dir/test_ftl_page.cpp.o" "gcc" "tests/CMakeFiles/rps_tests.dir/test_ftl_page.cpp.o.d"
+  "/root/repo/tests/test_ftl_parity.cpp" "tests/CMakeFiles/rps_tests.dir/test_ftl_parity.cpp.o" "gcc" "tests/CMakeFiles/rps_tests.dir/test_ftl_parity.cpp.o.d"
+  "/root/repo/tests/test_ftl_rtf.cpp" "tests/CMakeFiles/rps_tests.dir/test_ftl_rtf.cpp.o" "gcc" "tests/CMakeFiles/rps_tests.dir/test_ftl_rtf.cpp.o.d"
+  "/root/repo/tests/test_ftl_slc.cpp" "tests/CMakeFiles/rps_tests.dir/test_ftl_slc.cpp.o" "gcc" "tests/CMakeFiles/rps_tests.dir/test_ftl_slc.cpp.o.d"
+  "/root/repo/tests/test_ftl_wear_leveling.cpp" "tests/CMakeFiles/rps_tests.dir/test_ftl_wear_leveling.cpp.o" "gcc" "tests/CMakeFiles/rps_tests.dir/test_ftl_wear_leveling.cpp.o.d"
+  "/root/repo/tests/test_host_block_device.cpp" "tests/CMakeFiles/rps_tests.dir/test_host_block_device.cpp.o" "gcc" "tests/CMakeFiles/rps_tests.dir/test_host_block_device.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/rps_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/rps_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_nand_block.cpp" "tests/CMakeFiles/rps_tests.dir/test_nand_block.cpp.o" "gcc" "tests/CMakeFiles/rps_tests.dir/test_nand_block.cpp.o.d"
+  "/root/repo/tests/test_nand_chip.cpp" "tests/CMakeFiles/rps_tests.dir/test_nand_chip.cpp.o" "gcc" "tests/CMakeFiles/rps_tests.dir/test_nand_chip.cpp.o.d"
+  "/root/repo/tests/test_nand_device.cpp" "tests/CMakeFiles/rps_tests.dir/test_nand_device.cpp.o" "gcc" "tests/CMakeFiles/rps_tests.dir/test_nand_device.cpp.o.d"
+  "/root/repo/tests/test_nand_geometry.cpp" "tests/CMakeFiles/rps_tests.dir/test_nand_geometry.cpp.o" "gcc" "tests/CMakeFiles/rps_tests.dir/test_nand_geometry.cpp.o.d"
+  "/root/repo/tests/test_nand_program_order.cpp" "tests/CMakeFiles/rps_tests.dir/test_nand_program_order.cpp.o" "gcc" "tests/CMakeFiles/rps_tests.dir/test_nand_program_order.cpp.o.d"
+  "/root/repo/tests/test_nand_tlc.cpp" "tests/CMakeFiles/rps_tests.dir/test_nand_tlc.cpp.o" "gcc" "tests/CMakeFiles/rps_tests.dir/test_nand_tlc.cpp.o.d"
+  "/root/repo/tests/test_nand_tlc_device.cpp" "tests/CMakeFiles/rps_tests.dir/test_nand_tlc_device.cpp.o" "gcc" "tests/CMakeFiles/rps_tests.dir/test_nand_tlc_device.cpp.o.d"
+  "/root/repo/tests/test_reliability.cpp" "tests/CMakeFiles/rps_tests.dir/test_reliability.cpp.o" "gcc" "tests/CMakeFiles/rps_tests.dir/test_reliability.cpp.o.d"
+  "/root/repo/tests/test_reliability_tlc.cpp" "tests/CMakeFiles/rps_tests.dir/test_reliability_tlc.cpp.o" "gcc" "tests/CMakeFiles/rps_tests.dir/test_reliability_tlc.cpp.o.d"
+  "/root/repo/tests/test_sim_simulator.cpp" "tests/CMakeFiles/rps_tests.dir/test_sim_simulator.cpp.o" "gcc" "tests/CMakeFiles/rps_tests.dir/test_sim_simulator.cpp.o.d"
+  "/root/repo/tests/test_util_random.cpp" "tests/CMakeFiles/rps_tests.dir/test_util_random.cpp.o" "gcc" "tests/CMakeFiles/rps_tests.dir/test_util_random.cpp.o.d"
+  "/root/repo/tests/test_util_result.cpp" "tests/CMakeFiles/rps_tests.dir/test_util_result.cpp.o" "gcc" "tests/CMakeFiles/rps_tests.dir/test_util_result.cpp.o.d"
+  "/root/repo/tests/test_util_stats.cpp" "tests/CMakeFiles/rps_tests.dir/test_util_stats.cpp.o" "gcc" "tests/CMakeFiles/rps_tests.dir/test_util_stats.cpp.o.d"
+  "/root/repo/tests/test_util_table.cpp" "tests/CMakeFiles/rps_tests.dir/test_util_table.cpp.o" "gcc" "tests/CMakeFiles/rps_tests.dir/test_util_table.cpp.o.d"
+  "/root/repo/tests/test_workload_generator.cpp" "tests/CMakeFiles/rps_tests.dir/test_workload_generator.cpp.o" "gcc" "tests/CMakeFiles/rps_tests.dir/test_workload_generator.cpp.o.d"
+  "/root/repo/tests/test_workload_msr.cpp" "tests/CMakeFiles/rps_tests.dir/test_workload_msr.cpp.o" "gcc" "tests/CMakeFiles/rps_tests.dir/test_workload_msr.cpp.o.d"
+  "/root/repo/tests/test_workload_trace.cpp" "tests/CMakeFiles/rps_tests.dir/test_workload_trace.cpp.o" "gcc" "tests/CMakeFiles/rps_tests.dir/test_workload_trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/rps_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rps_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/rps_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/ftl/CMakeFiles/rps_ftl.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/rps_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/reliability/CMakeFiles/rps_reliability.dir/DependInfo.cmake"
+  "/root/repo/build/src/nand/CMakeFiles/rps_nand.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rps_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
