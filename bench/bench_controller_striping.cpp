@@ -1,0 +1,121 @@
+// Microbench (ours): what the command-scheduling controller layer buys on
+// multi-page requests. A QD-8 stream of 8-page sequential writes is replayed
+// twice per FTL — once through the legacy synchronous path (each request's
+// pages programmed one after another, placement blind to chip busyness) and
+// once through the controller (requests split into per-page ops, ops striped
+// across idle chips).
+//
+// Read the numbers honestly: at QD-8 the legacy closed loop already keeps
+// 8 requests in flight, and pageFTL/flexFTL's headroom-driven chip choice
+// round-robins the array well enough to keep every chip busy — the device is
+// the bottleneck and the controller can only match it, not double it. The
+// controller's win shows where the *policy* serializes: rtfFTL funnels
+// bursts into a bounded LSB-active pool, and striping ops to idle chips
+// recovers the array parallelism the pool ordering gives up.
+#include <cstdio>
+
+#include "src/sim/runner.hpp"
+#include "src/util/table.hpp"
+#include "src/workload/trace.hpp"
+
+using namespace rps;
+
+namespace {
+
+constexpr std::uint32_t kQueueDepth = 8;
+constexpr std::uint32_t kPagesPerRequest = 8;
+constexpr std::uint64_t kRequests = 10'000;
+
+workload::Trace sequential_writes(Lpn space) {
+  workload::Trace trace("seq-write-8p");
+  trace.reserve(kRequests);
+  Lpn lpn = 0;
+  for (std::uint64_t i = 0; i < kRequests; ++i) {
+    workload::IoRequest req;
+    req.arrival_us = 0;  // back-to-back: the QD-8 window alone gates issue
+    req.kind = workload::IoKind::kWrite;
+    req.lpn = lpn;
+    req.page_count = kPagesPerRequest;
+    trace.add(req);
+    lpn += kPagesPerRequest;
+    if (lpn + kPagesPerRequest > space) lpn = 0;
+  }
+  return trace;
+}
+
+struct RunNumbers {
+  double iops = 0.0;
+  double utilization = 0.0;
+  double waf = 0.0;
+};
+
+RunNumbers run_one(sim::FtlKind kind, sim::Engine engine) {
+  ftl::FtlConfig config;
+  config.geometry = sim::bench_geometry();
+  config.overprovisioning = 0.20;
+  auto ftl = sim::make_ftl(kind, config);
+
+  sim::SimConfig sim_config;
+  sim_config.engine = engine;
+  sim_config.queue_depth = kQueueDepth;
+  sim::Simulator simulator(*ftl, sim_config);
+  simulator.precondition();
+
+  const std::uint32_t chips = ftl->device().geometry().num_chips();
+  Microseconds busy_before = 0;
+  for (std::uint32_t c = 0; c < chips; ++c) {
+    busy_before += ftl->device().chip(c).busy_time_total();
+  }
+
+  const Lpn space = ftl->exported_pages();
+  const sim::SimResult r = simulator.run(sequential_writes(space));
+
+  Microseconds busy_after = 0;
+  for (std::uint32_t c = 0; c < chips; ++c) {
+    busy_after += ftl->device().chip(c).busy_time_total();
+  }
+
+  RunNumbers n;
+  n.iops = r.iops_makespan();
+  n.waf = r.waf();
+  if (r.makespan_us > 0) {
+    n.utilization = static_cast<double>(busy_after - busy_before) /
+                    (static_cast<double>(chips) * static_cast<double>(r.makespan_us));
+  }
+  return n;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Controller striping microbench: QD-%u, %u-page sequential writes,\n"
+      "%llu requests on the Fig. 8 geometry (8 channels x 4 chips).\n"
+      "'util' is the mean fraction of the run each chip spent busy.\n\n",
+      kQueueDepth, kPagesPerRequest, static_cast<unsigned long long>(kRequests));
+
+  TablePrinter table({"FTL", "engine", "IOPS", "util", "WAF", "vs legacy"});
+  for (const sim::FtlKind kind :
+       {sim::FtlKind::kPage, sim::FtlKind::kRtf, sim::FtlKind::kFlex}) {
+    double legacy_iops = 0.0;
+    for (const sim::Engine engine :
+         {sim::Engine::kLegacySync, sim::Engine::kController}) {
+      const bool is_legacy = engine == sim::Engine::kLegacySync;
+      const RunNumbers n = run_one(kind, engine);
+      if (is_legacy) legacy_iops = n.iops;
+      const double ratio = legacy_iops > 0.0 ? n.iops / legacy_iops : 0.0;
+      table.add_row({std::string(sim::to_string(kind)),
+                     is_legacy ? "legacy" : "controller",
+                     TablePrinter::fmt(n.iops, 0), TablePrinter::fmt(n.utilization, 3),
+                     TablePrinter::fmt(n.waf, 2),
+                     is_legacy ? "1.00x" : TablePrinter::fmt(ratio, 2) + "x"});
+      std::fflush(stdout);
+    }
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Note: legacy pageFTL/flexFTL are already work-conserving at this depth\n"
+      "(util ~1.0) — the controller matches the device ceiling there; the\n"
+      "striping gain concentrates where policy ordering idles chips (rtfFTL).\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// The Allocator interface: the policy half of the FTL split.
+//
+// An FTL used to own the whole write path — chip selection, page placement,
+// backup work, and device timing in one virtual call. The controller layer
+// splits that: the *controller* decides when an op runs and which chip it
+// runs on (per-chip queues, request striping); the *allocator* decides
+// where on that chip the page lands and what backup work surrounds it
+// (2PO ordering, LSB quota, per-block parity, paired-page backups).
+//
+// pageFTL / parityFTL / rtfFTL / flexFTL / slcFTL all implement this
+// interface (via ftl::FtlBase), preserving their exact placement semantics.
+#pragma once
+
+#include <cstdint>
+
+#include "src/nand/block.hpp"
+#include "src/util/result.hpp"
+#include "src/util/types.hpp"
+
+namespace rps::ctrl {
+
+class Allocator {
+ public:
+  virtual ~Allocator() = default;
+
+  /// Place and program one host page on `chip` at/after `now`, commit the
+  /// mapping, and return the program completion time. `buffer_utilization`
+  /// is the host write buffer's fill level in [0, 1] (flexFTL's policy
+  /// input; other allocators ignore it).
+  virtual Result<Microseconds> allocate_host_page(std::uint32_t chip, Lpn lpn,
+                                                  nand::PageData data, Microseconds now,
+                                                  double buffer_utilization) = 0;
+
+  /// Place and program one GC relocation copy on `chip` (same-chip
+  /// relocation). `background` distinguishes idle-time GC (flexFTL uses
+  /// MSB pages and raises its quota there).
+  virtual Result<Microseconds> allocate_gc_page(std::uint32_t chip, Lpn lpn,
+                                                nand::PageData data, Microseconds now,
+                                                bool background) = 0;
+
+  /// Plan background work for an idle window [now, deadline): background
+  /// GC, quota replenishment, wear leveling — whatever the policy banks
+  /// during idleness.
+  virtual void on_idle_plan(Microseconds now, Microseconds deadline) = 0;
+};
+
+}  // namespace rps::ctrl

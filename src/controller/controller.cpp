@@ -1,0 +1,247 @@
+#include "src/controller/controller.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rps::ctrl {
+
+Controller::Controller(ftl::FtlBase& ftl, ControllerConfig config)
+    : ftl_(ftl),
+      config_(config),
+      read_queues_(ftl.device().geometry().num_chips()) {}
+
+CommandId Controller::submit(const HostCommand& cmd) {
+  const CommandId id = next_id_++;
+  Pending pending;
+  pending.cmd = cmd;
+  std::vector<NandOp> ops = split_request(cmd);
+  pending.ops.reserve(ops.size());
+  for (NandOp& op : ops) {
+    OpState state;
+    state.unresolved = static_cast<std::uint32_t>(op.deps.size());
+    state.ready = cmd.issue;
+    state.op = std::move(op);
+    pending.ops.push_back(std::move(state));
+  }
+  pending.remaining = static_cast<std::uint32_t>(pending.ops.size());
+  pending.result.id = id;
+  pending.result.issue = cmd.issue;
+  pending.result.first_complete = kTimeNever;
+  pending.result.last_complete = cmd.issue;
+  pending.result.pages = pending.remaining;
+  live_ops_ += pending.remaining;
+
+  Pending& stored = pending_.emplace(id, std::move(pending)).first->second;
+  if (stored.remaining == 0) {
+    // Degenerate zero-page command: finished on arrival.
+    stored.result.first_complete = cmd.issue;
+    return id;
+  }
+  for (std::uint32_t i = 0; i < stored.ops.size(); ++i) {
+    // Seed only ops that arrived dependency-free: enqueueing an op can
+    // retire it on the spot (unmapped read), and that retirement already
+    // enqueues any dependent it unblocks — rechecking `unresolved` here
+    // would enqueue such a dependent a second time.
+    if (stored.ops[i].op.deps.empty()) enqueue_ready(stored, id, i);
+  }
+  events_.schedule(cmd.issue);
+  return id;
+}
+
+void Controller::enqueue_ready(Pending& pending, CommandId id, std::uint32_t index) {
+  OpState& state = pending.ops[index];
+  if (state.op.kind == OpKind::kHostWrite) {
+    write_queue_.push_back(OpRef{id, index});
+    return;
+  }
+  // Reads are bound to the chip their mapping points at. Unmapped pages
+  // are zero-fill — no device op, retire at readiness (ftl_.read keeps
+  // the unmapped-read stats accounting).
+  const Result<nand::PageAddress> addr = ftl_.mapping().lookup(state.op.lpn);
+  if (addr.is_ok()) {
+    read_queues_[addr.value().chip].push_back(OpRef{id, index});
+    return;
+  }
+  const Result<ftl::HostOp> op = ftl_.read(state.op.lpn, state.ready);
+  if (!op.is_ok()) {
+    // Out-of-range LPN: surfaces as a read error, like the legacy loop.
+    ++pending.result.read_errors;
+    retire(OpRef{id, index}, /*chip=*/0, state.ready, state.ready, /*ok=*/true);
+    return;
+  }
+  retire(OpRef{id, index}, /*chip=*/0, state.ready, op.value().complete, /*ok=*/true);
+}
+
+void Controller::dispatch_at(Microseconds t) {
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    // Write stream: FIFO heads bind to idle chips until none is idle (or
+    // the head is not yet ready).
+    while (!write_queue_.empty()) {
+      const OpRef ref = write_queue_.front();
+      const OpState& state = pending_.at(ref.cmd).ops[ref.index];
+      if (state.ready > t) {
+        events_.schedule(state.ready);
+        break;
+      }
+      if (!dispatch_write(ref, t)) break;  // no idle chip; wake-up scheduled
+      write_queue_.pop_front();
+      progress = true;
+    }
+    // Per-chip read queues: each head dispatches once its chip is free.
+    for (std::uint32_t chip = 0; chip < read_queues_.size(); ++chip) {
+      std::deque<OpRef>& queue = read_queues_[chip];
+      while (!queue.empty()) {
+        const OpRef ref = queue.front();
+        const OpState& state = pending_.at(ref.cmd).ops[ref.index];
+        if (state.ready > t) {
+          events_.schedule(state.ready);
+          break;
+        }
+        const Microseconds busy = ftl_.device().chip(chip).busy_until();
+        if (busy > t) {
+          events_.schedule(busy);
+          break;
+        }
+        queue.pop_front();
+        dispatch_read(ref, chip, t);
+        progress = true;
+      }
+    }
+  }
+}
+
+bool Controller::dispatch_write(const OpRef& ref, Microseconds t) {
+  Pending& pending = pending_.at(ref.cmd);
+  OpState& state = pending.ops[ref.index];
+  const std::uint32_t chips = ftl_.device().geometry().num_chips();
+  std::uint32_t chip = 0;
+  if (config_.stripe_writes) {
+    eligible_.assign(chips, 0);
+    bool any_idle = false;
+    Microseconds next_free = kTimeNever;
+    for (std::uint32_t c = 0; c < chips; ++c) {
+      const Microseconds busy = ftl_.device().chip(c).busy_until();
+      if (busy <= t) {
+        eligible_[c] = 1;
+        any_idle = true;
+      } else {
+        next_free = std::min(next_free, busy);
+      }
+    }
+    if (!any_idle) {
+      events_.schedule(next_free);
+      return false;
+    }
+    chip = ftl_.pick_chip_among(eligible_);
+  } else {
+    chip = ftl_.pick_unconstrained_chip();
+  }
+  const Result<ftl::HostOp> op =
+      ftl_.write_on(chip, state.op.lpn, t, pending.cmd.buffer_utilization);
+  if (!op.is_ok()) {
+    // Destination exhausted (kNoFreeBlock) or out of range: the command
+    // fails, but its bookkeeping still retires so drain() terminates.
+    retire(ref, chip, t, t, /*ok=*/false);
+    return true;
+  }
+  retire(ref, chip, t, op.value().complete, /*ok=*/true);
+  return true;
+}
+
+void Controller::dispatch_read(const OpRef& ref, std::uint32_t chip, Microseconds t) {
+  Pending& pending = pending_.at(ref.cmd);
+  OpState& state = pending.ops[ref.index];
+  const Result<ftl::HostOp> op = ftl_.read(state.op.lpn, t);
+  if (!op.is_ok()) {
+    // ECC-uncorrectable: data destroyed. The op retires (the command
+    // completes, as the host sees an error response) at dispatch time.
+    ++pending.result.read_errors;
+    retire(ref, chip, t, t, /*ok=*/true);
+    return;
+  }
+  retire(ref, chip, t, op.value().complete, /*ok=*/true);
+}
+
+void Controller::retire(const OpRef& ref, std::uint32_t chip, Microseconds start,
+                        Microseconds complete, bool ok) {
+  Pending& pending = pending_.at(ref.cmd);
+  OpState& state = pending.ops[ref.index];
+  assert(!state.done);
+  state.done = true;
+  state.complete = complete;
+  assert(pending.remaining > 0);
+  --pending.remaining;
+  assert(live_ops_ > 0);
+  --live_ops_;
+  if (!ok) pending.result.ok = false;
+  pending.result.first_complete = std::min(pending.result.first_complete, complete);
+  pending.result.last_complete = std::max(pending.result.last_complete, complete);
+  if (config_.keep_op_log) {
+    op_log_.push_back(OpRecord{ref.cmd, ref.index, state.op.kind, state.op.lpn, chip,
+                               pending.cmd.issue, state.ready, start, complete, ok});
+  }
+  // Resolve dependents within the batch (op batches are request-sized, so
+  // the linear sweep is cheap).
+  for (std::uint32_t j = 0; j < pending.ops.size(); ++j) {
+    OpState& other = pending.ops[j];
+    if (other.done || other.unresolved == 0) continue;
+    for (const std::uint32_t dep : other.op.deps) {
+      if (dep != ref.index) continue;
+      other.ready = std::max(other.ready, complete);
+      if (--other.unresolved == 0) {
+        enqueue_ready(pending, ref.cmd, j);
+        events_.schedule(other.ready);
+      }
+      break;
+    }
+  }
+}
+
+void Controller::collect_finished() {
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (it->second.remaining == 0) {
+      CommandResult result = it->second.result;
+      if (result.first_complete == kTimeNever) result.first_complete = result.issue;
+      finished_.emplace(it->first, result);
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Controller::drain(Microseconds until) {
+  while (!events_.empty() && events_.peek() <= until) {
+    const Microseconds t = events_.pop();
+    // Coalesce duplicate wake-ups at the same instant.
+    while (!events_.empty() && events_.peek() <= t) events_.pop();
+    dispatch_at(t);
+    collect_finished();
+  }
+  collect_finished();
+  // A full drain must leave nothing in flight: every queued op either had
+  // its wake-up scheduled or retired. Anything else is a scheduler bug.
+  assert(until != kTimeNever || live_ops_ == 0);
+}
+
+CommandResult Controller::execute(const HostCommand& cmd) {
+  const CommandId id = submit(cmd);
+  drain();
+  return take_result(id);
+}
+
+CommandResult Controller::take_result(CommandId id) {
+  const auto it = finished_.find(id);
+  assert(it != finished_.end());
+  CommandResult result = it->second;
+  finished_.erase(it);
+  return result;
+}
+
+void Controller::on_idle(Microseconds now, Microseconds deadline) {
+  ftl_.on_idle(now, deadline);
+}
+
+}  // namespace rps::ctrl

@@ -1,0 +1,156 @@
+// The command-scheduling controller: per-chip op queues, request striping,
+// event-driven retirement.
+//
+// A submitted HostCommand is split into per-page NandOps (nand_op.hpp).
+// Write ops wait in one FIFO and are *bound to a chip at dispatch time*:
+// when the event loop reaches a time t, every chip whose timeline is free
+// at t is eligible, and the allocator's capacity-aware round-robin
+// (FtlBase::pick_chip_among) picks among the eligible set. That is what
+// makes the pages of one request stripe across the array — the second
+// page never waits behind the first page's program, it lands on the next
+// idle chip. When no chip is idle the controller sleeps until the
+// earliest one frees up.
+//
+// Read ops are bound to the chip their mapping points at and queue
+// per-chip FIFO; the device model serializes same-chip service anyway, so
+// queueing mirrors the hardware. Reads of unmapped pages retire instantly
+// (zero-fill, no device touch).
+//
+// What the controller does NOT do: page placement (the allocator decides
+// where on the chosen chip a page lands and what backup/GC work surrounds
+// it), and GC scheduling (foreground GC remains a synchronous part of an
+// allocation — the victim relocation must complete before the freed block
+// can absorb the triggering write, so it is one indivisible policy step).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "src/controller/event_queue.hpp"
+#include "src/controller/nand_op.hpp"
+#include "src/ftl/ftl_base.hpp"
+
+namespace rps::ctrl {
+
+struct ControllerConfig {
+  /// Bind write ops to idle chips at dispatch (request striping). When
+  /// off, every write falls back to the allocator's own unconstrained
+  /// chip pick — placement becomes identical to the legacy synchronous
+  /// path regardless of chip busyness.
+  bool stripe_writes = true;
+  /// Record one OpRecord per retired op (property tests, debugging).
+  bool keep_op_log = false;
+};
+
+/// Completion record of one command.
+struct CommandResult {
+  CommandId id = 0;
+  Microseconds issue = 0;
+  Microseconds first_complete = 0;  // earliest page op retirement
+  Microseconds last_complete = 0;   // all page ops retired
+  std::uint32_t pages = 0;
+  std::uint32_t read_errors = 0;    // ECC-uncorrectable page reads
+  bool ok = true;                   // every write op found space
+};
+
+/// Per-op trace entry.
+struct OpRecord {
+  CommandId cmd = 0;
+  std::uint32_t index = 0;  // position within the command's batch
+  OpKind kind = OpKind::kHostWrite;
+  Lpn lpn = 0;
+  std::uint32_t chip = 0;   // chip the op was dispatched on
+  Microseconds issue = 0;   // command issue time
+  Microseconds ready = 0;   // last dependency resolved
+  Microseconds start = 0;   // dispatched to the allocator/device
+  Microseconds complete = 0;
+  bool ok = true;
+};
+
+class Controller {
+ public:
+  explicit Controller(ftl::FtlBase& ftl, ControllerConfig config = {});
+
+  Controller(const Controller&) = delete;
+  Controller& operator=(const Controller&) = delete;
+
+  /// Enqueue a command, split into per-page ops. Returns its id; nothing
+  /// executes until drain().
+  CommandId submit(const HostCommand& cmd);
+
+  /// Run the event loop: dispatch every op that becomes ready at an event
+  /// time <= `until` (default: until everything submitted has retired).
+  void drain(Microseconds until = kTimeNever);
+
+  /// submit + drain + take_result: the synchronous convenience path.
+  CommandResult execute(const HostCommand& cmd);
+
+  /// Completion record of a fully retired command (removes it from the
+  /// finished set). Asserts the command is finished.
+  CommandResult take_result(CommandId id);
+
+  /// True when no submitted op is still in flight.
+  [[nodiscard]] bool idle() const { return live_ops_ == 0; }
+
+  /// Idle-window pass-through to the allocator's planning hook.
+  void on_idle(Microseconds now, Microseconds deadline);
+
+  [[nodiscard]] const std::vector<OpRecord>& op_log() const { return op_log_; }
+  [[nodiscard]] const ControllerConfig& config() const { return config_; }
+
+ private:
+  struct OpState {
+    NandOp op;
+    std::uint32_t unresolved = 0;  // outstanding dependency count
+    Microseconds ready = 0;        // max(issue, dep completions so far)
+    bool done = false;
+    Microseconds complete = 0;
+  };
+  struct Pending {
+    HostCommand cmd;
+    std::vector<OpState> ops;
+    std::uint32_t remaining = 0;
+    CommandResult result;
+  };
+  struct OpRef {
+    CommandId cmd = 0;
+    std::uint32_t index = 0;
+  };
+
+  /// An op's dependencies just resolved: route it to its dispatch queue
+  /// (or retire it on the spot for unmapped reads).
+  void enqueue_ready(Pending& pending, CommandId id, std::uint32_t index);
+
+  /// Dispatch everything dispatchable at time `t`; schedules wake-ups for
+  /// whatever blocks (busy chips, unready deps).
+  void dispatch_at(Microseconds t);
+
+  /// Returns true when the op was consumed (dispatched or failed); false
+  /// when it must stay queued (no idle chip — wake-up scheduled).
+  bool dispatch_write(const OpRef& ref, Microseconds t);
+  void dispatch_read(const OpRef& ref, std::uint32_t chip, Microseconds t);
+
+  void retire(const OpRef& ref, std::uint32_t chip, Microseconds start,
+              Microseconds complete, bool ok);
+
+  /// Move fully retired commands from pending_ to finished_. Only called
+  /// from drain() between events — never while dispatch loops hold
+  /// references into pending_.
+  void collect_finished();
+
+  ftl::FtlBase& ftl_;
+  ControllerConfig config_;
+  EventQueue events_;
+  std::unordered_map<CommandId, Pending> pending_;
+  std::unordered_map<CommandId, CommandResult> finished_;
+  std::deque<OpRef> write_queue_;               // FIFO, striped across chips
+  std::vector<std::deque<OpRef>> read_queues_;  // per chip
+  std::vector<OpRecord> op_log_;
+  std::vector<std::uint8_t> eligible_;          // scratch: idle-chip mask
+  CommandId next_id_ = 1;
+  std::uint64_t live_ops_ = 0;
+};
+
+}  // namespace rps::ctrl

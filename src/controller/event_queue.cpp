@@ -1,0 +1,16 @@
+#include "src/controller/event_queue.hpp"
+
+#include <cassert>
+
+namespace rps::ctrl {
+
+void EventQueue::schedule(Microseconds t) { heap_.push(t); }
+
+Microseconds EventQueue::pop() {
+  assert(!heap_.empty());
+  const Microseconds t = heap_.top();
+  heap_.pop();
+  return t;
+}
+
+}  // namespace rps::ctrl

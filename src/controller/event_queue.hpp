@@ -1,0 +1,32 @@
+// Minimal discrete-event core for the command controller: a min-heap of
+// wake-up times. The controller schedules a wake-up whenever something
+// will become dispatchable later (a dependency completes, a chip goes
+// idle, a command's issue time arrives) and drains events in time order.
+#pragma once
+
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/util/types.hpp"
+
+namespace rps::ctrl {
+
+class EventQueue {
+ public:
+  void schedule(Microseconds t);
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+
+  /// Earliest scheduled time. Precondition: !empty().
+  [[nodiscard]] Microseconds peek() const { return heap_.top(); }
+
+  /// Pop and return the earliest scheduled time. Precondition: !empty().
+  Microseconds pop();
+
+ private:
+  std::priority_queue<Microseconds, std::vector<Microseconds>, std::greater<>> heap_;
+};
+
+}  // namespace rps::ctrl

@@ -1,0 +1,18 @@
+#include "src/controller/nand_op.hpp"
+
+namespace rps::ctrl {
+
+std::vector<NandOp> split_request(const HostCommand& cmd) {
+  std::vector<NandOp> ops;
+  ops.reserve(cmd.page_count);
+  for (std::uint32_t j = 0; j < cmd.page_count; ++j) {
+    NandOp op;
+    op.kind = cmd.kind == CmdKind::kRead ? OpKind::kHostRead : OpKind::kHostWrite;
+    op.lpn = cmd.lpn + j;
+    if (cmd.ordered && j > 0) op.deps.push_back(j - 1);
+    ops.push_back(std::move(op));
+  }
+  return ops;
+}
+
+}  // namespace rps::ctrl

@@ -1,0 +1,46 @@
+// Command decomposition: a whole host request (`HostCommand`, mirroring
+// workload::IoRequest's page_count span) splits into per-page `NandOp`s
+// with explicit dependencies. The controller schedules the ops; the
+// dependency edges express ordering the host demands (journal-style
+// `ordered` commands chain page j on page j-1), while independent pages
+// are free to stripe across chips.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/types.hpp"
+
+namespace rps::ctrl {
+
+using CommandId = std::uint64_t;
+
+enum class CmdKind : std::uint8_t { kRead = 0, kWrite = 1 };
+enum class OpKind : std::uint8_t { kHostRead = 0, kHostWrite = 1 };
+
+/// One whole host request, as the simulator issues it.
+struct HostCommand {
+  CmdKind kind = CmdKind::kWrite;
+  Lpn lpn = 0;                    // first logical page
+  std::uint32_t page_count = 1;
+  Microseconds issue = 0;         // earliest time any page op may start
+  /// Host write-buffer fill level in [0, 1] at issue (flexFTL policy input).
+  double buffer_utilization = 0.0;
+  /// Chain page j on page j-1 (journal-like strict ordering). Default:
+  /// the pages of one request are independent and may stripe freely.
+  bool ordered = false;
+};
+
+/// One page-granular NAND operation derived from a HostCommand.
+struct NandOp {
+  OpKind kind = OpKind::kHostWrite;
+  Lpn lpn = 0;
+  /// Indices within the same command's batch this op must wait for (the
+  /// op becomes ready when the last dependency completes).
+  std::vector<std::uint32_t> deps;
+};
+
+/// Split a command into its per-page op batch.
+std::vector<NandOp> split_request(const HostCommand& cmd);
+
+}  // namespace rps::ctrl

@@ -202,10 +202,9 @@ Result<Microseconds> FlexFtl::write_msb(std::uint32_t chip, Lpn lpn,
   return timing.value().complete;
 }
 
-Result<Microseconds> FlexFtl::program_host_page(Lpn lpn, nand::PageData data,
-                                                Microseconds now,
-                                                double buffer_utilization) {
-  const std::uint32_t chip = pick_chip();
+Result<Microseconds> FlexFtl::allocate_host_page(std::uint32_t chip, Lpn lpn,
+                                                 nand::PageData data, Microseconds now,
+                                                 double buffer_utilization) {
   ChipState& cs = chips_.at(chip);
   const bool has_slow = !cs.sbqueue.empty() || !cs.cold_sbqueue.empty();
   nand::PageType choice = policy_.choose(chip, buffer_utilization, has_slow);
@@ -230,9 +229,9 @@ Result<Microseconds> FlexFtl::program_host_page(Lpn lpn, nand::PageData data,
   return write_lsb(chip, lpn, std::move(data), now, /*gc=*/false);
 }
 
-Result<Microseconds> FlexFtl::program_gc_page(std::uint32_t chip, Lpn lpn,
-                                              nand::PageData data, Microseconds now,
-                                              bool background) {
+Result<Microseconds> FlexFtl::allocate_gc_page(std::uint32_t chip, Lpn lpn,
+                                               nand::PageData data, Microseconds now,
+                                               bool background) {
   (void)background;
   // GC copies consume slow MSB pages (raising q); LSB only as a fallback.
   // With hot/cold separation on, copies live in their own stream.
@@ -246,7 +245,7 @@ Result<Microseconds> FlexFtl::program_gc_page(std::uint32_t chip, Lpn lpn,
   return write_lsb(chip, lpn, std::move(data), now, /*gc=*/true, /*cold=*/cold);
 }
 
-void FlexFtl::on_idle(Microseconds now, Microseconds deadline) {
+void FlexFtl::on_idle_plan(Microseconds now, Microseconds deadline) {
   // Burst observation happens on every idle, even ones too short to work
   // in — the predictor must see the workload's rhythm either way.
   if (config_.use_write_predictor) {
@@ -254,7 +253,7 @@ void FlexFtl::on_idle(Microseconds now, Microseconds deadline) {
     lsb_since_idle_ = 0;
   }
 
-  FtlBase::on_idle(now, deadline);
+  FtlBase::on_idle_plan(now, deadline);
   // Same spill guard as the base background GC.
   deadline -= 2 * config_.timing.program_msb_us;
   if (deadline <= now) return;

@@ -54,7 +54,7 @@ class FlexFtl : public ftl::FtlBase {
   /// background GC, flexFTL keeps the LSB quota q in a high range — GC
   /// relocation copies consume MSB pages, each raising q, so future bursts
   /// can again be absorbed with fast LSB writes.
-  void on_idle(Microseconds now, Microseconds deadline) override;
+  void on_idle_plan(Microseconds now, Microseconds deadline) override;
 
   /// Power-loss recovery: verifies every slow block's LSB data by parity
   /// recomputation, rebuilds lost pages from the per-block parity pages,
@@ -84,10 +84,11 @@ class FlexFtl : public ftl::FtlBase {
   [[nodiscard]] const WritePredictor& write_predictor() const { return predictor_; }
 
  protected:
-  Result<Microseconds> program_host_page(Lpn lpn, nand::PageData data, Microseconds now,
-                                         double buffer_utilization) override;
-  Result<Microseconds> program_gc_page(std::uint32_t chip, Lpn lpn, nand::PageData data,
-                                       Microseconds now, bool background) override;
+  Result<Microseconds> allocate_host_page(std::uint32_t chip, Lpn lpn,
+                                          nand::PageData data, Microseconds now,
+                                          double buffer_utilization) override;
+  Result<Microseconds> allocate_gc_page(std::uint32_t chip, Lpn lpn, nand::PageData data,
+                                        Microseconds now, bool background) override;
 
  private:
   /// A backup block holding per-block parity pages on its LSB pages.

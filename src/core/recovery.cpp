@@ -116,7 +116,7 @@ RecoveryReport FlexFtl::recover_from_power_loss(
       // Rewrite the reconstructed page at a fresh location and remap.
       const Lpn lpn = recovered.lpn;
       Result<Microseconds> rewritten =
-          program_gc_page(chip, lpn, std::move(recovered), now, /*background=*/false);
+          allocate_gc_page(chip, lpn, std::move(recovered), now, /*background=*/false);
       if (rewritten.is_ok()) {
         ++report.pages_recovered;
       } else {

@@ -29,34 +29,38 @@ std::uint64_t FtlBase::make_signature(Lpn lpn) {
   return x ^ (x >> 31);
 }
 
-Result<HostOp> FtlBase::write(Lpn lpn, Microseconds now, double buffer_utilization) {
-  if (lpn >= mapping_.exported_pages()) return ErrorCode::kOutOfRange;
-  nand::PageData data;
-  data.lpn = lpn;
-  data.signature = make_signature(lpn);
-  data.version = write_version_;
-  Result<Microseconds> done =
-      program_host_page(lpn, std::move(data), now, buffer_utilization);
-  if (!done.is_ok()) return done.code();
-  ++stats_.host_write_pages;
-  incremental_gc(now);
-  return HostOp{done.value()};
-}
-
-Result<HostOp> FtlBase::write_data(Lpn lpn, std::vector<std::uint8_t> bytes,
-                                   Microseconds now, double buffer_utilization) {
-  if (lpn >= mapping_.exported_pages()) return ErrorCode::kOutOfRange;
+Result<HostOp> FtlBase::host_program(std::uint32_t chip, Lpn lpn,
+                                     std::vector<std::uint8_t> bytes, Microseconds now,
+                                     double buffer_utilization) {
   nand::PageData data;
   data.lpn = lpn;
   data.signature = make_signature(lpn);
   data.version = write_version_;
   data.bytes = std::move(bytes);
   Result<Microseconds> done =
-      program_host_page(lpn, std::move(data), now, buffer_utilization);
+      allocate_host_page(chip, lpn, std::move(data), now, buffer_utilization);
   if (!done.is_ok()) return done.code();
   ++stats_.host_write_pages;
   incremental_gc(now);
   return HostOp{done.value()};
+}
+
+Result<HostOp> FtlBase::write(Lpn lpn, Microseconds now, double buffer_utilization) {
+  if (lpn >= mapping_.exported_pages()) return ErrorCode::kOutOfRange;
+  return host_program(pick_chip(), lpn, {}, now, buffer_utilization);
+}
+
+Result<HostOp> FtlBase::write_on(std::uint32_t chip, Lpn lpn, Microseconds now,
+                                 double buffer_utilization) {
+  if (lpn >= mapping_.exported_pages()) return ErrorCode::kOutOfRange;
+  if (chip >= device_.geometry().num_chips()) return ErrorCode::kOutOfRange;
+  return host_program(chip, lpn, {}, now, buffer_utilization);
+}
+
+Result<HostOp> FtlBase::write_data(Lpn lpn, std::vector<std::uint8_t> bytes,
+                                   Microseconds now, double buffer_utilization) {
+  if (lpn >= mapping_.exported_pages()) return ErrorCode::kOutOfRange;
+  return host_program(pick_chip(), lpn, std::move(bytes), now, buffer_utilization);
 }
 
 Result<HostOp> FtlBase::read(Lpn lpn, Microseconds now) {
@@ -102,6 +106,7 @@ void FtlBase::commit_mapping(Lpn lpn, const nand::PageAddress& addr) {
   const std::optional<nand::PageAddress> old = mapping_.update(lpn, addr);
   if (old) blocks_.remove_valid({old->chip, old->block});
   blocks_.add_valid(block);
+  if (placement_observer_) placement_observer_(lpn, addr);
 }
 
 bool FtlBase::collect_block(std::uint32_t chip, std::uint32_t victim, Microseconds now,
@@ -126,8 +131,8 @@ bool FtlBase::collect_block(std::uint32_t chip, std::uint32_t victim, Microsecon
       assert(got.is_ok());
       if (!got.value().data.is_ok()) continue;  // corrupted page: leave for recovery
       Result<Microseconds> programmed =
-          program_gc_page(chip, lpn, std::move(got.value().data).take(),
-                          got.value().timing.complete, background);
+          allocate_gc_page(chip, lpn, std::move(got.value().data).take(),
+                           got.value().timing.complete, background);
       if (!programmed.is_ok()) return false;  // destination exhausted; retry later
       ++stats_.gc_copy_pages;
       ++copies;
@@ -146,26 +151,40 @@ bool FtlBase::collect_block(std::uint32_t chip, std::uint32_t victim, Microsecon
   return true;
 }
 
-std::uint32_t FtlBase::pick_chip() {
+std::uint32_t FtlBase::pick_chip_impl(const std::vector<std::uint8_t>* eligible) {
   // Place the write on the chip with the most headroom (physical pages not
   // holding valid data), ties broken round-robin. Free-block counts alone
   // are too coarse: a chip whose pages are ~100% valid still shows a few
   // free blocks right after GC, keeps attracting writes, and eventually
   // packs itself into an un-collectable state.
+  //
+  // The round-robin counter advances on every call, eligible set or not,
+  // so the controller's striped picks and the legacy picks walk the same
+  // sequence when the whole array is idle.
   const std::uint32_t chips = device_.geometry().num_chips();
   const std::uint64_t chip_pages = device_.geometry().pages_per_chip();
   const std::uint32_t start = rr_chip_++ % chips;
+  bool found = false;
   std::uint32_t best = start;
-  std::uint64_t best_headroom = chip_pages - blocks_.chip_valid_pages(start);
-  for (std::uint32_t i = 1; i < chips; ++i) {
+  std::uint64_t best_headroom = 0;
+  for (std::uint32_t i = 0; i < chips; ++i) {
     const std::uint32_t chip = (start + i) % chips;
+    if (eligible != nullptr && (*eligible)[chip] == 0) continue;
     const std::uint64_t headroom = chip_pages - blocks_.chip_valid_pages(chip);
-    if (headroom > best_headroom) {
+    if (!found || headroom > best_headroom) {
+      found = true;
       best = chip;
       best_headroom = headroom;
     }
   }
+  // Callers guarantee a nonempty eligible set; `start` is a safe fallback.
   return best;
+}
+
+std::uint32_t FtlBase::pick_chip() { return pick_chip_impl(nullptr); }
+
+std::uint32_t FtlBase::pick_chip_among(const std::vector<std::uint8_t>& eligible) {
+  return pick_chip_impl(&eligible);
 }
 
 void FtlBase::incremental_gc(Microseconds now) {
@@ -197,7 +216,7 @@ Status FtlBase::ensure_free_block(std::uint32_t chip, Microseconds now) {
   return Status::ok();
 }
 
-void FtlBase::on_idle(Microseconds now, Microseconds deadline) {
+void FtlBase::on_idle_plan(Microseconds now, Microseconds deadline) {
   // Stop background work early enough that an in-flight MSB program (plus
   // its copy read) cannot spill into the next burst's first requests.
   const Microseconds guarded =

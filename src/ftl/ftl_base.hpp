@@ -2,14 +2,20 @@
 // block bookkeeping, greedy foreground/background garbage collection, and
 // host read/write entry points with device-time accounting.
 //
-// Concrete FTLs (pageFTL, parityFTL, rtfFTL, flexFTL) implement the page
-// *allocation policy*: where a host write and a GC copy land, and what
-// backup work surrounds them.
+// Concrete FTLs (pageFTL, parityFTL, rtfFTL, flexFTL, slcFTL) implement
+// the ctrl::Allocator interface — the page *allocation policy*: where a
+// host write and a GC copy land on a given chip, and what backup work
+// surrounds them. Chip selection is NOT the policy's job: the legacy
+// write() path picks a chip itself (capacity-aware round robin), while
+// the command controller (src/controller/) binds ops to idle chips and
+// enters through write_on().
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string_view>
 
+#include "src/controller/allocator.hpp"
 #include "src/ftl/block_manager.hpp"
 #include "src/ftl/config.hpp"
 #include "src/ftl/mapping.hpp"
@@ -46,10 +52,10 @@ struct HostOp {
   Microseconds complete = 0;  // when the data is durable / delivered
 };
 
-class FtlBase {
+class FtlBase : public ctrl::Allocator {
  public:
   FtlBase(const FtlConfig& config, nand::SequenceKind kind);
-  virtual ~FtlBase() = default;
+  ~FtlBase() override = default;
 
   FtlBase(const FtlBase&) = delete;
   FtlBase& operator=(const FtlBase&) = delete;
@@ -60,6 +66,12 @@ class FtlBase {
   /// `buffer_utilization` is the host write buffer's fill level in [0, 1]
   /// (flexFTL's policy input; other FTLs ignore it).
   Result<HostOp> write(Lpn lpn, Microseconds now, double buffer_utilization = 0.0);
+
+  /// Controller entry point: service a one-page host write bound to
+  /// `chip` (the scheduler already chose an idle chip). Same accounting
+  /// as write(), minus the chip pick.
+  Result<HostOp> write_on(std::uint32_t chip, Lpn lpn, Microseconds now,
+                          double buffer_utilization = 0.0);
 
   /// Service a host write carrying a real payload (recovery tests and the
   /// examples verify data contents end to end).
@@ -77,9 +89,32 @@ class FtlBase {
   Result<nand::PageData> read_data(Lpn lpn, Microseconds now,
                                    Microseconds* complete = nullptr);
 
-  /// Offer the FTL an idle window [now, deadline). Default: background GC
-  /// on chips under the free-block threshold.
-  virtual void on_idle(Microseconds now, Microseconds deadline);
+  /// Offer the FTL an idle window [now, deadline). Forwards to the
+  /// policy's on_idle_plan (the Allocator hook).
+  void on_idle(Microseconds now, Microseconds deadline) { on_idle_plan(now, deadline); }
+
+  /// Base idle plan: background GC on chips under the free-block
+  /// threshold, plus opt-in wear leveling and read scrubbing. Policies
+  /// that bank extra idle work (rtfFTL, flexFTL) override and extend.
+  void on_idle_plan(Microseconds now, Microseconds deadline) override;
+
+  /// Striping hook for the command controller: the legacy capacity-aware
+  /// round robin restricted to `eligible` chips (nonzero entries, indexed
+  /// by chip). With every chip eligible this is exactly pick_chip() —
+  /// which is what makes controller placement bit-identical to the legacy
+  /// path whenever the whole array is idle.
+  std::uint32_t pick_chip_among(const std::vector<std::uint8_t>& eligible);
+
+  /// The unconstrained legacy chip pick (controller's no-striping mode).
+  std::uint32_t pick_unconstrained_chip() { return pick_chip(); }
+
+  /// Observe every mapping commit (lpn -> physical page), in program
+  /// order. The differential tests use this to compare the controller
+  /// path's placement sequence against the legacy path's.
+  using PlacementObserver = std::function<void(Lpn, const nand::PageAddress&)>;
+  void set_placement_observer(PlacementObserver observer) {
+    placement_observer_ = std::move(observer);
+  }
 
   /// TRIM/discard: drop the mapping for `lpn`. The physical page becomes
   /// invalid (reclaimable by GC); subsequent reads are zero-fill. No-op on
@@ -109,19 +144,8 @@ class FtlBase {
   [[nodiscard]] bool check_consistency() const;
 
  protected:
-  /// Program one host page. Must allocate per the FTL's policy, write
-  /// `data` to the device at/after `now`, commit the mapping, and return
-  /// the program completion time.
-  virtual Result<Microseconds> program_host_page(Lpn lpn, nand::PageData data,
-                                                 Microseconds now,
-                                                 double buffer_utilization) = 0;
-
-  /// Program one GC relocation copy on `chip` (same-chip relocation).
-  /// `background` distinguishes idle-time GC (flexFTL uses MSB pages and
-  /// raises its quota there).
-  virtual Result<Microseconds> program_gc_page(std::uint32_t chip, Lpn lpn,
-                                               nand::PageData data, Microseconds now,
-                                               bool background) = 0;
+  // The allocation policy itself — ctrl::Allocator's allocate_host_page /
+  // allocate_gc_page / on_idle_plan — is what concrete FTLs implement.
 
   /// Update mapping + valid counters for a page just written to `addr`.
   void commit_mapping(Lpn lpn, const nand::PageAddress& addr);
@@ -163,6 +187,17 @@ class FtlBase {
 
   [[nodiscard]] static Lpn compute_exported_pages(const FtlConfig& config);
 
+ private:
+  /// Shared body of write()/write_on(): builds the page payload, consults
+  /// the allocation policy, and runs the per-write accounting.
+  Result<HostOp> host_program(std::uint32_t chip, Lpn lpn,
+                              std::vector<std::uint8_t> bytes, Microseconds now,
+                              double buffer_utilization);
+
+  /// Capacity-aware round robin over chips; `eligible` nullptr = all.
+  std::uint32_t pick_chip_impl(const std::vector<std::uint8_t>* eligible);
+
+ protected:
   FtlConfig config_;
   nand::NandDevice device_;
   MappingTable mapping_;
@@ -172,6 +207,7 @@ class FtlBase {
   std::uint32_t bgc_rr_chip_ = 0;
   std::uint32_t igc_rr_chip_ = 0;
   std::uint64_t write_version_ = 0;
+  PlacementObserver placement_observer_;
 };
 
 }  // namespace rps::ftl

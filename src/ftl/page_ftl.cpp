@@ -65,16 +65,16 @@ Result<Microseconds> PageFtl::append_to_active(std::uint32_t chip, Lpn lpn,
   return timing.value().complete;
 }
 
-Result<Microseconds> PageFtl::program_host_page(Lpn lpn, nand::PageData data,
-                                                Microseconds now,
-                                                double buffer_utilization) {
+Result<Microseconds> PageFtl::allocate_host_page(std::uint32_t chip, Lpn lpn,
+                                                 nand::PageData data, Microseconds now,
+                                                 double buffer_utilization) {
   (void)buffer_utilization;  // pageFTL is asymmetry-oblivious
-  return append_to_active(pick_chip(), lpn, std::move(data), now, /*gc=*/false);
+  return append_to_active(chip, lpn, std::move(data), now, /*gc=*/false);
 }
 
-Result<Microseconds> PageFtl::program_gc_page(std::uint32_t chip, Lpn lpn,
-                                              nand::PageData data, Microseconds now,
-                                              bool background) {
+Result<Microseconds> PageFtl::allocate_gc_page(std::uint32_t chip, Lpn lpn,
+                                               nand::PageData data, Microseconds now,
+                                               bool background) {
   (void)background;
   return append_to_active(chip, lpn, std::move(data), now, /*gc=*/true);
 }

@@ -37,10 +37,11 @@ class PageFtl : public FtlBase {
     }
   };
 
-  Result<Microseconds> program_host_page(Lpn lpn, nand::PageData data, Microseconds now,
-                                         double buffer_utilization) override;
-  Result<Microseconds> program_gc_page(std::uint32_t chip, Lpn lpn, nand::PageData data,
-                                       Microseconds now, bool background) override;
+  Result<Microseconds> allocate_host_page(std::uint32_t chip, Lpn lpn,
+                                          nand::PageData data, Microseconds now,
+                                          double buffer_utilization) override;
+  Result<Microseconds> allocate_gc_page(std::uint32_t chip, Lpn lpn, nand::PageData data,
+                                        Microseconds now, bool background) override;
 
   /// Append one page at `chip`'s active cursor (allocating / running
   /// foreground GC as needed) and commit the mapping.

@@ -141,11 +141,10 @@ Result<Microseconds> RtfFtl::append_at(std::uint32_t chip, std::size_t slot, Lpn
   return timing.value().complete;
 }
 
-Result<Microseconds> RtfFtl::program_host_page(Lpn lpn, nand::PageData data,
-                                               Microseconds now,
-                                               double buffer_utilization) {
+Result<Microseconds> RtfFtl::allocate_host_page(std::uint32_t chip, Lpn lpn,
+                                                nand::PageData data, Microseconds now,
+                                                double buffer_utilization) {
   (void)buffer_utilization;
-  const std::uint32_t chip = pick_chip();
   // Return-to-fast: serve from an LSB frontier when one exists.
   std::optional<std::size_t> slot = find_cursor(chip, nand::PageType::kLsb);
   if (!slot) slot = replenish_slot(chip, now, /*gc=*/false);  // fresh block => LSB
@@ -154,9 +153,9 @@ Result<Microseconds> RtfFtl::program_host_page(Lpn lpn, nand::PageData data,
   return append_at(chip, *slot, lpn, std::move(data), now, /*gc=*/false);
 }
 
-Result<Microseconds> RtfFtl::program_gc_page(std::uint32_t chip, Lpn lpn,
-                                             nand::PageData data, Microseconds now,
-                                             bool background) {
+Result<Microseconds> RtfFtl::allocate_gc_page(std::uint32_t chip, Lpn lpn,
+                                              nand::PageData data, Microseconds now,
+                                              bool background) {
   // GC copies consume MSB pages first: that is what returns blocks toward
   // the fast state (and what the paper's rtfFTL does in idle times).
   (void)background;
@@ -167,9 +166,9 @@ Result<Microseconds> RtfFtl::program_gc_page(std::uint32_t chip, Lpn lpn,
   return append_at(chip, *slot, lpn, std::move(data), now, /*gc=*/true);
 }
 
-void RtfFtl::on_idle(Microseconds now, Microseconds deadline) {
+void RtfFtl::on_idle_plan(Microseconds now, Microseconds deadline) {
   // Standard low-free-space background GC first.
-  FtlBase::on_idle(now, deadline);
+  FtlBase::on_idle_plan(now, deadline);
 
   // Return-to-fast maintenance: consume MSB frontiers via GC relocation so
   // the next burst finds LSB-ready blocks. The work done is proportional

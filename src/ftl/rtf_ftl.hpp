@@ -26,17 +26,18 @@ class RtfFtl : public FtlBase {
 
   [[nodiscard]] std::string_view name() const override { return "rtfFTL"; }
 
-  void on_idle(Microseconds now, Microseconds deadline) override;
+  void on_idle_plan(Microseconds now, Microseconds deadline) override;
 
   /// Active blocks on `chip` whose next FPS page is an LSB page — the
   /// currently available fast-write pool (observable for tests).
   [[nodiscard]] std::uint32_t lsb_ready_cursors(std::uint32_t chip) const;
 
  protected:
-  Result<Microseconds> program_host_page(Lpn lpn, nand::PageData data, Microseconds now,
-                                         double buffer_utilization) override;
-  Result<Microseconds> program_gc_page(std::uint32_t chip, Lpn lpn, nand::PageData data,
-                                       Microseconds now, bool background) override;
+  Result<Microseconds> allocate_host_page(std::uint32_t chip, Lpn lpn,
+                                          nand::PageData data, Microseconds now,
+                                          double buffer_utilization) override;
+  Result<Microseconds> allocate_gc_page(std::uint32_t chip, Lpn lpn, nand::PageData data,
+                                        Microseconds now, bool background) override;
 
  private:
   struct Cursor {

@@ -46,16 +46,16 @@ Result<Microseconds> SlcFtl::append(std::uint32_t chip, Lpn lpn, nand::PageData 
   return timing.value().complete;
 }
 
-Result<Microseconds> SlcFtl::program_host_page(Lpn lpn, nand::PageData data,
-                                               Microseconds now,
-                                               double buffer_utilization) {
+Result<Microseconds> SlcFtl::allocate_host_page(std::uint32_t chip, Lpn lpn,
+                                                nand::PageData data, Microseconds now,
+                                                double buffer_utilization) {
   (void)buffer_utilization;  // every write is already as fast as possible
-  return append(pick_chip(), lpn, std::move(data), now, /*gc=*/false);
+  return append(chip, lpn, std::move(data), now, /*gc=*/false);
 }
 
-Result<Microseconds> SlcFtl::program_gc_page(std::uint32_t chip, Lpn lpn,
-                                             nand::PageData data, Microseconds now,
-                                             bool background) {
+Result<Microseconds> SlcFtl::allocate_gc_page(std::uint32_t chip, Lpn lpn,
+                                              nand::PageData data, Microseconds now,
+                                              bool background) {
   (void)background;
   return append(chip, lpn, std::move(data), now, /*gc=*/true);
 }

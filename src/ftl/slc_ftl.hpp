@@ -23,10 +23,11 @@ class SlcFtl : public FtlBase {
   [[nodiscard]] std::string_view name() const override { return "slcFTL"; }
 
  protected:
-  Result<Microseconds> program_host_page(Lpn lpn, nand::PageData data, Microseconds now,
-                                         double buffer_utilization) override;
-  Result<Microseconds> program_gc_page(std::uint32_t chip, Lpn lpn, nand::PageData data,
-                                       Microseconds now, bool background) override;
+  Result<Microseconds> allocate_host_page(std::uint32_t chip, Lpn lpn,
+                                          nand::PageData data, Microseconds now,
+                                          double buffer_utilization) override;
+  Result<Microseconds> allocate_gc_page(std::uint32_t chip, Lpn lpn, nand::PageData data,
+                                        Microseconds now, bool background) override;
 
  private:
   struct Cursor {

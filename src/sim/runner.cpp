@@ -16,7 +16,7 @@ std::unique_ptr<ftl::FtlBase> make_ftl(FtlKind kind, const ftl::FtlConfig& confi
     case FtlKind::kFlex: return std::make_unique<core::FlexFtl>(config);
     case FtlKind::kSlc: return std::make_unique<ftl::SlcFtl>(config);
   }
-  return nullptr;
+  __builtin_unreachable();
 }
 
 nand::Geometry bench_geometry() {

@@ -24,6 +24,9 @@ inline constexpr FtlKind kAllFtls[] = {FtlKind::kPage, FtlKind::kParity,
                                        FtlKind::kRtf, FtlKind::kFlex};
 
 constexpr const char* to_string(FtlKind kind) {
+  // Exhaustive switch, no default path: -Werror=switch (set globally in
+  // the top-level CMakeLists) turns a missing enumerator into a compile
+  // error instead of a silent "?" in bench output.
   switch (kind) {
     case FtlKind::kPage: return "pageFTL";
     case FtlKind::kParity: return "parityFTL";
@@ -31,7 +34,7 @@ constexpr const char* to_string(FtlKind kind) {
     case FtlKind::kFlex: return "flexFTL";
     case FtlKind::kSlc: return "slcFTL";
   }
-  return "?";
+  __builtin_unreachable();
 }
 
 /// Instantiate an FTL by kind.

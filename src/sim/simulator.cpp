@@ -11,7 +11,7 @@
 namespace rps::sim {
 
 Simulator::Simulator(ftl::FtlBase& ftl, const SimConfig& config)
-    : ftl_(ftl), config_(config) {}
+    : ftl_(ftl), config_(config), controller_(ftl) {}
 
 void Simulator::precondition() {
   const Lpn fill_pages = static_cast<Lpn>(
@@ -170,11 +170,26 @@ SimResult Simulator::run(const workload::Trace& trace) {
         in_flush.pop();
       }
       Microseconds flushed = ack;
-      for (std::uint32_t j = 0; j < req.page_count; ++j) {
-        const Result<ftl::HostOp> op = ftl_.write(req.lpn + j, ack, utilization);
-        assert(op.is_ok());
-        flushed = std::max(flushed, op.value().complete);
-        ++result.pages_written;
+      if (config_.engine == Engine::kController) {
+        // Whole request to the controller: its pages become a batch of
+        // page ops striped across idle chips.
+        ctrl::HostCommand cmd;
+        cmd.kind = ctrl::CmdKind::kWrite;
+        cmd.lpn = req.lpn;
+        cmd.page_count = req.page_count;
+        cmd.issue = ack;
+        cmd.buffer_utilization = utilization;
+        const ctrl::CommandResult cr = controller_.execute(cmd);
+        assert(cr.ok);
+        flushed = std::max(flushed, cr.last_complete);
+        result.pages_written += req.page_count;
+      } else {
+        for (std::uint32_t j = 0; j < req.page_count; ++j) {
+          const Result<ftl::HostOp> op = ftl_.write(req.lpn + j, ack, utilization);
+          assert(op.is_ok());
+          flushed = std::max(flushed, op.value().complete);
+          ++result.pages_written;
+        }
       }
       in_flush.emplace(flushed, req.page_count);
       flush_pending_pages += req.page_count;
@@ -182,14 +197,26 @@ SimResult Simulator::run(const workload::Trace& trace) {
       completion = ack;
     } else {
       ++result.read_requests;
-      for (std::uint32_t j = 0; j < req.page_count; ++j) {
-        const Result<ftl::HostOp> op = ftl_.read(req.lpn + j, issue);
-        if (op.is_ok()) {
-          completion = std::max(completion, op.value().complete);
-        } else {
-          ++result.read_errors;
+      if (config_.engine == Engine::kController) {
+        ctrl::HostCommand cmd;
+        cmd.kind = ctrl::CmdKind::kRead;
+        cmd.lpn = req.lpn;
+        cmd.page_count = req.page_count;
+        cmd.issue = issue;
+        const ctrl::CommandResult cr = controller_.execute(cmd);
+        completion = std::max(completion, cr.last_complete);
+        result.read_errors += cr.read_errors;
+        result.pages_read += req.page_count;
+      } else {
+        for (std::uint32_t j = 0; j < req.page_count; ++j) {
+          const Result<ftl::HostOp> op = ftl_.read(req.lpn + j, issue);
+          if (op.is_ok()) {
+            completion = std::max(completion, op.value().complete);
+          } else {
+            ++result.read_errors;
+          }
+          ++result.pages_read;
         }
-        ++result.pages_read;
       }
     }
     ++result.requests;

@@ -15,13 +15,29 @@
 #include <cstdint>
 #include <string>
 
+#include "src/controller/controller.hpp"
 #include "src/ftl/ftl_base.hpp"
 #include "src/util/stats.hpp"
 #include "src/workload/trace.hpp"
 
 namespace rps::sim {
 
+/// How the measured run executes requests against the FTL.
+enum class Engine {
+  /// Whole requests go to the command controller, which splits them into
+  /// per-page ops and stripes the pages across idle chips — one request's
+  /// pages overlap across the array (src/controller/).
+  kController,
+  /// The pre-controller path: loop a request's pages through
+  /// FtlBase::write one by one, each page placed without regard to chip
+  /// busyness.
+  kLegacySync,
+};
+
 struct SimConfig {
+  /// Execution engine for the measured run. Preconditioning and warm-up
+  /// always use the direct synchronous path (untimed, device idle).
+  Engine engine = Engine::kController;
   /// Outstanding-request window (closed-loop issue gating).
   std::uint32_t queue_depth = 64;
   /// Gaps longer than this become FTL idle windows.
@@ -112,6 +128,7 @@ class Simulator {
  private:
   ftl::FtlBase& ftl_;
   SimConfig config_;
+  ctrl::Controller controller_;
   bool preconditioned_ = false;
 };
 

@@ -6,6 +6,9 @@
 // many chips) are all exercised.
 #include <gtest/gtest.h>
 
+#include <utility>
+
+#include "src/controller/controller.hpp"
 #include "src/sim/runner.hpp"
 #include "src/util/random.hpp"
 
@@ -75,6 +78,69 @@ TEST(Differential, AllFtlsAgreeOnLogicalContents) {
                                   sim::FtlKind::kFlex, sim::FtlKind::kSlc}) {
     const std::vector<std::uint64_t> image = apply_and_extract(kind, config, ops, space);
     EXPECT_EQ(image, reference) << sim::to_string(kind);
+  }
+}
+
+using Placement = std::pair<Lpn, nand::PageAddress>;
+
+/// Replay a single-page QD-1 trace and record every physical placement the
+/// FTL commits (host writes and GC relocations alike), either through the
+/// legacy synchronous entry points or through the controller.
+std::vector<Placement> qd1_placements(sim::FtlKind kind,
+                                      const ftl::FtlConfig& config,
+                                      const std::vector<Op>& ops,
+                                      bool through_controller) {
+  auto ftl = sim::make_ftl(kind, config);
+  std::vector<Placement> placements;
+  ftl->set_placement_observer([&](Lpn lpn, const nand::PageAddress& addr) {
+    placements.push_back({lpn, addr});
+  });
+  ctrl::Controller controller(*ftl);
+  Rng urng(99);
+  for (const Op& op : ops) {
+    // QD-1: each command issues only once the device is fully idle, so the
+    // controller's idle-chip constraint admits every chip — the policy sees
+    // exactly the choice set the legacy path gives it.
+    const Microseconds now = ftl->device().all_idle_at();
+    if (through_controller) {
+      ctrl::HostCommand cmd;
+      cmd.kind = op.is_write ? ctrl::CmdKind::kWrite : ctrl::CmdKind::kRead;
+      cmd.lpn = op.lpn;
+      cmd.page_count = 1;
+      cmd.issue = now;
+      if (op.is_write) cmd.buffer_utilization = urng.next_double();
+      const ctrl::CommandResult r = controller.execute(cmd);
+      EXPECT_TRUE(r.ok);
+    } else {
+      if (op.is_write) {
+        EXPECT_TRUE(ftl->write(op.lpn, now, urng.next_double()).is_ok());
+      } else {
+        (void)ftl->read(op.lpn, now);
+      }
+    }
+  }
+  EXPECT_TRUE(ftl->check_consistency());
+  return placements;
+}
+
+// The controller layer must be a pure re-plumbing for queue-depth-1 traffic:
+// with every chip idle at issue, striping constrains nothing, and each
+// allocator must place every page exactly where the legacy synchronous path
+// would have. Any divergence means the refactor changed policy, not just
+// scheduling.
+TEST(Differential, ControllerMatchesLegacyPlacementsAtQd1) {
+  const ftl::FtlConfig config = ftl::FtlConfig::tiny();
+  const Lpn space = 150;
+  const std::vector<Op> ops = make_ops(space, 3000, 23);
+  for (const sim::FtlKind kind : {sim::FtlKind::kPage, sim::FtlKind::kParity,
+                                  sim::FtlKind::kRtf, sim::FtlKind::kFlex,
+                                  sim::FtlKind::kSlc}) {
+    const std::vector<Placement> legacy =
+        qd1_placements(kind, config, ops, /*through_controller=*/false);
+    const std::vector<Placement> controller =
+        qd1_placements(kind, config, ops, /*through_controller=*/true);
+    ASSERT_FALSE(legacy.empty()) << sim::to_string(kind);
+    EXPECT_EQ(controller, legacy) << sim::to_string(kind);
   }
 }
 
