@@ -232,6 +232,47 @@ CommandResult Controller::execute(const HostCommand& cmd) {
   return take_result(id);
 }
 
+std::vector<CommandResult> Controller::take_all_results() {
+  std::vector<CommandResult> results;
+  results.reserve(finished_.size());
+  for (const auto& [id, result] : finished_) results.push_back(result);
+  finished_.clear();
+  std::sort(results.begin(), results.end(),
+            [](const CommandResult& a, const CommandResult& b) { return a.id < b.id; });
+  return results;
+}
+
+PowerLossOutcome Controller::power_loss(Microseconds t) {
+  drain(t);
+  PowerLossOutcome outcome;
+  outcome.cancelled_write_ops = write_queue_.size();
+  write_queue_.clear();
+  for (std::deque<OpRef>& queue : read_queues_) {
+    outcome.cancelled_read_ops += queue.size();
+    queue.clear();
+  }
+  // Every command still pending lost at least one op (collect_finished
+  // already moved fully retired ones): abort it. Its record survives into
+  // the finished set so callers can count what was in flight.
+  for (auto& [id, pending] : pending_) {
+    assert(pending.remaining > 0);
+    assert(live_ops_ >= pending.remaining);
+    live_ops_ -= pending.remaining;
+    pending.result.ok = false;
+    pending.result.aborted = true;
+    if (pending.result.first_complete == kTimeNever) {
+      pending.result.first_complete = pending.result.issue;
+    }
+    finished_.emplace(id, pending.result);
+    ++outcome.aborted_commands;
+  }
+  pending_.clear();
+  events_.clear();
+  assert(live_ops_ == 0);
+  outcome.victims = ftl_.device().inject_power_loss(t);
+  return outcome;
+}
+
 CommandResult Controller::take_result(CommandId id) {
   const auto it = finished_.find(id);
   assert(it != finished_.end());

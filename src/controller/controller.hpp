@@ -53,6 +53,18 @@ struct CommandResult {
   std::uint32_t pages = 0;
   std::uint32_t read_errors = 0;    // ECC-uncorrectable page reads
   bool ok = true;                   // every write op found space
+  /// A power loss cancelled at least one of this command's ops before it
+  /// dispatched: the command was never acknowledged to the host.
+  bool aborted = false;
+};
+
+/// What a power loss tore out of the controller (see Controller::power_loss).
+struct PowerLossOutcome {
+  /// Programs the device reported destroyed (in flight at the cut).
+  std::vector<nand::PowerLossVictim> victims;
+  std::uint64_t cancelled_write_ops = 0;  // queued, never dispatched
+  std::uint64_t cancelled_read_ops = 0;   // queued, never dispatched
+  std::uint64_t aborted_commands = 0;     // had at least one unretired op
 };
 
 /// Per-op trace entry.
@@ -90,6 +102,20 @@ class Controller {
   /// Completion record of a fully retired command (removes it from the
   /// finished set). Asserts the command is finished.
   CommandResult take_result(CommandId id);
+
+  /// Every finished (or aborted) command's record, ordered by id; clears
+  /// the finished set. The crash harness uses this to decide which
+  /// commands the host saw acknowledged before a cut.
+  std::vector<CommandResult> take_all_results();
+
+  /// Power loss at time `t`: settle everything dispatchable by `t`, then
+  /// tear the controller down the way a real cut would — queued-but-
+  /// unissued ops are cancelled (their commands abort; the host never saw
+  /// an acknowledgement), wake-ups are dropped, and the device power loss
+  /// is injected (destroying in-flight programs). Commands that fully
+  /// retired stay in the finished set; whether their data survived is the
+  /// recovery layer's problem, not the scheduler's.
+  PowerLossOutcome power_loss(Microseconds t);
 
   /// True when no submitted op is still in flight.
   [[nodiscard]] bool idle() const { return live_ops_ == 0; }

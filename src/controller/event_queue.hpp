@@ -25,6 +25,9 @@ class EventQueue {
   /// Pop and return the earliest scheduled time. Precondition: !empty().
   Microseconds pop();
 
+  /// Drop every scheduled wake-up (power-loss teardown).
+  void clear() { heap_ = {}; }
+
  private:
   std::priority_queue<Microseconds, std::vector<Microseconds>, std::greater<>> heap_;
 };

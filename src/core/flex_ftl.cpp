@@ -144,7 +144,12 @@ void FlexFtl::invalidate_parity(std::uint32_t chip, std::uint32_t slow_block,
   if (it == cs.parity_page.end()) return;  // was never protected
   const std::uint32_t backup_block = it->second.block;
   cs.parity_page.erase(it);
+  release_parity_page(chip, backup_block, now);
+}
 
+void FlexFtl::release_parity_page(std::uint32_t chip, std::uint32_t backup_block,
+                                  Microseconds now) {
+  ChipState& cs = chips_.at(chip);
   if (cs.backup && cs.backup->block == backup_block) {
     assert(cs.backup->live_pages > 0);
     --cs.backup->live_pages;
@@ -163,6 +168,13 @@ void FlexFtl::invalidate_parity(std::uint32_t chip, std::uint32_t slow_block,
     }
     return;
   }
+}
+
+void FlexFtl::prune_retire_log(std::uint32_t chip, Microseconds now) {
+  std::vector<ChipState::RetirementLogEntry>& log = chips_.at(chip).retire_log;
+  std::erase_if(log, [now](const ChipState::RetirementLogEntry& entry) {
+    return entry.at <= now;
+  });
 }
 
 Result<Microseconds> FlexFtl::write_msb(std::uint32_t chip, Lpn lpn,
@@ -195,8 +207,20 @@ Result<Microseconds> FlexFtl::write_msb(std::uint32_t chip, Lpn lpn,
 
   if (block.is_fully_programmed()) {
     // Slow -> full transition: the backup parity page is no longer needed.
+    // The bookkeeping retires eagerly (deferring it would shift free-pool
+    // dynamics), but the retirement only becomes *irrevocable* once this
+    // final MSB program completes — until then a power cut destroys the
+    // paired LSB page with that parity page as its only copy. Log it so
+    // recovery can void it; the parity media survives the cut because any
+    // backup-block erase the release charges starts after `complete` and
+    // is voided by the chip's lazy-erase power-loss rules.
     blocks_.set_use({chip, slow}, ftl::BlockUse::kFull);
     queue->pop_front();
+    prune_retire_log(chip, timing.value().start);
+    const auto parity_it = cs.parity_page.find(slow);
+    if (parity_it != cs.parity_page.end()) {
+      cs.retire_log.push_back({slow, timing.value().complete, parity_it->second});
+    }
     invalidate_parity(chip, slow, timing.value().complete);
   }
   return timing.value().complete;
@@ -246,6 +270,11 @@ Result<Microseconds> FlexFtl::allocate_gc_page(std::uint32_t chip, Lpn lpn,
 }
 
 void FlexFtl::on_idle_plan(Microseconds now, Microseconds deadline) {
+  // Grace windows whose final MSB completed by now are settled: their log
+  // entries can never be voided anymore.
+  for (std::uint32_t chip = 0; chip < chips_.size(); ++chip) {
+    prune_retire_log(chip, now);
+  }
   // Burst observation happens on every idle, even ones too short to work
   // in — the predictor must see the workload's rhythm either way.
   if (config_.use_write_predictor) {

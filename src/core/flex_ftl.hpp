@@ -41,7 +41,15 @@ struct RecoveryReport {
   /// Interrupted GC relocation copies rolled back to their still-intact
   /// source pages (the victim block outlives the relocation pass).
   std::uint64_t relocations_rolled_back = 0;
+  /// Slow blocks whose saved parity page was itself destroyed by the cut
+  /// (power failed during the parity flush): the block proceeds
+  /// unprotected, counted — never silently (skipped_parity_backups()).
+  std::uint64_t parity_flush_interrupted = 0;
   Microseconds recovery_time_us = 0;
+
+  /// Reports compare whole: the reproducer-replay determinism check in
+  /// src/faultsim/ asserts bit-equal reports for bit-equal crashes.
+  friend bool operator==(const RecoveryReport&, const RecoveryReport&) = default;
 };
 
 class FlexFtl : public ftl::FtlBase {
@@ -112,6 +120,23 @@ class FlexFtl : public ftl::FtlBase {
     std::unordered_map<std::uint32_t, Microseconds> parity_durable;
     /// slow block -> where its parity page lives.
     std::unordered_map<std::uint32_t, nand::PageAddress> parity_page;
+    /// Retirement log for the final-MSB grace window. The full transition
+    /// retires a block's parity page eagerly (bookkeeping must not lag, or
+    /// free-pool dynamics diverge), but the final MSB program only
+    /// *completes* at `at` — until then a power cut destroys the paired
+    /// LSB page and that parity page is still its only copy. Each
+    /// retirement is logged here with the parity page's address; recovery
+    /// voids entries whose `at` lies beyond the cut and re-hooks `parity`
+    /// for reconstruction (the page's media survives the cut: its backup
+    /// block's erase, if one was charged, started after `at` and is voided
+    /// by the lazy-erase power-loss rules). Entries are pruned once the
+    /// chip timeline provably passed `at`.
+    struct RetirementLogEntry {
+      std::uint32_t block = 0;
+      Microseconds at = 0;
+      nand::PageAddress parity;
+    };
+    std::vector<RetirementLogEntry> retire_log;
   };
 
   static nand::PageData zeroed_parity();
@@ -131,6 +156,15 @@ class FlexFtl : public ftl::FtlBase {
   /// The slow block finished its MSB phase: its parity page is stale.
   void invalidate_parity(std::uint32_t chip, std::uint32_t slow_block,
                          Microseconds now);
+
+  /// One parity page of `backup_block` went stale: drop its live count,
+  /// recycling the backup block once nothing in it protects anything.
+  void release_parity_page(std::uint32_t chip, std::uint32_t backup_block,
+                           Microseconds now);
+
+  /// Drop retirement-log entries settled by time `now` (their final MSB
+  /// program provably completed; no power loss can void them anymore).
+  void prune_retire_log(std::uint32_t chip, Microseconds now);
 
   /// Find the LPN currently mapped to `addr` (linear scan; recovery only).
   [[nodiscard]] std::optional<Lpn> find_lpn_of(const nand::PageAddress& addr) const;

@@ -1,0 +1,197 @@
+// faultsim: deterministic power-loss crash-consistency driver.
+//
+// Modes:
+//   faultsim --matrix [--seeds=16] [--densities=8,16,32] [--ftl=flex]
+//       CI sweep: for each seed x crash-density cell, inject crashes at
+//       evenly spaced op-completion boundaries, audit recovery with the
+//       shadow oracle, and verify every crash replays bit-identically
+//       from its reproducer line. Exit 1 and print each failure's
+//       minimal one-line reproducer on stderr (first line of stderr is
+//       machine-grabbable for a CI artifact).
+//   faultsim --sweep --ftl=... --engine=... --seed=N [--points=16]
+//       One sweep cell, verbose per-crash summary.
+//   faultsim --ftl=... --seed=N --crash-us=T [...]
+//       Replay a single reproducer line (the flags ARE the line printed
+//       by a failing sweep). Exit 1 on violations.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/faultsim/harness.hpp"
+#include "src/faultsim/sweep.hpp"
+
+namespace {
+
+using namespace rps;
+using namespace rps::faultsim;
+
+void print_report(const CrashReport& r) {
+  std::printf(
+      "crash_us=%lld issued=%llu victims=%llu cancelled_w=%llu "
+      "cancelled_r=%llu aborted=%llu\n",
+      static_cast<long long>(r.crash_time_us),
+      static_cast<unsigned long long>(r.requests_issued),
+      static_cast<unsigned long long>(r.victims),
+      static_cast<unsigned long long>(r.cancelled_write_ops),
+      static_cast<unsigned long long>(r.cancelled_read_ops),
+      static_cast<unsigned long long>(r.aborted_commands));
+  std::printf(
+      "recovery: supported=%d recovered=%llu lost=%llu discarded=%llu "
+      "rolled_back=%llu parity_flush_interrupted=%llu time_us=%lld\n",
+      r.recovery_supported ? 1 : 0,
+      static_cast<unsigned long long>(r.recovery.pages_recovered),
+      static_cast<unsigned long long>(r.recovery.pages_lost),
+      static_cast<unsigned long long>(r.recovery.interrupted_writes_discarded),
+      static_cast<unsigned long long>(r.recovery.relocations_rolled_back),
+      static_cast<unsigned long long>(r.recovery.parity_flush_interrupted),
+      static_cast<long long>(r.recovery.recovery_time_us));
+  std::printf(
+      "oracle: checked=%llu lost=%llu stale=%llu hazard_skipped=%llu "
+      "unaccounted=%llu violations=%llu consistent=%d\n",
+      static_cast<unsigned long long>(r.oracle.acked_lpns_checked),
+      static_cast<unsigned long long>(r.oracle.lost),
+      static_cast<unsigned long long>(r.oracle.stale),
+      static_cast<unsigned long long>(r.oracle.overwrite_hazard_skipped),
+      static_cast<unsigned long long>(r.unaccounted_loss),
+      static_cast<unsigned long long>(r.violations), r.consistent ? 1 : 0);
+  if (r.oracle.first_failed_lpn != kInvalidLpn) {
+    std::printf("first_failed_lpn=%llu\n",
+                static_cast<unsigned long long>(r.oracle.first_failed_lpn));
+  }
+}
+
+int report_failures(const SweepResult& result) {
+  for (const SweepFailure& f : result.failures) {
+    std::fprintf(stderr, "%s\n", f.line.c_str());
+    std::fprintf(stderr,
+                 "  ^ %s: violations=%llu lost=%llu stale=%llu consistent=%d\n",
+                 f.replay_mismatch ? "REPLAY MISMATCH" : "ORACLE VIOLATION",
+                 static_cast<unsigned long long>(f.report.violations),
+                 static_cast<unsigned long long>(f.report.oracle.lost),
+                 static_cast<unsigned long long>(f.report.oracle.stale),
+                 f.report.consistent ? 1 : 0);
+  }
+  return result.ok() ? 0 : 1;
+}
+
+std::vector<std::uint64_t> parse_list(const std::string& value) {
+  std::vector<std::uint64_t> out;
+  std::size_t pos = 0;
+  while (pos < value.size()) {
+    const std::size_t comma = value.find(',', pos);
+    const std::string item =
+        value.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    out.push_back(std::stoull(item));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+int run_matrix(const FaultSimConfig& base, std::uint64_t seeds,
+               const std::vector<std::uint64_t>& densities) {
+  SweepResult total;
+  std::uint64_t cells = 0;
+  for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+    for (const std::uint64_t points : densities) {
+      FaultSimConfig config = base;
+      config.seed = seed;
+      SweepOptions options;
+      options.crash_points = points;
+      const SweepResult cell = sweep(config, options);
+      ++cells;
+      total.crashes_injected += cell.crashes_injected;
+      total.total_victims += cell.total_victims;
+      total.total_pages_lost += cell.total_pages_lost;
+      total.total_parity_recovered += cell.total_parity_recovered;
+      total.replay_mismatches += cell.replay_mismatches;
+      for (const SweepFailure& f : cell.failures) total.failures.push_back(f);
+      std::printf("seed=%llu points=%llu: crashes=%llu victims=%llu "
+                  "recovered=%llu lost=%llu failures=%zu\n",
+                  static_cast<unsigned long long>(seed),
+                  static_cast<unsigned long long>(points),
+                  static_cast<unsigned long long>(cell.crashes_injected),
+                  static_cast<unsigned long long>(cell.total_victims),
+                  static_cast<unsigned long long>(cell.total_parity_recovered),
+                  static_cast<unsigned long long>(cell.total_pages_lost),
+                  cell.failures.size());
+      std::fflush(stdout);
+    }
+  }
+  std::printf("matrix: cells=%llu crashes=%llu victims=%llu recovered=%llu "
+              "lost=%llu replay_mismatches=%llu failures=%zu\n",
+              static_cast<unsigned long long>(cells),
+              static_cast<unsigned long long>(total.crashes_injected),
+              static_cast<unsigned long long>(total.total_victims),
+              static_cast<unsigned long long>(total.total_parity_recovered),
+              static_cast<unsigned long long>(total.total_pages_lost),
+              static_cast<unsigned long long>(total.replay_mismatches),
+              total.failures.size());
+  return report_failures(total);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool matrix = false;
+  bool do_sweep = false;
+  std::uint64_t seeds = 16;
+  std::vector<std::uint64_t> densities = {8, 16, 32};
+  std::uint64_t points = 16;
+
+  // Split driver flags from reproducer flags; the rest of the line is
+  // parsed by the same parser the sweep's replay check uses.
+  std::string repro_line = "faultsim";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    try {
+      if (arg == "--matrix") {
+        matrix = true;
+      } else if (arg == "--sweep") {
+        do_sweep = true;
+      } else if (arg.rfind("--seeds=", 0) == 0) {
+        seeds = std::stoull(arg.substr(8));
+      } else if (arg.rfind("--densities=", 0) == 0) {
+        densities = parse_list(arg.substr(12));
+      } else if (arg.rfind("--points=", 0) == 0) {
+        points = std::stoull(arg.substr(9));
+      } else {
+        repro_line += ' ';
+        repro_line += arg;
+      }
+    } catch (...) {
+      std::fprintf(stderr, "malformed flag: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  const std::optional<FaultSimConfig> config = parse_reproducer(repro_line);
+  if (!config) {
+    std::fprintf(stderr, "unrecognized flags in: %s\n", repro_line.c_str());
+    return 2;
+  }
+
+  if (matrix) return run_matrix(*config, seeds, densities);
+
+  if (do_sweep) {
+    SweepOptions options;
+    options.crash_points = points;
+    const SweepResult result = sweep(*config, options);
+    std::printf("boundaries=%llu crashes=%llu victims=%llu recovered=%llu "
+                "lost=%llu replay_mismatches=%llu failures=%zu\n",
+                static_cast<unsigned long long>(result.golden_boundaries),
+                static_cast<unsigned long long>(result.crashes_injected),
+                static_cast<unsigned long long>(result.total_victims),
+                static_cast<unsigned long long>(result.total_parity_recovered),
+                static_cast<unsigned long long>(result.total_pages_lost),
+                static_cast<unsigned long long>(result.replay_mismatches),
+                result.failures.size());
+    return report_failures(result);
+  }
+
+  // Single-trial replay.
+  const TrialResult trial = run_trial(*config);
+  std::printf("%s\n", reproducer(*config).c_str());
+  print_report(trial.report);
+  return (trial.report.violations > 0 || !trial.report.consistent) ? 1 : 0;
+}

@@ -1,0 +1,267 @@
+#include "src/faultsim/harness.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "src/controller/controller.hpp"
+#include "src/util/random.hpp"
+
+namespace rps::faultsim {
+
+ftl::FtlConfig FaultSimConfig::small_config() {
+  ftl::FtlConfig c = ftl::FtlConfig::tiny();
+  // Keep the tiny 2-channel x 2-chip array (striping and per-chip queues
+  // stay exercised) but deepen the blocks so a fast block holds enough LSB
+  // pages for the parity-flush window to be hittable by a sweep.
+  c.geometry.wordlines_per_block = 8;
+  return c;
+}
+
+const char* to_string(sim::Engine engine) {
+  switch (engine) {
+    case sim::Engine::kController: return "controller";
+    case sim::Engine::kLegacySync: return "legacy";
+  }
+  __builtin_unreachable();
+}
+
+std::optional<sim::FtlKind> ftl_kind_from(const std::string& name) {
+  for (const sim::FtlKind kind :
+       {sim::FtlKind::kPage, sim::FtlKind::kParity, sim::FtlKind::kRtf,
+        sim::FtlKind::kFlex, sim::FtlKind::kSlc}) {
+    if (name == sim::to_string(kind)) return kind;
+  }
+  return std::nullopt;
+}
+
+std::optional<sim::Engine> engine_from(const std::string& name) {
+  if (name == "controller") return sim::Engine::kController;
+  if (name == "legacy") return sim::Engine::kLegacySync;
+  return std::nullopt;
+}
+
+namespace {
+
+/// One generated host request of the main phase.
+struct GenRequest {
+  bool write = true;
+  Lpn lpn = 0;
+  std::uint32_t pages = 1;
+  double utilization = 0.0;
+  Microseconds arrival = 0;
+};
+
+/// The whole main-phase request stream, precomputed so both engines (and
+/// every crash point) consume the identical seeded sequence.
+std::vector<GenRequest> generate_workload(const FaultSimConfig& config,
+                                          Lpn working_set, Microseconds start) {
+  Rng rng(config.seed * 0x9e3779b97f4a7c15ull + 0x632be59bd9b4e019ull);
+  std::vector<GenRequest> reqs;
+  reqs.reserve(config.requests);
+  Microseconds now = start;
+  for (std::uint64_t i = 0; i < config.requests; ++i) {
+    GenRequest r;
+    now += static_cast<Microseconds>(rng.next_below(
+        2 * static_cast<std::uint64_t>(config.mean_gap_us) + 1));
+    r.arrival = now;
+    r.pages = 1 + static_cast<std::uint32_t>(
+                      rng.next_below(std::max<std::uint32_t>(1, config.max_pages_per_request)));
+    r.pages = static_cast<std::uint32_t>(
+        std::min<Lpn>(r.pages, working_set));
+    r.lpn = rng.next_below(working_set - r.pages + 1);
+    r.write = !rng.chance(config.read_fraction);
+    // Alternate burst-like and lull-like buffer pressure so flexFTL's
+    // policy serves both LSB and MSB phases (both crash hazards live).
+    r.utilization = rng.chance(0.5) ? 0.95 : 0.02;
+    reqs.push_back(r);
+  }
+  return reqs;
+}
+
+}  // namespace
+
+TrialResult run_trial(const FaultSimConfig& config) {
+  TrialResult out;
+  CrashReport& report = out.report;
+  report.crash_time_us = config.crash_time_us;
+  const Microseconds crash = config.crash_time_us;
+
+  std::unique_ptr<ftl::FtlBase> ftl = sim::make_ftl(config.kind, config.ftl_config);
+  ShadowOracle oracle;
+  oracle.attach(*ftl);
+
+  // Fill phase: one pass over the working set through the synchronous
+  // path while the device is idle. Everything here is durable long before
+  // any crash point (crash points come from main-phase completions).
+  const Lpn working_set = std::max<Lpn>(
+      1, static_cast<Lpn>(static_cast<double>(ftl->exported_pages()) *
+                          config.working_set_fraction));
+  for (Lpn lpn = 0; lpn < working_set; ++lpn) {
+    const Result<ftl::HostOp> op = ftl->write(lpn, ftl->device().all_idle_at(), 0.5);
+    if (op.is_ok()) oracle.ack_latest(lpn, op.value().complete);
+  }
+  oracle.mark_epoch();
+
+  const Microseconds start = ftl->device().all_idle_at() + 1'000;
+  const std::vector<GenRequest> reqs = generate_workload(config, working_set, start);
+
+  std::vector<nand::PowerLossVictim> victims;
+  std::vector<Microseconds> completes;
+
+  if (config.engine == sim::Engine::kController) {
+    ctrl::Controller controller(
+        *ftl, ctrl::ControllerConfig{.stripe_writes = true, .keep_op_log = true});
+    for (const GenRequest& r : reqs) {
+      if (r.arrival >= crash) break;
+      ctrl::HostCommand cmd;
+      cmd.kind = r.write ? ctrl::CmdKind::kWrite : ctrl::CmdKind::kRead;
+      cmd.lpn = r.lpn;
+      cmd.page_count = r.pages;
+      cmd.issue = r.arrival;
+      cmd.buffer_utilization = r.utilization;
+      controller.submit(cmd);
+      controller.drain(r.arrival);
+      ++report.requests_issued;
+    }
+    if (crash != kTimeNever) {
+      report.crashed = true;
+      ctrl::PowerLossOutcome outcome = controller.power_loss(crash);
+      victims = std::move(outcome.victims);
+      report.victims = victims.size();
+      report.cancelled_write_ops = outcome.cancelled_write_ops;
+      report.cancelled_read_ops = outcome.cancelled_read_ops;
+      report.aborted_commands = outcome.aborted_commands;
+    } else {
+      controller.drain();
+    }
+    oracle.finalize_from_op_log(controller.op_log());
+    for (const ctrl::OpRecord& rec : controller.op_log()) {
+      if (rec.ok && rec.complete < crash) completes.push_back(rec.complete);
+    }
+  } else {
+    for (const GenRequest& r : reqs) {
+      if (r.arrival >= crash) break;
+      for (std::uint32_t j = 0; j < r.pages; ++j) {
+        if (r.write) {
+          const Result<ftl::HostOp> op = ftl->write(r.lpn + j, r.arrival, r.utilization);
+          if (op.is_ok()) {
+            oracle.ack_latest(r.lpn + j, op.value().complete);
+            if (op.value().complete < crash) completes.push_back(op.value().complete);
+          }
+        } else {
+          const Result<ftl::HostOp> op = ftl->read(r.lpn + j, r.arrival);
+          if (op.is_ok() && op.value().complete < crash) {
+            completes.push_back(op.value().complete);
+          }
+        }
+      }
+      ++report.requests_issued;
+    }
+    if (crash != kTimeNever) {
+      report.crashed = true;
+      victims = ftl->device().inject_power_loss(crash);
+      report.victims = victims.size();
+    }
+  }
+
+  std::sort(completes.begin(), completes.end());
+  completes.erase(std::unique(completes.begin(), completes.end()), completes.end());
+  out.boundaries = std::move(completes);
+
+  if (report.crashed && std::getenv("FAULTSIM_DEBUG") != nullptr) {
+    for (const nand::PowerLossVictim& v : victims) {
+      std::fprintf(stderr, "[victim] chip=%u block=%u wl=%u type=%s\n", v.chip,
+                   v.block, v.pos.wordline,
+                   v.pos.type == nand::PageType::kLsb ? "LSB" : "MSB");
+    }
+  }
+  if (report.crashed) {
+    // Reboot at the instant of the cut; recovery work is charged from
+    // there (the device timelines were capped to the crash time).
+    const sim::RebootOutcome reboot =
+        sim::crash_reboot(config.kind, *ftl, victims, crash);
+    report.recovery_supported = reboot.recovery_supported;
+    report.recovery = reboot.report;
+  }
+
+  const Microseconds check_at = std::max(ftl->device().all_idle_at(),
+                                         report.crashed ? crash : Microseconds{0});
+  report.oracle = oracle.check(*ftl, crash, check_at);
+  report.unaccounted_loss = report.oracle.lost > report.recovery.pages_lost
+                                ? report.oracle.lost - report.recovery.pages_lost
+                                : 0;
+  // Verdict: an FTL with a real recovery procedure must leave no stale
+  // reads and no losses it did not explicitly report. FTLs without one
+  // (recovery_supported == false) lose destroyed pages by design — the
+  // oracle still counts them, but they are not violations.
+  report.violations =
+      report.recovery_supported ? report.oracle.stale + report.unaccounted_loss : 0;
+  report.consistent = ftl->check_consistency();
+  oracle.detach();
+  return out;
+}
+
+std::string reproducer(const FaultSimConfig& config) {
+  std::ostringstream os;
+  os << "faultsim --ftl=" << sim::to_string(config.kind)
+     << " --engine=" << to_string(config.engine) << " --seed=" << config.seed
+     << " --requests=" << config.requests
+     << " --max-pages=" << config.max_pages_per_request
+     << " --ws=" << config.working_set_fraction
+     << " --reads=" << config.read_fraction << " --gap=" << config.mean_gap_us
+     << " --crash-us=" << config.crash_time_us;
+  return os.str();
+}
+
+std::optional<FaultSimConfig> parse_reproducer(const std::string& line) {
+  FaultSimConfig config;
+  std::istringstream is(line);
+  std::string token;
+  bool first = true;
+  while (is >> token) {
+    // The leading word of a reproducer line is the binary name.
+    if (first && token.find("--") != 0) {
+      first = false;
+      continue;
+    }
+    first = false;
+    const std::size_t eq = token.find('=');
+    if (token.rfind("--", 0) != 0 || eq == std::string::npos) return std::nullopt;
+    const std::string key = token.substr(2, eq - 2);
+    const std::string value = token.substr(eq + 1);
+    try {
+      if (key == "ftl") {
+        const auto kind = ftl_kind_from(value);
+        if (!kind) return std::nullopt;
+        config.kind = *kind;
+      } else if (key == "engine") {
+        const auto engine = engine_from(value);
+        if (!engine) return std::nullopt;
+        config.engine = *engine;
+      } else if (key == "seed") {
+        config.seed = std::stoull(value);
+      } else if (key == "requests") {
+        config.requests = std::stoull(value);
+      } else if (key == "max-pages") {
+        config.max_pages_per_request = static_cast<std::uint32_t>(std::stoul(value));
+      } else if (key == "ws") {
+        config.working_set_fraction = std::stod(value);
+      } else if (key == "reads") {
+        config.read_fraction = std::stod(value);
+      } else if (key == "gap") {
+        config.mean_gap_us = std::stoll(value);
+      } else if (key == "crash-us") {
+        config.crash_time_us = std::stoll(value);
+      } else {
+        return std::nullopt;
+      }
+    } catch (...) {
+      return std::nullopt;
+    }
+  }
+  return config;
+}
+
+}  // namespace rps::faultsim

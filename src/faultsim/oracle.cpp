@@ -1,0 +1,114 @@
+#include "src/faultsim/oracle.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace rps::faultsim {
+
+void ShadowOracle::attach(ftl::FtlBase& ftl) {
+  ftl_ = &ftl;
+  ftl.set_placement_observer(
+      [this](Lpn lpn, const nand::PageAddress& addr) { observe(lpn, addr); });
+}
+
+void ShadowOracle::detach() {
+  if (ftl_ != nullptr) ftl_->set_placement_observer({});
+  ftl_ = nullptr;
+}
+
+void ShadowOracle::observe(Lpn lpn, const nand::PageAddress& addr) {
+  ++observed_commits_;
+  // The page was just programmed, so reading its stored record back is the
+  // ground truth of what the device holds for this commit.
+  const Result<nand::PageData> stored =
+      ftl_->device().block({addr.chip, addr.block}).read(addr.pos);
+  if (!stored.is_ok()) return;  // never expected for a fresh commit
+  const std::uint64_t version = stored.value().version;
+  std::vector<WriteRecord>& records = history_[lpn];
+  // GC relocations and parity-recovery rewrites re-commit an existing host
+  // write under its original version: same logical data, not a new write.
+  for (const WriteRecord& r : records) {
+    if (r.version == version) return;
+  }
+  records.push_back(WriteRecord{version, stored.value().signature, kTimeNever});
+}
+
+void ShadowOracle::mark_epoch() {
+  epoch_.clear();
+  for (const auto& [lpn, records] : history_) epoch_[lpn] = records.size();
+}
+
+void ShadowOracle::ack_latest(Lpn lpn, Microseconds complete) {
+  const auto it = history_.find(lpn);
+  if (it == history_.end() || it->second.empty()) return;
+  it->second.back().acked_at = complete;
+}
+
+void ShadowOracle::finalize_from_op_log(const std::vector<ctrl::OpRecord>& log) {
+  // The controller retires write ops synchronously at dispatch, so the log
+  // order is the dispatch order — which is the order versions were
+  // assigned and committed. Per LPN, the i-th successful host-write record
+  // is the i-th post-epoch history entry.
+  std::unordered_map<Lpn, std::size_t> cursor;
+  for (const ctrl::OpRecord& rec : log) {
+    if (rec.kind != ctrl::OpKind::kHostWrite || !rec.ok) continue;
+    const auto it = history_.find(rec.lpn);
+    if (it == history_.end()) continue;
+    std::size_t base = 0;
+    if (const auto eit = epoch_.find(rec.lpn); eit != epoch_.end()) base = eit->second;
+    const std::size_t idx = base + cursor[rec.lpn]++;
+    if (idx < it->second.size()) it->second[idx].acked_at = rec.complete;
+  }
+}
+
+OracleCheck ShadowOracle::check(ftl::FtlBase& ftl, Microseconds crash_time,
+                                Microseconds now) const {
+  OracleCheck result;
+  for (const auto& [lpn, records] : history_) {
+    if (records.empty()) continue;
+    const auto acked = [crash_time](const WriteRecord& r) {
+      return r.acked_at != kTimeNever && r.acked_at <= crash_time;
+    };
+    const WriteRecord& newest = records.back();
+    if (!acked(newest)) {
+      // The newest pre-crash write was still in flight. If an *older*
+      // write was acknowledged, its copy may legitimately be gone already
+      // (eager-commit overwrite hazard): skip, but never silently.
+      bool any_acked = false;
+      for (const WriteRecord& r : records) any_acked = any_acked || acked(r);
+      if (any_acked) ++result.overwrite_hazard_skipped;
+      continue;
+    }
+    ++result.acked_lpns_checked;
+    const Result<nand::PageData> data = ftl.read_data(lpn, now);
+    const bool ok = data.is_ok() && data.value().version == newest.version &&
+                    data.value().signature == newest.signature;
+    if (ok) continue;
+    if (std::getenv("FAULTSIM_DEBUG") != nullptr) {
+      std::fprintf(stderr, "[oracle] lpn=%llu expected v%llu sig=%llx; read %s",
+                   (unsigned long long)lpn, (unsigned long long)newest.version,
+                   (unsigned long long)newest.signature,
+                   data.is_ok() ? "ok" : "FAILED");
+      if (data.is_ok()) {
+        std::fprintf(stderr, " v%llu sig=%llx",
+                     (unsigned long long)data.value().version,
+                     (unsigned long long)data.value().signature);
+      }
+      std::fprintf(stderr, "; history:");
+      for (const WriteRecord& r : records) {
+        std::fprintf(stderr, " (v%llu acked=%lld)", (unsigned long long)r.version,
+                     (long long)r.acked_at);
+      }
+      std::fprintf(stderr, "\n");
+    }
+    if (data.is_ok()) {
+      ++result.stale;
+    } else {
+      ++result.lost;
+    }
+    if (result.first_failed_lpn == kInvalidLpn) result.first_failed_lpn = lpn;
+  }
+  return result;
+}
+
+}  // namespace rps::faultsim

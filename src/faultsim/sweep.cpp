@@ -1,0 +1,95 @@
+#include "src/faultsim/sweep.hpp"
+
+#include <algorithm>
+
+namespace rps::faultsim {
+
+namespace {
+
+bool fails(const CrashReport& report) {
+  return report.violations > 0 || !report.consistent;
+}
+
+}  // namespace
+
+FaultSimConfig minimize_failure(const FaultSimConfig& config) {
+  FaultSimConfig best = config;
+  // Requests arriving at or after the cut were never issued; dropping
+  // them cannot change the trial. Start the search from the issued count.
+  {
+    FaultSimConfig probe = config;
+    probe.requests = run_trial(config).report.requests_issued;
+    if (probe.requests > 0 && fails(run_trial(probe).report)) best = probe;
+  }
+  // Bisect [1, best.requests] for the smallest still-failing prefix. The
+  // failure is not strictly monotone in the prefix length (a dropped
+  // request can move the crash off its victim), so this is a greedy
+  // shrink: keep halving while the lower half still fails.
+  std::uint64_t lo = 1;
+  std::uint64_t hi = best.requests;
+  while (lo < hi) {
+    const std::uint64_t mid = lo + (hi - lo) / 2;
+    FaultSimConfig probe = best;
+    probe.requests = mid;
+    if (fails(run_trial(probe).report)) {
+      best = probe;
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return best;
+}
+
+SweepResult sweep(const FaultSimConfig& base, const SweepOptions& options) {
+  SweepResult result;
+
+  FaultSimConfig golden = base;
+  golden.crash_time_us = kTimeNever;
+  const TrialResult golden_trial = run_trial(golden);
+  const std::vector<Microseconds>& boundaries = golden_trial.boundaries;
+  result.golden_boundaries = boundaries.size();
+  if (boundaries.empty()) return result;
+
+  const std::uint64_t points =
+      std::min<std::uint64_t>(options.crash_points, boundaries.size());
+  for (std::uint64_t k = 0; k < points; ++k) {
+    // Evenly spaced boundary indices; crash one microsecond before the
+    // completion so the op is mid-flight at the cut.
+    const std::size_t idx = static_cast<std::size_t>(
+        (k * boundaries.size()) / points + boundaries.size() / (2 * points));
+    FaultSimConfig crashed = golden;
+    crashed.crash_time_us = boundaries[std::min(idx, boundaries.size() - 1)] - 1;
+    const TrialResult trial = run_trial(crashed);
+    ++result.crashes_injected;
+    result.total_victims += trial.report.victims;
+    result.total_pages_lost += trial.report.recovery.pages_lost;
+    result.total_parity_recovered += trial.report.recovery.pages_recovered;
+
+    bool replay_mismatch = false;
+    if (options.verify_replay) {
+      // The reproducer line must round-trip and replay to the identical
+      // report — otherwise the "deterministic" in the harness's name is
+      // broken and every failure below is unactionable.
+      const std::optional<FaultSimConfig> parsed =
+          parse_reproducer(reproducer(crashed));
+      replay_mismatch =
+          !parsed || !(run_trial(*parsed).report == trial.report);
+      if (replay_mismatch) ++result.replay_mismatches;
+    }
+
+    if (!fails(trial.report) && !replay_mismatch) continue;
+
+    SweepFailure failure;
+    failure.replay_mismatch = replay_mismatch;
+    failure.config = (options.minimize && fails(trial.report))
+                         ? minimize_failure(crashed)
+                         : crashed;
+    failure.report = run_trial(failure.config).report;
+    failure.line = reproducer(failure.config);
+    result.failures.push_back(std::move(failure));
+  }
+  return result;
+}
+
+}  // namespace rps::faultsim

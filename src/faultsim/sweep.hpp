@@ -1,0 +1,62 @@
+// Sweep driver: systematic crash injection over op-completion boundaries.
+//
+// A sweep first runs the golden (no-crash) trial of a config to harvest
+// the sorted host-op completion times, then injects one power loss just
+// before each of `crash_points` evenly spaced completions — every Nth op
+// boundary, exactly the paper's hazard window (a cut lands mid-program).
+// Every injected crash is replayed from its own one-line reproducer and
+// the two CrashReports must compare bit-equal (determinism is itself an
+// invariant under test). On a violation the driver bisects the request
+// count down to the smallest prefix that still fails and emits the
+// minimal reproducer line.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/faultsim/harness.hpp"
+
+namespace rps::faultsim {
+
+struct SweepOptions {
+  /// Crash points injected, evenly spaced over the golden boundaries
+  /// (the "crash density"; capped by the number of boundaries).
+  std::uint64_t crash_points = 16;
+  /// Re-run every crashed trial from its parsed reproducer line and
+  /// require a bit-equal CrashReport.
+  bool verify_replay = true;
+  /// Bisect failing configs down to a minimal request count.
+  bool minimize = true;
+};
+
+/// One surviving (post-minimization) failure.
+struct SweepFailure {
+  FaultSimConfig config;    // minimized if options.minimize
+  CrashReport report;       // report of the minimized config
+  std::string line;         // reproducer(config)
+  bool replay_mismatch = false;  // failed determinism, not the oracle
+};
+
+struct SweepResult {
+  std::uint64_t golden_boundaries = 0;
+  std::uint64_t crashes_injected = 0;
+  std::uint64_t total_victims = 0;         // in-flight programs destroyed
+  std::uint64_t total_pages_lost = 0;      // losses recovery owned up to
+  std::uint64_t total_parity_recovered = 0;
+  std::uint64_t replay_mismatches = 0;
+  std::vector<SweepFailure> failures;
+
+  [[nodiscard]] bool ok() const { return failures.empty(); }
+};
+
+/// Run the sweep for `base` (its crash_time_us is ignored; the driver
+/// chooses crash points from the golden boundaries).
+SweepResult sweep(const FaultSimConfig& base, const SweepOptions& options);
+
+/// Smallest request count in [1, config.requests] whose trial still
+/// fails the same way (violations or inconsistency). The workload
+/// generator is prefix-stable — trimming requests never perturbs the
+/// surviving prefix — so plain bisection applies.
+FaultSimConfig minimize_failure(const FaultSimConfig& config);
+
+}  // namespace rps::faultsim

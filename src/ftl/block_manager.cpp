@@ -1,5 +1,6 @@
 #include "src/ftl/block_manager.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace rps::ftl {
@@ -44,6 +45,21 @@ void BlockManager::release(nand::BlockAddress addr) {
   bi.valid_pages = 0;
   bi.written_pages = 0;
   per_chip_.at(addr.chip).free.push_back(addr.block);
+}
+
+void BlockManager::reclaim(nand::BlockAddress addr, BlockUse use) {
+  assert(use != BlockUse::kFree);
+  BlockInfo& bi = info(addr);
+  if (bi.use != BlockUse::kFree) return;
+  std::deque<std::uint32_t>& free = per_chip_.at(addr.chip).free;
+  const auto it = std::find(free.begin(), free.end(), addr.block);
+  assert(it != free.end());
+  free.erase(it);
+  bi.use = use;
+  // Every page of the block was written before its (voided) erase was
+  // issued; valid counts are restored by the caller's mapping fixups.
+  bi.written_pages = pages_per_block_;
+  bi.valid_pages = 0;
 }
 
 void BlockManager::remove_valid(nand::BlockAddress addr) {

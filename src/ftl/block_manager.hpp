@@ -41,6 +41,13 @@ class BlockManager {
   /// Return an erased block to the free pool.
   void release(nand::BlockAddress addr);
 
+  /// Pull a specific block back out of the free pool: crash recovery
+  /// found live data in it (its erase was voided by a power loss that
+  /// landed before the erase began). The block re-enters as `use` with
+  /// every page accounted written; valid-page counts are re-added by the
+  /// caller's mapping fixups. No-op unless the block is free.
+  void reclaim(nand::BlockAddress addr, BlockUse use);
+
   /// Valid-page accounting (driven by mapping updates).
   void add_valid(nand::BlockAddress addr) {
     ++info(addr).valid_pages;

@@ -299,8 +299,13 @@ void FtlBase::rebuild_mapping() {
   }
   for (Lpn lpn = 0; lpn < newest.size(); ++lpn) {
     if (!newest[lpn].present) continue;
+    const nand::BlockAddress home{newest[lpn].addr.chip, newest[lpn].addr.block};
+    // Live data in a block the bookkeeping had freed means its erase was
+    // voided by a power loss (charged after the cut, never began): pull
+    // the block back out of the free pool. No-op when already in use.
+    fresh_blocks.reclaim(home, BlockUse::kFull);
     fresh.update(lpn, newest[lpn].addr);
-    fresh_blocks.add_valid({newest[lpn].addr.chip, newest[lpn].addr.block});
+    fresh_blocks.add_valid(home);
   }
   mapping_ = std::move(fresh);
   blocks_ = std::move(fresh_blocks);

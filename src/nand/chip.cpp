@@ -18,8 +18,42 @@ Microseconds Chip::occupy(Microseconds now, Microseconds latency) {
   return start;
 }
 
+void Chip::settle_erases(Microseconds now) {
+  if (pending_erases_.empty()) return;
+  // An erase that started by the present can never be voided (a power
+  // loss is always injected at or after the current wall clock), so its
+  // cell reset is safe to apply. One charged to start in the future must
+  // stay pending: a cut landing before its start voids it.
+  std::vector<PendingErase> keep;
+  for (const PendingErase& pending : pending_erases_) {
+    if (pending.start <= now) {
+      blocks_[pending.block].erase();
+    } else {
+      keep.push_back(pending);
+    }
+  }
+  pending_erases_ = std::move(keep);
+}
+
+void Chip::materialize_erase(std::uint32_t b) const {
+  if (pending_erases_.empty()) return;
+  // Logically const: ops serialize on the chip timeline, so an op touching
+  // block `b` is charged after any pending erase of `b` completed.
+  Chip& self = const_cast<Chip&>(*this);
+  for (auto it = self.pending_erases_.begin(); it != self.pending_erases_.end();) {
+    if (it->block == b) {
+      self.blocks_[b].erase();
+      it = self.pending_erases_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
 Result<OpTiming> Chip::program(std::uint32_t b, PagePos pos, PageData data, Microseconds now) {
   if (b >= blocks_.size()) return ErrorCode::kOutOfRange;
+  settle_erases(now);
+  materialize_erase(b);
   Block& block = blocks_[b];
   // Validate before touching the timeline so a rejected program is free.
   const Status legal = block.can_program(pos);
@@ -46,6 +80,8 @@ Result<OpTiming> Chip::program(std::uint32_t b, PagePos pos, PageData data, Micr
 Result<Chip::ReadOutcome> Chip::read(std::uint32_t b, PagePos pos, Microseconds now) {
   if (b >= blocks_.size()) return ErrorCode::kOutOfRange;
   if (pos.wordline >= blocks_[b].wordlines()) return ErrorCode::kOutOfRange;
+  settle_erases(now);
+  materialize_erase(b);
   ++counters_.reads;
   ReadOutcome outcome;
   outcome.data = blocks_[b].read(pos);
@@ -72,14 +108,21 @@ Result<Chip::ReadOutcome> Chip::read(std::uint32_t b, PagePos pos, Microseconds 
 
 Result<OpTiming> Chip::erase(std::uint32_t b, Microseconds now) {
   if (b >= blocks_.size()) return ErrorCode::kOutOfRange;
+  settle_erases(now);
+  materialize_erase(b);
   const Microseconds start = occupy(now, timing_.erase_us);
-  blocks_[b].erase();
+  // Lazy destruction (see header): charge the timeline (and the counter)
+  // now, reset the cells only once the erase provably started — so a
+  // power cut landing before `start` voids it and the data survives.
   ++counters_.erases;
+  pending_erases_.push_back({b, start});
   return OpTiming{start, busy_until_};
 }
 
 std::uint64_t Chip::total_erase_count() const {
-  std::uint64_t total = 0;
+  // Pending erases are committed on the timeline; count them without
+  // forcing their (still voidable) cell resets.
+  std::uint64_t total = pending_erases_.size();
   for (const Block& b : blocks_) total += b.erase_count();
   return total;
 }
@@ -92,15 +135,43 @@ std::optional<Chip::InFlightProgram> Chip::program_in_flight_at(Microseconds t) 
 }
 
 std::optional<Chip::InFlightProgram> Chip::apply_power_loss(Microseconds t) {
-  const auto in_flight = program_in_flight_at(t);
-  if (!in_flight) return std::nullopt;
-  Block& block = blocks_[in_flight->block];
+  // Settle charged erases against the cut. One that started by `t` really
+  // destroyed the block (an interrupted erase leaves garbage, and every
+  // valid page was relocated — durably, by per-chip serialization —
+  // before the erase was issued). One charged to start after `t` never
+  // began: void it, so the block's data survives the cut — it may hold
+  // the only copy of a page whose relocation was interrupted.
+  {
+    std::vector<PendingErase> pending;
+    pending.swap(pending_erases_);
+    for (const PendingErase& erase : pending) {
+      if (erase.start <= t) {
+        blocks_[erase.block].erase();
+      } else {
+        --counters_.erases;  // charged at issue; the erase never happened
+      }
+    }
+  }
+  // Power is gone: the chip stops dead at t. The timeline cannot extend
+  // past the cut — whatever was charged beyond it never executed.
+  busy_until_ = std::min(busy_until_, t);
+  if (!last_program_ || last_program_->complete <= t) {
+    last_program_.reset();
+    return std::nullopt;
+  }
+  // Any program not complete by t is destroyed: the one mid-flight, or one
+  // charged to start after t inside a synchronous GC/backup sequence (its
+  // cells were never touched, but the model wrote eagerly — report it as a
+  // victim so the FTL can roll the phantom write back).
+  const InFlightProgram in_flight = *last_program_;
+  last_program_.reset();
+  Block& block = blocks_[in_flight.block];
   // The interrupted program itself never completed.
-  block.corrupt(in_flight->pos);
-  if (in_flight->pos.type == PageType::kMsb) {
+  block.corrupt(in_flight.pos);
+  if (in_flight.pos.type == PageType::kMsb) {
     // Destructive MSB programming: the paired LSB page's Vth states were
     // mid-rearrangement, so its previously valid data is lost (Section 1).
-    block.corrupt({in_flight->pos.wordline, PageType::kLsb});
+    block.corrupt({in_flight.pos.wordline, PageType::kLsb});
   }
   return in_flight;
 }

@@ -56,8 +56,14 @@ class Chip {
   [[nodiscard]] bool program_suspend() const { return program_suspend_; }
 
   [[nodiscard]] std::uint32_t num_blocks() const { return static_cast<std::uint32_t>(blocks_.size()); }
-  [[nodiscard]] const Block& block(std::uint32_t b) const { return blocks_.at(b); }
-  [[nodiscard]] Block& block(std::uint32_t b) { return blocks_.at(b); }
+  [[nodiscard]] const Block& block(std::uint32_t b) const {
+    materialize_erase(b);
+    return blocks_.at(b);
+  }
+  [[nodiscard]] Block& block(std::uint32_t b) {
+    materialize_erase(b);
+    return blocks_.at(b);
+  }
 
   /// Program `pos` of block `b` at (or after) `now`. On success the chip
   /// timeline advances; on failure nothing changes.
@@ -71,6 +77,14 @@ class Chip {
   };
   Result<ReadOutcome> read(std::uint32_t b, PagePos pos, Microseconds now);
 
+  /// Erase block `b`. The timeline charge (and the erase counter) is
+  /// immediate; the destructive cell reset is *lazy* — it is applied once
+  /// the erase provably started (the wall clock passed its start time, or
+  /// a later op touches the block, which timeline-serialization places
+  /// after the erase). A power loss landing before the erase's start time
+  /// voids it entirely: the block's data survives the cut, exactly as on
+  /// real hardware where a queued erase behind an in-flight program never
+  /// began.
   Result<OpTiming> erase(std::uint32_t b, Microseconds now);
 
   [[nodiscard]] Microseconds busy_until() const { return busy_until_; }
@@ -90,13 +104,35 @@ class Chip {
   };
   [[nodiscard]] std::optional<InFlightProgram> program_in_flight_at(Microseconds t) const;
 
-  /// Power loss at time `t`: if an MSB program is in flight, the paired
-  /// LSB page's stored data is destroyed and the MSB page is corrupted too
-  /// (its program never completed). Returns the victim word line, if any.
+  /// Power loss at time `t`: the chip stops dead. The last program is a
+  /// victim if it had not completed by `t` — mid-flight, or queued to start
+  /// after `t` (a synchronous GC/backup sequence charged ahead of the cut).
+  /// Its page is corrupted; an interrupted MSB program also destroys the
+  /// paired LSB page's stored data. The chip timeline is capped at `t`
+  /// (after a reboot the chip is immediately available). Returns the
+  /// victim, if any.
   std::optional<InFlightProgram> apply_power_loss(Microseconds t);
 
  private:
+  /// An erase charged to the timeline whose cell reset has not been
+  /// applied yet (see erase()).
+  struct PendingErase {
+    std::uint32_t block = 0;
+    Microseconds start = 0;
+  };
+
   Microseconds occupy(Microseconds now, Microseconds latency);
+
+  /// Apply the cell resets of pending erases that started by `now`. A
+  /// power loss is always injected at or after the present, so these can
+  /// no longer be voided. Erases charged to start in the future stay
+  /// pending (a cut before their start time voids them).
+  void settle_erases(Microseconds now);
+
+  /// Apply the pending erase of block `b` (if any) regardless of its
+  /// start time: an op touching `b` serializes after the erase on the
+  /// chip timeline, so it must observe the erased state. Logically const.
+  void materialize_erase(std::uint32_t b) const;
 
   std::vector<Block> blocks_;
   TimingSpec timing_;
@@ -104,6 +140,7 @@ class Chip {
   Microseconds busy_total_ = 0;
   OpCounters counters_;
   std::optional<InFlightProgram> last_program_;
+  std::vector<PendingErase> pending_erases_;
   bool program_suspend_ = false;
 };
 

@@ -85,6 +85,10 @@ std::vector<PowerLossVictim> NandDevice::inject_power_loss(Microseconds t) {
       victims.push_back(PowerLossVictim{c, hit->block, hit->pos});
     }
   }
+  // The channel buses stop with the power: cap their timelines at the cut
+  // so post-reboot work (recovery reads) starts immediately.
+  for (Microseconds& busy : channel_busy_until_) busy = std::min(busy, t);
+  ++power_loss_count_;
   return victims;
 }
 

@@ -60,10 +60,16 @@ class NandDevice {
 
   Result<OpTiming> erase(BlockAddress addr, Microseconds now);
 
-  /// Inject a power loss at time `t`. Every chip with an in-flight program
-  /// has that program's page corrupted; an in-flight MSB program also
-  /// destroys its paired LSB page. Returns all interrupted programs.
+  /// Inject a power loss at time `t`. Every chip whose last program had not
+  /// completed by `t` (in flight, or charged to start after the cut) has
+  /// that program's page corrupted; an interrupted MSB program also
+  /// destroys its paired LSB page. Chip and channel timelines are capped at
+  /// `t` — the device stops dead and is immediately available at reboot.
+  /// Returns all interrupted programs.
   std::vector<PowerLossVictim> inject_power_loss(Microseconds t);
+
+  /// Number of power losses injected over the device's lifetime.
+  [[nodiscard]] std::uint64_t power_loss_count() const { return power_loss_count_; }
 
   /// Aggregate counters across chips.
   [[nodiscard]] OpCounters total_counters() const;
@@ -91,6 +97,7 @@ class NandDevice {
   SequenceKind kind_;
   std::vector<std::unique_ptr<Chip>> chips_;
   std::vector<Microseconds> channel_busy_until_;
+  std::uint64_t power_loss_count_ = 0;
 };
 
 }  // namespace rps::nand

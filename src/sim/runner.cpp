@@ -19,6 +19,29 @@ std::unique_ptr<ftl::FtlBase> make_ftl(FtlKind kind, const ftl::FtlConfig& confi
   __builtin_unreachable();
 }
 
+RebootOutcome crash_reboot(FtlKind kind, ftl::FtlBase& ftl,
+                           const std::vector<nand::PowerLossVictim>& victims,
+                           Microseconds now) {
+  RebootOutcome outcome;
+  switch (kind) {
+    case FtlKind::kFlex:
+      outcome.recovery_supported = true;
+      outcome.report =
+          static_cast<core::FlexFtl&>(ftl).recover_from_power_loss(victims, now);
+      break;
+    case FtlKind::kPage:
+    case FtlKind::kParity:
+    case FtlKind::kRtf:
+    case FtlKind::kSlc:
+      // No recovery procedure: the reboot is an OOB media rescan. Pages the
+      // cut destroyed read as ECC-uncorrectable and are dropped; the newest
+      // intact copy of each LPN (if any) wins.
+      ftl.rebuild_mapping();
+      break;
+  }
+  return outcome;
+}
+
 nand::Geometry bench_geometry() {
   nand::Geometry g;
   g.channels = 8;

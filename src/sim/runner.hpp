@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "src/core/flex_ftl.hpp"
 #include "src/ftl/config.hpp"
 #include "src/ftl/ftl_base.hpp"
 #include "src/sim/simulator.hpp"
@@ -39,6 +40,26 @@ constexpr const char* to_string(FtlKind kind) {
 
 /// Instantiate an FTL by kind.
 std::unique_ptr<ftl::FtlBase> make_ftl(FtlKind kind, const ftl::FtlConfig& config);
+
+/// What rebooting an FTL after a power cut produced.
+struct RebootOutcome {
+  /// True when the FTL has a real recovery procedure for destroyed pages
+  /// (flexFTL's parity reconstruction, Section 3.3). False means the
+  /// reboot was a best-effort media rescan: acknowledged data destroyed by
+  /// the cut stays lost, by design of that FTL.
+  bool recovery_supported = false;
+  /// flexFTL's recovery report; zeroes for unsupported kinds.
+  core::RecoveryReport report;
+};
+
+/// Crash-and-reboot orchestration: bring `ftl` back up after a power cut
+/// at `now`, with `victims` as reported by the injection
+/// (NandDevice::inject_power_loss or Controller::power_loss). flexFTL
+/// replays its parity-based recovery; every other kind loses its RAM
+/// tables and rebuilds the mapping from the media's out-of-band metadata.
+RebootOutcome crash_reboot(FtlKind kind, ftl::FtlBase& ftl,
+                           const std::vector<nand::PowerLossVictim>& victims,
+                           Microseconds now);
 
 /// The geometry the benchmarks use: the paper's channel/chip organization
 /// (8 x 4) with fewer blocks per chip (128 instead of 512) so a full

@@ -119,6 +119,15 @@ SimResult Simulator::run(const workload::Trace& trace) {
     }
     prev_arrival = arrival;
 
+    // Crash orchestration: requests arriving at or after the cut never
+    // reach the device. Work already accepted keeps its recorded
+    // completions; whether its data survived is decided by the injection
+    // below and checked by the recovery layer.
+    if (arrival >= config_.crash_time_us) {
+      result.crashed = true;
+      break;
+    }
+
     // Idle window detection: the host is idle when every past request has
     // completed and the next arrival is still ahead. (Issue-stream gaps are
     // NOT idleness — a saturated device paces issues in latency-sized
@@ -235,6 +244,16 @@ SimResult Simulator::run(const workload::Trace& trace) {
     last_completion = std::max(last_completion, completion);
   }
   if (busy_end >= busy_start) result.busy_us += busy_end - busy_start;
+
+  if (result.crashed) {
+    if (config_.engine == Engine::kController) {
+      result.power_loss = controller_.power_loss(config_.crash_time_us);
+    } else {
+      result.power_loss.victims =
+          ftl_.device().inject_power_loss(config_.crash_time_us);
+    }
+    last_completion = std::max(base, std::min(last_completion, config_.crash_time_us));
+  }
 
   result.makespan_us = last_completion - base;
   result.erases = ftl_.device().total_erase_count() - erases_before;

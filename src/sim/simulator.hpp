@@ -63,6 +63,11 @@ struct SimConfig {
   /// alternate-LSB/MSB regime, filling blocks evenly).
   double precondition_utilization = 0.5;
   std::uint64_t precondition_seed = 0x5eed;
+  /// Cut device power when the replay clock reaches this time: requests
+  /// arriving at or after it are never issued, queued controller work is
+  /// cancelled, and in-flight programs are destroyed (see SimResult.crashed
+  /// / Simulator::power_loss). kTimeNever = run to completion.
+  Microseconds crash_time_us = kTimeNever;
 };
 
 struct SimResult {
@@ -87,6 +92,12 @@ struct SimResult {
   std::uint64_t erases = 0;       // block erasures during the measured run
   nand::OpCounters ops;           // device op deltas during the measured run
   ftl::FtlStats ftl_stats;        // FTL counter deltas during the measured run
+
+  /// Set when SimConfig::crash_time_us cut the run short; `power_loss`
+  /// holds what the cut destroyed (device victims, cancelled controller
+  /// ops) for a recovery procedure to act on.
+  bool crashed = false;
+  ctrl::PowerLossOutcome power_loss;
 
   /// Requests per second over wall-clock makespan.
   [[nodiscard]] double iops_makespan() const {
@@ -123,7 +134,19 @@ class Simulator {
 
   /// Replay `trace` and measure. May be called after precondition(); the
   /// trace's arrival times are shifted to start after any prior activity.
+  /// With SimConfig::crash_time_us set, the replay stops at the cut and
+  /// the result carries the power-loss outcome (crash-and-reboot
+  /// orchestration: crash here, then hand the victims to
+  /// sim::crash_reboot and keep using the same FTL).
   SimResult run(const workload::Trace& trace);
+
+  /// Cut device power at `t` directly (outside a run): cancels queued
+  /// controller work and destroys in-flight programs.
+  ctrl::PowerLossOutcome power_loss(Microseconds t) { return controller_.power_loss(t); }
+
+  /// The command-scheduling engine (crash harness and scheduling tests
+  /// drive it directly).
+  [[nodiscard]] ctrl::Controller& controller() { return controller_; }
 
  private:
   ftl::FtlBase& ftl_;
