@@ -10,17 +10,26 @@
 
 using namespace rps;
 
-int main() {
+int main(int argc, char** argv) {
   const sim::ExperimentSpec spec = bench::fig8_spec();
+  const std::uint32_t jobs = sim::parse_jobs_flag(argc, argv);
   std::printf("Fig. 8(a): normalized IOPS, 4 FTLs x 5 workloads\n");
   std::printf("(%llu requests per run; IOPS over makespan, closed-loop think time)\n\n",
               static_cast<unsigned long long>(spec.requests));
 
+  const std::vector<workload::Preset> presets(std::begin(workload::kAllPresets),
+                                              std::end(workload::kAllPresets));
+  // All 20 preset x FTL experiments fan out jobs-wide; the matrix comes
+  // back in loop order, so the table below is identical at any --jobs.
+  const std::vector<std::vector<sim::SimResult>> matrix =
+      sim::run_preset_matrix(presets, spec, jobs);
+
   TablePrinter table({"Workload", "pageFTL", "parityFTL", "rtfFTL", "flexFTL",
                       "flex/page", "flex/parity", "flex/rtf"});
   double sums[3] = {0, 0, 0};
-  for (const workload::Preset preset : workload::kAllPresets) {
-    const std::vector<sim::SimResult> results = run_all_ftls(preset, spec);
+  for (std::size_t p = 0; p < presets.size(); ++p) {
+    const workload::Preset preset = presets[p];
+    const std::vector<sim::SimResult>& results = matrix[p];
     const double page = results[0].iops_makespan();
     const double parity = results[1].iops_makespan();
     const double rtf = results[2].iops_makespan();

@@ -9,17 +9,24 @@
 
 using namespace rps;
 
-int main() {
+int main(int argc, char** argv) {
   const sim::ExperimentSpec spec = bench::fig8_spec();
+  const std::uint32_t jobs = sim::parse_jobs_flag(argc, argv);
   std::printf("Fig. 8(b): normalized block erasure counts, 4 FTLs x 5 workloads\n");
   std::printf("(erasures during the measured run, normalized to pageFTL)\n\n");
+
+  const std::vector<workload::Preset> presets(std::begin(workload::kAllPresets),
+                                              std::end(workload::kAllPresets));
+  const std::vector<std::vector<sim::SimResult>> matrix =
+      sim::run_preset_matrix(presets, spec, jobs);
 
   TablePrinter table({"Workload", "pageFTL", "parityFTL", "rtfFTL", "flexFTL",
                       "flex vs parity", "flex vs rtf", "backup pages (flex/parity/rtf)"});
   double reduction_parity = 0.0;
   double reduction_rtf = 0.0;
-  for (const workload::Preset preset : workload::kAllPresets) {
-    const std::vector<sim::SimResult> results = run_all_ftls(preset, spec);
+  for (std::size_t p = 0; p < presets.size(); ++p) {
+    const workload::Preset preset = presets[p];
+    const std::vector<sim::SimResult>& results = matrix[p];
     const auto page = static_cast<double>(results[0].erases);
     const auto parity = static_cast<double>(results[1].erases);
     const auto rtf = static_cast<double>(results[2].erases);

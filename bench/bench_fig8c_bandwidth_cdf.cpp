@@ -9,13 +9,14 @@
 
 using namespace rps;
 
-int main() {
+int main(int argc, char** argv) {
   sim::ExperimentSpec spec = bench::fig8_spec();
   spec.sim.bw_window_us = 50'000;
+  const std::uint32_t jobs = sim::parse_jobs_flag(argc, argv);
   std::printf("Fig. 8(c): CDF of write bandwidth for Varmail (50 ms windows)\n\n");
 
   const std::vector<sim::SimResult> results =
-      run_all_ftls(workload::Preset::kVarmail, spec);
+      run_all_ftls(workload::Preset::kVarmail, spec, jobs);
 
   // CDF table: fraction of windows with bandwidth <= x.
   TablePrinter cdf({"MB/s", "pageFTL", "parityFTL", "rtfFTL", "flexFTL"});

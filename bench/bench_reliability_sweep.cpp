@@ -3,8 +3,11 @@
 // relation holds across the whole lifetime envelope, not just at the
 // single worst-case point the paper reports.
 #include <cstdio>
+#include <string>
 
 #include "src/reliability/study.hpp"
+#include "src/sim/runner.hpp"
+#include "src/util/parallel.hpp"
 #include "src/util/table.hpp"
 
 using namespace rps;
@@ -22,49 +25,65 @@ reliability::StudyConfig base_config() {
 }
 
 void sweep(const char* title, const std::vector<reliability::StressCondition>& points,
-           const char* (*label)(const reliability::StressCondition&)) {
+           std::string (*label)(const reliability::StressCondition&),
+           std::uint32_t jobs) {
   std::printf("%s\n", title);
-  TablePrinter table({"Condition", "FPS median BER", "RPSfull median BER",
-                      "ratio", "holds"});
-  for (const reliability::StressCondition& stress : points) {
+  // Each point runs two independent Monte-Carlo studies from its own
+  // config; points fan out jobs-wide into index-owned slots and the table
+  // is assembled in point order — identical output at any --jobs value.
+  struct PointRow {
+    std::string label;
+    double fps_ber = 0.0;
+    double rps_ber = 0.0;
+  };
+  std::vector<PointRow> rows(points.size());
+  util::parallel_for_indexed(points.size(), jobs, [&](std::size_t i) {
     reliability::StudyConfig config = base_config();
-    config.stress = stress;
+    config.stress = points[i];
     const reliability::StudyResult fps = run_study(Scheme::kFps, config);
     const reliability::StudyResult rps = run_study(Scheme::kRpsFull, config);
-    const double fps_ber = fps.ber_per_page.mean();
-    const double rps_ber = rps.ber_per_page.mean();
-    const double ratio = fps_ber > 0 ? rps_ber / fps_ber : 1.0;
+    rows[i] = {label(points[i]), fps.ber_per_page.mean(), rps.ber_per_page.mean()};
+  });
+
+  TablePrinter table({"Condition", "FPS median BER", "RPSfull median BER",
+                      "ratio", "holds"});
+  for (const PointRow& row : rows) {
+    const double ratio = row.fps_ber > 0 ? row.rps_ber / row.fps_ber : 1.0;
     // Noise-aware criterion: each scheme runs an independent Monte-Carlo
     // stream, so tiny absolute BERs carry sampling error; accept RPS
     // within 10% of FPS or within an absolute 3e-5 floor.
-    const bool holds = rps_ber <= fps_ber * 1.10 + 3e-5;
-    table.add_row({label(stress), TablePrinter::fmt(fps_ber * 1e3, 3),
-                   TablePrinter::fmt(rps_ber * 1e3, 3), TablePrinter::fmt(ratio, 3),
+    const bool holds = row.rps_ber <= row.fps_ber * 1.10 + 3e-5;
+    table.add_row({row.label, TablePrinter::fmt(row.fps_ber * 1e3, 3),
+                   TablePrinter::fmt(row.rps_ber * 1e3, 3), TablePrinter::fmt(ratio, 3),
                    holds ? "yes" : "NO"});
-    std::fflush(stdout);
   }
   std::printf("%s(BER x 1e-3; 'holds' = RPS within 10%% of FPS or 3e-5 absolute)\n\n",
               table.to_string().c_str());
+  std::fflush(stdout);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::uint32_t jobs = sim::parse_jobs_flag(argc, argv);
   std::printf("Reliability sweep: RPS vs FPS BER across the lifetime envelope\n\n");
 
-  static char label_buffer[64];
   sweep("P/E cycling sweep (fresh retention):",
         {{0, 0}, {1000, 0}, {2000, 0}, {3000, 0}, {5000, 0}},
-        +[](const reliability::StressCondition& s) -> const char* {
-          std::snprintf(label_buffer, sizeof label_buffer, "%5.0f P/E", s.pe_cycles);
-          return label_buffer;
-        });
+        +[](const reliability::StressCondition& s) {
+          char buffer[64];
+          std::snprintf(buffer, sizeof buffer, "%5.0f P/E", s.pe_cycles);
+          return std::string(buffer);
+        },
+        jobs);
 
   sweep("Retention sweep (at 3K P/E):",
         {{3000, 0}, {3000, 30}, {3000, 90}, {3000, 365}, {3000, 730}},
-        +[](const reliability::StressCondition& s) -> const char* {
-          std::snprintf(label_buffer, sizeof label_buffer, "%4.0f days", s.retention_days);
-          return label_buffer;
-        });
+        +[](const reliability::StressCondition& s) {
+          char buffer[64];
+          std::snprintf(buffer, sizeof buffer, "%4.0f days", s.retention_days);
+          return std::string(buffer);
+        },
+        jobs);
   return 0;
 }

@@ -1,0 +1,327 @@
+// Simulation-core wall-clock harness: the repo's perf regression gate.
+//
+// Two measurements, written to BENCH_simcore.json:
+//
+//   1. Single-trial throughput: simulated page ops per wall-clock second
+//      for every FTL x engine cell (5 x 2), measured over Simulator::run
+//      only (preconditioning and warm-up excluded). Compared against the
+//      pre-optimization baseline recorded in kBaselineKops below — the
+//      acceptance bar is "no worse than baseline" for every cell.
+//   2. Sweep scaling: wall time of a faultsim seed x density matrix at
+//      --jobs 1 vs --jobs 8, plus an FNV-1a digest of every cell's
+//      numeric results at both job counts. bit_identical must hold on
+//      any host; the speedup is only meaningful on multi-core hosts
+//      (host.cpus is recorded so CI can judge).
+//
+// Usage: bench_simcore [--quick] [--jobs=N] [--out=PATH]
+//   --quick   smaller request counts / fewer seeds (CI smoke)
+//   --jobs=N  parallel arm of the sweep scaling run (default 8)
+//   --out     JSON path (default BENCH_simcore.json in the CWD)
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/faultsim/harness.hpp"
+#include "src/faultsim/sweep.hpp"
+#include "src/sim/runner.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/workload/generator.hpp"
+
+using namespace rps;
+
+namespace {
+
+// Pre-PR single-threaded throughput (kops = thousand simulated page ops
+// per wall second), captured on the 1-CPU reference container at the
+// commit before the hot-path optimizations, full (non-quick) sizes.
+// Regenerate by running the pre-optimization build of this harness.
+struct BaselineEntry {
+  sim::FtlKind kind;
+  sim::Engine engine;
+  double kops;
+};
+constexpr BaselineEntry kBaselineKops[] = {
+    {sim::FtlKind::kPage, sim::Engine::kController, 1200.8},
+    {sim::FtlKind::kPage, sim::Engine::kLegacySync, 1681.2},
+    {sim::FtlKind::kParity, sim::Engine::kController, 995.6},
+    {sim::FtlKind::kParity, sim::Engine::kLegacySync, 1223.0},
+    {sim::FtlKind::kRtf, sim::Engine::kController, 675.1},
+    {sim::FtlKind::kRtf, sim::Engine::kLegacySync, 1160.7},
+    {sim::FtlKind::kFlex, sim::Engine::kController, 1012.5},
+    {sim::FtlKind::kFlex, sim::Engine::kLegacySync, 1143.6},
+    {sim::FtlKind::kSlc, sim::Engine::kController, 1186.7},
+    {sim::FtlKind::kSlc, sim::Engine::kLegacySync, 1702.0},
+};
+// Pre-PR wall seconds of the full-size jobs=1 sweep arm on the reference
+// container.
+constexpr double kBaselineSweepSecs = 2.115;
+
+double baseline_kops(sim::FtlKind kind, sim::Engine engine) {
+  for (const BaselineEntry& e : kBaselineKops) {
+    if (e.kind == kind && e.engine == engine) return e.kops;
+  }
+  return 0.0;
+}
+
+const char* engine_name(sim::Engine engine) {
+  switch (engine) {
+    case sim::Engine::kController: return "controller";
+    case sim::Engine::kLegacySync: return "legacy";
+  }
+  __builtin_unreachable();
+}
+
+double now_secs() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// A mid-size device: big enough that GC, striping and queueing all run
+/// in their steady-state regimes, small enough that the full 5x2 cell
+/// matrix finishes in tens of seconds. 4 x 2 chips, 64 blocks x 64
+/// wordlines (128 MLC pages) x 4 KB = 256 MB.
+nand::Geometry simcore_geometry() {
+  nand::Geometry g;
+  g.channels = 4;
+  g.chips_per_channel = 2;
+  g.blocks_per_chip = 64;
+  g.wordlines_per_block = 64;
+  g.page_size_bytes = 4096;
+  return g;
+}
+
+struct CellResult {
+  sim::FtlKind kind = sim::FtlKind::kPage;
+  sim::Engine engine = sim::Engine::kController;
+  double kops = 0.0;       // measured simulated page ops / wall sec / 1e3
+  double secs = 0.0;       // wall seconds of the measured run
+  std::uint64_t ops = 0;   // pages read + written in the measured run
+};
+
+CellResult measure_cell(sim::FtlKind kind, sim::Engine engine,
+                        std::uint64_t requests, int reps) {
+  sim::ExperimentSpec spec = sim::ExperimentSpec::bench_default();
+  spec.ftl_config.geometry = simcore_geometry();
+  spec.sim.engine = engine;
+  spec.requests = requests;
+
+  // One precondition + warm-up, then `reps` timed replays of the same
+  // trace (best-of-reps damps scheduler noise). Replays after the first
+  // start from the previous replay's device state — still steady state,
+  // which is the regime the baseline comparison cares about.
+  std::unique_ptr<ftl::FtlBase> ftl = sim::make_ftl(kind, spec.ftl_config);
+  sim::Simulator simulator(*ftl, spec.sim);
+  simulator.precondition();
+  const Lpn working_set = static_cast<Lpn>(
+      static_cast<double>(ftl->exported_pages()) * spec.working_set_fraction);
+  const workload::Trace warmup = workload::generate(workload::preset_config(
+      workload::Preset::kVarmail, working_set, spec.requests / 2,
+      spec.seed ^ 0x77777777ull));
+  simulator.warm_up(warmup);
+  const workload::Trace trace = workload::generate(workload::preset_config(
+      workload::Preset::kVarmail, working_set, spec.requests, spec.seed));
+
+  CellResult cell;
+  cell.kind = kind;
+  cell.engine = engine;
+  for (int rep = 0; rep < reps; ++rep) {
+    const double t0 = now_secs();
+    const sim::SimResult result = simulator.run(trace);
+    const double secs = now_secs() - t0;
+    const std::uint64_t ops = result.pages_read + result.pages_written;
+    const double kops = secs > 0 ? static_cast<double>(ops) / secs / 1e3 : 0.0;
+    if (rep == 0 || kops > cell.kops) {
+      cell.secs = secs;
+      cell.ops = ops;
+      cell.kops = kops;
+    }
+  }
+  return cell;
+}
+
+/// Order-sensitive FNV-1a over every numeric field of every matrix cell
+/// (and each failure's reproducer line): two runs digest equal iff their
+/// reports are bit-identical in cell order.
+std::uint64_t digest_matrix(const std::vector<faultsim::MatrixCell>& cells) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (v >> (byte * 8)) & 0xff;
+      h *= 0x100000001b3ull;
+    }
+  };
+  for (const faultsim::MatrixCell& cell : cells) {
+    mix(cell.seed);
+    mix(cell.points);
+    mix(cell.result.golden_boundaries);
+    mix(cell.result.crashes_injected);
+    mix(cell.result.total_victims);
+    mix(cell.result.total_pages_lost);
+    mix(cell.result.total_parity_recovered);
+    mix(cell.result.replay_mismatches);
+    mix(cell.result.failures.size());
+    for (const faultsim::SweepFailure& f : cell.result.failures) {
+      for (const char c : f.line) mix(static_cast<unsigned char>(c));
+    }
+  }
+  return h;
+}
+
+struct SweepScaling {
+  std::uint64_t seeds = 0;
+  std::uint64_t density = 0;
+  std::uint32_t jobs = 8;
+  double jobs1_secs = 0.0;
+  double jobsn_secs = 0.0;
+  std::uint64_t digest_jobs1 = 0;
+  std::uint64_t digest_jobsn = 0;
+  bool bit_identical = false;
+};
+
+SweepScaling measure_sweep(std::uint64_t seeds, std::uint64_t density,
+                           std::uint32_t jobs) {
+  SweepScaling scaling;
+  scaling.seeds = seeds;
+  scaling.density = density;
+  scaling.jobs = jobs;
+
+  faultsim::FaultSimConfig base;  // flexFTL / controller, the default
+  faultsim::MatrixOptions options;
+  options.seeds = seeds;
+  options.densities = {density};
+
+  options.jobs = 1;
+  double t0 = now_secs();
+  const std::vector<faultsim::MatrixCell> sequential =
+      faultsim::sweep_matrix(base, options);
+  scaling.jobs1_secs = now_secs() - t0;
+  scaling.digest_jobs1 = digest_matrix(sequential);
+
+  options.jobs = jobs;
+  t0 = now_secs();
+  const std::vector<faultsim::MatrixCell> parallel =
+      faultsim::sweep_matrix(base, options);
+  scaling.jobsn_secs = now_secs() - t0;
+  scaling.digest_jobsn = digest_matrix(parallel);
+
+  scaling.bit_identical = scaling.digest_jobs1 == scaling.digest_jobsn;
+  return scaling;
+}
+
+void write_json(const std::string& path, bool quick, std::uint64_t requests,
+                const std::vector<CellResult>& cells, const SweepScaling& sweep) {
+  FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"bench\": \"simcore\",\n");
+  std::fprintf(out, "  \"quick\": %s,\n", quick ? "true" : "false");
+  std::fprintf(out, "  \"host\": {\"cpus\": %u},\n",
+               std::max(1u, std::thread::hardware_concurrency()));
+  std::fprintf(out, "  \"single_trial\": {\n");
+  std::fprintf(out, "    \"requests\": %llu,\n",
+               static_cast<unsigned long long>(requests));
+  std::fprintf(out, "    \"workload\": \"Varmail\",\n");
+  std::fprintf(out, "    \"cells\": [\n");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const CellResult& c = cells[i];
+    const double base = baseline_kops(c.kind, c.engine);
+    std::fprintf(out,
+                 "      {\"ftl\": \"%s\", \"engine\": \"%s\", \"kops\": %.2f, "
+                 "\"secs\": %.3f, \"ops\": %llu, \"baseline_kops\": %.2f, "
+                 "\"vs_baseline\": %.3f}%s\n",
+                 sim::to_string(c.kind), engine_name(c.engine), c.kops, c.secs,
+                 static_cast<unsigned long long>(c.ops), base,
+                 base > 0 ? c.kops / base : 0.0,
+                 i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(out, "    ]\n");
+  std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"sweep_scaling\": {\n");
+  std::fprintf(out, "    \"seeds\": %llu,\n",
+               static_cast<unsigned long long>(sweep.seeds));
+  std::fprintf(out, "    \"density\": %llu,\n",
+               static_cast<unsigned long long>(sweep.density));
+  std::fprintf(out, "    \"jobs\": %u,\n", sweep.jobs);
+  std::fprintf(out, "    \"jobs1_secs\": %.3f,\n", sweep.jobs1_secs);
+  std::fprintf(out, "    \"jobsN_secs\": %.3f,\n", sweep.jobsn_secs);
+  std::fprintf(out, "    \"speedup\": %.3f,\n",
+               sweep.jobsn_secs > 0 ? sweep.jobs1_secs / sweep.jobsn_secs : 0.0);
+  std::fprintf(out, "    \"baseline_jobs1_secs\": %.3f,\n", kBaselineSweepSecs);
+  std::fprintf(out, "    \"digest_jobs1\": \"%016llx\",\n",
+               static_cast<unsigned long long>(sweep.digest_jobs1));
+  std::fprintf(out, "    \"digest_jobsN\": \"%016llx\",\n",
+               static_cast<unsigned long long>(sweep.digest_jobsn));
+  std::fprintf(out, "    \"bit_identical\": %s\n",
+               sweep.bit_identical ? "true" : "false");
+  std::fprintf(out, "  }\n");
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path = "BENCH_simcore.json";
+  std::uint32_t jobs = 8;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      jobs = static_cast<std::uint32_t>(std::stoul(arg.substr(7)));
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  const std::uint64_t requests = quick ? 10'000 : 100'000;
+  const std::uint64_t seeds = quick ? 8 : 64;
+  const int reps = quick ? 2 : 3;
+  constexpr std::uint64_t kDensity = 16;
+
+  std::printf("bench_simcore%s: single-trial throughput (Varmail, %llu requests)\n",
+              quick ? " --quick" : "", static_cast<unsigned long long>(requests));
+  std::vector<CellResult> cells;
+  constexpr sim::FtlKind kKinds[] = {sim::FtlKind::kPage, sim::FtlKind::kParity,
+                                     sim::FtlKind::kRtf, sim::FtlKind::kFlex,
+                                     sim::FtlKind::kSlc};
+  for (const sim::FtlKind kind : kKinds) {
+    for (const sim::Engine engine :
+         {sim::Engine::kController, sim::Engine::kLegacySync}) {
+      cells.push_back(measure_cell(kind, engine, requests, reps));
+      const CellResult& c = cells.back();
+      const double base = baseline_kops(kind, engine);
+      std::printf("  %-9s %-10s %9.1f kops  (%.2fs, %llu ops)%s\n",
+                  sim::to_string(kind), engine_name(engine), c.kops, c.secs,
+                  static_cast<unsigned long long>(c.ops),
+                  base > 0 ? (c.kops >= base ? "  >= baseline" : "  BELOW baseline")
+                           : "");
+      std::fflush(stdout);
+    }
+  }
+
+  std::printf("sweep scaling: %llu seeds x density %llu, jobs 1 vs %u\n",
+              static_cast<unsigned long long>(seeds),
+              static_cast<unsigned long long>(kDensity), jobs);
+  const SweepScaling sweep = measure_sweep(seeds, kDensity, jobs);
+  std::printf("  jobs=1: %.2fs  jobs=%u: %.2fs  speedup %.2fx  bit_identical=%s\n",
+              sweep.jobs1_secs, jobs, sweep.jobsn_secs,
+              sweep.jobsn_secs > 0 ? sweep.jobs1_secs / sweep.jobsn_secs : 0.0,
+              sweep.bit_identical ? "yes" : "NO");
+
+  write_json(out_path, quick, requests, cells, sweep);
+  return sweep.bit_identical ? 0 : 1;
+}

@@ -12,29 +12,32 @@ Controller::Controller(ftl::FtlBase& ftl, ControllerConfig config)
 
 CommandId Controller::submit(const HostCommand& cmd) {
   const CommandId id = next_id_++;
-  Pending pending;
-  pending.cmd = cmd;
+  slots_.emplace_back();
+  Slot& stored = slots_.back();
+  stored.state = Slot::State::kPending;
+  stored.cmd = cmd;
   std::vector<NandOp> ops = split_request(cmd);
-  pending.ops.reserve(ops.size());
+  stored.ops.reserve(ops.size());
   for (NandOp& op : ops) {
     OpState state;
     state.unresolved = static_cast<std::uint32_t>(op.deps.size());
     state.ready = cmd.issue;
     state.op = std::move(op);
-    pending.ops.push_back(std::move(state));
+    stored.ops.push_back(std::move(state));
   }
-  pending.remaining = static_cast<std::uint32_t>(pending.ops.size());
-  pending.result.id = id;
-  pending.result.issue = cmd.issue;
-  pending.result.first_complete = kTimeNever;
-  pending.result.last_complete = cmd.issue;
-  pending.result.pages = pending.remaining;
-  live_ops_ += pending.remaining;
+  stored.remaining = static_cast<std::uint32_t>(stored.ops.size());
+  stored.result.id = id;
+  stored.result.issue = cmd.issue;
+  stored.result.first_complete = kTimeNever;
+  stored.result.last_complete = cmd.issue;
+  stored.result.pages = stored.remaining;
+  live_ops_ += stored.remaining;
 
-  Pending& stored = pending_.emplace(id, std::move(pending)).first->second;
   if (stored.remaining == 0) {
-    // Degenerate zero-page command: finished on arrival.
+    // Degenerate zero-page command: finished on arrival (collected at the
+    // next drain, like any other completion).
     stored.result.first_complete = cmd.issue;
+    newly_finished_.push_back(id);
     return id;
   }
   for (std::uint32_t i = 0; i < stored.ops.size(); ++i) {
@@ -48,7 +51,7 @@ CommandId Controller::submit(const HostCommand& cmd) {
   return id;
 }
 
-void Controller::enqueue_ready(Pending& pending, CommandId id, std::uint32_t index) {
+void Controller::enqueue_ready(Slot& pending, CommandId id, std::uint32_t index) {
   OpState& state = pending.ops[index];
   if (state.op.kind == OpKind::kHostWrite) {
     write_queue_.push_back(OpRef{id, index});
@@ -80,7 +83,7 @@ void Controller::dispatch_at(Microseconds t) {
     // the head is not yet ready).
     while (!write_queue_.empty()) {
       const OpRef ref = write_queue_.front();
-      const OpState& state = pending_.at(ref.cmd).ops[ref.index];
+      const OpState& state = slot(ref.cmd).ops[ref.index];
       if (state.ready > t) {
         events_.schedule(state.ready);
         break;
@@ -94,7 +97,7 @@ void Controller::dispatch_at(Microseconds t) {
       std::deque<OpRef>& queue = read_queues_[chip];
       while (!queue.empty()) {
         const OpRef ref = queue.front();
-        const OpState& state = pending_.at(ref.cmd).ops[ref.index];
+        const OpState& state = slot(ref.cmd).ops[ref.index];
         if (state.ready > t) {
           events_.schedule(state.ready);
           break;
@@ -113,7 +116,7 @@ void Controller::dispatch_at(Microseconds t) {
 }
 
 bool Controller::dispatch_write(const OpRef& ref, Microseconds t) {
-  Pending& pending = pending_.at(ref.cmd);
+  Slot& pending = slot(ref.cmd);
   OpState& state = pending.ops[ref.index];
   const std::uint32_t chips = ftl_.device().geometry().num_chips();
   std::uint32_t chip = 0;
@@ -151,7 +154,7 @@ bool Controller::dispatch_write(const OpRef& ref, Microseconds t) {
 }
 
 void Controller::dispatch_read(const OpRef& ref, std::uint32_t chip, Microseconds t) {
-  Pending& pending = pending_.at(ref.cmd);
+  Slot& pending = slot(ref.cmd);
   OpState& state = pending.ops[ref.index];
   const Result<ftl::HostOp> op = ftl_.read(state.op.lpn, t);
   if (!op.is_ok()) {
@@ -166,13 +169,14 @@ void Controller::dispatch_read(const OpRef& ref, std::uint32_t chip, Microsecond
 
 void Controller::retire(const OpRef& ref, std::uint32_t chip, Microseconds start,
                         Microseconds complete, bool ok) {
-  Pending& pending = pending_.at(ref.cmd);
+  Slot& pending = slot(ref.cmd);
   OpState& state = pending.ops[ref.index];
   assert(!state.done);
   state.done = true;
   state.complete = complete;
   assert(pending.remaining > 0);
   --pending.remaining;
+  if (pending.remaining == 0) newly_finished_.push_back(ref.cmd);
   assert(live_ops_ > 0);
   --live_ops_;
   if (!ok) pending.result.ok = false;
@@ -200,16 +204,17 @@ void Controller::retire(const OpRef& ref, std::uint32_t chip, Microseconds start
 }
 
 void Controller::collect_finished() {
-  for (auto it = pending_.begin(); it != pending_.end();) {
-    if (it->second.remaining == 0) {
-      CommandResult result = it->second.result;
-      if (result.first_complete == kTimeNever) result.first_complete = result.issue;
-      finished_.emplace(it->first, result);
-      it = pending_.erase(it);
-    } else {
-      ++it;
+  for (const CommandId id : newly_finished_) {
+    Slot& s = slot(id);
+    assert(s.state == Slot::State::kPending && s.remaining == 0);
+    if (s.result.first_complete == kTimeNever) {
+      s.result.first_complete = s.result.issue;
     }
+    s.state = Slot::State::kFinished;
+    s.ops = {};  // release op storage; only the result lives on
+    ++finished_count_;
   }
+  newly_finished_.clear();
 }
 
 void Controller::drain(Microseconds until) {
@@ -218,6 +223,7 @@ void Controller::drain(Microseconds until) {
     // Coalesce duplicate wake-ups at the same instant.
     while (!events_.empty() && events_.peek() <= t) events_.pop();
     dispatch_at(t);
+    events_.end_instant();
     collect_finished();
   }
   collect_finished();
@@ -233,12 +239,16 @@ CommandResult Controller::execute(const HostCommand& cmd) {
 }
 
 std::vector<CommandResult> Controller::take_all_results() {
+  // Slot order is id order, so the results come out sorted for free.
   std::vector<CommandResult> results;
-  results.reserve(finished_.size());
-  for (const auto& [id, result] : finished_) results.push_back(result);
-  finished_.clear();
-  std::sort(results.begin(), results.end(),
-            [](const CommandResult& a, const CommandResult& b) { return a.id < b.id; });
+  results.reserve(finished_count_);
+  for (Slot& s : slots_) {
+    if (s.state != Slot::State::kFinished) continue;
+    results.push_back(s.result);
+    s.state = Slot::State::kEmpty;
+  }
+  finished_count_ = 0;
+  pop_empty_front();
   return results;
 }
 
@@ -252,9 +262,10 @@ PowerLossOutcome Controller::power_loss(Microseconds t) {
     queue.clear();
   }
   // Every command still pending lost at least one op (collect_finished
-  // already moved fully retired ones): abort it. Its record survives into
-  // the finished set so callers can count what was in flight.
-  for (auto& [id, pending] : pending_) {
+  // already handled fully retired ones): abort it. Its record survives in
+  // the finished state so callers can count what was in flight.
+  for (Slot& pending : slots_) {
+    if (pending.state != Slot::State::kPending) continue;
     assert(pending.remaining > 0);
     assert(live_ops_ >= pending.remaining);
     live_ops_ -= pending.remaining;
@@ -263,10 +274,12 @@ PowerLossOutcome Controller::power_loss(Microseconds t) {
     if (pending.result.first_complete == kTimeNever) {
       pending.result.first_complete = pending.result.issue;
     }
-    finished_.emplace(id, pending.result);
+    pending.state = Slot::State::kFinished;
+    pending.ops = {};
+    pending.remaining = 0;
+    ++finished_count_;
     ++outcome.aborted_commands;
   }
-  pending_.clear();
   events_.clear();
   assert(live_ops_ == 0);
   outcome.victims = ftl_.device().inject_power_loss(t);
@@ -274,10 +287,13 @@ PowerLossOutcome Controller::power_loss(Microseconds t) {
 }
 
 CommandResult Controller::take_result(CommandId id) {
-  const auto it = finished_.find(id);
-  assert(it != finished_.end());
-  CommandResult result = it->second;
-  finished_.erase(it);
+  Slot& s = slot(id);
+  assert(s.state == Slot::State::kFinished);
+  const CommandResult result = s.result;
+  s.state = Slot::State::kEmpty;
+  assert(finished_count_ > 0);
+  --finished_count_;
+  pop_empty_front();
   return result;
 }
 

@@ -25,7 +25,6 @@
 
 #include <cstdint>
 #include <deque>
-#include <unordered_map>
 #include <vector>
 
 #include "src/controller/event_queue.hpp"
@@ -134,7 +133,15 @@ class Controller {
     bool done = false;
     Microseconds complete = 0;
   };
-  struct Pending {
+  /// Flat per-command storage: the slot for command id lives at
+  /// slots_[id - base_id_] (ids are monotonic, so the window of live
+  /// commands is a contiguous deque — every pending_.at() hash lookup of
+  /// the old map becomes an index). A slot walks kPending -> kFinished
+  /// (ops released; the result awaits take_result) -> kEmpty, and empty
+  /// slots are popped off the front as the window slides.
+  struct Slot {
+    enum class State : std::uint8_t { kEmpty, kPending, kFinished };
+    State state = State::kEmpty;
     HostCommand cmd;
     std::vector<OpState> ops;
     std::uint32_t remaining = 0;
@@ -145,9 +152,21 @@ class Controller {
     std::uint32_t index = 0;
   };
 
+  [[nodiscard]] Slot& slot(CommandId id) {
+    return slots_[static_cast<std::size_t>(id - base_id_)];
+  }
+
+  /// Slide the window: drop consumed slots off the front.
+  void pop_empty_front() {
+    while (!slots_.empty() && slots_.front().state == Slot::State::kEmpty) {
+      slots_.pop_front();
+      ++base_id_;
+    }
+  }
+
   /// An op's dependencies just resolved: route it to its dispatch queue
   /// (or retire it on the spot for unmapped reads).
-  void enqueue_ready(Pending& pending, CommandId id, std::uint32_t index);
+  void enqueue_ready(Slot& pending, CommandId id, std::uint32_t index);
 
   /// Dispatch everything dispatchable at time `t`; schedules wake-ups for
   /// whatever blocks (busy chips, unready deps).
@@ -161,16 +180,19 @@ class Controller {
   void retire(const OpRef& ref, std::uint32_t chip, Microseconds start,
               Microseconds complete, bool ok);
 
-  /// Move fully retired commands from pending_ to finished_. Only called
-  /// from drain() between events — never while dispatch loops hold
-  /// references into pending_.
+  /// Finalize commands whose last op retired (recorded in
+  /// newly_finished_): release their op storage and flip the slot to
+  /// kFinished. Only called from drain() between events — never while
+  /// dispatch loops hold references into a slot's ops.
   void collect_finished();
 
   ftl::FtlBase& ftl_;
   ControllerConfig config_;
   EventQueue events_;
-  std::unordered_map<CommandId, Pending> pending_;
-  std::unordered_map<CommandId, CommandResult> finished_;
+  std::deque<Slot> slots_;          // commands base_id_ .. base_id_+size-1
+  CommandId base_id_ = 1;           // id of slots_.front()
+  std::vector<CommandId> newly_finished_;  // remaining hit 0, not yet collected
+  std::size_t finished_count_ = 0;  // slots in kFinished state
   std::deque<OpRef> write_queue_;               // FIFO, striped across chips
   std::vector<std::deque<OpRef>> read_queues_;  // per chip
   std::vector<OpRecord> op_log_;

@@ -2,6 +2,17 @@
 // wake-up times. The controller schedules a wake-up whenever something
 // will become dispatchable later (a dependency completes, a chip goes
 // idle, a command's issue time arrives) and drains events in time order.
+//
+// The controller schedules redundantly by design (every blocked op posts
+// its own wake-up, chips post theirs), so the queue coalesces at the
+// source instead of carrying duplicates to the heap:
+//   - an exact duplicate of the current earliest entry is dropped — the
+//     drain loop would coalesce the two pops anyway, and the heap of a
+//     queue-depth-64 run is mostly such duplicates;
+//   - while the controller is *processing* an instant (between pop() and
+//     end_instant()), any time <= that instant is dropped: dispatch_at
+//     runs to a fixpoint at its instant, so re-waking at or before it
+//     cannot unblock anything the fixpoint didn't already try.
 #pragma once
 
 #include <functional>
@@ -23,13 +34,24 @@ class EventQueue {
   [[nodiscard]] Microseconds peek() const { return heap_.top(); }
 
   /// Pop and return the earliest scheduled time. Precondition: !empty().
+  /// Starts an "instant": until end_instant(), schedule() drops any time
+  /// at or before the popped one.
   Microseconds pop();
 
+  /// The caller's dispatch fixpoint for the popped instant is done;
+  /// schedule() resumes accepting times at or before it.
+  void end_instant() { processing_ = false; }
+
   /// Drop every scheduled wake-up (power-loss teardown).
-  void clear() { heap_ = {}; }
+  void clear() {
+    heap_ = {};
+    processing_ = false;
+  }
 
  private:
   std::priority_queue<Microseconds, std::vector<Microseconds>, std::greater<>> heap_;
+  Microseconds current_ = 0;  // last popped time (valid while processing_)
+  bool processing_ = false;
 };
 
 }  // namespace rps::ctrl

@@ -27,7 +27,15 @@ PolicyManager::Params policy_params(const ftl::FtlConfig& config) {
 FlexFtl::FlexFtl(const ftl::FtlConfig& config)
     : FtlBase(config, nand::SequenceKind::kRps),
       chips_(config.geometry.num_chips()),
-      policy_(policy_params(config)) {}
+      policy_(policy_params(config)) {
+  // A chip's parity tables key on its own block numbers, so blocks_per_chip
+  // bounds their population — reserving up front keeps the per-write
+  // coverage bookkeeping rehash-free for the whole run.
+  for (ChipState& chip : chips_) {
+    chip.parity_durable.reserve(config.geometry.blocks_per_chip);
+    chip.parity_page.reserve(config.geometry.blocks_per_chip);
+  }
+}
 
 nand::PageData FlexFtl::zeroed_parity() {
   nand::PageData d;

@@ -1,14 +1,14 @@
 // faultsim: deterministic power-loss crash-consistency driver.
 //
 // Modes:
-//   faultsim --matrix [--seeds=16] [--densities=8,16,32] [--ftl=flex]
+//   faultsim --matrix [--seeds=16] [--densities=8,16,32] [--jobs=N] [--ftl=flex]
 //       CI sweep: for each seed x crash-density cell, inject crashes at
 //       evenly spaced op-completion boundaries, audit recovery with the
 //       shadow oracle, and verify every crash replays bit-identically
 //       from its reproducer line. Exit 1 and print each failure's
 //       minimal one-line reproducer on stderr (first line of stderr is
 //       machine-grabbable for a CI artifact).
-//   faultsim --sweep --ftl=... --engine=... --seed=N [--points=16]
+//   faultsim --sweep --ftl=... --engine=... --seed=N [--points=16] [--jobs=N]
 //       One sweep cell, verbose per-crash summary.
 //   faultsim --ftl=... --seed=N --crash-us=T [...]
 //       Replay a single reproducer line (the flags ARE the line printed
@@ -89,34 +89,35 @@ std::vector<std::uint64_t> parse_list(const std::string& value) {
 }
 
 int run_matrix(const FaultSimConfig& base, std::uint64_t seeds,
-               const std::vector<std::uint64_t>& densities) {
+               const std::vector<std::uint64_t>& densities, std::uint32_t jobs) {
+  MatrixOptions options;
+  options.seeds = seeds;
+  options.densities = densities;
+  options.jobs = jobs;
+  // Cells fan out jobs-wide but come back in cell-enumeration order, so
+  // the per-cell lines (and the totals) below are byte-identical to a
+  // sequential run for any --jobs value.
+  const std::vector<MatrixCell> matrix = sweep_matrix(base, options);
   SweepResult total;
   std::uint64_t cells = 0;
-  for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
-    for (const std::uint64_t points : densities) {
-      FaultSimConfig config = base;
-      config.seed = seed;
-      SweepOptions options;
-      options.crash_points = points;
-      const SweepResult cell = sweep(config, options);
-      ++cells;
-      total.crashes_injected += cell.crashes_injected;
-      total.total_victims += cell.total_victims;
-      total.total_pages_lost += cell.total_pages_lost;
-      total.total_parity_recovered += cell.total_parity_recovered;
-      total.replay_mismatches += cell.replay_mismatches;
-      for (const SweepFailure& f : cell.failures) total.failures.push_back(f);
-      std::printf("seed=%llu points=%llu: crashes=%llu victims=%llu "
-                  "recovered=%llu lost=%llu failures=%zu\n",
-                  static_cast<unsigned long long>(seed),
-                  static_cast<unsigned long long>(points),
-                  static_cast<unsigned long long>(cell.crashes_injected),
-                  static_cast<unsigned long long>(cell.total_victims),
-                  static_cast<unsigned long long>(cell.total_parity_recovered),
-                  static_cast<unsigned long long>(cell.total_pages_lost),
-                  cell.failures.size());
-      std::fflush(stdout);
-    }
+  for (const MatrixCell& cell : matrix) {
+    ++cells;
+    total.crashes_injected += cell.result.crashes_injected;
+    total.total_victims += cell.result.total_victims;
+    total.total_pages_lost += cell.result.total_pages_lost;
+    total.total_parity_recovered += cell.result.total_parity_recovered;
+    total.replay_mismatches += cell.result.replay_mismatches;
+    for (const SweepFailure& f : cell.result.failures) total.failures.push_back(f);
+    std::printf("seed=%llu points=%llu: crashes=%llu victims=%llu "
+                "recovered=%llu lost=%llu failures=%zu\n",
+                static_cast<unsigned long long>(cell.seed),
+                static_cast<unsigned long long>(cell.points),
+                static_cast<unsigned long long>(cell.result.crashes_injected),
+                static_cast<unsigned long long>(cell.result.total_victims),
+                static_cast<unsigned long long>(cell.result.total_parity_recovered),
+                static_cast<unsigned long long>(cell.result.total_pages_lost),
+                cell.result.failures.size());
+    std::fflush(stdout);
   }
   std::printf("matrix: cells=%llu crashes=%llu victims=%llu recovered=%llu "
               "lost=%llu replay_mismatches=%llu failures=%zu\n",
@@ -138,6 +139,7 @@ int main(int argc, char** argv) {
   std::uint64_t seeds = 16;
   std::vector<std::uint64_t> densities = {8, 16, 32};
   std::uint64_t points = 16;
+  std::uint32_t jobs = 1;
 
   // Split driver flags from reproducer flags; the rest of the line is
   // parsed by the same parser the sweep's replay check uses.
@@ -155,6 +157,8 @@ int main(int argc, char** argv) {
         densities = parse_list(arg.substr(12));
       } else if (arg.rfind("--points=", 0) == 0) {
         points = std::stoull(arg.substr(9));
+      } else if (arg.rfind("--jobs=", 0) == 0) {
+        jobs = static_cast<std::uint32_t>(std::stoul(arg.substr(7)));
       } else {
         repro_line += ' ';
         repro_line += arg;
@@ -171,11 +175,12 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  if (matrix) return run_matrix(*config, seeds, densities);
+  if (matrix) return run_matrix(*config, seeds, densities, jobs);
 
   if (do_sweep) {
     SweepOptions options;
     options.crash_points = points;
+    options.jobs = jobs;
     const SweepResult result = sweep(*config, options);
     std::printf("boundaries=%llu crashes=%llu victims=%llu recovered=%llu "
                 "lost=%llu replay_mismatches=%llu failures=%zu\n",

@@ -7,6 +7,9 @@ namespace rps::faultsim {
 
 void ShadowOracle::attach(ftl::FtlBase& ftl) {
   ftl_ = &ftl;
+  if (history_.size() < ftl.exported_pages()) {
+    history_.resize(ftl.exported_pages());
+  }
   ftl.set_placement_observer(
       [this](Lpn lpn, const nand::PageAddress& addr) { observe(lpn, addr); });
 }
@@ -18,30 +21,33 @@ void ShadowOracle::detach() {
 
 void ShadowOracle::observe(Lpn lpn, const nand::PageAddress& addr) {
   ++observed_commits_;
-  // The page was just programmed, so reading its stored record back is the
-  // ground truth of what the device holds for this commit.
-  const Result<nand::PageData> stored =
-      ftl_->device().block({addr.chip, addr.block}).read(addr.pos);
-  if (!stored.is_ok()) return;  // never expected for a fresh commit
-  const std::uint64_t version = stored.value().version;
+  if (lpn >= history_.size()) return;  // observer only reports host LPNs
+  // The page was just programmed, so peeking at its stored record is the
+  // ground truth of what the device holds for this commit (zero-copy: the
+  // record is inspected in place, never duplicated).
+  const nand::PageData* stored =
+      ftl_->device().block({addr.chip, addr.block}).peek(addr.pos);
+  if (stored == nullptr) return;  // never expected for a fresh commit
+  const std::uint64_t version = stored->version;
   std::vector<WriteRecord>& records = history_[lpn];
   // GC relocations and parity-recovery rewrites re-commit an existing host
   // write under its original version: same logical data, not a new write.
   for (const WriteRecord& r : records) {
     if (r.version == version) return;
   }
-  records.push_back(WriteRecord{version, stored.value().signature, kTimeNever});
+  records.push_back(WriteRecord{version, stored->signature, kTimeNever});
 }
 
 void ShadowOracle::mark_epoch() {
-  epoch_.clear();
-  for (const auto& [lpn, records] : history_) epoch_[lpn] = records.size();
+  epoch_.assign(history_.size(), 0);
+  for (Lpn lpn = 0; lpn < history_.size(); ++lpn) {
+    epoch_[lpn] = history_[lpn].size();
+  }
 }
 
 void ShadowOracle::ack_latest(Lpn lpn, Microseconds complete) {
-  const auto it = history_.find(lpn);
-  if (it == history_.end() || it->second.empty()) return;
-  it->second.back().acked_at = complete;
+  if (lpn >= history_.size() || history_[lpn].empty()) return;
+  history_[lpn].back().acked_at = complete;
 }
 
 void ShadowOracle::finalize_from_op_log(const std::vector<ctrl::OpRecord>& log) {
@@ -49,22 +55,23 @@ void ShadowOracle::finalize_from_op_log(const std::vector<ctrl::OpRecord>& log) 
   // order is the dispatch order — which is the order versions were
   // assigned and committed. Per LPN, the i-th successful host-write record
   // is the i-th post-epoch history entry.
-  std::unordered_map<Lpn, std::size_t> cursor;
+  std::vector<std::size_t> cursor(history_.size(), 0);
   for (const ctrl::OpRecord& rec : log) {
     if (rec.kind != ctrl::OpKind::kHostWrite || !rec.ok) continue;
-    const auto it = history_.find(rec.lpn);
-    if (it == history_.end()) continue;
-    std::size_t base = 0;
-    if (const auto eit = epoch_.find(rec.lpn); eit != epoch_.end()) base = eit->second;
+    if (rec.lpn >= history_.size() || history_[rec.lpn].empty()) continue;
+    const std::size_t base = rec.lpn < epoch_.size() ? epoch_[rec.lpn] : 0;
     const std::size_t idx = base + cursor[rec.lpn]++;
-    if (idx < it->second.size()) it->second[idx].acked_at = rec.complete;
+    if (idx < history_[rec.lpn].size()) history_[rec.lpn][idx].acked_at = rec.complete;
   }
 }
 
 OracleCheck ShadowOracle::check(ftl::FtlBase& ftl, Microseconds crash_time,
                                 Microseconds now) const {
   OracleCheck result;
-  for (const auto& [lpn, records] : history_) {
+  // LPN-ascending walk: first_failed_lpn is the smallest failing LPN,
+  // deterministically (the old hash-map walk picked an arbitrary one).
+  for (Lpn lpn = 0; lpn < history_.size(); ++lpn) {
+    const std::vector<WriteRecord>& records = history_[lpn];
     if (records.empty()) continue;
     const auto acked = [crash_time](const WriteRecord& r) {
       return r.acked_at != kTimeNever && r.acked_at <= crash_time;

@@ -22,7 +22,6 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "src/controller/controller.hpp"
@@ -85,9 +84,13 @@ class ShadowOracle {
   void observe(Lpn lpn, const nand::PageAddress& addr);
 
   ftl::FtlBase* ftl_ = nullptr;
-  std::unordered_map<Lpn, std::vector<WriteRecord>> history_;
+  /// Per-LPN write history, indexed by LPN (sized to the attached FTL's
+  /// exported pages — the observer only ever reports host LPNs). Flat
+  /// indexing replaces the former hash maps on the observe hot path,
+  /// which runs once per mapping commit of every trial.
+  std::vector<std::vector<WriteRecord>> history_;
   /// Per-LPN history length at mark_epoch(); op-log join cursor base.
-  std::unordered_map<Lpn, std::size_t> epoch_;
+  std::vector<std::size_t> epoch_;
   std::uint64_t observed_commits_ = 0;
 };
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/util/parallel.hpp"
+
 namespace rps::faultsim {
 
 namespace {
@@ -41,6 +43,59 @@ FaultSimConfig minimize_failure(const FaultSimConfig& config) {
   return best;
 }
 
+namespace {
+
+/// Everything one crash point contributes to the SweepResult, produced
+/// independently per point and merged in point order.
+struct PointOutcome {
+  std::uint64_t victims = 0;
+  std::uint64_t pages_lost = 0;
+  std::uint64_t parity_recovered = 0;
+  bool replay_mismatch = false;
+  bool failed = false;
+  SweepFailure failure;
+};
+
+PointOutcome run_point(const FaultSimConfig& golden,
+                       const std::vector<Microseconds>& boundaries,
+                       std::uint64_t k, std::uint64_t points,
+                       const SweepOptions& options) {
+  // Evenly spaced boundary indices; crash one microsecond before the
+  // completion so the op is mid-flight at the cut.
+  const std::size_t idx = static_cast<std::size_t>(
+      (k * boundaries.size()) / points + boundaries.size() / (2 * points));
+  FaultSimConfig crashed = golden;
+  crashed.crash_time_us = boundaries[std::min(idx, boundaries.size() - 1)] - 1;
+  const TrialResult trial = run_trial(crashed);
+  PointOutcome outcome;
+  outcome.victims = trial.report.victims;
+  outcome.pages_lost = trial.report.recovery.pages_lost;
+  outcome.parity_recovered = trial.report.recovery.pages_recovered;
+
+  if (options.verify_replay) {
+    // The reproducer line must round-trip and replay to the identical
+    // report — otherwise the "deterministic" in the harness's name is
+    // broken and every failure below is unactionable.
+    const std::optional<FaultSimConfig> parsed =
+        parse_reproducer(reproducer(crashed));
+    outcome.replay_mismatch =
+        !parsed || !(run_trial(*parsed).report == trial.report);
+  }
+
+  if (!fails(trial.report) && !outcome.replay_mismatch) return outcome;
+
+  outcome.failed = true;
+  outcome.failure.replay_mismatch = outcome.replay_mismatch;
+  outcome.failure.config = (options.minimize && fails(trial.report))
+                               ? minimize_failure(crashed)
+                               : crashed;
+  outcome.failure.report = run_trial(outcome.failure.config).report;
+  outcome.failure.line = reproducer(outcome.failure.config);
+  return outcome;
+}
+
+}  // namespace
+
 SweepResult sweep(const FaultSimConfig& base, const SweepOptions& options) {
   SweepResult result;
 
@@ -53,43 +108,50 @@ SweepResult sweep(const FaultSimConfig& base, const SweepOptions& options) {
 
   const std::uint64_t points =
       std::min<std::uint64_t>(options.crash_points, boundaries.size());
-  for (std::uint64_t k = 0; k < points; ++k) {
-    // Evenly spaced boundary indices; crash one microsecond before the
-    // completion so the op is mid-flight at the cut.
-    const std::size_t idx = static_cast<std::size_t>(
-        (k * boundaries.size()) / points + boundaries.size() / (2 * points));
-    FaultSimConfig crashed = golden;
-    crashed.crash_time_us = boundaries[std::min(idx, boundaries.size() - 1)] - 1;
-    const TrialResult trial = run_trial(crashed);
+  // Each crash point replays the whole trial from its own config — the
+  // points share nothing, so they run jobs-wide. Outcomes land in
+  // point-indexed slots and merge below in point order: the SweepResult
+  // (and stdout derived from it) is bit-identical for any jobs value.
+  std::vector<PointOutcome> outcomes(points);
+  util::parallel_for_indexed(
+      points, options.jobs, [&](std::size_t k) {
+        outcomes[k] = run_point(golden, boundaries, k, points, options);
+      });
+  for (PointOutcome& outcome : outcomes) {
     ++result.crashes_injected;
-    result.total_victims += trial.report.victims;
-    result.total_pages_lost += trial.report.recovery.pages_lost;
-    result.total_parity_recovered += trial.report.recovery.pages_recovered;
-
-    bool replay_mismatch = false;
-    if (options.verify_replay) {
-      // The reproducer line must round-trip and replay to the identical
-      // report — otherwise the "deterministic" in the harness's name is
-      // broken and every failure below is unactionable.
-      const std::optional<FaultSimConfig> parsed =
-          parse_reproducer(reproducer(crashed));
-      replay_mismatch =
-          !parsed || !(run_trial(*parsed).report == trial.report);
-      if (replay_mismatch) ++result.replay_mismatches;
-    }
-
-    if (!fails(trial.report) && !replay_mismatch) continue;
-
-    SweepFailure failure;
-    failure.replay_mismatch = replay_mismatch;
-    failure.config = (options.minimize && fails(trial.report))
-                         ? minimize_failure(crashed)
-                         : crashed;
-    failure.report = run_trial(failure.config).report;
-    failure.line = reproducer(failure.config);
-    result.failures.push_back(std::move(failure));
+    result.total_victims += outcome.victims;
+    result.total_pages_lost += outcome.pages_lost;
+    result.total_parity_recovered += outcome.parity_recovered;
+    if (outcome.replay_mismatch) ++result.replay_mismatches;
+    if (outcome.failed) result.failures.push_back(std::move(outcome.failure));
   }
   return result;
+}
+
+std::vector<MatrixCell> sweep_matrix(const FaultSimConfig& base,
+                                     const MatrixOptions& options) {
+  std::vector<MatrixCell> cells;
+  for (std::uint64_t seed = 1; seed <= options.seeds; ++seed) {
+    for (const std::uint64_t points : options.densities) {
+      MatrixCell cell;
+      cell.seed = seed;
+      cell.points = points;
+      cells.push_back(std::move(cell));
+    }
+  }
+  // One level of parallelism only: when cells fan out across the pool,
+  // each cell's inner sweep runs sequentially (nested pools would
+  // oversubscribe without adding coverage).
+  SweepOptions per_cell = options.sweep;
+  if (options.jobs > 1) per_cell.jobs = 1;
+  util::parallel_for_indexed(cells.size(), options.jobs, [&](std::size_t i) {
+    FaultSimConfig config = base;
+    config.seed = cells[i].seed;
+    SweepOptions cell_options = per_cell;
+    cell_options.crash_points = cells[i].points;
+    cells[i].result = sweep(config, cell_options);
+  });
+  return cells;
 }
 
 }  // namespace rps::faultsim

@@ -27,6 +27,11 @@ struct SweepOptions {
   bool verify_replay = true;
   /// Bisect failing configs down to a minimal request count.
   bool minimize = true;
+  /// Trial parallelism: crash points are independent trials (each builds
+  /// its own FTL from the config), so they run `jobs`-wide and merge in
+  /// crash-point order — the SweepResult is bit-identical for any jobs
+  /// value, including 1 (which runs inline, the pre-pool path).
+  std::uint32_t jobs = 1;
 };
 
 /// One surviving (post-minimization) failure.
@@ -52,6 +57,28 @@ struct SweepResult {
 /// Run the sweep for `base` (its crash_time_us is ignored; the driver
 /// chooses crash points from the golden boundaries).
 SweepResult sweep(const FaultSimConfig& base, const SweepOptions& options);
+
+/// A full seed x crash-density matrix (the CI sweep and bench_simcore's
+/// scaling measurement).
+struct MatrixOptions {
+  std::uint64_t seeds = 16;                       // cells use seed 1..seeds
+  std::vector<std::uint64_t> densities = {8, 16, 32};
+  SweepOptions sweep;  // per-cell options; its `jobs` is forced to 1 when
+                       // cells themselves run in parallel (no nesting)
+  /// Parallelism across (seed, density) cells. Cells are independent
+  /// trials; results come back in cell-enumeration order (seed-major,
+  /// density-minor) — bit-identical for any jobs value.
+  std::uint32_t jobs = 1;
+};
+
+struct MatrixCell {
+  std::uint64_t seed = 0;
+  std::uint64_t points = 0;
+  SweepResult result;
+};
+
+std::vector<MatrixCell> sweep_matrix(const FaultSimConfig& base,
+                                     const MatrixOptions& options);
 
 /// Smallest request count in [1, config.requests] whose trial still
 /// fails the same way (violations or inconsistency). The workload

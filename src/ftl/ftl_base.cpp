@@ -121,8 +121,9 @@ bool FtlBase::collect_block(std::uint32_t chip, std::uint32_t victim, Microsecon
       const nand::PagePos pos{wl, type};
       if (block.page_state(pos) != nand::PageState::kValid) continue;
       const nand::PageAddress page_addr{chip, victim, pos};
-      // Validity test: does the mapping still point here?
-      const Lpn lpn = block.read(pos).value().lpn;
+      // Validity test: does the mapping still point here? (peek — the
+      // payload copy is only paid for pages that actually relocate)
+      const Lpn lpn = block.peek(pos)->lpn;
       if (!mapping_.maps_to(lpn, page_addr)) continue;
       if (copies >= max_copies) return false;           // out of copy budget
       if (device_.chip(chip).busy_until() >= deadline) return false;  // out of idle budget
@@ -269,9 +270,9 @@ void FtlBase::rebuild_mapping() {
         for (const nand::PageType type : {nand::PageType::kLsb, nand::PageType::kMsb}) {
           const nand::PagePos pos{wl, type};
           if (block.page_state(pos) != nand::PageState::kValid) continue;
-          const Result<nand::PageData> data = block.read(pos);
-          assert(data.is_ok());
-          const nand::PageData& d = data.value();
+          const nand::PageData* data = block.peek(pos);
+          assert(data != nullptr);
+          const nand::PageData& d = *data;
           if (d.spare & nand::kNonHostSpareFlag) continue;  // FTL metadata
           if (d.lpn >= mapping_.exported_pages()) continue; // parity / junk
           Newest& slot = newest[d.lpn];

@@ -6,7 +6,13 @@
 namespace rps::ftl {
 
 ParityFtl::ParityFtl(const FtlConfig& config)
-    : PageFtl(config), backup_(config.geometry.num_chips()) {}
+    : PageFtl(config), backup_(config.geometry.num_chips()) {
+  // Coverage tracks at most one entry per in-flight LSB word line; sizing
+  // the table to the device's block count up front keeps the steady-state
+  // write path free of rehashes.
+  parity_durable_at_.reserve(config.geometry.num_chips() *
+                             config.geometry.blocks_per_chip);
+}
 
 Microseconds ParityFtl::flush_parity(Microseconds now) {
   if (pending_.empty()) return now;
@@ -34,7 +40,10 @@ Microseconds ParityFtl::flush_parity(Microseconds now) {
 
   const nand::PagePos pos{cursor->next, nand::PageType::kLsb};
   const nand::PageAddress addr{chip, cursor->block, pos};
-  nand::PageData parity = parity_acc_;
+  // The accumulator is reset after the flush anyway, so its payload moves
+  // to the device instead of being copied (the reset below reuses the
+  // moved-from shell).
+  nand::PageData parity = std::move(parity_acc_);
   parity.lpn = kInvalidLpn;  // not user data; never a GC relocation source
   parity.spare |= nand::kNonHostSpareFlag;
   Result<nand::OpTiming> timing = device_.program(addr, std::move(parity), now);

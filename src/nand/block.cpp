@@ -40,6 +40,13 @@ Result<PageData> Block::read(PagePos pos) const {
   return ErrorCode::kInvalidArgument;
 }
 
+const PageData* Block::peek(PagePos pos) const {
+  if (pos.wordline >= wordlines()) return nullptr;
+  ++reads_since_erase_;
+  const PageSlot& s = slot(pos);
+  return s.state == PageState::kValid ? &s.data : nullptr;
+}
+
 PageState Block::page_state(PagePos pos) const { return slot(pos).state; }
 
 void Block::erase() {

@@ -74,6 +74,14 @@ class Block {
   /// pages destroyed by a power loss.
   [[nodiscard]] Result<PageData> read(PagePos pos) const;
 
+  /// Zero-copy read: the stored record in place, or nullptr unless the
+  /// page is kValid. Counts toward reads_since_erase exactly like read()
+  /// — it models the same sensing pass, so scrub thresholds see it — and
+  /// the pointer is invalidated by the next program/erase/corrupt of this
+  /// block. For hot paths (GC validity tests, mapping rebuild, oracle
+  /// audits) that only inspect the record; read() copies the payload.
+  [[nodiscard]] const PageData* peek(PagePos pos) const;
+
   /// Raw page state (for FTL bookkeeping and tests).
   [[nodiscard]] PageState page_state(PagePos pos) const;
   [[nodiscard]] WordlineState wordline_state(std::uint32_t wl) const {

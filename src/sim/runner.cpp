@@ -1,10 +1,14 @@
 #include "src/sim/runner.hpp"
 
+#include <algorithm>
+#include <string>
+
 #include "src/core/flex_ftl.hpp"
 #include "src/ftl/page_ftl.hpp"
 #include "src/ftl/parity_ftl.hpp"
 #include "src/ftl/rtf_ftl.hpp"
 #include "src/ftl/slc_ftl.hpp"
+#include "src/util/parallel.hpp"
 
 namespace rps::sim {
 
@@ -81,12 +85,46 @@ SimResult run_experiment(FtlKind kind, workload::Preset preset,
 }
 
 std::vector<SimResult> run_all_ftls(workload::Preset preset,
-                                    const ExperimentSpec& spec) {
-  std::vector<SimResult> results;
-  for (const FtlKind kind : kAllFtls) {
-    results.push_back(run_experiment(kind, preset, spec));
-  }
+                                    const ExperimentSpec& spec,
+                                    std::uint32_t jobs) {
+  std::vector<SimResult> results(std::size(kAllFtls));
+  util::parallel_for_indexed(results.size(), jobs, [&](std::size_t f) {
+    results[f] = run_experiment(kAllFtls[f], preset, spec);
+  });
   return results;
+}
+
+std::vector<std::vector<SimResult>> run_preset_matrix(
+    const std::vector<workload::Preset>& presets, const ExperimentSpec& spec,
+    std::uint32_t jobs) {
+  constexpr std::size_t kFtls = std::size(kAllFtls);
+  std::vector<std::vector<SimResult>> results(presets.size(),
+                                              std::vector<SimResult>(kFtls));
+  // Flat (preset, ftl) index space; each cell writes only its own slot.
+  util::parallel_for_indexed(
+      presets.size() * kFtls, jobs, [&](std::size_t i) {
+        const std::size_t p = i / kFtls;
+        const std::size_t f = i % kFtls;
+        results[p][f] = run_experiment(kAllFtls[f], presets[p], spec);
+      });
+  return results;
+}
+
+std::uint32_t parse_jobs_flag(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    try {
+      if (arg.rfind("--jobs=", 0) == 0) {
+        return std::max(1u, static_cast<std::uint32_t>(std::stoul(arg.substr(7))));
+      }
+      if (arg == "--jobs" && i + 1 < argc) {
+        return std::max(1u, static_cast<std::uint32_t>(std::stoul(argv[i + 1])));
+      }
+    } catch (...) {
+      return 1;
+    }
+  }
+  return 1;
 }
 
 }  // namespace rps::sim

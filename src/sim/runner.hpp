@@ -82,7 +82,23 @@ struct ExperimentSpec {
 SimResult run_experiment(FtlKind kind, workload::Preset preset,
                          const ExperimentSpec& spec);
 
-/// Run all four FTLs against one preset (shared trace).
-std::vector<SimResult> run_all_ftls(workload::Preset preset, const ExperimentSpec& spec);
+/// Run all four FTLs against one preset (shared trace). With `jobs` > 1
+/// the four independent experiments run concurrently; results stay in
+/// kAllFtls order either way.
+std::vector<SimResult> run_all_ftls(workload::Preset preset, const ExperimentSpec& spec,
+                                    std::uint32_t jobs = 1);
+
+/// Run every preset x evaluation-FTL experiment `jobs`-wide. Each
+/// experiment builds its own FTL/simulator/trace from (kind, preset,
+/// spec) — nothing is shared — so they parallelize freely; results land
+/// in [preset][ftl] order (ftl order = kAllFtls), bit-identical to the
+/// sequential nested loop for any jobs value.
+std::vector<std::vector<SimResult>> run_preset_matrix(
+    const std::vector<workload::Preset>& presets, const ExperimentSpec& spec,
+    std::uint32_t jobs);
+
+/// Parse a `--jobs=N` / `--jobs N` pair out of argv (for the bench
+/// drivers). Returns 1 when absent or malformed.
+std::uint32_t parse_jobs_flag(int argc, char** argv);
 
 }  // namespace rps::sim

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cassert>
-#include <map>
 #include <queue>
 
 #include "src/util/random.hpp"
@@ -96,7 +95,15 @@ SimResult Simulator::run(const workload::Trace& trace) {
   const std::uint64_t buffer_capacity = ftl_.config().write_buffer_pages;
 
   // Windowed write-bandwidth accumulation (bytes per completion window).
-  std::map<std::int64_t, std::uint64_t> bw_bytes;
+  // Flush completions never precede `base`, so windows index densely from
+  // base's window: a flat vector (grown on demand — completions are
+  // near-sorted, so growth is amortized push_back) replaces the former
+  // std::map and its per-write tree walk. `bw_touched` preserves the
+  // map's semantics exactly: only windows some write completed in emit a
+  // sample, even a zero-byte one.
+  const std::int64_t window_base = base / config_.bw_window_us;
+  std::vector<std::uint64_t> bw_bytes;
+  std::vector<bool> bw_touched;
   const auto page_bytes =
       static_cast<std::uint64_t>(ftl_.config().geometry.page_size_bytes);
 
@@ -202,7 +209,14 @@ SimResult Simulator::run(const workload::Trace& trace) {
       }
       in_flush.emplace(flushed, req.page_count);
       flush_pending_pages += req.page_count;
-      bw_bytes[flushed / config_.bw_window_us] += page_bytes * req.page_count;
+      const auto window =
+          static_cast<std::size_t>(flushed / config_.bw_window_us - window_base);
+      if (window >= bw_bytes.size()) {
+        bw_bytes.resize(window + 1, 0);
+        bw_touched.resize(window + 1, false);
+      }
+      bw_bytes[window] += page_bytes * req.page_count;
+      bw_touched[window] = true;
       completion = ack;
     } else {
       ++result.read_requests;
@@ -281,9 +295,9 @@ SimResult Simulator::run(const workload::Trace& trace) {
   // Windowed bandwidth samples (windows in which writes completed).
   const double window_seconds =
       static_cast<double>(config_.bw_window_us) / 1e6;
-  for (const auto& [window_index, bytes] : bw_bytes) {
-    (void)window_index;
-    result.write_bw_mbps.add(static_cast<double>(bytes) / 1e6 / window_seconds);
+  for (std::size_t w = 0; w < bw_bytes.size(); ++w) {
+    if (!bw_touched[w]) continue;
+    result.write_bw_mbps.add(static_cast<double>(bw_bytes[w]) / 1e6 / window_seconds);
   }
   return result;
 }

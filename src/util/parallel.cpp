@@ -1,0 +1,107 @@
+#include "src/util/parallel.hpp"
+
+namespace rps::util {
+
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t index) {
+  // splitmix64 finalizer over a golden-ratio walk from the base seed. The
+  // +1 keeps index 0 from collapsing onto the raw base.
+  std::uint64_t x = base + 0x9e3779b97f4a7c15ull * (index + 1);
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+ThreadPool::ThreadPool(std::uint32_t threads) {
+  if (threads <= 1) return;  // inline mode: no workers, no synchronization
+  workers_.reserve(threads - 1);
+  for (std::uint32_t i = 0; i + 1 < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  job_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_generation = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      job_cv_.wait(lock, [&] { return stop_ || generation_ != seen_generation; });
+      if (stop_) return;
+      seen_generation = generation_;
+    }
+    work_on_current_job();
+  }
+}
+
+void ThreadPool::work_on_current_job() {
+  while (true) {
+    std::size_t index = 0;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (body_ == nullptr || next_ >= n_) return;
+      index = next_++;
+      ++in_flight_;
+    }
+    std::exception_ptr error;
+    try {
+      (*body_)(index);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (error && !first_error_) {
+      first_error_ = error;
+      next_ = n_;  // abandon unclaimed indices
+    }
+    --in_flight_;
+    if (next_ >= n_ && in_flight_ == 0) done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::parallel_for_indexed(std::size_t n,
+                                      const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    body_ = &body;
+    n_ = n;
+    next_ = 0;
+    in_flight_ = 0;
+    first_error_ = nullptr;
+    ++generation_;
+  }
+  job_cv_.notify_all();
+  work_on_current_job();
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return next_ >= n_ && in_flight_ == 0; });
+    body_ = nullptr;
+    error = first_error_;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+void parallel_for_indexed(std::size_t n, std::uint32_t jobs,
+                          const std::function<void(std::size_t)>& body) {
+  if (jobs <= 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  ThreadPool pool(jobs);
+  pool.parallel_for_indexed(n, body);
+}
+
+}  // namespace rps::util

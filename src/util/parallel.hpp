@@ -1,0 +1,88 @@
+// Deterministic parallel trial runner.
+//
+// Every large experiment in this repo — faultsim sweeps, the Fig. 8
+// reproductions, reliability sweeps — is a set of *independent* trials:
+// each trial builds its own FTL/device/workload from a config and shares
+// no mutable state with its siblings. ThreadPool::parallel_for_indexed
+// runs such a set `jobs`-wide while keeping the output bit-identical to
+// the sequential run for ANY thread count:
+//
+//   - the body for index i writes only into caller-owned slot i (results
+//     are merged in submission-index order, never completion order),
+//   - work is claimed dynamically from an atomic counter (load balance),
+//     which affects only *when* an index runs, not what it computes,
+//   - per-trial randomness derives from derive_seed(base, index), a pure
+//     function of the submission index — never of thread identity or time.
+//
+// With jobs <= 1 (or n <= 1) the body runs inline on the calling thread,
+// so `--jobs 1` is exactly the pre-pool sequential path.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rps::util {
+
+/// Statistically independent per-trial seed stream: splitmix64 finalizer
+/// over (base, index). Pure function of its inputs — the same trial index
+/// sees the same seed at any thread count, which is what makes parallel
+/// sweeps replayable from a single (base seed, index) pair.
+[[nodiscard]] std::uint64_t derive_seed(std::uint64_t base, std::uint64_t index);
+
+/// A small fixed-size worker pool. One pool can serve many consecutive
+/// parallel_for_indexed calls (each call is a barrier: it returns only
+/// after every index's body has completed).
+class ThreadPool {
+ public:
+  /// `threads` = total concurrency including the calling thread: the pool
+  /// spawns threads-1 workers (0 or 1 spawns none — pure inline mode).
+  explicit ThreadPool(std::uint32_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Run body(i) for every i in [0, n). The calling thread participates.
+  /// Blocks until all n indices completed. If any body throws, the first
+  /// exception (in claim order) is rethrown here after the barrier; the
+  /// remaining indices are abandoned.
+  void parallel_for_indexed(std::size_t n, const std::function<void(std::size_t)>& body);
+
+  /// Total concurrency (workers + calling thread); >= 1.
+  [[nodiscard]] std::uint32_t thread_count() const {
+    return static_cast<std::uint32_t>(workers_.size()) + 1;
+  }
+
+ private:
+  void worker_loop();
+  /// Claim and run indices of the current job until exhausted. Returns
+  /// once next_ >= n_ (or a sibling aborted the job).
+  void work_on_current_job();
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable job_cv_;   // workers wait for a new job / stop
+  std::condition_variable done_cv_;  // caller waits for completion
+  std::uint64_t generation_ = 0;     // bumped per parallel_for call
+  bool stop_ = false;
+
+  // Current job (valid while body_ != nullptr).
+  const std::function<void(std::size_t)>* body_ = nullptr;
+  std::size_t n_ = 0;
+  std::size_t next_ = 0;       // next unclaimed index (guarded by mutex_)
+  std::size_t in_flight_ = 0;  // claimed indices whose body has not returned
+  std::exception_ptr first_error_;
+};
+
+/// Convenience: run body(i) for i in [0, n) with `jobs` total threads.
+/// jobs <= 1 runs inline with zero threading overhead.
+void parallel_for_indexed(std::size_t n, std::uint32_t jobs,
+                          const std::function<void(std::size_t)>& body);
+
+}  // namespace rps::util
