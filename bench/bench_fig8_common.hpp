@@ -5,6 +5,11 @@
 // think-time replay).
 #pragma once
 
+#include <cstdio>
+#include <string>
+
+#include "src/obs/sampler.hpp"
+#include "src/obs/trace.hpp"
 #include "src/sim/runner.hpp"
 
 namespace rps::bench {
@@ -14,6 +19,34 @@ inline sim::ExperimentSpec fig8_spec() {
   spec.requests = 300'000;
   spec.seed = 1;
   return spec;
+}
+
+/// --trace=PATH support for the Fig. 8 benches: run ONE extra traced
+/// flexFTL experiment on `preset` and write its Chrome trace_event JSON
+/// to PATH (open in Perfetto / chrome://tracing) plus the FTL state time
+/// series (u, q, SBQueue depth, free-block fraction, queue depths on a
+/// 1 ms grid) to PATH.state.csv. A dedicated single-threaded run, apart
+/// from the measured fleet, so the bench numbers stay untouched and the
+/// trace is byte-identical regardless of --jobs. Returns false only when
+/// the artifacts cannot be written; true when the flag is absent.
+inline bool maybe_write_flex_trace(int argc, char** argv,
+                                   workload::Preset preset,
+                                   const sim::ExperimentSpec& spec) {
+  const std::string path = sim::parse_trace_flag(argc, argv);
+  if (path.empty()) return true;
+  obs::TraceSink sink;
+  obs::StateSampler sampler(/*period_us=*/1'000);
+  (void)run_experiment(sim::FtlKind::kFlex, preset, spec, &sink, &sampler);
+  const std::string state_path = path + ".state.csv";
+  if (!sink.write_chrome_json(path) || !sampler.write_csv(state_path)) {
+    std::fprintf(stderr, "failed to write trace artifacts at: %s\n",
+                 path.c_str());
+    return false;
+  }
+  std::printf("trace: %s (%zu events); state series: %s (%zu samples)\n",
+              path.c_str(), sink.size(), state_path.c_str(),
+              sampler.samples().size());
+  return true;
 }
 
 }  // namespace rps::bench

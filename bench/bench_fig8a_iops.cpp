@@ -11,7 +11,8 @@
 using namespace rps;
 
 int main(int argc, char** argv) {
-  const sim::ExperimentSpec spec = bench::fig8_spec();
+  sim::ExperimentSpec spec = bench::fig8_spec();
+  spec.requests = sim::parse_requests_flag(argc, argv, spec.requests);
   const std::uint32_t jobs = sim::parse_jobs_flag(argc, argv);
   std::printf("Fig. 8(a): normalized IOPS, 4 FTLs x 5 workloads\n");
   std::printf("(%llu requests per run; IOPS over makespan, closed-loop think time)\n\n",
@@ -51,5 +52,7 @@ int main(int argc, char** argv) {
               "vs parityFTL %+.0f%% (paper: +35%%), vs rtfFTL %+.0f%% (paper: +29%%)\n",
               (sums[0] / 5 - 1) * 100, (sums[1] / 5 - 1) * 100,
               (sums[2] / 5 - 1) * 100);
-  return 0;
+  return bench::maybe_write_flex_trace(argc, argv, workload::kAllPresets[0], spec)
+             ? 0
+             : 2;
 }

@@ -10,7 +10,8 @@
 using namespace rps;
 
 int main(int argc, char** argv) {
-  const sim::ExperimentSpec spec = bench::fig8_spec();
+  sim::ExperimentSpec spec = bench::fig8_spec();
+  spec.requests = sim::parse_requests_flag(argc, argv, spec.requests);
   const std::uint32_t jobs = sim::parse_jobs_flag(argc, argv);
   std::printf("Fig. 8(b): normalized block erasure counts, 4 FTLs x 5 workloads\n");
   std::printf("(erasures during the measured run, normalized to pageFTL)\n\n");
@@ -50,5 +51,7 @@ int main(int argc, char** argv) {
   std::printf("flexFTL average erasure reduction: vs parityFTL %.0f%% (paper: 23%%), "
               "vs rtfFTL %.0f%% (paper: 28%%)\n",
               reduction_parity / 5 * 100, reduction_rtf / 5 * 100);
-  return 0;
+  return bench::maybe_write_flex_trace(argc, argv, workload::kAllPresets[0], spec)
+             ? 0
+             : 2;
 }

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/obs/sampler.hpp"
+#include "src/obs/trace.hpp"
+
 namespace rps::ctrl {
 
 Controller::Controller(ftl::FtlBase& ftl, ControllerConfig config)
@@ -186,6 +189,14 @@ void Controller::retire(const OpRef& ref, std::uint32_t chip, Microseconds start
     op_log_.push_back(OpRecord{ref.cmd, ref.index, state.op.kind, state.op.lpn, chip,
                                pending.cmd.issue, state.ready, start, complete, ok});
   }
+  if (trace_ != nullptr) {
+    // One duration event per device op, on the chip's lane. wait_us is the
+    // scheduling delay: dependency-ready to dispatch.
+    trace_->record(state.op.kind == OpKind::kHostWrite ? obs::EventKind::kNandWrite
+                                                       : obs::EventKind::kNandRead,
+                   chip + 1, start, complete - start, state.op.lpn, ref.cmd,
+                   static_cast<std::uint64_t>(std::max<Microseconds>(0, start - state.ready)));
+  }
   // Resolve dependents within the batch (op batches are request-sized, so
   // the linear sweep is cheap).
   for (std::uint32_t j = 0; j < pending.ops.size(); ++j) {
@@ -225,6 +236,7 @@ void Controller::drain(Microseconds until) {
     dispatch_at(t);
     events_.end_instant();
     collect_finished();
+    if (sampler_ != nullptr) sampler_->tick(t);
   }
   collect_finished();
   // A full drain must leave nothing in flight: every queued op either had

@@ -31,6 +31,11 @@
 #include "src/controller/nand_op.hpp"
 #include "src/ftl/ftl_base.hpp"
 
+namespace rps::obs {
+class TraceSink;
+class StateSampler;
+}  // namespace rps::obs
+
 namespace rps::ctrl {
 
 struct ControllerConfig {
@@ -122,6 +127,25 @@ class Controller {
   /// Idle-window pass-through to the allocator's planning hook.
   void on_idle(Microseconds now, Microseconds deadline);
 
+  /// Attach observability (null = off, the default). The sink records one
+  /// NandOp event per retired device op; the sampler is ticked at every
+  /// event-queue instant the drain loop reaches. Both pointers are
+  /// borrowed — the harness owns them and they must outlive the drain.
+  void set_observability(obs::TraceSink* sink, obs::StateSampler* sampler) {
+    trace_ = sink;
+    sampler_ = sampler;
+  }
+
+  /// Scheduler depth right now (state sampling): write FIFO ops, and
+  /// queued read ops on `chip`.
+  [[nodiscard]] std::size_t write_queue_depth() const { return write_queue_.size(); }
+  [[nodiscard]] std::size_t read_queue_depth(std::uint32_t chip) const {
+    return read_queues_.at(chip).size();
+  }
+  [[nodiscard]] std::uint32_t num_chips() const {
+    return static_cast<std::uint32_t>(read_queues_.size());
+  }
+
   [[nodiscard]] const std::vector<OpRecord>& op_log() const { return op_log_; }
   [[nodiscard]] const ControllerConfig& config() const { return config_; }
 
@@ -199,6 +223,8 @@ class Controller {
   std::vector<std::uint8_t> eligible_;          // scratch: idle-chip mask
   CommandId next_id_ = 1;
   std::uint64_t live_ops_ = 0;
+  obs::TraceSink* trace_ = nullptr;      // borrowed; null = tracing off
+  obs::StateSampler* sampler_ = nullptr; // borrowed; null = sampling off
 };
 
 }  // namespace rps::ctrl

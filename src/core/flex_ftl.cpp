@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/obs/trace.hpp"
+
 namespace rps::core {
 
 namespace {
@@ -86,6 +88,10 @@ Result<Microseconds> FlexFtl::write_lsb(std::uint32_t chip, Lpn lpn,
   if (!block.next_lsb()) {
     // Last LSB page written: flush the accumulated parity page, then the
     // block joins its slow-block queue (Fig. 6's fast -> slow transition).
+    if (trace_ != nullptr) {
+      trace_->record(obs::EventKind::kBlockFastToSlow, chip + 1,
+                     timing.value().complete, -1, fast);
+    }
     flush_parity_from(chip, fast, acc, timing.value().complete);
     queue.push_back(fast);
     fast_slot.reset();
@@ -110,6 +116,10 @@ Microseconds FlexFtl::flush_parity_from(std::uint32_t chip, std::uint32_t fast_b
       // No backup space: the block proceeds unprotected (counted, and the
       // recovery path reports such pages as lost).
       ++skipped_backups_;
+      if (trace_ != nullptr) {
+        trace_->record(obs::EventKind::kParityFlush, chip + 1, now, -1,
+                       fast_block, 0, /*skipped=*/1);
+      }
       return now;
     }
     cs.backup = BackupBlock{.block = block.value(), .next_lsb = 0, .live_pages = 0};
@@ -136,6 +146,12 @@ Microseconds FlexFtl::flush_parity_from(std::uint32_t chip, std::uint32_t fast_b
 
   cs.parity_page[fast_block] = dst;
   cs.parity_durable[fast_block] = timing.value().complete;
+
+  if (trace_ != nullptr) {
+    trace_->record(obs::EventKind::kParityFlush, chip + 1, now,
+                   timing.value().complete - now, fast_block, dst.block,
+                   /*skipped=*/0);
+  }
 
   if (cs.backup->next_lsb >= device_.geometry().wordlines_per_block) {
     cs.retiring.push_back(*cs.backup);
@@ -224,6 +240,10 @@ Result<Microseconds> FlexFtl::write_msb(std::uint32_t chip, Lpn lpn,
     // is voided by the chip's lazy-erase power-loss rules.
     blocks_.set_use({chip, slow}, ftl::BlockUse::kFull);
     queue->pop_front();
+    if (trace_ != nullptr) {
+      trace_->record(obs::EventKind::kBlockSlowToFull, chip + 1,
+                     timing.value().complete, -1, slow);
+    }
     prune_retire_log(chip, timing.value().start);
     const auto parity_it = cs.parity_page.find(slow);
     if (parity_it != cs.parity_page.end()) {

@@ -91,6 +91,19 @@ class FlexFtl : public ftl::FtlBase {
   [[nodiscard]] std::uint64_t skipped_parity_backups() const { return skipped_backups_; }
   [[nodiscard]] const WritePredictor& write_predictor() const { return predictor_; }
 
+  /// State-sampling hooks (obs::StateSampler): q, and the total SBQueue
+  /// depth (hot + cold streams) across every chip.
+  [[nodiscard]] std::int64_t observed_lsb_quota() const override {
+    return policy_.quota();
+  }
+  [[nodiscard]] std::uint64_t observed_slow_queue_depth() const override {
+    std::uint64_t depth = 0;
+    for (const ChipState& chip : chips_) {
+      depth += chip.sbqueue.size() + chip.cold_sbqueue.size();
+    }
+    return depth;
+  }
+
  protected:
   Result<Microseconds> allocate_host_page(std::uint32_t chip, Lpn lpn,
                                           nand::PageData data, Microseconds now,

@@ -13,12 +13,19 @@
 //   faultsim --ftl=... --seed=N --crash-us=T [...]
 //       Replay a single reproducer line (the flags ARE the line printed
 //       by a failing sweep). Exit 1 on violations.
+//
+// --trace=PATH (sweep and single-trial modes) writes a Chrome trace_event
+// JSON of the run — open it in Perfetto / chrome://tracing. Tracing a
+// sweep forces --jobs=1; each crash point records under its own process
+// lane. Traces timestamp in simulated microseconds and are byte-identical
+// across runs of the same flags.
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "src/faultsim/harness.hpp"
 #include "src/faultsim/sweep.hpp"
+#include "src/obs/trace.hpp"
 
 namespace {
 
@@ -140,6 +147,7 @@ int main(int argc, char** argv) {
   std::vector<std::uint64_t> densities = {8, 16, 32};
   std::uint64_t points = 16;
   std::uint32_t jobs = 1;
+  std::string trace_path;
 
   // Split driver flags from reproducer flags; the rest of the line is
   // parsed by the same parser the sweep's replay check uses.
@@ -159,6 +167,8 @@ int main(int argc, char** argv) {
         points = std::stoull(arg.substr(9));
       } else if (arg.rfind("--jobs=", 0) == 0) {
         jobs = static_cast<std::uint32_t>(std::stoul(arg.substr(7)));
+      } else if (arg.rfind("--trace=", 0) == 0) {
+        trace_path = arg.substr(8);
       } else {
         repro_line += ' ';
         repro_line += arg;
@@ -177,11 +187,24 @@ int main(int argc, char** argv) {
 
   if (matrix) return run_matrix(*config, seeds, densities, jobs);
 
+  obs::TraceSink sink;
+  obs::TraceSink* const sink_ptr = trace_path.empty() ? nullptr : &sink;
+  const auto write_trace = [&]() {
+    if (sink_ptr == nullptr) return true;
+    if (!sink.write_chrome_json(trace_path)) {
+      std::fprintf(stderr, "failed to write trace: %s\n", trace_path.c_str());
+      return false;
+    }
+    std::printf("trace: %s (%zu events)\n", trace_path.c_str(), sink.size());
+    return true;
+  };
+
   if (do_sweep) {
     SweepOptions options;
     options.crash_points = points;
     options.jobs = jobs;
-    const SweepResult result = sweep(*config, options);
+    const SweepResult result = sweep(*config, options, sink_ptr);
+    if (!write_trace()) return 2;
     std::printf("boundaries=%llu crashes=%llu victims=%llu recovered=%llu "
                 "lost=%llu replay_mismatches=%llu failures=%zu\n",
                 static_cast<unsigned long long>(result.golden_boundaries),
@@ -195,7 +218,8 @@ int main(int argc, char** argv) {
   }
 
   // Single-trial replay.
-  const TrialResult trial = run_trial(*config);
+  const TrialResult trial = run_trial(*config, sink_ptr);
+  if (!write_trace()) return 2;
   std::printf("%s\n", reproducer(*config).c_str());
   print_report(trial.report);
   return (trial.report.violations > 0 || !trial.report.consistent) ? 1 : 0;

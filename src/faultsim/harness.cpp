@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "src/controller/controller.hpp"
+#include "src/obs/trace.hpp"
 #include "src/util/random.hpp"
 
 namespace rps::faultsim {
@@ -82,7 +83,7 @@ std::vector<GenRequest> generate_workload(const FaultSimConfig& config,
 
 }  // namespace
 
-TrialResult run_trial(const FaultSimConfig& config) {
+TrialResult run_trial(const FaultSimConfig& config, obs::TraceSink* sink) {
   TrialResult out;
   CrashReport& report = out.report;
   report.crash_time_us = config.crash_time_us;
@@ -103,6 +104,9 @@ TrialResult run_trial(const FaultSimConfig& config) {
     if (op.is_ok()) oracle.ack_latest(lpn, op.value().complete);
   }
   oracle.mark_epoch();
+  // Trace the main phase only: fill-phase writes are setup, not behaviour
+  // under test.
+  ftl->set_trace_sink(sink);
 
   const Microseconds start = ftl->device().all_idle_at() + 1'000;
   const std::vector<GenRequest> reqs = generate_workload(config, working_set, start);
@@ -113,6 +117,7 @@ TrialResult run_trial(const FaultSimConfig& config) {
   if (config.engine == sim::Engine::kController) {
     ctrl::Controller controller(
         *ftl, ctrl::ControllerConfig{.stripe_writes = true, .keep_op_log = true});
+    controller.set_observability(sink, nullptr);
     for (const GenRequest& r : reqs) {
       if (r.arrival >= crash) break;
       ctrl::HostCommand cmd;
@@ -177,11 +182,14 @@ TrialResult run_trial(const FaultSimConfig& config) {
                    v.pos.type == nand::PageType::kLsb ? "LSB" : "MSB");
     }
   }
+  if (report.crashed && sink != nullptr) {
+    sink->record(obs::EventKind::kPowerLossCut, 0, crash, -1, victims.size());
+  }
   if (report.crashed) {
     // Reboot at the instant of the cut; recovery work is charged from
     // there (the device timelines were capped to the crash time).
     const sim::RebootOutcome reboot =
-        sim::crash_reboot(config.kind, *ftl, victims, crash);
+        sim::crash_reboot(config.kind, *ftl, victims, crash, sink);
     report.recovery_supported = reboot.recovery_supported;
     report.recovery = reboot.report;
   }
@@ -199,6 +207,7 @@ TrialResult run_trial(const FaultSimConfig& config) {
   report.violations =
       report.recovery_supported ? report.oracle.stale + report.unaccounted_loss : 0;
   report.consistent = ftl->check_consistency();
+  ftl->set_trace_sink(nullptr);
   oracle.detach();
   return out;
 }

@@ -82,8 +82,11 @@ struct TrialResult {
 };
 
 /// Run one trial end to end: fill phase, seeded main phase, optional
-/// crash + reboot + oracle audit.
-TrialResult run_trial(const FaultSimConfig& config);
+/// crash + reboot + oracle audit. With `sink` attached, the main phase
+/// (and crash / recovery) is traced: NandOp events per chip under the
+/// controller engine, GC and parity events from the FTL, plus the
+/// power-loss cut and the recovery phase. The fill phase is not traced.
+TrialResult run_trial(const FaultSimConfig& config, obs::TraceSink* sink = nullptr);
 
 /// One-line reproducer: a `faultsim` command line that replays this exact
 /// trial. Round-trips through parse_reproducer.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/obs/trace.hpp"
 #include "src/util/parallel.hpp"
 
 namespace rps::faultsim {
@@ -59,14 +60,18 @@ struct PointOutcome {
 PointOutcome run_point(const FaultSimConfig& golden,
                        const std::vector<Microseconds>& boundaries,
                        std::uint64_t k, std::uint64_t points,
-                       const SweepOptions& options) {
+                       const SweepOptions& options, obs::TraceSink* sink) {
   // Evenly spaced boundary indices; crash one microsecond before the
   // completion so the op is mid-flight at the cut.
   const std::size_t idx = static_cast<std::size_t>(
       (k * boundaries.size()) / points + boundaries.size() / (2 * points));
   FaultSimConfig crashed = golden;
   crashed.crash_time_us = boundaries[std::min(idx, boundaries.size() - 1)] - 1;
-  const TrialResult trial = run_trial(crashed);
+  // One pid scope per crash point; only this primary trial records —
+  // replay verification and minimization below re-run the same config and
+  // would double every event.
+  if (sink != nullptr) sink->set_pid(static_cast<std::uint32_t>(1 + k));
+  const TrialResult trial = run_trial(crashed, sink);
   PointOutcome outcome;
   outcome.victims = trial.report.victims;
   outcome.pages_lost = trial.report.recovery.pages_lost;
@@ -96,12 +101,14 @@ PointOutcome run_point(const FaultSimConfig& golden,
 
 }  // namespace
 
-SweepResult sweep(const FaultSimConfig& base, const SweepOptions& options) {
+SweepResult sweep(const FaultSimConfig& base, const SweepOptions& options,
+                  obs::TraceSink* sink) {
   SweepResult result;
 
   FaultSimConfig golden = base;
   golden.crash_time_us = kTimeNever;
-  const TrialResult golden_trial = run_trial(golden);
+  if (sink != nullptr) sink->set_pid(0);  // golden run's trace scope
+  const TrialResult golden_trial = run_trial(golden, sink);
   const std::vector<Microseconds>& boundaries = golden_trial.boundaries;
   result.golden_boundaries = boundaries.size();
   if (boundaries.empty()) return result;
@@ -112,10 +119,12 @@ SweepResult sweep(const FaultSimConfig& base, const SweepOptions& options) {
   // points share nothing, so they run jobs-wide. Outcomes land in
   // point-indexed slots and merge below in point order: the SweepResult
   // (and stdout derived from it) is bit-identical for any jobs value.
+  // One shared sink cannot take concurrent writers: tracing runs inline.
+  const std::uint32_t jobs = sink != nullptr ? 1 : options.jobs;
   std::vector<PointOutcome> outcomes(points);
   util::parallel_for_indexed(
-      points, options.jobs, [&](std::size_t k) {
-        outcomes[k] = run_point(golden, boundaries, k, points, options);
+      points, jobs, [&](std::size_t k) {
+        outcomes[k] = run_point(golden, boundaries, k, points, options, sink);
       });
   for (PointOutcome& outcome : outcomes) {
     ++result.crashes_injected;

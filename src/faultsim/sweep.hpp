@@ -55,8 +55,13 @@ struct SweepResult {
 };
 
 /// Run the sweep for `base` (its crash_time_us is ignored; the driver
-/// chooses crash points from the golden boundaries).
-SweepResult sweep(const FaultSimConfig& base, const SweepOptions& options);
+/// chooses crash points from the golden boundaries). With `sink`
+/// attached the golden trial records under pid 0 and crash point k under
+/// pid 1 + k; tracing forces jobs = 1 (one sink, one recording thread —
+/// and a traced sweep must be byte-identical to its --jobs=1 self
+/// anyway). Replay-verify and minimization re-runs are never traced.
+SweepResult sweep(const FaultSimConfig& base, const SweepOptions& options,
+                  obs::TraceSink* sink = nullptr);
 
 /// A full seed x crash-density matrix (the CI sweep and bench_simcore's
 /// scaling measurement).

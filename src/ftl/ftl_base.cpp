@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "src/obs/trace.hpp"
+
 namespace rps::ftl {
 
 Lpn FtlBase::compute_exported_pages(const FtlConfig& config) {
@@ -112,6 +114,30 @@ void FtlBase::commit_mapping(Lpn lpn, const nand::PageAddress& addr) {
 bool FtlBase::collect_block(std::uint32_t chip, std::uint32_t victim, Microseconds now,
                             Microseconds deadline, bool background,
                             std::uint32_t max_copies) {
+  if (trace_ == nullptr) {
+    return collect_block_impl(chip, victim, now, deadline, background, max_copies);
+  }
+  const std::uint64_t copies_before = stats_.gc_copy_pages;
+  const bool freed = collect_block_impl(chip, victim, now, deadline, background, max_copies);
+  const std::uint64_t copies = stats_.gc_copy_pages - copies_before;
+  if (copies > 0 || freed) {
+    // The migration occupies the chip from `now` to its post-GC busy time.
+    const Microseconds busy = device_.chip(chip).busy_until();
+    trace_->record(background ? obs::EventKind::kGcBackground
+                              : obs::EventKind::kGcForeground,
+                   chip + 1, now, std::max<Microseconds>(0, busy - now), victim,
+                   copies, freed ? 1 : 0);
+    if (freed) {
+      trace_->record(obs::EventKind::kBlockReclaimed, chip + 1, now, -1, victim,
+                     background ? 1 : 0);
+    }
+  }
+  return freed;
+}
+
+bool FtlBase::collect_block_impl(std::uint32_t chip, std::uint32_t victim,
+                                 Microseconds now, Microseconds deadline,
+                                 bool background, std::uint32_t max_copies) {
   nand::Block& block = device_.chip(chip).block(victim);
   const nand::BlockAddress victim_addr{chip, victim};
   std::uint32_t copies = 0;

@@ -23,6 +23,10 @@
 #include "src/util/result.hpp"
 #include "src/util/types.hpp"
 
+namespace rps::obs {
+class TraceSink;
+}  // namespace rps::obs
+
 namespace rps::ftl {
 
 struct FtlStats {
@@ -131,6 +135,19 @@ class FtlBase : public ctrl::Allocator {
   /// per-block valid-page accounting.
   void rebuild_mapping();
 
+  /// Attach a trace sink (null = tracing off, the default). Borrowed: the
+  /// harness owns the sink and must keep it alive for the FTL's lifetime
+  /// or detach with nullptr. Every instrumentation site guards on the
+  /// pointer, so the disabled cost is one branch per site.
+  void set_trace_sink(obs::TraceSink* sink) { trace_ = sink; }
+  [[nodiscard]] obs::TraceSink* trace_sink() const { return trace_; }
+
+  /// State-sampling hooks. Policies with the paper's flexFTL dynamics
+  /// override: the LSB quota q (-1 = the policy has no quota notion) and
+  /// the total slow-block queue depth across chips (0 likewise).
+  [[nodiscard]] virtual std::int64_t observed_lsb_quota() const { return -1; }
+  [[nodiscard]] virtual std::uint64_t observed_slow_queue_depth() const { return 0; }
+
   [[nodiscard]] const FtlStats& stats() const { return stats_; }
   [[nodiscard]] nand::NandDevice& device() { return device_; }
   [[nodiscard]] const nand::NandDevice& device() const { return device_; }
@@ -152,7 +169,8 @@ class FtlBase : public ctrl::Allocator {
 
   /// Relocate valid pages out of `victim` until done, `deadline`, or
   /// `max_copies` pages; erases and frees the block when fully cleaned.
-  /// Returns true if the block was freed.
+  /// Returns true if the block was freed. With a trace sink attached this
+  /// also records the GC migration (and block reclaim) events.
   bool collect_block(std::uint32_t chip, std::uint32_t victim, Microseconds now,
                      Microseconds deadline, bool background,
                      std::uint32_t max_copies = UINT32_MAX);
@@ -197,6 +215,11 @@ class FtlBase : public ctrl::Allocator {
   /// Capacity-aware round robin over chips; `eligible` nullptr = all.
   std::uint32_t pick_chip_impl(const std::vector<std::uint8_t>* eligible);
 
+  /// collect_block minus the tracing wrapper.
+  bool collect_block_impl(std::uint32_t chip, std::uint32_t victim, Microseconds now,
+                          Microseconds deadline, bool background,
+                          std::uint32_t max_copies);
+
  protected:
   FtlConfig config_;
   nand::NandDevice device_;
@@ -208,6 +231,7 @@ class FtlBase : public ctrl::Allocator {
   std::uint32_t igc_rr_chip_ = 0;
   std::uint64_t write_version_ = 0;
   PlacementObserver placement_observer_;
+  obs::TraceSink* trace_ = nullptr;  // borrowed; null = tracing off
 };
 
 }  // namespace rps::ftl

@@ -1,0 +1,66 @@
+// Single-point counter snapshot / delta helper.
+//
+// The simulator measures every phase (warm-up, main run) as a *delta* of
+// the FTL's monotonic counters. Before this helper, each call site copied
+// the subtraction field by field — and drifted: simulator.cpp's main-run
+// delta had silently dropped `scrubbed_blocks`. Registry captures all
+// three counter families (NAND op counters, FTL stats, total erases) in
+// one struct, and delta() subtracts every field in one place, so adding a
+// counter means touching exactly two functions here.
+//
+// Header-only on purpose: it reads ftl::FtlBase accessors but must not
+// create a link cycle (rps_ftl links rps_obs for the trace sink).
+#pragma once
+
+#include <cstdint>
+
+#include "src/ftl/ftl_base.hpp"
+#include "src/nand/chip.hpp"
+
+namespace rps::obs {
+
+struct CounterSnapshot {
+  nand::OpCounters ops;
+  ftl::FtlStats ftl;
+  std::uint64_t erases = 0;
+};
+
+class Registry {
+ public:
+  /// Copy every monotonic counter the FTL exposes, at this instant.
+  [[nodiscard]] static CounterSnapshot capture(const ftl::FtlBase& f) {
+    CounterSnapshot snap;
+    snap.ops = f.device().total_counters();
+    snap.ftl = f.stats();
+    snap.erases = f.device().total_erase_count();
+    return snap;
+  }
+
+  /// Field-wise `after - before`. Counters are monotonic, so every field
+  /// of `after` is >= its `before` counterpart within one run.
+  [[nodiscard]] static CounterSnapshot delta(const CounterSnapshot& before,
+                                             const CounterSnapshot& after) {
+    CounterSnapshot d;
+    d.ops.reads = after.ops.reads - before.ops.reads;
+    d.ops.lsb_programs = after.ops.lsb_programs - before.ops.lsb_programs;
+    d.ops.msb_programs = after.ops.msb_programs - before.ops.msb_programs;
+    d.ops.erases = after.ops.erases - before.ops.erases;
+    d.ftl.host_write_pages = after.ftl.host_write_pages - before.ftl.host_write_pages;
+    d.ftl.host_read_pages = after.ftl.host_read_pages - before.ftl.host_read_pages;
+    d.ftl.host_lsb_writes = after.ftl.host_lsb_writes - before.ftl.host_lsb_writes;
+    d.ftl.host_msb_writes = after.ftl.host_msb_writes - before.ftl.host_msb_writes;
+    d.ftl.gc_copy_pages = after.ftl.gc_copy_pages - before.ftl.gc_copy_pages;
+    d.ftl.backup_pages = after.ftl.backup_pages - before.ftl.backup_pages;
+    d.ftl.foreground_gc_blocks =
+        after.ftl.foreground_gc_blocks - before.ftl.foreground_gc_blocks;
+    d.ftl.background_gc_blocks =
+        after.ftl.background_gc_blocks - before.ftl.background_gc_blocks;
+    d.ftl.unmapped_reads = after.ftl.unmapped_reads - before.ftl.unmapped_reads;
+    d.ftl.read_errors = after.ftl.read_errors - before.ftl.read_errors;
+    d.ftl.scrubbed_blocks = after.ftl.scrubbed_blocks - before.ftl.scrubbed_blocks;
+    d.erases = after.erases - before.erases;
+    return d;
+  }
+};
+
+}  // namespace rps::obs

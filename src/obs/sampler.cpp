@@ -1,0 +1,124 @@
+#include "src/obs/sampler.hpp"
+
+#include <cstdio>
+#include <utility>
+
+namespace rps::obs {
+
+namespace {
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+void append_i64(std::string& out, std::int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  out += buf;
+}
+
+// Fixed-precision doubles keep the exports byte-deterministic across
+// runs (the values themselves are deterministic; %.6f just pins the text).
+void append_f64(std::string& out, double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  out += buf;
+}
+
+bool write_text(const std::string& path, const std::string& text) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace
+
+StateSampler::StateSampler(Microseconds period_us, Collector collector)
+    : period_(period_us > 0 ? period_us : 1), collector_(std::move(collector)) {}
+
+
+void StateSampler::tick(Microseconds now) {
+  const Microseconds slot = now - now % period_;
+  if (slot <= last_slot_) return;
+  last_slot_ = slot;
+  StateSample sample;
+  sample.ts = slot;
+  sample.u = u_;
+  if (collector_) collector_(sample);
+  samples_.push_back(std::move(sample));
+}
+
+void StateSampler::clear() {
+  samples_.clear();
+  last_slot_ = -1;
+}
+
+std::string StateSampler::to_csv() const {
+  std::string out = "ts_us,u,q,sbqueue,free_frac,write_q";
+  const std::size_t chips = samples_.empty() ? 0 : samples_.front().chip_queue.size();
+  for (std::size_t c = 0; c < chips; ++c) {
+    out += ",chip";
+    append_u64(out, c);
+  }
+  out += '\n';
+  for (const StateSample& s : samples_) {
+    append_i64(out, s.ts);
+    out += ',';
+    append_f64(out, s.u);
+    out += ',';
+    append_i64(out, s.q);
+    out += ',';
+    append_u64(out, s.sbqueue);
+    out += ',';
+    append_f64(out, s.free_fraction);
+    out += ',';
+    append_u64(out, s.queued_write_ops);
+    for (std::size_t c = 0; c < chips; ++c) {
+      out += ',';
+      append_u64(out, c < s.chip_queue.size() ? s.chip_queue[c] : 0);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+bool StateSampler::write_csv(const std::string& path) const {
+  return write_text(path, to_csv());
+}
+
+std::string StateSampler::to_json() const {
+  std::string out = "[\n";
+  for (std::size_t i = 0; i < samples_.size(); ++i) {
+    const StateSample& s = samples_[i];
+    out += "{\"ts_us\":";
+    append_i64(out, s.ts);
+    out += ",\"u\":";
+    append_f64(out, s.u);
+    out += ",\"q\":";
+    append_i64(out, s.q);
+    out += ",\"sbqueue\":";
+    append_u64(out, s.sbqueue);
+    out += ",\"free_frac\":";
+    append_f64(out, s.free_fraction);
+    out += ",\"write_q\":";
+    append_u64(out, s.queued_write_ops);
+    out += ",\"chip_queue\":[";
+    for (std::size_t c = 0; c < s.chip_queue.size(); ++c) {
+      if (c != 0) out += ',';
+      append_u64(out, s.chip_queue[c]);
+    }
+    out += "]}";
+    out += i + 1 < samples_.size() ? ",\n" : "\n";
+  }
+  out += "]\n";
+  return out;
+}
+
+bool StateSampler::write_json(const std::string& path) const {
+  return write_text(path, to_json());
+}
+
+}  // namespace rps::obs

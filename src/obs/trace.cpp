@@ -1,0 +1,202 @@
+#include "src/obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+namespace rps::obs {
+
+const char* to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::kHostRead: return "host_read";
+    case EventKind::kHostWrite: return "host_write";
+    case EventKind::kIdleWindow: return "idle_window";
+    case EventKind::kNandRead: return "nand_read";
+    case EventKind::kNandWrite: return "nand_write";
+    case EventKind::kGcForeground: return "gc_foreground";
+    case EventKind::kGcBackground: return "gc_background";
+    case EventKind::kParityFlush: return "parity_flush";
+    case EventKind::kBlockFastToSlow: return "fast_to_slow";
+    case EventKind::kBlockSlowToFull: return "slow_to_full";
+    case EventKind::kBlockReclaimed: return "block_reclaimed";
+    case EventKind::kPowerLossCut: return "power_loss_cut";
+    case EventKind::kRecovery: return "recovery";
+  }
+  __builtin_unreachable();
+}
+
+const char* category(EventKind kind) {
+  switch (kind) {
+    case EventKind::kHostRead:
+    case EventKind::kHostWrite:
+    case EventKind::kIdleWindow:
+      return "host";
+    case EventKind::kNandRead:
+    case EventKind::kNandWrite:
+      return "nand";
+    case EventKind::kGcForeground:
+    case EventKind::kGcBackground:
+      return "gc";
+    case EventKind::kParityFlush:
+      return "parity";
+    case EventKind::kBlockFastToSlow:
+    case EventKind::kBlockSlowToFull:
+    case EventKind::kBlockReclaimed:
+      return "block";
+    case EventKind::kPowerLossCut:
+    case EventKind::kRecovery:
+      return "power";
+  }
+  __builtin_unreachable();
+}
+
+namespace {
+
+/// Names for the a/b/c arg slots; nullptr = slot unused by this kind.
+struct ArgNames {
+  const char* a = nullptr;
+  const char* b = nullptr;
+  const char* c = nullptr;
+};
+
+ArgNames arg_names(EventKind kind) {
+  switch (kind) {
+    case EventKind::kHostRead:
+    case EventKind::kHostWrite:
+      return {"lpn", "pages", "queued_us"};
+    case EventKind::kIdleWindow:
+      return {"duration_us", nullptr, nullptr};
+    case EventKind::kNandRead:
+    case EventKind::kNandWrite:
+      return {"lpn", "cmd", "wait_us"};
+    case EventKind::kGcForeground:
+    case EventKind::kGcBackground:
+      return {"victim_block", "copies", "freed"};
+    case EventKind::kParityFlush:
+      return {"fast_block", "backup_block", "skipped"};
+    case EventKind::kBlockFastToSlow:
+    case EventKind::kBlockSlowToFull:
+      return {"block", nullptr, nullptr};
+    case EventKind::kBlockReclaimed:
+      return {"block", "background", nullptr};
+    case EventKind::kPowerLossCut:
+      return {"victims", nullptr, nullptr};
+    case EventKind::kRecovery:
+      return {"pages_recovered", "pages_lost", "supported"};
+  }
+  __builtin_unreachable();
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+void append_i64(std::string& out, std::int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  out += buf;
+}
+
+/// One metadata event (process_name / thread_name).
+void append_metadata(std::string& out, const char* what, std::uint32_t pid,
+                     std::uint32_t tid, const std::string& name) {
+  out += "{\"name\":\"";
+  out += what;
+  out += "\",\"ph\":\"M\",\"pid\":";
+  append_u64(out, pid);
+  out += ",\"tid\":";
+  append_u64(out, tid);
+  out += ",\"args\":{\"name\":\"";
+  out += name;
+  out += "\"}},\n";
+}
+
+}  // namespace
+
+std::size_t TraceSink::count(EventKind kind) const {
+  return static_cast<std::size_t>(
+      std::count_if(events_.begin(), events_.end(),
+                    [kind](const TraceEvent& e) { return e.kind == kind; }));
+}
+
+std::string TraceSink::to_chrome_json() const {
+  std::string out;
+  out.reserve(128 + events_.size() * 120);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+
+  // Lane naming: every (pid, tid) pair seen gets a thread_name, every pid a
+  // process_name, emitted in sorted order so the header is deterministic
+  // regardless of which lane recorded first.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> lanes;
+  lanes.reserve(events_.size());
+  for (const TraceEvent& e : events_) lanes.emplace_back(e.pid, e.tid);
+  std::sort(lanes.begin(), lanes.end());
+  lanes.erase(std::unique(lanes.begin(), lanes.end()), lanes.end());
+  std::uint32_t last_pid = 0;
+  bool have_pid = false;
+  for (const auto& [pid, tid] : lanes) {
+    if (!have_pid || pid != last_pid) {
+      append_metadata(out, "process_name", pid, 0,
+                      pid == 0 ? std::string("run")
+                               : "trial " + std::to_string(pid - 1));
+      last_pid = pid;
+      have_pid = true;
+    }
+    append_metadata(out, "thread_name", pid, tid,
+                    tid == 0 ? std::string("host")
+                             : "chip " + std::to_string(tid - 1));
+  }
+
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const TraceEvent& e = events_[i];
+    out += "{\"name\":\"";
+    out += to_string(e.kind);
+    out += "\",\"cat\":\"";
+    out += category(e.kind);
+    out += "\",\"ph\":\"";
+    out += e.dur >= 0 ? "X" : "i";
+    out += "\",\"ts\":";
+    append_i64(out, e.ts);
+    if (e.dur >= 0) {
+      out += ",\"dur\":";
+      append_i64(out, e.dur);
+    } else {
+      out += ",\"s\":\"t\"";  // instant scope: thread
+    }
+    out += ",\"pid\":";
+    append_u64(out, e.pid);
+    out += ",\"tid\":";
+    append_u64(out, e.tid);
+    const ArgNames names = arg_names(e.kind);
+    out += ",\"args\":{";
+    bool first = true;
+    const auto arg = [&](const char* name, std::uint64_t v) {
+      if (name == nullptr) return;
+      if (!first) out += ',';
+      first = false;
+      out += '\"';
+      out += name;
+      out += "\":";
+      append_u64(out, v);
+    };
+    arg(names.a, e.a);
+    arg(names.b, e.b);
+    arg(names.c, e.c);
+    out += "}}";
+    out += i + 1 < events_.size() ? ",\n" : "\n";
+  }
+  out += "]}\n";
+  return out;
+}
+
+bool TraceSink::write_chrome_json(const std::string& path) const {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = to_chrome_json();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace rps::obs

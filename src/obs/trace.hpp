@@ -1,0 +1,105 @@
+// Deterministic sim-time tracing.
+//
+// A TraceSink records structured events stamped with *simulated*
+// microseconds — never wall clock — so a trace is a pure function of the
+// run's configuration: two runs of the same seed produce byte-identical
+// exports, and a trace taken at --jobs=N is identical to --jobs=1 (traced
+// runs are single-threaded; parallel sweeps give each trial its own pid
+// scope and force jobs=1 while a sink is attached).
+//
+// The whole layer is runtime-off by default: instrumented components hold
+// a TraceSink* that is null unless a harness attaches one, so the disabled
+// cost of every site is a single pointer test (verified by bench_simcore's
+// 5%-of-baseline gate). Events carry an EventKind plus three kind-specific
+// integer args (see the taxonomy below); the exporter maps them to Chrome
+// trace_event JSON that Perfetto / chrome://tracing opens directly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/types.hpp"
+
+namespace rps::obs {
+
+/// The event taxonomy (DESIGN.md section 11). Arg slots a/b/c per kind:
+///   kHostRead / kHostWrite   a=lpn  b=pages  c=queued_us (issue - arrival)
+///   kIdleWindow              a=duration handed to the FTL (== dur)
+///   kNandRead / kNandWrite   a=lpn  b=command id  c=wait_us (start - ready)
+///   kGcForeground/kGcBackground  a=victim block  b=pages copied  c=freed(0/1)
+///   kParityFlush             a=fast block  b=backup block  c=skipped(0/1)
+///   kBlockFastToSlow         a=block (last LSB page written; joins SBQueue)
+///   kBlockSlowToFull         a=block (last MSB page written)
+///   kBlockReclaimed          a=block  b=background(0/1) (erased + freed)
+///   kPowerLossCut            a=in-flight programs destroyed
+///   kRecovery                a=pages recovered  b=pages lost  c=supported(0/1)
+enum class EventKind : std::uint8_t {
+  kHostRead,
+  kHostWrite,
+  kIdleWindow,
+  kNandRead,
+  kNandWrite,
+  kGcForeground,
+  kGcBackground,
+  kParityFlush,
+  kBlockFastToSlow,
+  kBlockSlowToFull,
+  kBlockReclaimed,
+  kPowerLossCut,
+  kRecovery,
+};
+
+/// Exporter metadata for a kind: Chrome trace name + category.
+const char* to_string(EventKind kind);
+const char* category(EventKind kind);
+
+struct TraceEvent {
+  EventKind kind = EventKind::kHostRead;
+  std::uint32_t pid = 0;   // trace scope: 0 = the run; sweeps use 1 + trial index
+  std::uint32_t tid = 0;   // lane: 0 = host, chip c = lane c + 1
+  Microseconds ts = 0;     // simulated microseconds
+  Microseconds dur = -1;   // < 0 renders as an instant event
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  std::uint64_t c = 0;
+
+  friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
+};
+
+class TraceSink {
+ public:
+  /// Scope subsequent events under `pid` (sweep drivers: one pid per trial).
+  void set_pid(std::uint32_t pid) { pid_ = pid; }
+  [[nodiscard]] std::uint32_t pid() const { return pid_; }
+
+  /// Record one event. Hot instrumentation sites call this behind a null
+  /// check on their sink pointer; the call itself is a push_back.
+  void record(EventKind kind, std::uint32_t tid, Microseconds ts, Microseconds dur,
+              std::uint64_t a = 0, std::uint64_t b = 0, std::uint64_t c = 0) {
+    events_.push_back(TraceEvent{kind, pid_, tid, ts, dur, a, b, c});
+  }
+
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+  [[nodiscard]] const std::vector<TraceEvent>& events() const { return events_; }
+  void clear() { events_.clear(); }
+
+  /// Number of recorded events of `kind` (test/CI validation helper).
+  [[nodiscard]] std::size_t count(EventKind kind) const;
+
+  /// Chrome trace_event JSON ({"traceEvents": [...]}) — what Perfetto and
+  /// chrome://tracing load. Deterministic byte-for-byte: metadata first
+  /// (process/thread names in (pid, tid) order), then events in record
+  /// order, all-integer args.
+  [[nodiscard]] std::string to_chrome_json() const;
+
+  /// Write to_chrome_json() to `path`. False on I/O failure.
+  bool write_chrome_json(const std::string& path) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+  std::uint32_t pid_ = 0;
+};
+
+}  // namespace rps::obs

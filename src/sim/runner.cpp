@@ -8,6 +8,7 @@
 #include "src/ftl/parity_ftl.hpp"
 #include "src/ftl/rtf_ftl.hpp"
 #include "src/ftl/slc_ftl.hpp"
+#include "src/obs/trace.hpp"
 #include "src/util/parallel.hpp"
 
 namespace rps::sim {
@@ -25,7 +26,7 @@ std::unique_ptr<ftl::FtlBase> make_ftl(FtlKind kind, const ftl::FtlConfig& confi
 
 RebootOutcome crash_reboot(FtlKind kind, ftl::FtlBase& ftl,
                            const std::vector<nand::PowerLossVictim>& victims,
-                           Microseconds now) {
+                           Microseconds now, obs::TraceSink* sink) {
   RebootOutcome outcome;
   switch (kind) {
     case FtlKind::kFlex:
@@ -42,6 +43,13 @@ RebootOutcome crash_reboot(FtlKind kind, ftl::FtlBase& ftl,
       // intact copy of each LPN (if any) wins.
       ftl.rebuild_mapping();
       break;
+  }
+  if (sink != nullptr) {
+    sink->record(obs::EventKind::kRecovery, 0, now,
+                 outcome.recovery_supported ? outcome.report.recovery_time_us
+                                            : Microseconds{-1},
+                 outcome.report.pages_recovered, outcome.report.pages_lost,
+                 outcome.recovery_supported ? 1 : 0);
   }
   return outcome;
 }
@@ -67,8 +75,31 @@ ExperimentSpec ExperimentSpec::bench_default() {
   return spec;
 }
 
+obs::StateSampler::Collector make_state_collector(const ftl::FtlBase& ftl,
+                                                  const ctrl::Controller* controller) {
+  return [&ftl, controller](obs::StateSample& sample) {
+    sample.q = ftl.observed_lsb_quota();
+    sample.sbqueue = ftl.observed_slow_queue_depth();
+    const nand::Geometry& geometry = ftl.device().geometry();
+    std::uint64_t free_blocks = 0;
+    for (std::uint32_t chip = 0; chip < geometry.num_chips(); ++chip) {
+      free_blocks += ftl.blocks().free_blocks(chip);
+    }
+    sample.free_fraction = static_cast<double>(free_blocks) /
+                           static_cast<double>(geometry.total_blocks());
+    if (controller != nullptr) {
+      sample.queued_write_ops = controller->write_queue_depth();
+      sample.chip_queue.resize(controller->num_chips());
+      for (std::uint32_t chip = 0; chip < controller->num_chips(); ++chip) {
+        sample.chip_queue[chip] = controller->read_queue_depth(chip);
+      }
+    }
+  };
+}
+
 SimResult run_experiment(FtlKind kind, workload::Preset preset,
-                         const ExperimentSpec& spec) {
+                         const ExperimentSpec& spec, obs::TraceSink* sink,
+                         obs::StateSampler* sampler) {
   std::unique_ptr<ftl::FtlBase> ftl = make_ftl(kind, spec.ftl_config);
   Simulator simulator(*ftl, spec.sim);
   simulator.precondition();
@@ -81,7 +112,22 @@ SimResult run_experiment(FtlKind kind, workload::Preset preset,
   simulator.warm_up(warmup);
   const workload::Trace trace = workload::generate(
       workload::preset_config(preset, working_set, spec.requests, spec.seed));
-  return simulator.run(trace);
+  // Observe only the measured run: attaching here keeps preconditioning
+  // and warm-up noise out of the trace and the time series.
+  if (sink != nullptr) simulator.set_trace_sink(sink);
+  if (sampler != nullptr) {
+    sampler->set_collector(make_state_collector(
+        *ftl, spec.sim.engine == Engine::kController ? &simulator.controller()
+                                                     : nullptr));
+    simulator.set_state_sampler(sampler);
+  }
+  SimResult result = simulator.run(trace);
+  if (sampler != nullptr) {
+    // The collector closes over this experiment's FTL, which dies with
+    // this frame — never leave it installed.
+    sampler->set_collector({});
+  }
+  return result;
 }
 
 std::vector<SimResult> run_all_ftls(workload::Preset preset,
@@ -125,6 +171,32 @@ std::uint32_t parse_jobs_flag(int argc, char** argv) {
     }
   }
   return 1;
+}
+
+std::string parse_trace_flag(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--trace=", 0) == 0) return arg.substr(8);
+    if (arg == "--trace" && i + 1 < argc) return argv[i + 1];
+  }
+  return {};
+}
+
+std::uint64_t parse_requests_flag(int argc, char** argv, std::uint64_t fallback) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    try {
+      if (arg.rfind("--requests=", 0) == 0) {
+        return std::max<std::uint64_t>(1, std::stoull(arg.substr(11)));
+      }
+      if (arg == "--requests" && i + 1 < argc) {
+        return std::max<std::uint64_t>(1, std::stoull(argv[i + 1]));
+      }
+    } catch (...) {
+      return fallback;
+    }
+  }
+  return fallback;
 }
 
 }  // namespace rps::sim

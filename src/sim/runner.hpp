@@ -11,6 +11,7 @@
 #include "src/core/flex_ftl.hpp"
 #include "src/ftl/config.hpp"
 #include "src/ftl/ftl_base.hpp"
+#include "src/obs/sampler.hpp"
 #include "src/sim/simulator.hpp"
 #include "src/workload/generator.hpp"
 
@@ -57,9 +58,11 @@ struct RebootOutcome {
 /// (NandDevice::inject_power_loss or Controller::power_loss). flexFTL
 /// replays its parity-based recovery; every other kind loses its RAM
 /// tables and rebuilds the mapping from the media's out-of-band metadata.
+/// With `sink` attached, records one kRecovery event covering the
+/// recovery phase.
 RebootOutcome crash_reboot(FtlKind kind, ftl::FtlBase& ftl,
                            const std::vector<nand::PowerLossVictim>& victims,
-                           Microseconds now);
+                           Microseconds now, obs::TraceSink* sink = nullptr);
 
 /// The geometry the benchmarks use: the paper's channel/chip organization
 /// (8 x 4) with fewer blocks per chip (128 instead of 512) so a full
@@ -78,9 +81,25 @@ struct ExperimentSpec {
   static ExperimentSpec bench_default();
 };
 
-/// Precondition + replay one preset against one FTL.
+/// Precondition + replay one preset against one FTL. `sink` / `sampler`
+/// (optional) observe the *measured* run only — they attach after
+/// preconditioning and warm-up, so the trace and time series hold exactly
+/// what the result row measures. A caller-supplied sampler gets its
+/// collector wired to this experiment's FTL and controller
+/// (make_state_collector); its samples must be consumed before the next
+/// attach. Traced runs are meant to be single experiments: the parallel
+/// drivers below never attach observers, which is what keeps traced
+/// output trivially --jobs-invariant.
 SimResult run_experiment(FtlKind kind, workload::Preset preset,
-                         const ExperimentSpec& spec);
+                         const ExperimentSpec& spec,
+                         obs::TraceSink* sink = nullptr,
+                         obs::StateSampler* sampler = nullptr);
+
+/// Build a StateSampler collector snapshotting `ftl` (quota, SBQueue
+/// depth, free-block fraction) and, when non-null, `controller`'s queue
+/// depths. Both borrowed: they must outlive the sampler's use.
+obs::StateSampler::Collector make_state_collector(const ftl::FtlBase& ftl,
+                                                  const ctrl::Controller* controller);
 
 /// Run all four FTLs against one preset (shared trace). With `jobs` > 1
 /// the four independent experiments run concurrently; results stay in
@@ -100,5 +119,13 @@ std::vector<std::vector<SimResult>> run_preset_matrix(
 /// Parse a `--jobs=N` / `--jobs N` pair out of argv (for the bench
 /// drivers). Returns 1 when absent or malformed.
 std::uint32_t parse_jobs_flag(int argc, char** argv);
+
+/// Parse `--trace=PATH` / `--trace PATH` out of argv (bench drivers:
+/// where to write the Chrome trace JSON). Empty string = absent.
+std::string parse_trace_flag(int argc, char** argv);
+
+/// Parse `--requests=N` / `--requests N` out of argv; `fallback` when
+/// absent or malformed (CI smoke runs shrink the benches with this).
+std::uint64_t parse_requests_flag(int argc, char** argv, std::uint64_t fallback);
 
 }  // namespace rps::sim

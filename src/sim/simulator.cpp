@@ -4,6 +4,9 @@
 #include <cassert>
 #include <queue>
 
+#include "src/obs/registry.hpp"
+#include "src/obs/sampler.hpp"
+#include "src/obs/trace.hpp"
 #include "src/util/random.hpp"
 #include <vector>
 
@@ -11,6 +14,17 @@ namespace rps::sim {
 
 Simulator::Simulator(ftl::FtlBase& ftl, const SimConfig& config)
     : ftl_(ftl), config_(config), controller_(ftl) {}
+
+void Simulator::set_trace_sink(obs::TraceSink* sink) {
+  trace_ = sink;
+  ftl_.set_trace_sink(sink);
+  controller_.set_observability(trace_, sampler_);
+}
+
+void Simulator::set_state_sampler(obs::StateSampler* sampler) {
+  sampler_ = sampler;
+  controller_.set_observability(trace_, sampler_);
+}
 
 void Simulator::precondition() {
   const Lpn fill_pages = static_cast<Lpn>(
@@ -64,10 +78,8 @@ SimResult Simulator::run(const workload::Trace& trace) {
       ftl_.device().all_idle_at() + (preconditioned_ ? 10'000 : 0);
   const Microseconds first_arrival = trace.requests().front().arrival_us;
 
-  // Baselines for delta counters.
-  const std::uint64_t erases_before = ftl_.device().total_erase_count();
-  const nand::OpCounters ops_before = ftl_.device().total_counters();
-  const ftl::FtlStats ftl_before = ftl_.stats();
+  // Baseline for delta counters (one capture covers every family).
+  const obs::CounterSnapshot counters_before = obs::Registry::capture(ftl_);
 
   // Closed-loop window: at most queue_depth requests outstanding. A new
   // request issues when the earliest-finishing outstanding one completes.
@@ -143,6 +155,11 @@ SimResult Simulator::run(const workload::Trace& trace) {
     if (arrival > last_completion + config_.idle_threshold_us) {
       ++result.idle_windows;
       result.idle_time_us += arrival - last_completion;
+      if (trace_ != nullptr) {
+        trace_->record(obs::EventKind::kIdleWindow, 0, last_completion,
+                       arrival - last_completion,
+                       static_cast<std::uint64_t>(arrival - last_completion));
+      }
       ftl_.on_idle(last_completion, arrival);
     }
 
@@ -172,6 +189,11 @@ SimResult Simulator::run(const workload::Trace& trace) {
     const double utilization = std::min(
         1.0, static_cast<double>(arrived_write_pages - completed_write_pages) /
                  static_cast<double>(buffer_capacity));
+    if (sampler_ != nullptr) {
+      // Feed u before any event this request triggers can sample it.
+      sampler_->set_utilization(utilization);
+      sampler_->tick(issue);
+    }
 
     Microseconds completion = issue;
     if (req.kind == workload::IoKind::kWrite) {
@@ -244,6 +266,15 @@ SimResult Simulator::run(const workload::Trace& trace) {
     }
     ++result.requests;
     result.latency_us.add(static_cast<double>(completion - arrival));
+    result.latency_hist_us.add(static_cast<std::uint64_t>(completion - arrival));
+    if (trace_ != nullptr) {
+      trace_->record(req.kind == workload::IoKind::kWrite
+                         ? obs::EventKind::kHostWrite
+                         : obs::EventKind::kHostRead,
+                     0, arrival, completion - arrival, req.lpn, req.page_count,
+                     static_cast<std::uint64_t>(issue - arrival));
+    }
+    if (sampler_ != nullptr) sampler_->tick(completion);
 
     // Busy-interval merging over [issue, completion].
     if (busy_end < busy_start || issue > busy_end) {
@@ -266,31 +297,20 @@ SimResult Simulator::run(const workload::Trace& trace) {
       result.power_loss.victims =
           ftl_.device().inject_power_loss(config_.crash_time_us);
     }
+    if (trace_ != nullptr) {
+      trace_->record(obs::EventKind::kPowerLossCut, 0, config_.crash_time_us, -1,
+                     result.power_loss.victims.size());
+    }
     last_completion = std::max(base, std::min(last_completion, config_.crash_time_us));
   }
 
   result.makespan_us = last_completion - base;
-  result.erases = ftl_.device().total_erase_count() - erases_before;
 
-  const nand::OpCounters ops_after = ftl_.device().total_counters();
-  result.ops.reads = ops_after.reads - ops_before.reads;
-  result.ops.lsb_programs = ops_after.lsb_programs - ops_before.lsb_programs;
-  result.ops.msb_programs = ops_after.msb_programs - ops_before.msb_programs;
-  result.ops.erases = ops_after.erases - ops_before.erases;
-
-  const ftl::FtlStats& fs = ftl_.stats();
-  result.ftl_stats.host_write_pages = fs.host_write_pages - ftl_before.host_write_pages;
-  result.ftl_stats.host_read_pages = fs.host_read_pages - ftl_before.host_read_pages;
-  result.ftl_stats.host_lsb_writes = fs.host_lsb_writes - ftl_before.host_lsb_writes;
-  result.ftl_stats.host_msb_writes = fs.host_msb_writes - ftl_before.host_msb_writes;
-  result.ftl_stats.gc_copy_pages = fs.gc_copy_pages - ftl_before.gc_copy_pages;
-  result.ftl_stats.backup_pages = fs.backup_pages - ftl_before.backup_pages;
-  result.ftl_stats.foreground_gc_blocks =
-      fs.foreground_gc_blocks - ftl_before.foreground_gc_blocks;
-  result.ftl_stats.background_gc_blocks =
-      fs.background_gc_blocks - ftl_before.background_gc_blocks;
-  result.ftl_stats.unmapped_reads = fs.unmapped_reads - ftl_before.unmapped_reads;
-  result.ftl_stats.read_errors = fs.read_errors - ftl_before.read_errors;
+  const obs::CounterSnapshot counters_delta =
+      obs::Registry::delta(counters_before, obs::Registry::capture(ftl_));
+  result.erases = counters_delta.erases;
+  result.ops = counters_delta.ops;
+  result.ftl_stats = counters_delta.ftl;
 
   // Windowed bandwidth samples (windows in which writes completed).
   const double window_seconds =
@@ -298,6 +318,9 @@ SimResult Simulator::run(const workload::Trace& trace) {
   for (std::size_t w = 0; w < bw_bytes.size(); ++w) {
     if (!bw_touched[w]) continue;
     result.write_bw_mbps.add(static_cast<double>(bw_bytes[w]) / 1e6 / window_seconds);
+    // Same sample, integer KB/s (bytes per window over window length).
+    result.write_bw_kbps.add(bw_bytes[w] * 1000 /
+                             static_cast<std::uint64_t>(config_.bw_window_us));
   }
   return result;
 }

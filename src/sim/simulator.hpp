@@ -17,8 +17,14 @@
 
 #include "src/controller/controller.hpp"
 #include "src/ftl/ftl_base.hpp"
+#include "src/obs/histogram.hpp"
 #include "src/util/stats.hpp"
 #include "src/workload/trace.hpp"
+
+namespace rps::obs {
+class TraceSink;
+class StateSampler;
+}  // namespace rps::obs
 
 namespace rps::sim {
 
@@ -89,6 +95,14 @@ struct SimResult {
   SampleSet latency_us;           // per-request completion - arrival
   SampleSet write_bw_mbps;        // windowed write bandwidth samples
 
+  /// The same two series as log-bucketed mergeable histograms (integer
+  /// units: microseconds, and KB/s per bandwidth window). Merging the
+  /// histograms of per-shard results is order-invariant — sweep aggregates
+  /// are bit-identical for any --jobs (what SampleSet concatenation never
+  /// guaranteed its percentiles to be).
+  obs::LatencyHistogram latency_hist_us;
+  obs::LatencyHistogram write_bw_kbps;
+
   std::uint64_t erases = 0;       // block erasures during the measured run
   nand::OpCounters ops;           // device op deltas during the measured run
   ftl::FtlStats ftl_stats;        // FTL counter deltas during the measured run
@@ -148,11 +162,24 @@ class Simulator {
   /// drive it directly).
   [[nodiscard]] ctrl::Controller& controller() { return controller_; }
 
+  /// Attach / detach (nullptr) a trace sink: host-request and power-loss
+  /// events from the replay loop, NandOp events from the controller, GC
+  /// and parity events from the FTL. Borrowed pointer; detach before the
+  /// sink dies. Null by default — the disabled cost is a pointer test.
+  void set_trace_sink(obs::TraceSink* sink);
+
+  /// Attach / detach (nullptr) a periodic state sampler. The replay loop
+  /// feeds it buffer utilization and ticks it per request; the controller
+  /// ticks it at every event-queue instant between them.
+  void set_state_sampler(obs::StateSampler* sampler);
+
  private:
   ftl::FtlBase& ftl_;
   SimConfig config_;
   ctrl::Controller controller_;
   bool preconditioned_ = false;
+  obs::TraceSink* trace_ = nullptr;      // borrowed; null = tracing off
+  obs::StateSampler* sampler_ = nullptr; // borrowed; null = sampling off
 };
 
 }  // namespace rps::sim
