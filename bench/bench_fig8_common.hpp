@@ -21,6 +21,44 @@ inline sim::ExperimentSpec fig8_spec() {
   return spec;
 }
 
+/// --geometry=paper|paper4x|paper16x: device-topology presets for the
+/// Fig. 8 benches, all derived from the scaled bench geometry (8 ch x
+/// 4 chips, 128 blocks, 4 GB) so runtimes stay bench-sized:
+///   paper    - the default single-plane array (flag optional);
+///   paper4x  - 4 planes per chip (4x capacity, multi-plane GC erase
+///              coalescing and plane-grouped striping become active);
+///   paper16x - 4 planes AND a doubled channel/chip fabric (16x).
+/// Returns false (after printing to stderr) on an unknown preset name;
+/// true when the flag is absent or applied.
+inline bool apply_geometry_flag(int argc, char** argv,
+                                sim::ExperimentSpec& spec) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--geometry=", 0) != 0) continue;
+    const std::string name = arg.substr(11);
+    nand::Geometry g = sim::bench_geometry();
+    if (name == "paper") {
+      // The default: explicit spelling of the no-flag configuration.
+    } else if (name == "paper4x") {
+      g.planes_per_chip = 4;
+    } else if (name == "paper16x") {
+      g.planes_per_chip = 4;
+      g.channels *= 2;
+      g.chips_per_channel *= 2;
+    } else {
+      std::fprintf(stderr,
+                   "unknown --geometry preset: %s (want paper|paper4x|paper16x)\n",
+                   name.c_str());
+      return false;
+    }
+    spec.ftl_config.geometry = g;
+    std::printf("geometry: %s (%u ch x %u chips x %u planes, %u blocks/plane)\n",
+                name.c_str(), g.channels, g.chips_per_channel, g.planes_per_chip,
+                g.blocks_per_chip);
+  }
+  return true;
+}
+
 /// --trace=PATH support for the Fig. 8 benches: run ONE extra traced
 /// flexFTL experiment on `preset` and write its Chrome trace_event JSON
 /// to PATH (open in Perfetto / chrome://tracing) plus the FTL state time

@@ -13,6 +13,7 @@ using namespace rps;
 int main(int argc, char** argv) {
   sim::ExperimentSpec spec = bench::fig8_spec();
   spec.requests = sim::parse_requests_flag(argc, argv, spec.requests);
+  if (!bench::apply_geometry_flag(argc, argv, spec)) return 2;
   const std::uint32_t jobs = sim::parse_jobs_flag(argc, argv);
   std::printf("Fig. 8(a): normalized IOPS, 4 FTLs x 5 workloads\n");
   std::printf("(%llu requests per run; IOPS over makespan, closed-loop think time)\n\n",

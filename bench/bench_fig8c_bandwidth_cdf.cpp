@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
   sim::ExperimentSpec spec = bench::fig8_spec();
   spec.sim.bw_window_us = 50'000;
   spec.requests = sim::parse_requests_flag(argc, argv, spec.requests);
+  if (!bench::apply_geometry_flag(argc, argv, spec)) return 2;
   const std::uint32_t jobs = sim::parse_jobs_flag(argc, argv);
   std::printf("Fig. 8(c): CDF of write bandwidth for Varmail (50 ms windows)\n\n");
 

@@ -17,6 +17,7 @@ using namespace rps;
 int main(int argc, char** argv) {
   sim::ExperimentSpec spec = bench::fig8_spec();
   spec.requests = sim::parse_requests_flag(argc, argv, 150'000);
+  if (!bench::apply_geometry_flag(argc, argv, spec)) return 2;
   std::printf("Latency profile: per-request latency percentiles (us)\n\n");
 
   for (const workload::Preset preset : workload::kAllPresets) {

@@ -11,7 +11,7 @@ namespace rps::ctrl {
 Controller::Controller(ftl::FtlBase& ftl, ControllerConfig config)
     : ftl_(ftl),
       config_(config),
-      read_queues_(ftl.device().geometry().num_chips()) {}
+      read_queues_(ftl.device().geometry().num_units()) {}
 
 CommandId Controller::submit(const HostCommand& cmd) {
   const CommandId id = next_id_++;
@@ -19,7 +19,8 @@ CommandId Controller::submit(const HostCommand& cmd) {
   Slot& stored = slots_.back();
   stored.state = Slot::State::kPending;
   stored.cmd = cmd;
-  std::vector<NandOp> ops = split_request(cmd);
+  std::vector<NandOp> ops =
+      split_request(cmd, ftl_.device().geometry().planes_per_chip);
   stored.ops.reserve(ops.size());
   for (NandOp& op : ops) {
     OpState state;
@@ -121,13 +122,14 @@ void Controller::dispatch_at(Microseconds t) {
 bool Controller::dispatch_write(const OpRef& ref, Microseconds t) {
   Slot& pending = slot(ref.cmd);
   OpState& state = pending.ops[ref.index];
-  const std::uint32_t chips = ftl_.device().geometry().num_chips();
+  const std::uint32_t units = ftl_.device().geometry().num_units();
+  const std::uint32_t planes = ftl_.device().geometry().planes_per_chip;
   std::uint32_t chip = 0;
   if (config_.stripe_writes) {
-    eligible_.assign(chips, 0);
+    eligible_.assign(units, 0);
     bool any_idle = false;
     Microseconds next_free = kTimeNever;
-    for (std::uint32_t c = 0; c < chips; ++c) {
+    for (std::uint32_t c = 0; c < units; ++c) {
       const Microseconds busy = ftl_.device().chip(c).busy_until();
       if (busy <= t) {
         eligible_[c] = 1;
@@ -140,7 +142,38 @@ bool Controller::dispatch_write(const OpRef& ref, Microseconds t) {
       events_.schedule(next_free);
       return false;
     }
+    // Plane affinity: a later member of a plane group prefers an idle
+    // sibling plane of the die its group already landed on, so the
+    // group's programs overlap in one aligned cell window. When no
+    // sibling is idle the op spills to the global idle set (throughput
+    // beats pairing). Inert with one plane per die.
+    std::int64_t anchor_die = -1;
+    if (planes > 1 && state.op.plane_group != kNoPlaneGroup) {
+      for (const auto& [group, die] : pending.group_die) {
+        if (group == state.op.plane_group) {
+          anchor_die = die;
+          break;
+        }
+      }
+      if (anchor_die >= 0) {
+        bool sibling_idle = false;
+        for (std::uint32_t p = 0; p < planes; ++p) {
+          if (eligible_[static_cast<std::uint32_t>(anchor_die) * planes + p] != 0) {
+            sibling_idle = true;
+            break;
+          }
+        }
+        if (sibling_idle) {
+          for (std::uint32_t u = 0; u < units; ++u) {
+            if (u / planes != static_cast<std::uint32_t>(anchor_die)) eligible_[u] = 0;
+          }
+        }
+      }
+    }
     chip = ftl_.pick_chip_among(eligible_);
+    if (planes > 1 && state.op.plane_group != kNoPlaneGroup && anchor_die < 0) {
+      pending.group_die.emplace_back(state.op.plane_group, chip / planes);
+    }
   } else {
     chip = ftl_.pick_unconstrained_chip();
   }

@@ -137,7 +137,7 @@ class Controller {
   }
 
   /// Scheduler depth right now (state sampling): write FIFO ops, and
-  /// queued read ops on `chip`.
+  /// queued read ops on `chip` (a flat unit index; one queue per unit).
   [[nodiscard]] std::size_t write_queue_depth() const { return write_queue_.size(); }
   [[nodiscard]] std::size_t read_queue_depth(std::uint32_t chip) const {
     return read_queues_.at(chip).size();
@@ -170,6 +170,10 @@ class Controller {
     std::vector<OpState> ops;
     std::uint32_t remaining = 0;
     CommandResult result;
+    /// Plane-group anchors: (group, die) of the first member dispatched.
+    /// Later members of the group prefer idle sibling planes of that die
+    /// so their programs share one multi-plane-style busy window.
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> group_die;
   };
   struct OpRef {
     CommandId cmd = 0;

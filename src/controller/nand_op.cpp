@@ -2,14 +2,18 @@
 
 namespace rps::ctrl {
 
-std::vector<NandOp> split_request(const HostCommand& cmd) {
+std::vector<NandOp> split_request(const HostCommand& cmd,
+                                  std::uint32_t planes_per_chip) {
   std::vector<NandOp> ops;
   ops.reserve(cmd.page_count);
+  const bool group_planes =
+      planes_per_chip > 1 && cmd.kind == CmdKind::kWrite && !cmd.ordered;
   for (std::uint32_t j = 0; j < cmd.page_count; ++j) {
     NandOp op;
     op.kind = cmd.kind == CmdKind::kRead ? OpKind::kHostRead : OpKind::kHostWrite;
     op.lpn = cmd.lpn + j;
     if (cmd.ordered && j > 0) op.deps.push_back(j - 1);
+    if (group_planes) op.plane_group = j / planes_per_chip;
     ops.push_back(std::move(op));
   }
   return ops;

@@ -31,6 +31,9 @@ struct HostCommand {
   bool ordered = false;
 };
 
+/// Sentinel: the op belongs to no plane group.
+inline constexpr std::uint32_t kNoPlaneGroup = 0xffffffffu;
+
 /// One page-granular NAND operation derived from a HostCommand.
 struct NandOp {
   OpKind kind = OpKind::kHostWrite;
@@ -38,9 +41,17 @@ struct NandOp {
   /// Indices within the same command's batch this op must wait for (the
   /// op becomes ready when the last dependency completes).
   std::vector<std::uint32_t> deps;
+  /// Plane group within the command: consecutive unordered write pages are
+  /// grouped planes_per_chip at a time, and the dispatcher steers the
+  /// members of one group onto sibling planes of the same die so their
+  /// cell windows overlap. kNoPlaneGroup with one plane per die.
+  std::uint32_t plane_group = kNoPlaneGroup;
 };
 
-/// Split a command into its per-page op batch.
-std::vector<NandOp> split_request(const HostCommand& cmd);
+/// Split a command into its per-page op batch. `planes_per_chip` > 1
+/// assigns plane groups to unordered write pages (ordered pages serialize
+/// anyway, and reads are bound to whatever unit the mapping names).
+std::vector<NandOp> split_request(const HostCommand& cmd,
+                                  std::uint32_t planes_per_chip = 1);
 
 }  // namespace rps::ctrl

@@ -20,7 +20,7 @@ PolicyManager::Params policy_params(const ftl::FtlConfig& config) {
       config.geometry.wordlines_per_block;
   p.initial_quota =
       static_cast<std::int64_t>(total_lsb_pages * config.initial_quota_fraction);
-  p.chips = config.geometry.num_chips();
+  p.chips = config.geometry.num_units();
   return p;
 }
 
@@ -28,7 +28,7 @@ PolicyManager::Params policy_params(const ftl::FtlConfig& config) {
 
 FlexFtl::FlexFtl(const ftl::FtlConfig& config)
     : FtlBase(config, nand::SequenceKind::kRps),
-      chips_(config.geometry.num_chips()),
+      chips_(config.geometry.num_units()),
       policy_(policy_params(config)) {
   // A chip's parity tables key on its own block numbers, so blocks_per_chip
   // bounds their population — reserving up front keeps the per-write
@@ -70,7 +70,7 @@ Result<Microseconds> FlexFtl::write_lsb(std::uint32_t chip, Lpn lpn,
   }
 
   const std::uint32_t fast = *fast_slot;
-  nand::Block& block = device_.chip(chip).block(fast);
+  nand::Block& block = device_.block_mut({chip, fast});
   const std::optional<nand::PagePos> pos = block.next_lsb();
   assert(pos.has_value());  // invariant: an active fast block has LSB space
   const nand::PageAddress addr{chip, fast, *pos};
@@ -184,7 +184,7 @@ void FlexFtl::release_parity_page(std::uint32_t chip, std::uint32_t backup_block
     assert(retiring->live_pages > 0);
     if (--retiring->live_pages == 0) {
       // Every parity page in this retired backup block is stale: recycle.
-      const Result<nand::OpTiming> erased = device_.erase({chip, backup_block}, now);
+      const Result<nand::OpTiming> erased = erase_block({chip, backup_block}, now);
       assert(erased.is_ok());
       (void)erased;
       blocks_.release({chip, backup_block});
@@ -212,7 +212,7 @@ Result<Microseconds> FlexFtl::write_msb(std::uint32_t chip, Lpn lpn,
   if (queue->empty()) return ErrorCode::kNoFreePage;
   // FIFO: the head of the SBQueue is the active slow block (Section 3.1).
   const std::uint32_t slow = queue->front();
-  nand::Block& block = device_.chip(chip).block(slow);
+  nand::Block& block = device_.block_mut({chip, slow});
   const std::optional<nand::PagePos> pos = block.next_msb();
   assert(pos.has_value());  // invariant: SBQueue blocks have MSB space
 
@@ -328,7 +328,7 @@ void FlexFtl::on_idle_plan(Microseconds now, Microseconds deadline) {
       target = std::min(target, std::max(policy_.quota(), predicted));
     }
   }
-  const std::uint32_t chips = device_.geometry().num_chips();
+  const std::uint32_t chips = device_.geometry().num_units();
   std::uint32_t stalled = 0;
   std::uint32_t chip = bgc_rr_chip_ % chips;
   while (policy_.quota() < target && stalled < chips) {
@@ -369,8 +369,9 @@ std::optional<nand::PageAddress> FlexFtl::find_newest_copy(
   std::optional<nand::PageAddress> best;
   std::uint64_t best_version = 0;
   const nand::Geometry& geometry = device_.geometry();
-  for (std::uint32_t chip = 0; chip < geometry.num_chips(); ++chip) {
-    for (std::uint32_t b = 0; b < geometry.blocks_per_chip; ++b) {
+  for (std::uint32_t chip = 0; chip < geometry.num_units(); ++chip) {
+    for (std::uint32_t b = 0; b < device_.visible_blocks(); ++b) {
+      if (device_.bad_blocks().is_retired(chip, b)) continue;
       const nand::Block& block = device_.block({chip, b});
       if (block.is_erased()) continue;
       for (std::uint32_t wl = 0; wl < geometry.wordlines_per_block; ++wl) {

@@ -216,12 +216,14 @@ RecoveryReport FlexFtl::recover_from_power_loss(
   // block not reclaimed above must be scrubbed before reallocation, since
   // programs validate against erased state.
   for (std::uint32_t chip = 0; chip < chips_.size(); ++chip) {
-    for (std::uint32_t b = 0; b < device_.geometry().blocks_per_chip; ++b) {
+    for (std::uint32_t b = 0; b < device_.visible_blocks(); ++b) {
       const nand::BlockAddress addr{chip, b};
       if (blocks_.use(addr) != ftl::BlockUse::kFree) continue;
       if (device_.block(addr).is_erased()) continue;
-      const Result<nand::OpTiming> erased = device_.erase(addr, now);
-      assert(erased.is_ok());
+      const Result<nand::OpTiming> erased = erase_block(addr, now);
+      // A worn-out block fails its scrub erase and is retired instead of
+      // re-entering the free pool; recovery proceeds without it.
+      assert(erased.is_ok() || erased.code() == ErrorCode::kBlockBad);
       (void)erased;
     }
   }

@@ -106,6 +106,9 @@ TrialResult run_trial(const FaultSimConfig& config, obs::TraceSink* sink) {
   oracle.mark_epoch();
   // Trace the main phase only: fill-phase writes are setup, not behaviour
   // under test.
+  if (sink != nullptr) {
+    sink->set_planes(ftl->device().geometry().planes_per_chip);
+  }
   ftl->set_trace_sink(sink);
 
   const Microseconds start = ftl->device().all_idle_at() + 1'000;
@@ -221,6 +224,20 @@ std::string reproducer(const FaultSimConfig& config) {
      << " --ws=" << config.working_set_fraction
      << " --reads=" << config.read_fraction << " --gap=" << config.mean_gap_us
      << " --crash-us=" << config.crash_time_us;
+  // Non-default device topology / failure knobs only, so legacy
+  // reproducer lines stay byte-identical.
+  if (config.ftl_config.geometry.planes_per_chip != 1) {
+    os << " --planes=" << config.ftl_config.geometry.planes_per_chip;
+  }
+  if (config.ftl_config.bad_blocks.spare_blocks_per_unit != 0) {
+    os << " --spares=" << config.ftl_config.bad_blocks.spare_blocks_per_unit;
+  }
+  if (config.ftl_config.bad_blocks.factory_bad_ppm != 0) {
+    os << " --factory-ppm=" << config.ftl_config.bad_blocks.factory_bad_ppm;
+  }
+  if (config.ftl_config.bad_blocks.erase_endurance != 0) {
+    os << " --endurance=" << config.ftl_config.bad_blocks.erase_endurance;
+  }
   return os.str();
 }
 
@@ -263,6 +280,17 @@ std::optional<FaultSimConfig> parse_reproducer(const std::string& line) {
         config.mean_gap_us = std::stoll(value);
       } else if (key == "crash-us") {
         config.crash_time_us = std::stoll(value);
+      } else if (key == "planes") {
+        config.ftl_config.geometry.planes_per_chip =
+            static_cast<std::uint32_t>(std::stoul(value));
+      } else if (key == "spares") {
+        config.ftl_config.bad_blocks.spare_blocks_per_unit =
+            static_cast<std::uint32_t>(std::stoul(value));
+      } else if (key == "factory-ppm") {
+        config.ftl_config.bad_blocks.factory_bad_ppm =
+            static_cast<std::uint32_t>(std::stoul(value));
+      } else if (key == "endurance") {
+        config.ftl_config.bad_blocks.erase_endurance = std::stoull(value);
       } else {
         return std::nullopt;
       }

@@ -47,6 +47,29 @@ void BlockManager::release(nand::BlockAddress addr) {
   per_chip_.at(addr.chip).free.push_back(addr.block);
 }
 
+void BlockManager::retire(nand::BlockAddress addr) {
+  BlockInfo& bi = info(addr);
+  assert(bi.use != BlockUse::kRetired);
+  assert(bi.valid_pages == 0);
+  if (bi.use == BlockUse::kFree) {
+    std::deque<std::uint32_t>& free = per_chip_.at(addr.chip).free;
+    const auto it = std::find(free.begin(), free.end(), addr.block);
+    assert(it != free.end());
+    free.erase(it);
+  }
+  bi.use = BlockUse::kRetired;
+  bi.valid_pages = 0;
+  bi.written_pages = 0;
+}
+
+std::uint32_t BlockManager::retired_blocks(std::uint32_t chip) const {
+  std::uint32_t retired = 0;
+  for (const BlockInfo& bi : per_chip_.at(chip).blocks) {
+    if (bi.use == BlockUse::kRetired) ++retired;
+  }
+  return retired;
+}
+
 void BlockManager::reclaim(nand::BlockAddress addr, BlockUse use) {
   assert(use != BlockUse::kFree);
   BlockInfo& bi = info(addr);

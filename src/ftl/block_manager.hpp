@@ -18,6 +18,7 @@ enum class BlockUse : std::uint8_t {
   kActive,   // host/GC data being appended (fast or slow phase)
   kFull,     // completely written, GC candidate
   kBackup,   // holds parity / paired-page backup pages
+  kRetired,  // went bad with no spare left; permanently out of service
 };
 
 class BlockManager {
@@ -40,6 +41,16 @@ class BlockManager {
 
   /// Return an erased block to the free pool.
   void release(nand::BlockAddress addr);
+
+  /// Permanently remove a block from service: it went bad and the device
+  /// had no spare left to remap it onto. Works from any role (a free
+  /// block is pulled out of the free pool; an in-use block must already
+  /// hold no valid pages). The chip's usable capacity shrinks by one
+  /// block — effective overprovisioning attrition, never undone.
+  void retire(nand::BlockAddress addr);
+
+  /// Retired blocks on `chip` (capacity-attrition observability).
+  [[nodiscard]] std::uint32_t retired_blocks(std::uint32_t chip) const;
 
   /// Pull a specific block back out of the free pool: crash recovery
   /// found live data in it (its erase was voided by a power loss that

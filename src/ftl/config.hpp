@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "src/nand/bad_block.hpp"
 #include "src/nand/geometry.hpp"
 #include "src/nand/timing.hpp"
 
@@ -11,6 +12,14 @@ namespace rps::ftl {
 struct FtlConfig {
   nand::Geometry geometry = nand::Geometry::paper();
   nand::TimingSpec timing = nand::TimingSpec::paper();
+
+  /// Bad-block model (spare pool size, factory/grown defect rates). The
+  /// all-zero default disables it: no spares reserved, nothing ever fails.
+  nand::BadBlockConfig bad_blocks;
+
+  /// Cache-program pipelining on the device: data transfers overlap the
+  /// unit's previous cell operation (the original model's behavior).
+  bool cache_program = true;
 
   /// Fraction of physical pages *not* exported as logical capacity
   /// (overprovisioning for GC plus backup-block headroom).

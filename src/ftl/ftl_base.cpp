@@ -9,18 +9,51 @@
 namespace rps::ftl {
 
 Lpn FtlBase::compute_exported_pages(const FtlConfig& config) {
-  const auto total = static_cast<double>(config.geometry.total_pages());
+  // Spare blocks reserved for bad-block remapping are not FTL-addressable
+  // and never back exported capacity. With no reservation this is exactly
+  // geometry.total_pages().
+  const nand::Geometry& g = config.geometry;
+  const std::uint64_t visible_blocks =
+      g.blocks_per_chip - config.bad_blocks.spare_blocks_per_unit;
+  const auto total = static_cast<double>(static_cast<std::uint64_t>(g.num_units()) *
+                                         visible_blocks * g.pages_per_block());
   return static_cast<Lpn>(
       std::floor(total * (1.0 - config.overprovisioning) * config.capacity_factor));
 }
 
 FtlBase::FtlBase(const FtlConfig& config, nand::SequenceKind kind)
     : config_(config),
-      device_(config.geometry, config.timing, kind),
+      device_(config.geometry, config.timing, kind, config.bad_blocks),
       mapping_(compute_exported_pages(config)),
-      blocks_(config.geometry.num_chips(), config.geometry.blocks_per_chip,
+      blocks_(config.geometry.num_units(), device_.visible_blocks(),
               config.geometry.pages_per_block()) {
   device_.set_program_suspend(config.program_suspend);
+  device_.set_cache_program(config.cache_program);
+  // Factory-bad visible blocks the device could not remap are dead on
+  // arrival: drop them from the pools before any allocation happens.
+  for (std::uint32_t u = 0; u < config.geometry.num_units(); ++u) {
+    for (const std::uint32_t dead : device_.bad_blocks().dead_visible_blocks(u)) {
+      blocks_.retire({u, dead});
+      ++stats_.retired_blocks;
+    }
+  }
+  // Grown-bad lifecycle events surface through the device as they happen.
+  device_.set_bad_block_listener([this](const nand::BadBlockEvent& event) {
+    if (event.new_physical >= 0) {
+      ++stats_.remapped_blocks;
+    } else {
+      ++stats_.retired_blocks;
+    }
+    if (trace_ != nullptr) {
+      trace_->record(event.new_physical >= 0 ? obs::EventKind::kBlockRemapped
+                                             : obs::EventKind::kBlockRetired,
+                     event.unit + 1, event.now, -1, event.visible_block,
+                     event.old_physical,
+                     event.new_physical >= 0
+                         ? static_cast<std::uint64_t>(event.new_physical)
+                         : static_cast<std::uint64_t>(event.cause));
+    }
+  });
 }
 
 std::uint64_t FtlBase::make_signature(Lpn lpn) {
@@ -55,7 +88,7 @@ Result<HostOp> FtlBase::write(Lpn lpn, Microseconds now, double buffer_utilizati
 Result<HostOp> FtlBase::write_on(std::uint32_t chip, Lpn lpn, Microseconds now,
                                  double buffer_utilization) {
   if (lpn >= mapping_.exported_pages()) return ErrorCode::kOutOfRange;
-  if (chip >= device_.geometry().num_chips()) return ErrorCode::kOutOfRange;
+  if (chip >= device_.geometry().num_units()) return ErrorCode::kOutOfRange;
   return host_program(chip, lpn, {}, now, buffer_utilization);
 }
 
@@ -138,7 +171,7 @@ bool FtlBase::collect_block(std::uint32_t chip, std::uint32_t victim, Microsecon
 bool FtlBase::collect_block_impl(std::uint32_t chip, std::uint32_t victim,
                                  Microseconds now, Microseconds deadline,
                                  bool background, std::uint32_t max_copies) {
-  nand::Block& block = device_.chip(chip).block(victim);
+  nand::Block& block = device_.block_mut({chip, victim});
   const nand::BlockAddress victim_addr{chip, victim};
   std::uint32_t copies = 0;
   for (std::uint32_t wl = 0; wl < block.wordlines(); ++wl) {
@@ -166,9 +199,53 @@ bool FtlBase::collect_block_impl(std::uint32_t chip, std::uint32_t victim,
     }
   }
   if (blocks_.valid_pages(victim_addr) != 0) return false;
-  const Result<nand::OpTiming> erased = device_.erase(victim_addr, now);
-  assert(erased.is_ok());
-  (void)erased;
+  // Multi-plane erase coalescing: sibling planes of the victim's die that
+  // hold a fully-invalid full block at the same block offset can ride the
+  // victim's erase inside one aligned multi-plane window. Pure win with
+  // planes: the group's erase latency is paid once in wall-clock time.
+  const nand::Geometry& geometry = device_.geometry();
+  if (geometry.planes_per_chip > 1) {
+    std::vector<nand::BlockAddress> group{victim_addr};
+    const std::uint32_t die = geometry.chip_of_unit(chip);
+    for (std::uint32_t p = 0; p < geometry.planes_per_chip; ++p) {
+      const std::uint32_t sibling = geometry.unit_of(die, p);
+      if (sibling == chip) continue;
+      const nand::BlockAddress candidate{sibling, victim};
+      if (blocks_.use(candidate) != BlockUse::kFull) continue;
+      if (blocks_.valid_pages(candidate) != 0) continue;
+      group.push_back(candidate);
+    }
+    if (group.size() > 1) {
+      const Result<nand::OpTiming> erased = device_.multi_plane_erase(group, now);
+      if (erased.is_ok()) {
+        for (const nand::BlockAddress& member : group) {
+          blocks_.release(member);
+          if (member.chip != chip) {
+            ++stats_.coalesced_erases;
+            if (trace_ != nullptr) {
+              trace_->record(obs::EventKind::kBlockReclaimed, member.chip + 1,
+                             now, -1, member.block, background ? 1 : 0);
+            }
+          }
+        }
+        if (background) {
+          ++stats_.background_gc_blocks;
+        } else {
+          ++stats_.foreground_gc_blocks;
+        }
+        return true;
+      }
+      // A group member hit kBlockBad: fall through to the single-block
+      // path, which retires the victim if it is the one that died.
+    }
+  }
+  const Result<nand::OpTiming> erased = erase_block(victim_addr, now);
+  if (!erased.is_ok()) {
+    assert(erased.code() == ErrorCode::kBlockBad);
+    // The worn-out victim was retired instead of freed. Relocation still
+    // emptied it, so GC made progress; the caller may pick a new victim.
+    return true;
+  }
   blocks_.release(victim_addr);
   if (background) {
     ++stats_.background_gc_blocks;
@@ -176,6 +253,17 @@ bool FtlBase::collect_block_impl(std::uint32_t chip, std::uint32_t victim,
     ++stats_.foreground_gc_blocks;
   }
   return true;
+}
+
+Result<nand::OpTiming> FtlBase::erase_block(const nand::BlockAddress& addr,
+                                            Microseconds now) {
+  Result<nand::OpTiming> erased = device_.erase(addr, now);
+  if (!erased.is_ok() && erased.code() == ErrorCode::kBlockBad) {
+    // Spare pool dry: the device retired the visible address (listener
+    // already counted it); mirror that in the allocation bookkeeping.
+    blocks_.retire(addr);
+  }
+  return erased;
 }
 
 std::uint32_t FtlBase::pick_chip_impl(const std::vector<std::uint8_t>* eligible) {
@@ -188,8 +276,8 @@ std::uint32_t FtlBase::pick_chip_impl(const std::vector<std::uint8_t>* eligible)
   // The round-robin counter advances on every call, eligible set or not,
   // so the controller's striped picks and the legacy picks walk the same
   // sequence when the whole array is idle.
-  const std::uint32_t chips = device_.geometry().num_chips();
-  const std::uint64_t chip_pages = device_.geometry().pages_per_chip();
+  const std::uint32_t chips = device_.geometry().num_units();
+  const std::uint64_t chip_pages = device_.geometry().pages_per_unit();
   const std::uint32_t start = rr_chip_++ % chips;
   bool found = false;
   std::uint32_t best = start;
@@ -215,7 +303,7 @@ std::uint32_t FtlBase::pick_chip_among(const std::vector<std::uint8_t>& eligible
 }
 
 void FtlBase::incremental_gc(Microseconds now) {
-  const std::uint32_t chips = device_.geometry().num_chips();
+  const std::uint32_t chips = device_.geometry().num_units();
   const std::uint32_t chip = igc_rr_chip_++ % chips;
   const std::uint32_t free = blocks_.free_blocks(chip);
   if (free > config_.gc_reserve_blocks + 1) return;
@@ -251,7 +339,7 @@ void FtlBase::on_idle_plan(Microseconds now, Microseconds deadline) {
   if (guarded <= now) return;
   if (config_.wear_level_threshold > 0) static_wear_level(now, guarded);
   if (config_.read_scrub_threshold > 0) scrub_read_disturbed(now, guarded);
-  const std::uint32_t chips = device_.geometry().num_chips();
+  const std::uint32_t chips = device_.geometry().num_units();
   for (std::uint32_t i = 0; i < chips; ++i) {
     const std::uint32_t chip = (bgc_rr_chip_ + i) % chips;
     while (blocks_.free_fraction(chip) < config_.bgc_free_threshold &&
@@ -289,8 +377,12 @@ void FtlBase::rebuild_mapping() {
   };
   std::vector<Newest> newest(mapping_.exported_pages());
   const nand::Geometry& geometry = device_.geometry();
-  for (std::uint32_t chip = 0; chip < geometry.num_chips(); ++chip) {
-    for (std::uint32_t b = 0; b < geometry.blocks_per_chip; ++b) {
+  // Scan the FTL-visible range through the translating accessor: remapped
+  // blocks are found under their visible address, and dead physical
+  // blocks (bad, unreachable) are never scanned at all.
+  for (std::uint32_t chip = 0; chip < geometry.num_units(); ++chip) {
+    for (std::uint32_t b = 0; b < device_.visible_blocks(); ++b) {
+      if (device_.bad_blocks().is_retired(chip, b)) continue;
       const nand::Block& block = device_.block({chip, b});
       for (std::uint32_t wl = 0; wl < geometry.wordlines_per_block; ++wl) {
         for (const nand::PageType type : {nand::PageType::kLsb, nand::PageType::kMsb}) {
@@ -311,14 +403,14 @@ void FtlBase::rebuild_mapping() {
   }
   // Pass 2: replace the mapping and the valid-page accounting.
   MappingTable fresh(mapping_.exported_pages());
-  BlockManager fresh_blocks(geometry.num_chips(), geometry.blocks_per_chip,
+  BlockManager fresh_blocks(geometry.num_units(), device_.visible_blocks(),
                             geometry.pages_per_block());
   // Preserve block roles, written counts and free lists from the old
   // bookkeeping (an FTL snapshots those separately; only the valid counts
   // derive from the media scan).
   fresh_blocks = blocks_;
-  for (std::uint32_t chip = 0; chip < geometry.num_chips(); ++chip) {
-    for (std::uint32_t b = 0; b < geometry.blocks_per_chip; ++b) {
+  for (std::uint32_t chip = 0; chip < geometry.num_units(); ++chip) {
+    for (std::uint32_t b = 0; b < device_.visible_blocks(); ++b) {
       while (fresh_blocks.valid_pages({chip, b}) > 0) {
         fresh_blocks.remove_valid({chip, b});
       }
@@ -339,8 +431,7 @@ void FtlBase::rebuild_mapping() {
 }
 
 void FtlBase::static_wear_level(Microseconds now, Microseconds deadline) {
-  const nand::Geometry& geometry = device_.geometry();
-  for (std::uint32_t chip = 0; chip < geometry.num_chips(); ++chip) {
+  for (std::uint32_t chip = 0; chip < device_.num_units(); ++chip) {
     // Migrate trailing cold blocks until none is behind by the threshold
     // (or the idle window closes). Cold data lives in full blocks that
     // stopped cycling; freeing them returns low-wear blocks to rotation.
@@ -348,8 +439,9 @@ void FtlBase::static_wear_level(Microseconds now, Microseconds deadline) {
       std::uint64_t max_erases = 0;
       std::optional<std::uint32_t> coldest;
       std::uint64_t coldest_erases = 0;
-      for (std::uint32_t b = 0; b < geometry.blocks_per_chip; ++b) {
-        const std::uint64_t erases = device_.chip(chip).block(b).erase_count();
+      for (std::uint32_t b = 0; b < device_.visible_blocks(); ++b) {
+        if (blocks_.use({chip, b}) == BlockUse::kRetired) continue;
+        const std::uint64_t erases = device_.block({chip, b}).erase_count();
         max_erases = std::max(max_erases, erases);
         if (blocks_.use({chip, b}) != BlockUse::kFull) continue;
         if (!coldest || erases < coldest_erases) {
@@ -369,12 +461,11 @@ void FtlBase::static_wear_level(Microseconds now, Microseconds deadline) {
 }
 
 void FtlBase::scrub_read_disturbed(Microseconds now, Microseconds deadline) {
-  const nand::Geometry& geometry = device_.geometry();
-  for (std::uint32_t chip = 0; chip < geometry.num_chips(); ++chip) {
-    for (std::uint32_t b = 0; b < geometry.blocks_per_chip; ++b) {
+  for (std::uint32_t chip = 0; chip < device_.num_units(); ++chip) {
+    for (std::uint32_t b = 0; b < device_.visible_blocks(); ++b) {
       if (device_.chip(chip).busy_until() >= deadline) break;
       if (blocks_.use({chip, b}) != BlockUse::kFull) continue;
-      if (device_.chip(chip).block(b).reads_since_erase() <
+      if (device_.block({chip, b}).reads_since_erase() <
           config_.read_scrub_threshold) {
         continue;
       }
@@ -388,8 +479,8 @@ void FtlBase::scrub_read_disturbed(Microseconds now, Microseconds deadline) {
 
 bool FtlBase::check_consistency() const {
   std::uint64_t valid_total = 0;
-  for (std::uint32_t c = 0; c < device_.geometry().num_chips(); ++c) {
-    for (std::uint32_t b = 0; b < device_.geometry().blocks_per_chip; ++b) {
+  for (std::uint32_t c = 0; c < device_.num_units(); ++c) {
+    for (std::uint32_t b = 0; b < device_.visible_blocks(); ++b) {
       valid_total += blocks_.valid_pages({c, b});
     }
   }

@@ -41,6 +41,9 @@ struct FtlStats {
   std::uint64_t unmapped_reads = 0;
   std::uint64_t read_errors = 0;
   std::uint64_t scrubbed_blocks = 0;   // read-disturb refreshes
+  std::uint64_t remapped_blocks = 0;   // grown-bad blocks redirected to spares
+  std::uint64_t retired_blocks = 0;    // blocks permanently lost (no spare left)
+  std::uint64_t coalesced_erases = 0;  // sibling-plane blocks erased alongside a GC victim
 
   /// Write amplification: NAND programs per host page write.
   [[nodiscard]] double waf(const nand::OpCounters& device) const {
@@ -183,6 +186,13 @@ class FtlBase : public ctrl::Allocator {
 
   /// Foreground GC: make sure `chip` has more than the reserve free blocks.
   Status ensure_free_block(std::uint32_t chip, Microseconds now);
+
+  /// Erase `addr` through the device's bad-block machinery. A kBlockBad
+  /// failure (endurance exceeded, spare pool dry) retires the block in
+  /// the BlockManager — capacity attrition — and propagates the error;
+  /// every policy's erase must go through here so retirement bookkeeping
+  /// never diverges from the device's table.
+  Result<nand::OpTiming> erase_block(const nand::BlockAddress& addr, Microseconds now);
 
   /// Static wear leveling (idle time, opt-in via wear_level_threshold):
   /// migrate the coldest full block on each chip whose wear trails the

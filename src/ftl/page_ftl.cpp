@@ -7,7 +7,7 @@ namespace rps::ftl {
 PageFtl::PageFtl(const FtlConfig& config, nand::SequenceKind kind)
     : FtlBase(config, kind),
       order_(nand::fps_order(config.geometry.wordlines_per_block)),
-      active_(config.geometry.num_chips()) {}
+      active_(config.geometry.num_units()) {}
 
 Result<std::uint32_t> PageFtl::activate_block(std::uint32_t chip, Microseconds now,
                                               bool gc, BlockUse use) {

@@ -6,11 +6,11 @@
 namespace rps::ftl {
 
 ParityFtl::ParityFtl(const FtlConfig& config)
-    : PageFtl(config), backup_(config.geometry.num_chips()) {
+    : PageFtl(config), backup_(config.geometry.num_units()) {
   // Coverage tracks at most one entry per in-flight LSB word line; sizing
   // the table to the device's block count up front keeps the steady-state
   // write path free of rehashes.
-  parity_durable_at_.reserve(config.geometry.num_chips() *
+  parity_durable_at_.reserve(config.geometry.num_units() *
                              config.geometry.blocks_per_chip);
 }
 
@@ -19,7 +19,7 @@ Microseconds ParityFtl::flush_parity(Microseconds now) {
   if (pending_.size() < kLsbPagesPerParity) ++partial_flushes_;
 
   // Round-robin the parity writes over chips to use channel parallelism.
-  const std::uint32_t chips = device_.geometry().num_chips();
+  const std::uint32_t chips = device_.geometry().num_units();
   std::uint32_t chip = backup_rr_++ % chips;
   SlcCursor* cursor = &backup_[chip];
   if (!cursor->valid) {
@@ -32,7 +32,7 @@ Microseconds ParityFtl::flush_parity(Microseconds now) {
       parity_acc_ = nand::PageData{};
       return now;
     }
-    const Status slc = device_.chip(chip).block(block.value()).set_slc_mode();
+    const Status slc = device_.block_mut({chip, block.value()}).set_slc_mode();
     assert(slc.is_ok());
     (void)slc;
     *cursor = SlcCursor{.valid = true, .block = block.value(), .next = 0};
@@ -63,7 +63,7 @@ Microseconds ParityFtl::flush_parity(Microseconds now) {
     // Backup blocks cycle: once the SLC pages are used up, the parity pages
     // are (almost all) stale — the covered MSB programs have long
     // completed — so the block is erased and returned to the free pool.
-    const Result<nand::OpTiming> erased = device_.erase({chip, cursor->block}, durable);
+    const Result<nand::OpTiming> erased = erase_block({chip, cursor->block}, durable);
     assert(erased.is_ok());
     (void)erased;
     blocks_.release({chip, cursor->block});

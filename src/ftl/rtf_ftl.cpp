@@ -8,10 +8,10 @@ namespace rps::ftl {
 RtfFtl::RtfFtl(const FtlConfig& config)
     : FtlBase(config, nand::SequenceKind::kFps),
       order_(nand::fps_order(config.geometry.wordlines_per_block)),
-      actives_(config.geometry.num_chips(),
+      actives_(config.geometry.num_units(),
                std::vector<Cursor>(config.rtf_active_blocks)),
-      backup_(config.geometry.num_chips()),
-      lsb_debt_(config.geometry.num_chips(), 0) {}
+      backup_(config.geometry.num_units()),
+      lsb_debt_(config.geometry.num_units(), 0) {}
 
 std::uint32_t RtfFtl::lsb_ready_cursors(std::uint32_t chip) const {
   std::uint32_t ready = 0;
@@ -80,7 +80,7 @@ Microseconds RtfFtl::backup_paired_lsb(const nand::PageAddress& msb_addr,
       ++skipped_backups_;
       return got.value().timing.complete;
     }
-    const Status slc = device_.chip(msb_addr.chip).block(block_id.value()).set_slc_mode();
+    const Status slc = device_.block_mut({msb_addr.chip, block_id.value()}).set_slc_mode();
     assert(slc.is_ok());
     (void)slc;
     cursor = Cursor{.valid = true, .block = block_id.value(), .next = 0};
@@ -99,7 +99,7 @@ Microseconds RtfFtl::backup_paired_lsb(const nand::PageAddress& msb_addr,
     // A full backup block's copies are stale (their MSB programs finished);
     // erase and recycle it.
     const Result<nand::OpTiming> erased =
-        device_.erase({dst.chip, cursor.block}, timing.value().complete);
+        erase_block({dst.chip, cursor.block}, timing.value().complete);
     assert(erased.is_ok());
     (void)erased;
     blocks_.release({dst.chip, cursor.block});
@@ -174,7 +174,7 @@ void RtfFtl::on_idle_plan(Microseconds now, Microseconds deadline) {
   // the next burst finds LSB-ready blocks. The work done is proportional
   // to the LSB skew the host has accumulated (one victim relocation fills
   // roughly a block's worth of MSB holes) — not an unconditional churn.
-  const std::uint32_t chips = device_.geometry().num_chips();
+  const std::uint32_t chips = device_.geometry().num_units();
   const std::uint32_t wordlines = device_.geometry().wordlines_per_block;
   for (std::uint32_t chip = 0; chip < chips; ++chip) {
     // Fill empty slots so every slot contributes an LSB frontier.

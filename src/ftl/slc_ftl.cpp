@@ -6,7 +6,7 @@ namespace rps::ftl {
 
 SlcFtl::SlcFtl(const FtlConfig& config)
     : FtlBase(halved(config), nand::SequenceKind::kFps),
-      cursors_(config.geometry.num_chips()) {}
+      cursors_(config.geometry.num_units()) {}
 
 Result<Microseconds> SlcFtl::append(std::uint32_t chip, Lpn lpn, nand::PageData data,
                                     Microseconds now, bool gc) {
@@ -25,7 +25,7 @@ Result<Microseconds> SlcFtl::append(std::uint32_t chip, Lpn lpn, nand::PageData 
       Result<std::uint32_t> block = blocks_.allocate(
           chip, BlockUse::kActive, gc ? 0 : config_.gc_reserve_blocks);
       if (!block.is_ok()) return block.code();
-      const Status slc = device_.chip(chip).block(block.value()).set_slc_mode();
+      const Status slc = device_.block_mut({chip, block.value()}).set_slc_mode();
       assert(slc.is_ok());
       (void)slc;
       cursor = Cursor{.valid = true, .block = block.value(), .next_wordline = 0};

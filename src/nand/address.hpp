@@ -9,6 +9,8 @@
 #include <functional>
 #include <string>
 
+#include "src/nand/geometry.hpp"
+
 namespace rps::nand {
 
 /// Which bit of the 2-bit MLC cell a page maps to.
@@ -43,10 +45,13 @@ struct PagePos {
   friend constexpr bool operator==(const PagePos&, const PagePos&) = default;
 };
 
-/// Fully-qualified physical page address.
+/// Fully-qualified physical page address. `chip` is the flat *unit*
+/// index — one (die, plane) pair, see Geometry — so with one plane per
+/// die it is exactly the global chip index. `block` is FTL-visible: the
+/// device's bad-block table may remap it to a spare physical block.
 struct PageAddress {
-  std::uint32_t chip = 0;   // global chip index
-  std::uint32_t block = 0;  // block index within the chip
+  std::uint32_t chip = 0;   // flat unit index (die * planes + plane)
+  std::uint32_t block = 0;  // block index within the unit
   PagePos pos;
 
   [[nodiscard]] std::string to_string() const {
@@ -57,13 +62,44 @@ struct PageAddress {
   friend constexpr bool operator==(const PageAddress&, const PageAddress&) = default;
 };
 
-/// Physical block address.
+/// Physical block address (`chip` is a flat unit index, like PageAddress).
 struct BlockAddress {
   std::uint32_t chip = 0;
   std::uint32_t block = 0;
 
   friend constexpr bool operator==(const BlockAddress&, const BlockAddress&) = default;
   friend constexpr auto operator<=>(const BlockAddress&, const BlockAddress&) = default;
+};
+
+/// The fully-decomposed (channel, die, plane) coordinates that a flat
+/// PageAddress encodes. The hot paths stay on the flat unit index; this
+/// form is for boundaries where physical layout matters — trace lanes,
+/// bad-block records, log output.
+struct PhysicalAddress {
+  std::uint32_t channel = 0;
+  std::uint32_t chip = 0;   // die index within the device
+  std::uint32_t plane = 0;  // plane index within the die
+  std::uint32_t block = 0;
+  PagePos pos;
+
+  static constexpr PhysicalAddress from_page(const Geometry& g,
+                                             const PageAddress& addr) {
+    const std::uint32_t die = g.chip_of_unit(addr.chip);
+    return PhysicalAddress{g.channel_of_chip(die), die, g.plane_of_unit(addr.chip),
+                           addr.block, addr.pos};
+  }
+
+  [[nodiscard]] constexpr PageAddress to_page(const Geometry& g) const {
+    return PageAddress{g.unit_of(chip, plane), block, pos};
+  }
+
+  [[nodiscard]] std::string to_string() const {
+    return "ch" + std::to_string(channel) + "/chip" + std::to_string(chip) +
+           "/pl" + std::to_string(plane) + "/blk" + std::to_string(block) + "/" +
+           pos.to_string();
+  }
+
+  friend constexpr bool operator==(const PhysicalAddress&, const PhysicalAddress&) = default;
 };
 
 }  // namespace rps::nand

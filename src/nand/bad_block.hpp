@@ -1,0 +1,176 @@
+// Per-unit bad-block management: factory-defect marking, grown-bad
+// remapping onto a spare pool, and retirement when the pool runs dry.
+//
+// Real NAND ships with factory-marked bad blocks (up to ~2% per die) and
+// grows more as erase cycles wear cells out. Controllers hide both behind
+// a remap table: each plane reserves its last S physical blocks as
+// spares, the FTL only ever addresses the first `visible_blocks()`
+// blocks, and a visible block that goes bad is transparently redirected
+// to a spare. When no spare is left the block is *retired* — the FTL
+// sees the failure (ErrorCode::kBlockBad) and removes the block from its
+// pools, shrinking effective overprovisioning.
+//
+// Lifecycle of a physical block: good -> factory-bad (at init, from the
+// seed) or grown-bad (erase endurance exceeded / program failure), after
+// which its visible address is remapped -> the visible address is
+// retired once remapping is impossible.
+//
+// The default configuration (no spares, zero defect rates) makes every
+// translation the identity and injects no failures: the device model is
+// bit-identical to one without a table.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/nand/address.hpp"
+
+namespace rps::nand {
+
+/// Knobs for the bad-block model. All-zero defaults = management off.
+struct BadBlockConfig {
+  /// Physical blocks per unit reserved as remap spares (the FTL sees
+  /// blocks_per_chip - spare_blocks_per_unit blocks). 0 disables remap.
+  std::uint32_t spare_blocks_per_unit = 0;
+  /// Factory defect probability per physical block, in parts per million.
+  std::uint32_t factory_bad_ppm = 0;
+  /// Mean erase endurance per block; a block whose erase count reaches its
+  /// (jittered) limit fails its next erase. 0 = unlimited endurance.
+  std::uint64_t erase_endurance = 0;
+  /// Per-block endurance spread: the limit is drawn uniformly from
+  /// [mean * (1 - pct/100), mean * (1 + pct/100)].
+  std::uint32_t endurance_jitter_pct = 25;
+  /// Probability (ppm) that programming the first page of a freshly erased
+  /// block fails, marking it grown-bad. Drawn per (block, erase cycle).
+  std::uint32_t program_fail_ppm = 0;
+  /// Seed for all factory marks, endurance limits and failure draws.
+  std::uint64_t seed = 0xbadb10c5ull;
+
+  [[nodiscard]] bool enabled() const {
+    return spare_blocks_per_unit > 0 || factory_bad_ppm > 0 ||
+           erase_endurance > 0 || program_fail_ppm > 0;
+  }
+};
+
+/// Why a block was marked bad (trace/event reporting).
+enum class BadBlockCause : std::uint8_t {
+  kFactory = 0,
+  kEraseFailure,
+  kProgramFailure,
+};
+
+constexpr const char* to_string(BadBlockCause cause) {
+  switch (cause) {
+    case BadBlockCause::kFactory: return "factory";
+    case BadBlockCause::kEraseFailure: return "erase-failure";
+    case BadBlockCause::kProgramFailure: return "program-failure";
+  }
+  return "unknown";
+}
+
+class BadBlockTable {
+ public:
+  /// Builds the table and performs the factory scan: every physical block
+  /// is tested against factory_bad_ppm; factory-bad visible blocks are
+  /// remapped onto spares immediately, factory-bad spares are struck from
+  /// the pool. Visible blocks left without a spare come out retired —
+  /// the FTL must drop them from its pools at init (dead_visible_blocks).
+  BadBlockTable(const BadBlockConfig& config, std::uint32_t units,
+                std::uint32_t blocks_per_unit);
+
+  [[nodiscard]] const BadBlockConfig& config() const { return config_; }
+  [[nodiscard]] bool enabled() const { return config_.enabled(); }
+
+  /// Blocks per unit the FTL may address.
+  [[nodiscard]] std::uint32_t visible_blocks() const { return visible_blocks_; }
+
+  /// Physical block currently backing visible block `block` of `unit`.
+  /// Identity until the first remap ever happens — the fast path is one
+  /// flag test, so a disabled table costs the hot paths nothing.
+  [[nodiscard]] std::uint32_t translate(std::uint32_t unit, std::uint32_t block) const {
+    return any_remap_ ? translate_slow(unit, block) : block;
+  }
+
+  /// Visible block whose data lives in physical block `physical` (the
+  /// inverse of translate): identity unless `physical` is a mapped spare.
+  /// Returns nullopt for unmapped spares and retired visible addresses —
+  /// physical locations no FTL-visible address reaches.
+  [[nodiscard]] std::optional<std::uint32_t> reverse(std::uint32_t unit,
+                                                     std::uint32_t physical) const;
+
+  /// Mark the physical block behind visible `block` grown-bad and remap
+  /// the visible address to a fresh spare. Returns the new physical block,
+  /// or nullopt when the unit's spare pool is exhausted — the visible
+  /// address is then retired (translate still reports the dead physical
+  /// block; is_retired() reports true).
+  std::optional<std::uint32_t> remap(std::uint32_t unit, std::uint32_t block,
+                                     BadBlockCause cause);
+
+  /// True when visible `block` of `unit` has been retired (no spare was
+  /// available when it went bad, or factory marks consumed the pool).
+  [[nodiscard]] bool is_retired(std::uint32_t unit, std::uint32_t block) const {
+    return any_retired_ && units_[unit].retired[block];
+  }
+
+  [[nodiscard]] std::uint32_t spares_remaining(std::uint32_t unit) const {
+    return static_cast<std::uint32_t>(units_.at(unit).spare_free.size());
+  }
+  [[nodiscard]] bool has_spare(std::uint32_t unit) const {
+    return !units_.at(unit).spare_free.empty();
+  }
+
+  /// Visible blocks of `unit` that are retired right now (init handshake
+  /// with the FTL, and test introspection).
+  [[nodiscard]] std::vector<std::uint32_t> dead_visible_blocks(std::uint32_t unit) const;
+
+  /// Endurance limit of physical block `physical` of `unit` (erase count
+  /// at which the next erase fails). Unlimited when erase_endurance == 0.
+  [[nodiscard]] std::uint64_t endurance_limit(std::uint32_t unit,
+                                              std::uint32_t physical) const;
+
+  /// Deterministic draw: does programming the first page of physical
+  /// block `physical` (currently at `erase_count` cycles) fail?
+  [[nodiscard]] bool draw_program_failure(std::uint32_t unit, std::uint32_t physical,
+                                          std::uint64_t erase_count) const;
+
+  /// Lifetime counters across all units.
+  struct Counters {
+    std::uint64_t factory_bad = 0;   // physical blocks marked at init
+    std::uint64_t grown_bad = 0;     // physical blocks that failed in service
+    std::uint64_t remapped = 0;      // successful visible -> spare remaps
+    std::uint64_t retired = 0;       // visible addresses permanently lost
+  };
+  [[nodiscard]] const Counters& counters() const { return counters_; }
+
+ private:
+  struct UnitState {
+    // visible block -> physical spare backing it (absent = identity).
+    std::unordered_map<std::uint32_t, std::uint32_t> remap;
+    // physical spare -> visible block it backs (inverse of `remap`).
+    std::unordered_map<std::uint32_t, std::uint32_t> reverse;
+    std::vector<std::uint32_t> spare_free;  // unused good spares, ascending
+    std::vector<bool> bad;                  // per physical block
+    std::vector<bool> retired;              // per visible block
+  };
+
+  /// splitmix64 over (seed, salt, unit, block[, extra]).
+  [[nodiscard]] std::uint64_t draw(std::uint64_t salt, std::uint32_t unit,
+                                   std::uint32_t block, std::uint64_t extra = 0) const;
+
+  [[nodiscard]] std::uint32_t translate_slow(std::uint32_t unit,
+                                             std::uint32_t block) const;
+
+  std::optional<std::uint32_t> take_spare(UnitState& state);
+
+  BadBlockConfig config_;
+  std::uint32_t blocks_per_unit_;
+  std::uint32_t visible_blocks_;
+  std::vector<UnitState> units_;
+  Counters counters_;
+  bool any_remap_ = false;    // a remap map entry exists somewhere
+  bool any_retired_ = false;  // a visible address is retired somewhere
+};
+
+}  // namespace rps::nand

@@ -7,14 +7,16 @@
 
 namespace rps::nand {
 
-NandDevice::NandDevice(const Geometry& geometry, const TimingSpec& timing, SequenceKind kind)
+NandDevice::NandDevice(const Geometry& geometry, const TimingSpec& timing,
+                       SequenceKind kind, const BadBlockConfig& bad_blocks)
     : geometry_(geometry),
       timing_(timing),
       kind_(kind),
-      channel_busy_until_(geometry.channels, 0) {
+      channel_busy_until_(geometry.channels, 0),
+      bad_blocks_(bad_blocks, geometry.num_units(), geometry.blocks_per_chip) {
   assert(geometry.valid());
-  chips_.reserve(geometry.num_chips());
-  for (std::uint32_t c = 0; c < geometry.num_chips(); ++c) {
+  chips_.reserve(geometry.num_units());
+  for (std::uint32_t u = 0; u < geometry.num_units(); ++u) {
     chips_.push_back(std::make_unique<Chip>(geometry.blocks_per_chip,
                                             geometry.wordlines_per_block, kind,
                                             timing));
@@ -26,8 +28,8 @@ void NandDevice::set_program_suspend(bool enabled) {
 }
 
 bool NandDevice::in_range(const PageAddress& addr) const {
-  return addr.chip < geometry_.num_chips() &&
-         addr.block < geometry_.blocks_per_chip &&
+  return addr.chip < geometry_.num_units() &&
+         addr.block < bad_blocks_.visible_blocks() &&
          addr.pos.wordline < geometry_.wordlines_per_block;
 }
 
@@ -38,21 +40,87 @@ Microseconds NandDevice::occupy_channel(std::uint32_t channel, Microseconds now)
   return start;
 }
 
+std::optional<std::uint32_t> NandDevice::grow_bad(std::uint32_t unit,
+                                                  std::uint32_t block,
+                                                  std::uint32_t old_physical,
+                                                  BadBlockCause cause,
+                                                  Microseconds now) {
+  const std::optional<std::uint32_t> spare = bad_blocks_.remap(unit, block, cause);
+  if (bad_block_listener_) {
+    bad_block_listener_(BadBlockEvent{
+        unit, block, old_physical,
+        spare ? static_cast<std::int64_t>(*spare) : -1, cause, now});
+  }
+  return spare;
+}
+
+Result<std::uint32_t> NandDevice::resolve_program(const PageAddress& addr,
+                                                  Microseconds now) {
+  const std::uint32_t unit = addr.chip;
+  if (bad_blocks_.enabled() && bad_blocks_.is_retired(unit, addr.block)) {
+    return ErrorCode::kBlockBad;
+  }
+  std::uint32_t physical = bad_blocks_.translate(unit, addr.block);
+  const Status legal = chips_[unit]->block(physical).can_program(addr.pos);
+  if (!legal.is_ok()) return legal.code();
+  // Program-failure injection, restricted to the first page of a fresh
+  // block and to units with a spare left: remapping there is loss-free
+  // (no earlier page of the block holds data, and the spare is blank).
+  if (bad_blocks_.enabled() && addr.pos.flat_index() == 0 &&
+      bad_blocks_.has_spare(unit) &&
+      bad_blocks_.draw_program_failure(unit, physical,
+                                       chips_[unit]->block(physical).erase_count())) {
+    const std::optional<std::uint32_t> spare =
+        grow_bad(unit, addr.block, physical, BadBlockCause::kProgramFailure, now);
+    assert(spare.has_value());  // has_spare() held above
+    physical = *spare;
+    const Status retry = chips_[unit]->block(physical).can_program(addr.pos);
+    if (!retry.is_ok()) return retry.code();
+  }
+  return physical;
+}
+
+Result<std::uint32_t> NandDevice::resolve_erase(const BlockAddress& addr,
+                                                Microseconds now) {
+  const std::uint32_t unit = addr.chip;
+  if (bad_blocks_.enabled() && bad_blocks_.is_retired(unit, addr.block)) {
+    return ErrorCode::kBlockBad;
+  }
+  std::uint32_t physical = bad_blocks_.translate(unit, addr.block);
+  if (bad_blocks_.enabled() &&
+      chips_[unit]->block(physical).erase_count() >=
+          bad_blocks_.endurance_limit(unit, physical)) {
+    const std::optional<std::uint32_t> spare =
+        grow_bad(unit, addr.block, physical, BadBlockCause::kEraseFailure, now);
+    if (!spare) return ErrorCode::kBlockBad;
+    physical = *spare;
+  }
+  return physical;
+}
+
 Status NandDevice::can_program(const PageAddress& addr) const {
   if (!in_range(addr)) return Status{ErrorCode::kOutOfRange};
-  return chips_[addr.chip]->block(addr.block).can_program(addr.pos);
+  if (bad_blocks_.enabled() && bad_blocks_.is_retired(addr.chip, addr.block)) {
+    return Status{ErrorCode::kBlockBad};
+  }
+  const std::uint32_t physical = bad_blocks_.translate(addr.chip, addr.block);
+  return chips_[addr.chip]->block(physical).can_program(addr.pos);
 }
 
 Result<OpTiming> NandDevice::program(const PageAddress& addr, PageData data, Microseconds now) {
   if (!in_range(addr)) return ErrorCode::kOutOfRange;
   // Validate first so a rejected program leaves the bus timeline untouched.
-  const Status legal = chips_[addr.chip]->block(addr.block).can_program(addr.pos);
-  if (!legal.is_ok()) return legal.code();
+  Result<std::uint32_t> physical = resolve_program(addr, now);
+  if (!physical.is_ok()) return physical.code();
 
-  const std::uint32_t channel = geometry_.channel_of_chip(addr.chip);
-  const Microseconds bus_start = occupy_channel(channel, now);
+  const std::uint32_t channel = geometry_.channel_of_unit(addr.chip);
+  // Cache-program off: the transfer also waits for the unit's cell array
+  // to go idle (no on-chip page cache to land the data in early).
+  const Microseconds ready =
+      cache_program_ ? now : std::max(now, chips_[addr.chip]->busy_until());
+  const Microseconds bus_start = occupy_channel(channel, ready);
   const Microseconds bus_end = bus_start + timing_.transfer_us;
-  Result<OpTiming> cell = chips_[addr.chip]->program(addr.block, addr.pos,
+  Result<OpTiming> cell = chips_[addr.chip]->program(physical.value(), addr.pos,
                                                      std::move(data), bus_end);
   assert(cell.is_ok());
   return OpTiming{bus_start, cell.value().complete};
@@ -60,9 +128,10 @@ Result<OpTiming> NandDevice::program(const PageAddress& addr, PageData data, Mic
 
 Result<NandDevice::ReadResult> NandDevice::read(const PageAddress& addr, Microseconds now) {
   if (!in_range(addr)) return ErrorCode::kOutOfRange;
-  Result<Chip::ReadOutcome> sensed = chips_[addr.chip]->read(addr.block, addr.pos, now);
+  const std::uint32_t physical = bad_blocks_.translate(addr.chip, addr.block);
+  Result<Chip::ReadOutcome> sensed = chips_[addr.chip]->read(physical, addr.pos, now);
   if (!sensed.is_ok()) return sensed.code();
-  const std::uint32_t channel = geometry_.channel_of_chip(addr.chip);
+  const std::uint32_t channel = geometry_.channel_of_unit(addr.chip);
   const Microseconds bus_start =
       occupy_channel(channel, sensed.value().timing.complete);
   ReadResult result;
@@ -72,17 +141,113 @@ Result<NandDevice::ReadResult> NandDevice::read(const PageAddress& addr, Microse
 }
 
 Result<OpTiming> NandDevice::erase(BlockAddress addr, Microseconds now) {
-  if (addr.chip >= geometry_.num_chips() || addr.block >= geometry_.blocks_per_chip) {
+  if (addr.chip >= geometry_.num_units() ||
+      addr.block >= bad_blocks_.visible_blocks()) {
     return ErrorCode::kOutOfRange;
   }
-  return chips_[addr.chip]->erase(addr.block, now);
+  Result<std::uint32_t> physical = resolve_erase(addr, now);
+  if (!physical.is_ok()) return physical.code();
+  return chips_[addr.chip]->erase(physical.value(), now);
+}
+
+Result<OpTiming> NandDevice::multi_plane_program(
+    const std::vector<PageAddress>& group, std::vector<PageData> data,
+    Microseconds now) {
+  if (group.empty() || group.size() != data.size() ||
+      group.size() > geometry_.planes_per_chip) {
+    return ErrorCode::kInvalidArgument;
+  }
+  const std::uint32_t die = geometry_.chip_of_unit(group.front().chip);
+  std::vector<std::uint32_t> physical(group.size());
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    const PageAddress& addr = group[i];
+    if (!in_range(addr)) return ErrorCode::kOutOfRange;
+    // Plane-addressing constraint: one die, distinct planes, the same
+    // block offset and page position on every plane.
+    if (geometry_.chip_of_unit(addr.chip) != die ||
+        addr.block != group.front().block || !(addr.pos == group.front().pos)) {
+      return ErrorCode::kInvalidArgument;
+    }
+    for (std::size_t j = 0; j < i; ++j) {
+      if (group[j].chip == addr.chip) return ErrorCode::kInvalidArgument;
+    }
+    Result<std::uint32_t> resolved = resolve_program(addr, now);
+    if (!resolved.is_ok()) return resolved.code();
+    physical[i] = resolved.value();
+  }
+  // Data in: one serialized transfer per plane on the die's channel.
+  const std::uint32_t channel = geometry_.channel_of_chip(die);
+  Microseconds first_bus = kTimeNever;
+  Microseconds last_bus_end = now;
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    const Microseconds bus_start = occupy_channel(channel, now);
+    first_bus = std::min(first_bus, bus_start);
+    last_bus_end = std::max(last_bus_end, bus_start + timing_.transfer_us);
+  }
+  // Cells fire together once every member plane is idle: the group's
+  // program windows align exactly, so wall-clock pays the latency once.
+  Microseconds cell_start = last_bus_end;
+  for (const PageAddress& addr : group) {
+    cell_start = std::max(cell_start, chips_[addr.chip]->busy_until());
+  }
+  Microseconds complete = cell_start;
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    Result<OpTiming> cell = chips_[group[i].chip]->program(
+        physical[i], group[i].pos, std::move(data[i]), cell_start);
+    assert(cell.is_ok());
+    complete = std::max(complete, cell.value().complete);
+  }
+  return OpTiming{first_bus, complete};
+}
+
+Result<OpTiming> NandDevice::multi_plane_erase(
+    const std::vector<BlockAddress>& group, Microseconds now) {
+  if (group.empty() || group.size() > geometry_.planes_per_chip) {
+    return ErrorCode::kInvalidArgument;
+  }
+  const std::uint32_t die = geometry_.chip_of_unit(group.front().chip);
+  std::vector<std::uint32_t> physical(group.size());
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    const BlockAddress& addr = group[i];
+    if (addr.chip >= geometry_.num_units() ||
+        addr.block >= bad_blocks_.visible_blocks()) {
+      return ErrorCode::kOutOfRange;
+    }
+    if (geometry_.chip_of_unit(addr.chip) != die ||
+        addr.block != group.front().block) {
+      return ErrorCode::kInvalidArgument;
+    }
+    for (std::size_t j = 0; j < i; ++j) {
+      if (group[j].chip == addr.chip) return ErrorCode::kInvalidArgument;
+    }
+    Result<std::uint32_t> resolved = resolve_erase(addr, now);
+    if (!resolved.is_ok()) return resolved.code();
+    physical[i] = resolved.value();
+  }
+  Microseconds start = now;
+  for (const BlockAddress& addr : group) {
+    start = std::max(start, chips_[addr.chip]->busy_until());
+  }
+  OpTiming out{start, start};
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    Result<OpTiming> erased = chips_[group[i].chip]->erase(physical[i], start);
+    assert(erased.is_ok());
+    out.complete = std::max(out.complete, erased.value().complete);
+  }
+  return out;
 }
 
 std::vector<PowerLossVictim> NandDevice::inject_power_loss(Microseconds t) {
   std::vector<PowerLossVictim> victims;
   for (std::uint32_t c = 0; c < chips_.size(); ++c) {
     if (auto hit = chips_[c]->apply_power_loss(t)) {
-      victims.push_back(PowerLossVictim{c, hit->block, hit->pos});
+      // Victims are reported under their FTL-visible address: an in-flight
+      // program always targets a reachable physical block, so the reverse
+      // translation is total here.
+      const std::optional<std::uint32_t> visible =
+          bad_blocks_.reverse(c, hit->block);
+      assert(visible.has_value());
+      victims.push_back(PowerLossVictim{c, visible.value_or(hit->block), hit->pos});
     }
   }
   // The channel buses stop with the power: cap their timelines at the cut

@@ -5,13 +5,31 @@
 // while cell operations occupy only the chip. This captures the
 // inter-channel parallelism the paper's parityFTL baseline exploits and
 // bounds the aggregate peak bandwidth realistically.
+//
+// Planes. The device instantiates one Chip object per *unit* — a (die,
+// plane) pair, Geometry::num_units() of them — so every plane has its own
+// cell timeline while all planes of a die share the die's channel. The
+// die-level couplings live here: multi_plane_program / multi_plane_erase
+// fire the same block offset on several planes of one die inside a single
+// aligned cell-busy window, and cache-program pipelining (on by default,
+// matching the original model) lets a data transfer overlap the previous
+// cell operation.
+//
+// Bad blocks. A BadBlockTable translates every FTL-visible block address
+// to its backing physical block. Factory defects are remapped at init;
+// grown defects (erase endurance, program failures) are remapped in
+// service while spares last and surface as ErrorCode::kBlockBad once the
+// pool is dry. With the default (empty) config every translation is the
+// identity and nothing fails — bit-identical to a device without a table.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
 #include "src/nand/address.hpp"
+#include "src/nand/bad_block.hpp"
 #include "src/nand/chip.hpp"
 #include "src/nand/geometry.hpp"
 #include "src/nand/timing.hpp"
@@ -19,29 +37,74 @@
 
 namespace rps::nand {
 
-/// What a power loss interrupted, per chip.
+/// What a power loss interrupted, per unit. Block numbers are FTL-visible
+/// (reverse-translated through the bad-block table).
 struct PowerLossVictim {
-  std::uint32_t chip = 0;
+  std::uint32_t chip = 0;  // flat unit index
   std::uint32_t block = 0;
   PagePos pos;
 };
 
+/// One bad-block lifecycle step: `visible_block` of `unit` went bad at
+/// `old_physical` and was either remapped to `new_physical` or retired
+/// (new_physical < 0).
+struct BadBlockEvent {
+  std::uint32_t unit = 0;
+  std::uint32_t visible_block = 0;
+  std::uint32_t old_physical = 0;
+  std::int64_t new_physical = -1;
+  BadBlockCause cause = BadBlockCause::kEraseFailure;
+  Microseconds now = 0;  // simulated time the failure surfaced
+};
+
 class NandDevice {
  public:
-  NandDevice(const Geometry& geometry, const TimingSpec& timing, SequenceKind kind);
+  NandDevice(const Geometry& geometry, const TimingSpec& timing, SequenceKind kind,
+             const BadBlockConfig& bad_blocks = {});
 
   [[nodiscard]] const Geometry& geometry() const { return geometry_; }
   [[nodiscard]] const TimingSpec& timing() const { return timing_; }
   [[nodiscard]] SequenceKind sequence_kind() const { return kind_; }
 
+  /// Per-unit access ("chip" for historical reasons: with one plane per
+  /// die a unit is exactly a chip). Timelines and counters are per unit.
   [[nodiscard]] const Chip& chip(std::uint32_t c) const { return *chips_.at(c); }
   [[nodiscard]] Chip& chip(std::uint32_t c) { return *chips_.at(c); }
+  [[nodiscard]] std::uint32_t num_units() const {
+    return static_cast<std::uint32_t>(chips_.size());
+  }
 
   /// Enable program suspension on every chip (see Chip::set_program_suspend).
   void set_program_suspend(bool enabled);
 
+  /// Cache-program pipelining: when on (the default, matching the original
+  /// model) a program's data transfer only waits for the channel bus, so
+  /// it overlaps the unit's previous cell operation. When off the transfer
+  /// additionally waits for the unit itself to go idle.
+  void set_cache_program(bool enabled) { cache_program_ = enabled; }
+  [[nodiscard]] bool cache_program() const { return cache_program_; }
+
+  /// Bad-block state (counters, spare levels) and the FTL-visible block
+  /// count per unit (blocks_per_chip minus the spare reservation).
+  [[nodiscard]] const BadBlockTable& bad_blocks() const { return bad_blocks_; }
+  [[nodiscard]] std::uint32_t visible_blocks() const {
+    return bad_blocks_.visible_blocks();
+  }
+
+  /// Observe grown-bad remaps and retirements as they happen (factory
+  /// marks predate any listener; read them off bad_blocks().counters()).
+  using BadBlockListener = std::function<void(const BadBlockEvent&)>;
+  void set_bad_block_listener(BadBlockListener listener) {
+    bad_block_listener_ = std::move(listener);
+  }
+
+  /// Media access through the bad-block translation: `addr.block` is the
+  /// FTL-visible address; the returned Block is its physical backing.
   [[nodiscard]] const Block& block(BlockAddress addr) const {
-    return chips_.at(addr.chip)->block(addr.block);
+    return chips_.at(addr.chip)->block(bad_blocks_.translate(addr.chip, addr.block));
+  }
+  [[nodiscard]] Block& block_mut(BlockAddress addr) {
+    return chips_.at(addr.chip)->block(bad_blocks_.translate(addr.chip, addr.block));
   }
 
   /// Legality of programming `addr` next (no side effects).
@@ -49,6 +112,8 @@ class NandDevice {
 
   /// Program: bus-in transfer, then cell program. `complete` is when the
   /// chip finishes; the caller's view of service time is complete - now.
+  /// May transparently remap the block (first-page program failure with a
+  /// spare available); returns kBlockBad only for retired blocks.
   Result<OpTiming> program(const PageAddress& addr, PageData data, Microseconds now);
 
   /// Read: cell sensing, then bus-out transfer.
@@ -58,14 +123,35 @@ class NandDevice {
   };
   Result<ReadResult> read(const PageAddress& addr, Microseconds now);
 
+  /// Erase. A block at its endurance limit fails: it is remapped to a
+  /// spare (and the erase retried there) while the pool lasts, else the
+  /// call returns kBlockBad and the visible block is retired.
   Result<OpTiming> erase(BlockAddress addr, Microseconds now);
+
+  /// Multi-plane program: one page on each of several planes of the SAME
+  /// die, same block offset and page position on every plane (the
+  /// plane-addressing constraint of real multi-plane commands). Data
+  /// transfers serialize on the die's channel; the cell programs then
+  /// fire together in one aligned busy window, so the group pays the cell
+  /// latency once in wall-clock time. Validates every member before any
+  /// side effect; per-unit counters still count every page.
+  Result<OpTiming> multi_plane_program(const std::vector<PageAddress>& group,
+                                       std::vector<PageData> data, Microseconds now);
+
+  /// Multi-plane erase: same-die, same block offset, distinct planes,
+  /// one aligned erase window. Endurance failures remap-and-retry like
+  /// erase(); an unremappable member fails the whole group (no member
+  /// timeline is touched) so the caller can fall back to single erases.
+  Result<OpTiming> multi_plane_erase(const std::vector<BlockAddress>& group,
+                                     Microseconds now);
 
   /// Inject a power loss at time `t`. Every chip whose last program had not
   /// completed by `t` (in flight, or charged to start after the cut) has
   /// that program's page corrupted; an interrupted MSB program also
   /// destroys its paired LSB page. Chip and channel timelines are capped at
   /// `t` — the device stops dead and is immediately available at reboot.
-  /// Returns all interrupted programs.
+  /// Returns all interrupted programs (a cut through a multi-plane group
+  /// yields one victim per member unit).
   std::vector<PowerLossVictim> inject_power_loss(Microseconds t);
 
   /// Number of power losses injected over the device's lifetime.
@@ -92,11 +178,30 @@ class NandDevice {
 
   Microseconds occupy_channel(std::uint32_t channel, Microseconds now);
 
+  /// Resolve `addr` for programming: retired check, translation, legality,
+  /// and the first-page program-failure draw (remap + re-resolve when a
+  /// spare is available, silently suppressed otherwise — a failure that
+  /// cannot be remapped loss-free is not injected).
+  Result<std::uint32_t> resolve_program(const PageAddress& addr, Microseconds now);
+
+  /// Resolve `addr` for erasing: retired check, translation, endurance
+  /// limit (remap while spares last; retire + kBlockBad when dry).
+  Result<std::uint32_t> resolve_erase(const BlockAddress& addr, Microseconds now);
+
+  /// Mark visible `block` of `unit` grown-bad; remap or retire. Fires the
+  /// listener. Returns the fresh physical block, nullopt when retired.
+  std::optional<std::uint32_t> grow_bad(std::uint32_t unit, std::uint32_t block,
+                                        std::uint32_t old_physical,
+                                        BadBlockCause cause, Microseconds now);
+
   Geometry geometry_;
   TimingSpec timing_;
   SequenceKind kind_;
-  std::vector<std::unique_ptr<Chip>> chips_;
+  std::vector<std::unique_ptr<Chip>> chips_;  // one per unit
   std::vector<Microseconds> channel_busy_until_;
+  BadBlockTable bad_blocks_;
+  BadBlockListener bad_block_listener_;
+  bool cache_program_ = true;
   std::uint64_t power_loss_count_ = 0;
 };
 

@@ -21,6 +21,8 @@ const char* to_string(EventKind kind) {
     case EventKind::kBlockReclaimed: return "block_reclaimed";
     case EventKind::kPowerLossCut: return "power_loss_cut";
     case EventKind::kRecovery: return "recovery";
+    case EventKind::kBlockRemapped: return "block_remapped";
+    case EventKind::kBlockRetired: return "block_retired";
   }
   __builtin_unreachable();
 }
@@ -46,6 +48,9 @@ const char* category(EventKind kind) {
     case EventKind::kPowerLossCut:
     case EventKind::kRecovery:
       return "power";
+    case EventKind::kBlockRemapped:
+    case EventKind::kBlockRetired:
+      return "badblock";
   }
   __builtin_unreachable();
 }
@@ -83,6 +88,10 @@ ArgNames arg_names(EventKind kind) {
       return {"victims", nullptr, nullptr};
     case EventKind::kRecovery:
       return {"pages_recovered", "pages_lost", "supported"};
+    case EventKind::kBlockRemapped:
+      return {"block", "old_physical", "new_physical"};
+    case EventKind::kBlockRetired:
+      return {"block", "old_physical", "cause"};
   }
   __builtin_unreachable();
 }
@@ -144,9 +153,20 @@ std::string TraceSink::to_chrome_json() const {
       last_pid = pid;
       have_pid = true;
     }
-    append_metadata(out, "thread_name", pid, tid,
-                    tid == 0 ? std::string("host")
-                             : "chip " + std::to_string(tid - 1));
+    // Unit lane tid = 1 + unit index. With planes > 1 name the lane by its
+    // (die, plane) coordinates; at 1 plane keep the legacy "chip N" names
+    // (planes=1 exports must stay byte-identical to the chip-granular model).
+    std::string lane_name;
+    if (tid == 0) {
+      lane_name = "host";
+    } else if (planes_ <= 1) {
+      lane_name = "chip " + std::to_string(tid - 1);
+    } else {
+      const std::uint32_t unit = tid - 1;
+      lane_name = "chip " + std::to_string(unit / planes_) + "." +
+                  std::to_string(unit % planes_);
+    }
+    append_metadata(out, "thread_name", pid, tid, lane_name);
   }
 
   for (std::size_t i = 0; i < events_.size(); ++i) {

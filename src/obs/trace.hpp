@@ -34,6 +34,8 @@ namespace rps::obs {
 ///   kBlockReclaimed          a=block  b=background(0/1) (erased + freed)
 ///   kPowerLossCut            a=in-flight programs destroyed
 ///   kRecovery                a=pages recovered  b=pages lost  c=supported(0/1)
+///   kBlockRemapped           a=visible block  b=old physical  c=new physical
+///   kBlockRetired            a=visible block  b=old physical  c=cause
 enum class EventKind : std::uint8_t {
   kHostRead,
   kHostWrite,
@@ -48,6 +50,8 @@ enum class EventKind : std::uint8_t {
   kBlockReclaimed,
   kPowerLossCut,
   kRecovery,
+  kBlockRemapped,  // grown-bad block redirected to a spare
+  kBlockRetired,   // grown-bad block with no spare left: capacity lost
 };
 
 /// Exporter metadata for a kind: Chrome trace name + category.
@@ -72,6 +76,12 @@ class TraceSink {
   /// Scope subsequent events under `pid` (sweep drivers: one pid per trial).
   void set_pid(std::uint32_t pid) { pid_ = pid; }
   [[nodiscard]] std::uint32_t pid() const { return pid_; }
+
+  /// Planes per chip of the traced device. With planes > 1 the per-unit
+  /// lanes are named "chip C.P" (die C, plane P); at the default 1 the
+  /// legacy "chip N" names are kept so exports stay byte-identical.
+  void set_planes(std::uint32_t planes) { planes_ = planes == 0 ? 1 : planes; }
+  [[nodiscard]] std::uint32_t planes() const { return planes_; }
 
   /// Record one event. Hot instrumentation sites call this behind a null
   /// check on their sink pointer; the call itself is a push_back.
@@ -100,6 +110,7 @@ class TraceSink {
  private:
   std::vector<TraceEvent> events_;
   std::uint32_t pid_ = 0;
+  std::uint32_t planes_ = 1;
 };
 
 }  // namespace rps::obs

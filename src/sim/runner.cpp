@@ -82,7 +82,7 @@ obs::StateSampler::Collector make_state_collector(const ftl::FtlBase& ftl,
     sample.sbqueue = ftl.observed_slow_queue_depth();
     const nand::Geometry& geometry = ftl.device().geometry();
     std::uint64_t free_blocks = 0;
-    for (std::uint32_t chip = 0; chip < geometry.num_chips(); ++chip) {
+    for (std::uint32_t chip = 0; chip < geometry.num_units(); ++chip) {
       free_blocks += ftl.blocks().free_blocks(chip);
     }
     sample.free_fraction = static_cast<double>(free_blocks) /

@@ -17,6 +17,9 @@ Simulator::Simulator(ftl::FtlBase& ftl, const SimConfig& config)
 
 void Simulator::set_trace_sink(obs::TraceSink* sink) {
   trace_ = sink;
+  if (sink != nullptr) {
+    sink->set_planes(ftl_.device().geometry().planes_per_chip);
+  }
   ftl_.set_trace_sink(sink);
   controller_.set_observability(trace_, sampler_);
 }

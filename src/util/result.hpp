@@ -26,6 +26,7 @@ enum class ErrorCode {
   kNotFound,            // mapping lookup miss
   kInvalidArgument,
   kPowerLoss,           // operation interrupted by an injected power loss
+  kBlockBad,            // block failed (worn out / program failure), no spare left
 };
 
 /// Human-readable name for an ErrorCode (for logs and test failure output).
@@ -44,6 +45,7 @@ constexpr std::string_view to_string(ErrorCode code) {
     case ErrorCode::kNotFound: return "NotFound";
     case ErrorCode::kInvalidArgument: return "InvalidArgument";
     case ErrorCode::kPowerLoss: return "PowerLoss";
+    case ErrorCode::kBlockBad: return "BlockBad";
   }
   return "Unknown";
 }

@@ -199,7 +199,15 @@ INSTANTIATE_TEST_SUITE_P(
         SweepGeometry{"TwoWordlines",
                       {.channels = 2, .chips_per_channel = 1, .blocks_per_chip = 24,
                        .wordlines_per_block = 2, .page_size_bytes = 512,
-                       .spare_bytes = 16}}),
+                       .spare_bytes = 16}},
+        SweepGeometry{"TwoPlanes",
+                      {.channels = 2, .chips_per_channel = 1, .planes_per_chip = 2,
+                       .blocks_per_chip = 12, .wordlines_per_block = 8,
+                       .page_size_bytes = 512, .spare_bytes = 16}},
+        SweepGeometry{"FourPlanes",
+                      {.channels = 1, .chips_per_channel = 2, .planes_per_chip = 4,
+                       .blocks_per_chip = 8, .wordlines_per_block = 4,
+                       .page_size_bytes = 512, .spare_bytes = 16}}),
     [](const auto& info) { return info.param.name; });
 
 }  // namespace

@@ -89,6 +89,65 @@ TEST(FaultSim, FlexFtlNeverLosesAcknowledgedData) {
   EXPECT_GT(result.total_parity_recovered, 0u);
 }
 
+// Plane-aware crash consistency: with two planes per die, plane-grouped
+// controller writes and coalesced multi-plane GC erases are in play, and
+// a bad-block pool with factory defects keeps the remap table non-trivial.
+// A cut can now land inside an aligned multi-plane cell window (one victim
+// per member plane); recovery must still restore or account for every
+// acknowledged page, over remapped blocks, with bit-identical replays.
+TEST(FaultSim, MultiPlaneSweepStaysCrashConsistent) {
+  for (const sim::FtlKind kind : {sim::FtlKind::kFlex, sim::FtlKind::kPage}) {
+    for (const sim::Engine engine :
+         {sim::Engine::kController, sim::Engine::kLegacySync}) {
+      FaultSimConfig config;
+      config.kind = kind;
+      config.engine = engine;
+      config.seed = 9;
+      config.ftl_config.geometry.planes_per_chip = 2;
+      config.ftl_config.bad_blocks.spare_blocks_per_unit = 1;
+      config.ftl_config.bad_blocks.factory_bad_ppm = 50'000;
+      const SweepResult result = sweep(config, quick_sweep_options());
+      EXPECT_EQ(result.replay_mismatches, 0u) << cell_name(config);
+      EXPECT_TRUE(result.ok()) << cell_name(config) << ": " << [&] {
+        std::string lines;
+        for (const SweepFailure& f : result.failures) lines += f.line + "\n";
+        return lines;
+      }();
+      EXPECT_GT(result.crashes_injected, 0u) << cell_name(config);
+    }
+  }
+}
+
+// Satellite: the new topology/failure flags round-trip through the
+// reproducer line and replay to the same report.
+TEST(FaultSim, PlaneAndBadBlockFlagsRoundTrip) {
+  FaultSimConfig golden;
+  golden.kind = sim::FtlKind::kFlex;
+  golden.seed = 4;
+  golden.ftl_config.geometry.planes_per_chip = 2;
+  golden.ftl_config.bad_blocks.spare_blocks_per_unit = 2;
+  golden.ftl_config.bad_blocks.factory_bad_ppm = 20'000;
+  golden.ftl_config.bad_blocks.erase_endurance = 5'000;
+  const TrialResult base = run_trial(golden);
+  ASSERT_GT(base.boundaries.size(), 10u);
+
+  FaultSimConfig crashed = golden;
+  crashed.crash_time_us = base.boundaries[base.boundaries.size() / 3] - 1;
+  const std::string line = reproducer(crashed);
+  EXPECT_NE(line.find("--planes=2"), std::string::npos) << line;
+  EXPECT_NE(line.find("--spares=2"), std::string::npos) << line;
+  const std::optional<FaultSimConfig> parsed = parse_reproducer(line);
+  ASSERT_TRUE(parsed.has_value()) << line;
+  EXPECT_EQ(parsed->ftl_config.geometry.planes_per_chip, 2u);
+  EXPECT_EQ(parsed->ftl_config.bad_blocks.spare_blocks_per_unit, 2u);
+  EXPECT_EQ(parsed->ftl_config.bad_blocks.factory_bad_ppm, 20'000u);
+  EXPECT_EQ(parsed->ftl_config.bad_blocks.erase_endurance, 5'000u);
+  const CrashReport first = run_trial(crashed).report;
+  const CrashReport replay = run_trial(*parsed).report;
+  EXPECT_TRUE(first.crashed);
+  EXPECT_EQ(first, replay) << line;
+}
+
 // Satellite: reproducer lines round-trip and replay deterministically.
 TEST(FaultSim, ReproducerRoundTripsAndReplaysBitEqual) {
   FaultSimConfig golden;

@@ -1,0 +1,236 @@
+// BadBlockTable unit tests: factory-scan determinism, remap/reverse
+// round-trips under random grown-bad sequences, spare exhaustion and
+// retirement, and the FTL-level retire flow (capacity attrition).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <set>
+
+#include "src/ftl/page_ftl.hpp"
+#include "src/nand/bad_block.hpp"
+#include "src/nand/device.hpp"
+
+namespace rps::nand {
+namespace {
+
+BadBlockConfig spares_only(std::uint32_t spares) {
+  BadBlockConfig c;
+  c.spare_blocks_per_unit = spares;
+  return c;
+}
+
+TEST(BadBlockTable, DisabledIsIdentity) {
+  const BadBlockTable table({}, /*units=*/4, /*blocks_per_unit=*/16);
+  EXPECT_FALSE(table.enabled());
+  EXPECT_EQ(table.visible_blocks(), 16u);
+  for (std::uint32_t u = 0; u < 4; ++u) {
+    for (std::uint32_t b = 0; b < 16; ++b) {
+      EXPECT_EQ(table.translate(u, b), b);
+      ASSERT_TRUE(table.reverse(u, b).has_value());
+      EXPECT_EQ(*table.reverse(u, b), b);
+      EXPECT_FALSE(table.is_retired(u, b));
+    }
+  }
+  EXPECT_EQ(table.counters().factory_bad, 0u);
+}
+
+TEST(BadBlockTable, SparesShrinkVisibleRange) {
+  const BadBlockTable table(spares_only(4), 2, 16);
+  EXPECT_EQ(table.visible_blocks(), 12u);
+  EXPECT_EQ(table.spares_remaining(0), 4u);
+  EXPECT_EQ(table.spares_remaining(1), 4u);
+  // Unmapped spares have no visible address.
+  EXPECT_FALSE(table.reverse(0, 12).has_value());
+  EXPECT_FALSE(table.reverse(0, 15).has_value());
+}
+
+TEST(BadBlockTable, FactoryScanIsDeterministic) {
+  BadBlockConfig c = spares_only(8);
+  c.factory_bad_ppm = 200'000;  // 20%: plenty of marks in 64 blocks
+  const BadBlockTable a(c, 4, 64);
+  const BadBlockTable b(c, 4, 64);
+  EXPECT_GT(a.counters().factory_bad, 0u);
+  EXPECT_EQ(a.counters().factory_bad, b.counters().factory_bad);
+  for (std::uint32_t u = 0; u < 4; ++u) {
+    EXPECT_EQ(a.spares_remaining(u), b.spares_remaining(u));
+    for (std::uint32_t blk = 0; blk < a.visible_blocks(); ++blk) {
+      EXPECT_EQ(a.translate(u, blk), b.translate(u, blk));
+      EXPECT_EQ(a.is_retired(u, blk), b.is_retired(u, blk));
+    }
+  }
+  // A different seed draws a different defect pattern (overwhelmingly).
+  c.seed ^= 0x1234567ull;
+  const BadBlockTable other(c, 4, 64);
+  EXPECT_NE(a.counters().factory_bad, other.counters().factory_bad);
+}
+
+TEST(BadBlockTable, RemapRedirectsToSpareAndBack) {
+  BadBlockTable table(spares_only(2), 1, 8);
+  ASSERT_EQ(table.visible_blocks(), 6u);
+  const auto spare = table.remap(0, 3, BadBlockCause::kEraseFailure);
+  ASSERT_TRUE(spare.has_value());
+  EXPECT_GE(*spare, 6u);
+  EXPECT_EQ(table.translate(0, 3), *spare);
+  ASSERT_TRUE(table.reverse(0, *spare).has_value());
+  EXPECT_EQ(*table.reverse(0, *spare), 3u);
+  // The dead physical block no longer reverse-translates.
+  EXPECT_FALSE(table.reverse(0, 3).has_value());
+  EXPECT_EQ(table.counters().grown_bad, 1u);
+  EXPECT_EQ(table.counters().remapped, 1u);
+}
+
+TEST(BadBlockTable, ExhaustedPoolRetires) {
+  BadBlockTable table(spares_only(1), 1, 8);
+  ASSERT_TRUE(table.remap(0, 0, BadBlockCause::kEraseFailure).has_value());
+  EXPECT_FALSE(table.has_spare(0));
+  const auto none = table.remap(0, 1, BadBlockCause::kEraseFailure);
+  EXPECT_FALSE(none.has_value());
+  EXPECT_TRUE(table.is_retired(0, 1));
+  EXPECT_FALSE(table.is_retired(0, 0));
+  EXPECT_EQ(table.counters().retired, 1u);
+  // A retired visible address never reverse-resolves.
+  EXPECT_FALSE(table.reverse(0, table.translate(0, 1)).has_value());
+}
+
+// Property: under any random grown-bad sequence, translate/reverse stay
+// exact inverses over the live (non-retired) visible range, no physical
+// block backs two visible addresses, and a remapped-away physical block
+// is never handed out again.
+TEST(BadBlockTable, RemapReverseRoundTripProperty) {
+  std::mt19937_64 rng(7);
+  for (int round = 0; round < 20; ++round) {
+    const std::uint32_t blocks = 32;
+    const std::uint32_t spares = 1 + static_cast<std::uint32_t>(rng() % 8);
+    BadBlockConfig c = spares_only(spares);
+    c.seed = rng();
+    BadBlockTable table(c, 2, blocks);
+    const std::uint32_t visible = table.visible_blocks();
+    for (int step = 0; step < 40; ++step) {
+      const auto unit = static_cast<std::uint32_t>(rng() % 2);
+      const auto block = static_cast<std::uint32_t>(rng() % visible);
+      if (table.is_retired(unit, block)) continue;
+      table.remap(unit, block, BadBlockCause::kProgramFailure);
+
+      for (std::uint32_t u = 0; u < 2; ++u) {
+        std::set<std::uint32_t> backing;
+        for (std::uint32_t v = 0; v < visible; ++v) {
+          const std::uint32_t physical = table.translate(u, v);
+          ASSERT_LT(physical, blocks);
+          if (table.is_retired(u, v)) {
+            EXPECT_FALSE(table.reverse(u, physical).has_value());
+            continue;
+          }
+          // Inverse round-trip and injectivity over live addresses.
+          ASSERT_TRUE(table.reverse(u, physical).has_value());
+          EXPECT_EQ(*table.reverse(u, physical), v);
+          EXPECT_TRUE(backing.insert(physical).second)
+              << "physical block " << physical << " backs two visible blocks";
+        }
+      }
+    }
+  }
+}
+
+TEST(BadBlockTable, EnduranceLimitsAreJitteredAroundMean) {
+  BadBlockConfig c = spares_only(2);
+  c.erase_endurance = 1000;
+  c.endurance_jitter_pct = 25;
+  const BadBlockTable table(c, 1, 64);
+  std::uint64_t lo = UINT64_MAX, hi = 0;
+  for (std::uint32_t b = 0; b < 64; ++b) {
+    const std::uint64_t limit = table.endurance_limit(0, b);
+    EXPECT_GE(limit, 750u);
+    EXPECT_LE(limit, 1250u);
+    lo = std::min(lo, limit);
+    hi = std::max(hi, limit);
+  }
+  EXPECT_LT(lo, hi);  // the draw actually spreads
+  // Unlimited endurance when the knob is off.
+  const BadBlockTable off(spares_only(2), 1, 64);
+  EXPECT_EQ(off.endurance_limit(0, 0), UINT64_MAX);
+}
+
+// Device-level: an erase hitting its endurance limit transparently remaps
+// while spares last, then surfaces kBlockBad.
+TEST(BadBlockDevice, EraseFailureRemapsThenRetires) {
+  Geometry g = Geometry::tiny();
+  BadBlockConfig c = spares_only(1);
+  c.erase_endurance = 3;
+  c.endurance_jitter_pct = 0;
+  NandDevice device(g, TimingSpec::paper(), SequenceKind::kRps, c);
+  ASSERT_EQ(device.visible_blocks(), g.blocks_per_chip - 1);
+
+  std::uint64_t remapped = 0, retired = 0;
+  device.set_bad_block_listener([&](const BadBlockEvent& event) {
+    if (event.new_physical < 0) ++retired; else ++remapped;
+  });
+
+  const BlockAddress addr{0, 0};
+  Microseconds now = 0;
+  // Limit 3 with zero jitter: erases 1..3 succeed on the original block.
+  for (int i = 0; i < 3; ++i) {
+    const auto timing = device.erase(addr, now);
+    ASSERT_TRUE(timing.is_ok());
+    now = timing.value().complete;
+  }
+  // Erase 4 trips the limit, remaps to the fresh spare, and succeeds there.
+  const auto remap_erase = device.erase(addr, now);
+  ASSERT_TRUE(remap_erase.is_ok());
+  now = remap_erase.value().complete;
+  EXPECT_EQ(remapped, 1u);
+  EXPECT_EQ(device.bad_blocks().counters().grown_bad, 1u);
+  // The spare wears out too; with the pool dry the address retires.
+  for (int i = 0; i < 2; ++i) {
+    const auto timing = device.erase(addr, now);
+    ASSERT_TRUE(timing.is_ok());
+    now = timing.value().complete;
+  }
+  const auto dead = device.erase(addr, now);
+  ASSERT_FALSE(dead.is_ok());
+  EXPECT_EQ(dead.code(), ErrorCode::kBlockBad);
+  EXPECT_EQ(retired, 1u);
+  EXPECT_TRUE(device.bad_blocks().is_retired(0, 0));
+  // Every later touch of the retired address fails fast.
+  EXPECT_EQ(device.erase(addr, now).code(), ErrorCode::kBlockBad);
+}
+
+// FTL-level: a worn-out GC victim is retired from the BlockManager
+// (capacity attrition) and the FTL keeps serving writes.
+TEST(BadBlockFtl, RetiredBlocksLeaveThePoolsAndWritesContinue) {
+  ftl::FtlConfig config = ftl::FtlConfig::tiny();
+  config.overprovisioning = 0.25;
+  config.bad_blocks.spare_blocks_per_unit = 1;
+  config.bad_blocks.erase_endurance = 40;
+  config.bad_blocks.endurance_jitter_pct = 25;
+  ftl::PageFtl ftl(config);
+
+  const Lpn pages = ftl.exported_pages();
+  Microseconds now = 0;
+  std::mt19937_64 rng(11);
+  std::uint64_t writes_ok = 0;
+  for (int i = 0; i < 30'000; ++i) {
+    const Lpn lpn = rng() % pages;
+    const auto op = ftl.write(lpn, now);
+    // Attrition eventually wins on this tiny device (endurance 40 bounds
+    // its total erase budget); the point is that writes keep landing long
+    // past the first remaps and that the books balance when it ends.
+    if (!op.is_ok()) break;
+    ++writes_ok;
+    now = op.value().complete;
+  }
+  EXPECT_GT(writes_ok, 2'000u);
+  EXPECT_GT(ftl.stats().remapped_blocks, 0u);
+  EXPECT_EQ(ftl.stats().remapped_blocks,
+            ftl.device().bad_blocks().counters().remapped);
+  EXPECT_TRUE(ftl.check_consistency());
+  // Retirement bookkeeping matches between device table and BlockManager.
+  std::uint64_t manager_retired = 0;
+  for (std::uint32_t u = 0; u < ftl.device().geometry().num_units(); ++u) {
+    manager_retired += ftl.blocks().retired_blocks(u);
+  }
+  EXPECT_EQ(manager_retired, ftl.device().bad_blocks().counters().retired);
+}
+
+}  // namespace
+}  // namespace rps::nand

@@ -45,6 +45,58 @@ TEST(Geometry, InvalidConfigurations) {
   g = Geometry::tiny();
   g.wordlines_per_block = 1;  // a single word line cannot satisfy C3
   EXPECT_FALSE(g.valid());
+  g = Geometry::tiny();
+  g.planes_per_chip = 0;
+  EXPECT_FALSE(g.valid());
+}
+
+TEST(Geometry, PlanePresets) {
+  constexpr Geometry g4 = Geometry::paper4x();
+  EXPECT_EQ(g4.planes_per_chip, 4u);
+  EXPECT_EQ(g4.num_units(), 4 * Geometry::paper().num_chips());
+  EXPECT_EQ(g4.capacity_bytes(), 4 * Geometry::paper().capacity_bytes());
+  EXPECT_TRUE(g4.valid());
+  constexpr Geometry g16 = Geometry::paper16x();
+  EXPECT_EQ(g16.capacity_bytes(), 16 * Geometry::paper().capacity_bytes());
+  EXPECT_TRUE(g16.valid());
+}
+
+TEST(Geometry, UnitAddressing) {
+  constexpr Geometry g = Geometry::paper4x();
+  EXPECT_EQ(g.unit_of(5, 3), 23u);
+  EXPECT_EQ(g.chip_of_unit(23), 5u);
+  EXPECT_EQ(g.plane_of_unit(23), 3u);
+  EXPECT_EQ(g.channel_of_unit(23), g.channel_of_chip(5));
+  EXPECT_EQ(g.pages_per_chip(), 4 * g.pages_per_unit());
+}
+
+// Overflow guards: valid() must reject geometries whose derived counts
+// would wrap, instead of silently truncating addresses downstream.
+TEST(Geometry, OverflowGuards) {
+  Geometry g = Geometry::tiny();
+  // num_units overflows u32.
+  g.channels = 1u << 16;
+  g.chips_per_channel = 1u << 15;
+  g.planes_per_chip = 4;
+  EXPECT_FALSE(g.valid());
+
+  // pages_per_unit / total_pages overflow u64.
+  g = Geometry::tiny();
+  g.blocks_per_chip = 1u << 31;
+  g.wordlines_per_block = 1u << 31;
+  EXPECT_FALSE(g.valid());
+
+  // capacity_bytes overflows u64: a huge page size on a huge array.
+  g = Geometry::paper();
+  g.page_size_bytes = 0xffffffffu;
+  g.blocks_per_chip = 0x7fffffffu;
+  g.wordlines_per_block = 0x7fffffffu;
+  EXPECT_FALSE(g.valid());
+
+  // The real presets sit comfortably inside every bound.
+  EXPECT_TRUE(Geometry::paper().valid());
+  EXPECT_TRUE(Geometry::paper4x().valid());
+  EXPECT_TRUE(Geometry::paper16x().valid());
 }
 
 TEST(TimingSpec, PaperLatencies) {
