@@ -1,0 +1,105 @@
+#include "src/controller/arbiter.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rps::ctrl {
+
+std::optional<ArbPolicy> arb_policy_from(const std::string& name) {
+  for (const ArbPolicy policy : kAllArbPolicies) {
+    if (name == to_string(policy)) return policy;
+  }
+  return std::nullopt;
+}
+
+QueueArbiter::QueueArbiter(std::uint32_t queues, ArbiterConfig config)
+    : queues_(queues), config_(std::move(config)), deficit_(queues, 0) {
+  assert(queues_ > 0);
+  weights_.resize(queues_, 1);
+  for (std::uint32_t q = 0; q < queues_ && q < config_.weights.size(); ++q) {
+    weights_[q] = std::max<std::uint32_t>(1, config_.weights[q]);
+  }
+  if (config_.quantum_pages == 0) config_.quantum_pages = 1;
+}
+
+std::optional<std::uint32_t> QueueArbiter::admit(
+    const std::vector<std::uint8_t>& eligible,
+    const std::vector<std::uint32_t>& head_cost) {
+  assert(eligible.size() == queues_);
+  assert(head_cost.size() == queues_ || config_.policy != ArbPolicy::kWeightedDeficitRoundRobin);
+  switch (config_.policy) {
+    case ArbPolicy::kRoundRobin: return admit_rr(eligible);
+    case ArbPolicy::kWeightedRoundRobin: return admit_wrr(eligible);
+    case ArbPolicy::kWeightedDeficitRoundRobin: return admit_wdrr(eligible, head_cost);
+  }
+  return std::nullopt;
+}
+
+std::optional<std::uint32_t> QueueArbiter::admit_rr(
+    const std::vector<std::uint8_t>& eligible) {
+  for (std::uint32_t scan = 0; scan < queues_; ++scan) {
+    const std::uint32_t q = cur_;
+    cur_ = (cur_ + 1) % queues_;
+    if (eligible[q] != 0) return q;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::uint32_t> QueueArbiter::admit_wrr(
+    const std::vector<std::uint8_t>& eligible) {
+  // One extra iteration: the first may only close out cur_'s spent visit.
+  for (std::uint32_t scan = 0; scan <= queues_; ++scan) {
+    if (eligible[cur_] != 0 && (!visiting_ || credit_ > 0)) {
+      if (!visiting_) {
+        visiting_ = true;
+        credit_ = weights_[cur_];
+      }
+      --credit_;
+      return cur_;
+    }
+    // Visit over (queue ineligible, or its credit spent): move on.
+    visiting_ = false;
+    cur_ = (cur_ + 1) % queues_;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::uint32_t> QueueArbiter::admit_wdrr(
+    const std::vector<std::uint8_t>& eligible,
+    const std::vector<std::uint32_t>& head_cost) {
+  std::uint32_t max_cost = 1;
+  bool any = false;
+  for (std::uint32_t q = 0; q < queues_; ++q) {
+    if (eligible[q] == 0) continue;
+    any = true;
+    max_cost = std::max(max_cost, std::max<std::uint32_t>(1, head_cost[q]));
+  }
+  if (!any) return std::nullopt;
+  // Every full round grants each eligible queue quantum x weight pages, so
+  // within max_cost / quantum + 1 rounds some head fits its deficit.
+  const std::uint64_t rounds = 2 + max_cost / config_.quantum_pages;
+  for (std::uint64_t scan = 0; scan < rounds * queues_ + 1; ++scan) {
+    if (eligible[cur_] == 0) {
+      // Classic DRR: a queue with nothing to admit banks no service.
+      deficit_[cur_] = 0;
+      visiting_ = false;
+      cur_ = (cur_ + 1) % queues_;
+      continue;
+    }
+    if (!visiting_) {
+      visiting_ = true;
+      deficit_[cur_] +=
+          static_cast<std::uint64_t>(config_.quantum_pages) * weights_[cur_];
+    }
+    const std::uint64_t cost = std::max<std::uint32_t>(1, head_cost[cur_]);
+    if (deficit_[cur_] >= cost) {
+      deficit_[cur_] -= cost;
+      return cur_;
+    }
+    visiting_ = false;
+    cur_ = (cur_ + 1) % queues_;
+  }
+  return std::nullopt;  // unreachable: the round bound guarantees an admit
+}
+
+}  // namespace rps::ctrl

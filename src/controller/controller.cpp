@@ -177,8 +177,8 @@ bool Controller::dispatch_write(const OpRef& ref, Microseconds t) {
   } else {
     chip = ftl_.pick_unconstrained_chip();
   }
-  const Result<ftl::HostOp> op =
-      ftl_.write_on(chip, state.op.lpn, t, pending.cmd.buffer_utilization);
+  const Result<ftl::HostOp> op = ftl_.write_on(
+      chip, state.op.lpn, t, pending.cmd.buffer_utilization, pending.cmd.stream);
   if (!op.is_ok()) {
     // Destination exhausted (kNoFreeBlock) or out of range: the command
     // fails, but its bookkeeping still retires so drain() terminates.

@@ -26,6 +26,11 @@ struct HostCommand {
   Microseconds issue = 0;         // earliest time any page op may start
   /// Host write-buffer fill level in [0, 1] at issue (flexFTL policy input).
   double buffer_utilization = 0.0;
+  /// FDP-style write-stream / placement hint. 0 = the default stream
+  /// (exactly the pre-multi-tenant behavior); the multi-queue frontend
+  /// assigns one stream per tenant so the allocator can segregate their
+  /// data onto distinct active blocks.
+  std::uint32_t stream = 0;
   /// Chain page j on page j-1 (journal-like strict ordering). Default:
   /// the pages of one request are independent and may stripe freely.
   bool ordered = false;

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "src/controller/controller.hpp"
+#include "src/host/multi_queue.hpp"
 #include "src/obs/trace.hpp"
 #include "src/util/random.hpp"
 
@@ -81,6 +82,35 @@ std::vector<GenRequest> generate_workload(const FaultSimConfig& config,
   return reqs;
 }
 
+/// Tenant set for a multi-tenant trial: the seeded workload knobs mapped
+/// onto per-tenant open-loop sources. Even ids arrive Poisson, odd ids
+/// bursty on/off — the bursty OFF periods are what opens idle windows
+/// (background GC/scrub) in the middle of a crash sweep. Interarrival
+/// scales with the tenant count so the aggregate load matches the
+/// single-stream trial's.
+std::vector<host::TenantConfig> make_tenants(const FaultSimConfig& config,
+                                             std::uint32_t tenants,
+                                             Microseconds start) {
+  workload::SizeDistribution dist{{1, 0.6}};
+  if (config.max_pages_per_request >= 2) dist.push_back({2, 0.3});
+  if (config.max_pages_per_request >= 4) dist.push_back({4, 0.1});
+  std::vector<host::TenantConfig> out(tenants);
+  for (std::uint32_t i = 0; i < tenants; ++i) {
+    host::TenantConfig& t = out[i];
+    t.id = i;
+    t.arrival = (i % 2 == 0) ? workload::ArrivalProcess::kPoisson
+                             : workload::ArrivalProcess::kBurstyOnOff;
+    t.read_fraction = config.read_fraction;
+    t.size_dist = dist;
+    t.mean_interarrival_us = config.mean_gap_us * tenants;
+    t.on_mean_us = 20 * config.mean_gap_us;
+    t.off_mean_us = 50 * config.mean_gap_us;
+    t.start_us = start;
+    t.requests = std::max<std::uint64_t>(1, config.requests / tenants);
+  }
+  return out;
+}
+
 }  // namespace
 
 TrialResult run_trial(const FaultSimConfig& config, obs::TraceSink* sink) {
@@ -117,7 +147,42 @@ TrialResult run_trial(const FaultSimConfig& config, obs::TraceSink* sink) {
   std::vector<nand::PowerLossVictim> victims;
   std::vector<Microseconds> completes;
 
-  if (config.engine == sim::Engine::kController) {
+  if (config.tenants > 1) {
+    // Multi-tenant frontend path: per-tenant open-loop queues over
+    // disjoint partitions of the (pre-filled) working set, arbitrated
+    // admission, per-tenant write streams. A crash lands mid-arbitration.
+    const auto tenant_count = static_cast<std::uint32_t>(
+        std::min<Lpn>(config.tenants, working_set));
+    host::MultiQueueConfig mq;
+    mq.arbiter.policy = config.arb;
+    mq.keep_op_log = true;
+    host::MultiQueueFrontend frontend(*ftl, mq);
+    for (const host::TenantConfig& t :
+         make_tenants(config, tenant_count, start)) {
+      frontend.add_tenant(
+          t, host::tenant_trace(
+                 t, host::tenant_partition(t.id, tenant_count, working_set),
+                 config.seed));
+    }
+    frontend.set_observability(sink, nullptr);
+    host::MultiQueueResult mres = frontend.run(crash);
+    if (crash != kTimeNever) {
+      report.crashed = true;
+      ctrl::PowerLossOutcome outcome = frontend.power_loss(crash, mres);
+      victims = std::move(outcome.victims);
+      report.victims = victims.size();
+      report.cancelled_write_ops = outcome.cancelled_write_ops;
+      report.cancelled_read_ops = outcome.cancelled_read_ops;
+      report.aborted_commands = outcome.aborted_commands;
+    }
+    for (const host::TenantResult& t : mres.tenants) {
+      report.requests_issued += t.submitted;
+    }
+    oracle.finalize_from_op_log(frontend.controller().op_log());
+    for (const ctrl::OpRecord& rec : frontend.controller().op_log()) {
+      if (rec.ok && rec.complete < crash) completes.push_back(rec.complete);
+    }
+  } else if (config.engine == sim::Engine::kController) {
     ctrl::Controller controller(
         *ftl, ctrl::ControllerConfig{.stripe_writes = true, .keep_op_log = true});
     controller.set_observability(sink, nullptr);
@@ -209,6 +274,27 @@ TrialResult run_trial(const FaultSimConfig& config, obs::TraceSink* sink) {
   // oracle still counts them, but they are not violations.
   report.violations =
       report.recovery_supported ? report.oracle.stale + report.unaccounted_loss : 0;
+  if (config.tenants > 1) {
+    // Stream-tag audit: every readable mapped page must carry either tag
+    // 0 (default stream, fill-phase data, or an OOB hint recovery could
+    // not reconstruct) or the stream of its partition's owner. A nonzero
+    // tag naming a different tenant means the frontend/allocator routed
+    // one tenant's data through another's stream — a violation whether or
+    // not the trial crashed.
+    const auto tenant_count = static_cast<std::uint32_t>(
+        std::min<Lpn>(config.tenants, working_set));
+    for (Lpn lpn = 0; lpn < working_set; ++lpn) {
+      const Result<nand::PageData> data = ftl->read_data(lpn, check_at);
+      if (!data.is_ok()) continue;  // destroyed data: the oracle's department
+      if ((data.value().spare & nand::kNonHostSpareFlag) != 0) continue;
+      const std::uint32_t tag = nand::stream_of_spare(data.value().spare);
+      if (tag == 0) continue;
+      const std::uint32_t owner =
+          host::tenant_of_lpn(lpn, tenant_count, working_set);
+      if (tag != owner) ++report.stream_tag_mismatches;
+    }
+    report.violations += report.stream_tag_mismatches;
+  }
   report.consistent = ftl->check_consistency();
   ftl->set_trace_sink(nullptr);
   oracle.detach();
@@ -237,6 +323,10 @@ std::string reproducer(const FaultSimConfig& config) {
   }
   if (config.ftl_config.bad_blocks.erase_endurance != 0) {
     os << " --endurance=" << config.ftl_config.bad_blocks.erase_endurance;
+  }
+  if (config.tenants != 1) os << " --tenants=" << config.tenants;
+  if (config.arb != ctrl::ArbPolicy::kRoundRobin) {
+    os << " --arb=" << ctrl::to_string(config.arb);
   }
   return os.str();
 }
@@ -291,6 +381,13 @@ std::optional<FaultSimConfig> parse_reproducer(const std::string& line) {
             static_cast<std::uint32_t>(std::stoul(value));
       } else if (key == "endurance") {
         config.ftl_config.bad_blocks.erase_endurance = std::stoull(value);
+      } else if (key == "tenants") {
+        config.tenants = static_cast<std::uint32_t>(std::stoul(value));
+        if (config.tenants == 0) return std::nullopt;
+      } else if (key == "arb") {
+        const auto policy = ctrl::arb_policy_from(value);
+        if (!policy) return std::nullopt;
+        config.arb = *policy;
       } else {
         return std::nullopt;
       }

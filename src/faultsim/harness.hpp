@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "src/controller/arbiter.hpp"
 #include "src/core/flex_ftl.hpp"
 #include "src/faultsim/oracle.hpp"
 #include "src/ftl/config.hpp"
@@ -41,6 +42,15 @@ struct FaultSimConfig {
   Microseconds mean_gap_us = 200;
   /// kTimeNever = golden run (no crash), used to harvest boundaries.
   Microseconds crash_time_us = kTimeNever;
+  /// > 1 routes the main phase through the multi-queue host frontend:
+  /// one open-loop tenant per queue (even tenants Poisson, odd bursty),
+  /// each on its own LPN partition and write stream, arbitrated by `arb`.
+  /// A power loss then lands mid-arbitration, and the audit additionally
+  /// verifies the per-tenant stream tags after recovery (see
+  /// CrashReport::stream_tag_mismatches). Uses the controller engine
+  /// regardless of `engine`.
+  std::uint32_t tenants = 1;
+  ctrl::ArbPolicy arb = ctrl::ArbPolicy::kRoundRobin;
   ftl::FtlConfig ftl_config = small_config();
 
   /// The harness device: the tiny 2x2-chip geometry with 8 wordlines per
@@ -64,6 +74,13 @@ struct CrashReport {
   /// Acknowledged losses beyond what recovery explicitly reported in
   /// pages_lost — losses the FTL never owned up to.
   std::uint64_t unaccounted_loss = 0;
+  /// Multi-tenant runs: mapped LPNs whose stored stream tag names a
+  /// *different* tenant than the LPN's partition owner. Tag 0 is never a
+  /// mismatch (the default stream, and what recovery reconstruction
+  /// leaves when the OOB hint is lost) — but a nonzero cross-tenant tag
+  /// means the stream→block plumbing misrouted data, so it always counts
+  /// toward `violations`.
+  std::uint64_t stream_tag_mismatches = 0;
   /// The pass/fail verdict: for a recovery-supporting FTL (flexFTL),
   /// stale reads plus unaccounted losses; for FTLs without a recovery
   /// procedure, losses are by design and only stale-after-rescan data

@@ -76,6 +76,14 @@ struct FtlConfig {
   /// any full block whose reads-since-erase exceed this count. 0 = off.
   std::uint64_t read_scrub_threshold = 0;
 
+  /// Active-block cursor slots for host write streams (pageFTL and its
+  /// derivatives). Slot 0 serves the default stream and GC; nonzero
+  /// streams (the multi-queue frontend's per-tenant FDP-style hints)
+  /// share slots 1..N-1 round-robin, so tenant data lands on distinct
+  /// active blocks up to the slot budget — a bounded resource, like FDP's
+  /// reclaim-unit handles. 1 = single-cursor legacy behavior.
+  std::uint32_t write_stream_slots = 4;
+
   /// flexFTL hot/cold separation: GC relocation copies get their own
   /// fast-block / slow-block stream, so long-lived (cold) data ages in
   /// blocks of its own instead of diluting hot host blocks — the standard

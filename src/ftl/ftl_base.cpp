@@ -66,14 +66,17 @@ std::uint64_t FtlBase::make_signature(Lpn lpn) {
 
 Result<HostOp> FtlBase::host_program(std::uint32_t chip, Lpn lpn,
                                      std::vector<std::uint8_t> bytes, Microseconds now,
-                                     double buffer_utilization) {
+                                     double buffer_utilization, std::uint32_t stream) {
   nand::PageData data;
   data.lpn = lpn;
   data.signature = make_signature(lpn);
   data.version = write_version_;
+  data.spare = stream & nand::kStreamSpareMask;
   data.bytes = std::move(bytes);
+  current_stream_ = stream;
   Result<Microseconds> done =
       allocate_host_page(chip, lpn, std::move(data), now, buffer_utilization);
+  current_stream_ = 0;
   if (!done.is_ok()) return done.code();
   ++stats_.host_write_pages;
   incremental_gc(now);
@@ -82,20 +85,21 @@ Result<HostOp> FtlBase::host_program(std::uint32_t chip, Lpn lpn,
 
 Result<HostOp> FtlBase::write(Lpn lpn, Microseconds now, double buffer_utilization) {
   if (lpn >= mapping_.exported_pages()) return ErrorCode::kOutOfRange;
-  return host_program(pick_chip(), lpn, {}, now, buffer_utilization);
+  return host_program(pick_chip(), lpn, {}, now, buffer_utilization, /*stream=*/0);
 }
 
 Result<HostOp> FtlBase::write_on(std::uint32_t chip, Lpn lpn, Microseconds now,
-                                 double buffer_utilization) {
+                                 double buffer_utilization, std::uint32_t stream) {
   if (lpn >= mapping_.exported_pages()) return ErrorCode::kOutOfRange;
   if (chip >= device_.geometry().num_units()) return ErrorCode::kOutOfRange;
-  return host_program(chip, lpn, {}, now, buffer_utilization);
+  return host_program(chip, lpn, {}, now, buffer_utilization, stream);
 }
 
 Result<HostOp> FtlBase::write_data(Lpn lpn, std::vector<std::uint8_t> bytes,
                                    Microseconds now, double buffer_utilization) {
   if (lpn >= mapping_.exported_pages()) return ErrorCode::kOutOfRange;
-  return host_program(pick_chip(), lpn, std::move(bytes), now, buffer_utilization);
+  return host_program(pick_chip(), lpn, std::move(bytes), now, buffer_utilization,
+                      /*stream=*/0);
 }
 
 Result<HostOp> FtlBase::read(Lpn lpn, Microseconds now) {

@@ -11,6 +11,7 @@
 // enters through write_on().
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <string_view>
@@ -76,9 +77,12 @@ class FtlBase : public ctrl::Allocator {
 
   /// Controller entry point: service a one-page host write bound to
   /// `chip` (the scheduler already chose an idle chip). Same accounting
-  /// as write(), minus the chip pick.
+  /// as write(), minus the chip pick. `stream` is the FDP-style placement
+  /// hint carried by the command (0 = default stream): it is stamped into
+  /// the page's spare word, and stream-aware policies (pageFTL and its
+  /// derivatives) give each stream its own active-block cursor.
   Result<HostOp> write_on(std::uint32_t chip, Lpn lpn, Microseconds now,
-                          double buffer_utilization = 0.0);
+                          double buffer_utilization = 0.0, std::uint32_t stream = 0);
 
   /// Service a host write carrying a real payload (recovery tests and the
   /// examples verify data contents end to end).
@@ -213,14 +217,31 @@ class FtlBase : public ctrl::Allocator {
   /// Unique content signature for a simulated write.
   std::uint64_t make_signature(Lpn lpn);
 
+  /// The stream hint of the host write currently being allocated (valid
+  /// inside allocate_host_page; 0 between writes and for GC copies).
+  [[nodiscard]] std::uint32_t current_stream() const { return current_stream_; }
+
+  /// Map a stream hint onto one of the config's write_stream_slots
+  /// cursor slots. Stream 0 always maps to slot 0 (the default/GC slot —
+  /// what keeps single-stream behavior bit-identical to the
+  /// pre-multi-tenant code); nonzero streams share slots 1..slots-1
+  /// round-robin, modeling a device with limited placement resources
+  /// (NVMe FDP's bounded reclaim-unit handles).
+  [[nodiscard]] std::uint32_t stream_slot(std::uint32_t stream) const {
+    const std::uint32_t slots = std::max<std::uint32_t>(1, config_.write_stream_slots);
+    if (stream == 0 || slots == 1) return 0;
+    return 1 + (stream - 1) % (slots - 1);
+  }
+
   [[nodiscard]] static Lpn compute_exported_pages(const FtlConfig& config);
 
  private:
-  /// Shared body of write()/write_on(): builds the page payload, consults
-  /// the allocation policy, and runs the per-write accounting.
+  /// Shared body of write()/write_on(): builds the page payload (stream
+  /// tag in the spare word), consults the allocation policy, and runs the
+  /// per-write accounting.
   Result<HostOp> host_program(std::uint32_t chip, Lpn lpn,
                               std::vector<std::uint8_t> bytes, Microseconds now,
-                              double buffer_utilization);
+                              double buffer_utilization, std::uint32_t stream);
 
   /// Capacity-aware round robin over chips; `eligible` nullptr = all.
   std::uint32_t pick_chip_impl(const std::vector<std::uint8_t>* eligible);
@@ -240,6 +261,7 @@ class FtlBase : public ctrl::Allocator {
   std::uint32_t bgc_rr_chip_ = 0;
   std::uint32_t igc_rr_chip_ = 0;
   std::uint64_t write_version_ = 0;
+  std::uint32_t current_stream_ = 0;  // see current_stream()
   PlacementObserver placement_observer_;
   obs::TraceSink* trace_ = nullptr;  // borrowed; null = tracing off
 };

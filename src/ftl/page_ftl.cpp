@@ -7,7 +7,8 @@ namespace rps::ftl {
 PageFtl::PageFtl(const FtlConfig& config, nand::SequenceKind kind)
     : FtlBase(config, kind),
       order_(nand::fps_order(config.geometry.wordlines_per_block)),
-      active_(config.geometry.num_units()) {}
+      slots_(std::max<std::uint32_t>(1, config.write_stream_slots)),
+      active_(static_cast<std::size_t>(config.geometry.num_units()) * slots_) {}
 
 Result<std::uint32_t> PageFtl::activate_block(std::uint32_t chip, Microseconds now,
                                               bool gc, BlockUse use) {
@@ -21,8 +22,8 @@ Result<std::uint32_t> PageFtl::activate_block(std::uint32_t chip, Microseconds n
 
 Result<Microseconds> PageFtl::append_to_active(std::uint32_t chip, Lpn lpn,
                                                nand::PageData data, Microseconds now,
-                                               bool gc) {
-  ActiveCursor& cursor = active_.at(chip);
+                                               bool gc, std::uint32_t slot) {
+  ActiveCursor& cursor = cursor_at(chip, slot);
   if (!cursor.valid || cursor.exhausted(order_)) {
     // Careful with reentrancy: a host-path allocation below may trigger
     // foreground GC, whose relocation copies recurse into this function and
@@ -69,7 +70,8 @@ Result<Microseconds> PageFtl::allocate_host_page(std::uint32_t chip, Lpn lpn,
                                                  nand::PageData data, Microseconds now,
                                                  double buffer_utilization) {
   (void)buffer_utilization;  // pageFTL is asymmetry-oblivious
-  return append_to_active(chip, lpn, std::move(data), now, /*gc=*/false);
+  return append_to_active(chip, lpn, std::move(data), now, /*gc=*/false,
+                          stream_slot(current_stream()));
 }
 
 Result<Microseconds> PageFtl::allocate_gc_page(std::uint32_t chip, Lpn lpn,

@@ -43,10 +43,14 @@ class PageFtl : public FtlBase {
   Result<Microseconds> allocate_gc_page(std::uint32_t chip, Lpn lpn, nand::PageData data,
                                         Microseconds now, bool background) override;
 
-  /// Append one page at `chip`'s active cursor (allocating / running
-  /// foreground GC as needed) and commit the mapping.
+  /// Append one page at `chip`'s active cursor for `slot` (allocating /
+  /// running foreground GC as needed) and commit the mapping. Slot 0 is
+  /// the default-stream + GC cursor (the only one that exists
+  /// pre-multi-tenant); host writes carrying a stream hint use the slot
+  /// FtlBase::stream_slot maps it to, so streams fill distinct blocks.
   Result<Microseconds> append_to_active(std::uint32_t chip, Lpn lpn, nand::PageData data,
-                                        Microseconds now, bool gc);
+                                        Microseconds now, bool gc,
+                                        std::uint32_t slot = 0);
 
   /// Hook: called with the chosen physical page before it is programmed.
   /// May delay the program (return a later time) — parityFTL waits for the
@@ -76,8 +80,15 @@ class PageFtl : public FtlBase {
 
   [[nodiscard]] const nand::ProgramOrder& order() const { return order_; }
 
+  /// The cursor of (chip, slot) — fixed-size (never reallocates, so
+  /// references stay valid across the GC recursion in append_to_active).
+  [[nodiscard]] ActiveCursor& cursor_at(std::uint32_t chip, std::uint32_t slot) {
+    return active_[chip * slots_ + slot];
+  }
+
   nand::ProgramOrder order_;  // the device's FPS order, one per block shape
-  std::vector<ActiveCursor> active_;  // per chip
+  std::uint32_t slots_;       // cursor slots per chip (config.write_stream_slots)
+  std::vector<ActiveCursor> active_;  // [chip][slot], flattened
 };
 
 }  // namespace rps::ftl

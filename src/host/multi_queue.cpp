@@ -1,0 +1,286 @@
+#include "src/host/multi_queue.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace rps::host {
+
+namespace {
+
+/// FNV-1a, the digest primitive (stable across platforms and runs).
+void fnv_mix(std::uint64_t& h, const std::string& s) {
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+}
+
+}  // namespace
+
+std::uint64_t MultiQueueResult::digest() const {
+  std::uint64_t h = 1469598103934665603ull;
+  std::ostringstream os;
+  os << end_time_us << '|' << idle_windows << '|' << crashed;
+  for (const TenantResult& t : tenants) {
+    os << '|' << t.id << ',' << t.submitted << ',' << t.completed << ','
+       << t.aborted << ',' << t.failed << ',' << t.read_requests << ','
+       << t.write_requests << ',' << t.pages << ',' << t.read_errors << ','
+       << t.last_complete_us << ',' << t.latency_us.to_json() << ','
+       << t.write_latency_us.to_json();
+  }
+  fnv_mix(h, os.str());
+  return h;
+}
+
+MultiQueueFrontend::MultiQueueFrontend(ftl::FtlBase& ftl, MultiQueueConfig config)
+    : ftl_(ftl), config_(std::move(config)) {
+  controller_ = std::make_unique<ctrl::Controller>(
+      ftl_, ctrl::ControllerConfig{.stripe_writes = config_.stripe_writes,
+                                   .keep_op_log = config_.keep_op_log});
+}
+
+void MultiQueueFrontend::add_tenant(const TenantConfig& config,
+                                    workload::Trace trace) {
+  assert(config.id == queues_.size());  // ids must be dense, in order
+  assert(trace.is_sorted());
+  Queue q;
+  q.config = config;
+  q.trace = std::move(trace);
+  q.result.id = config.id;
+  queues_.push_back(std::move(q));
+}
+
+void MultiQueueFrontend::attach_tenant_sampler(std::uint32_t tenant,
+                                               obs::StateSampler* sampler) {
+  Queue& q = queues_.at(tenant);
+  q.sampler = sampler;
+  if (sampler == nullptr) return;
+  sampler->set_collector([this, tenant](obs::StateSample& sample) {
+    const Queue& queue = queues_[tenant];
+    const auto& reqs = queue.trace.requests();
+    sample.q = -1;
+    sample.sbqueue = queue.in_flight;
+    // Backlog: arrived by the current instant, not yet admitted.
+    const auto begin = reqs.begin() + static_cast<std::ptrdiff_t>(queue.next);
+    const auto it = std::upper_bound(
+        begin, reqs.end(), cur_time_,
+        [](Microseconds t, const workload::IoRequest& r) { return t < r.arrival_us; });
+    sample.queued_write_ops = static_cast<std::uint64_t>(it - begin);
+    // Progress through the tenant's trace, repurposing the free-fraction
+    // column of the shared sample schema.
+    sample.free_fraction =
+        reqs.empty() ? 1.0
+                     : static_cast<double>(queue.next) / static_cast<double>(reqs.size());
+  });
+}
+
+void MultiQueueFrontend::set_observability(obs::TraceSink* sink,
+                                           obs::StateSampler* sampler) {
+  controller_->set_observability(sink, sampler);
+}
+
+Microseconds MultiQueueFrontend::next_arrival() const {
+  // A head whose arrival already passed is cap-blocked (the admission
+  // loop admits every other kind on the spot): its next chance comes from
+  // a completion, not from the arrival clock — skip it here, or the event
+  // loop would spin on an instant it cannot make progress at. Before the
+  // first instant runs nothing was ever admitted, so that reasoning does
+  // not apply yet — an arrival at exactly cur_time_ (a trace that starts
+  // at t = 0) must still open the loop.
+  Microseconds next = kTimeNever;
+  for (const Queue& q : queues_) {
+    if (q.next >= q.trace.size()) continue;
+    const Microseconds arrival = q.trace.requests()[q.next].arrival_us;
+    if (arrival > cur_time_ || !started_) next = std::min(next, arrival);
+  }
+  return next;
+}
+
+double MultiQueueFrontend::buffer_utilization() const {
+  const std::uint32_t cap = ftl_.config().write_buffer_pages;
+  if (cap == 0) return 0.0;
+  return std::min(1.0, static_cast<double>(in_flight_write_pages_) /
+                           static_cast<double>(cap));
+}
+
+void MultiQueueFrontend::harvest(Microseconds /*t*/) {
+  for (const ctrl::CommandResult& res : controller_->take_all_results()) {
+    const auto it = pending_.find(res.id);
+    assert(it != pending_.end());
+    const Pending p = it->second;
+    pending_.erase(it);
+    Queue& q = queues_[p.tenant];
+    if (res.aborted) {
+      // Torn off by a power loss: never acknowledged, no completion will
+      // ever release its slot — release it here.
+      ++q.result.aborted;
+      assert(q.in_flight > 0);
+      --q.in_flight;
+      in_flight_pages_ -= p.pages;
+      if (p.write) in_flight_write_pages_ -= p.pages;
+      continue;
+    }
+    const Microseconds done = res.last_complete;
+    ++q.result.completed;
+    if (!res.ok) ++q.result.failed;
+    q.result.read_errors += res.read_errors;
+    const auto latency =
+        static_cast<std::uint64_t>(done > p.arrival ? done - p.arrival : 0);
+    q.result.latency_us.add(latency);
+    if (p.write) q.result.write_latency_us.add(latency);
+    q.result.last_complete_us = std::max(q.result.last_complete_us, done);
+    last_completion_ = std::max(last_completion_, done);
+    completions_.push(
+        Completion{done, p.tenant, p.pages, p.write ? p.pages : 0});
+  }
+}
+
+void MultiQueueFrontend::process_instant(Microseconds t) {
+  cur_time_ = t;
+  started_ = true;
+  const std::uint32_t n = num_tenants();
+  const auto budget_fits = [&](std::uint32_t pages) {
+    if (config_.shared_page_budget == 0) return true;
+    if (in_flight_pages_ + pages <= config_.shared_page_budget) return true;
+    // Oversized command: admit alone rather than deadlock.
+    return in_flight_pages_ == 0 && pages > config_.shared_page_budget;
+  };
+  const auto refresh = [&](std::uint32_t i) {
+    const Queue& q = queues_[i];
+    const bool ok = q.next < q.trace.size() &&
+                    q.trace.requests()[q.next].arrival_us <= t &&
+                    q.in_flight < q.config.in_flight_cap &&
+                    budget_fits(q.trace.requests()[q.next].page_count);
+    eligible_[i] = ok ? 1 : 0;
+    head_cost_[i] = ok ? q.trace.requests()[q.next].page_count : 0;
+  };
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    // Completions due by now release their tenant's in-flight slot (and
+    // their share of the write buffer).
+    while (!completions_.empty() && completions_.top().at <= t) {
+      const Completion c = completions_.top();
+      completions_.pop();
+      Queue& q = queues_[c.tenant];
+      assert(q.in_flight > 0);
+      --q.in_flight;
+      assert(in_flight_pages_ >= c.pages);
+      in_flight_pages_ -= c.pages;
+      assert(in_flight_write_pages_ >= c.write_pages);
+      in_flight_write_pages_ -= c.write_pages;
+      progress = true;
+    }
+    // Arbitration: hand the arbiter the eligible heads until it runs dry.
+    for (std::uint32_t i = 0; i < n; ++i) refresh(i);
+    while (const std::optional<std::uint32_t> pick =
+               arbiter_->admit(eligible_, head_cost_)) {
+      Queue& q = queues_[*pick];
+      const workload::IoRequest& r = q.trace.requests()[q.next];
+      const bool write = r.kind == workload::IoKind::kWrite;
+      ctrl::HostCommand cmd;
+      cmd.kind = write ? ctrl::CmdKind::kWrite : ctrl::CmdKind::kRead;
+      cmd.lpn = r.lpn;
+      cmd.page_count = r.page_count;
+      cmd.issue = t;
+      cmd.stream = q.config.effective_stream();
+      in_flight_pages_ += r.page_count;
+      if (write) in_flight_write_pages_ += r.page_count;
+      cmd.buffer_utilization = buffer_utilization();
+      const ctrl::CommandId id = controller_->submit(cmd);
+      pending_.emplace(id, Pending{*pick, r.arrival_us, r.page_count, write});
+      if (config_.keep_admission_log) {
+        admission_log_.push_back(AdmissionRecord{*pick, q.next, r.arrival_us, t,
+                                                 id, r.page_count, write});
+      }
+      ++q.next;
+      ++q.in_flight;
+      ++q.result.submitted;
+      q.result.pages += r.page_count;
+      if (write) {
+        ++q.result.write_requests;
+      } else {
+        ++q.result.read_requests;
+      }
+      // An admission changes the shared budget, which can flip any
+      // queue's eligibility — refresh them all.
+      for (std::uint32_t i = 0; i < n; ++i) refresh(i);
+      progress = true;
+    }
+    controller_->drain(t);
+    const std::size_t before = pending_.size();
+    harvest(t);
+    if (pending_.size() != before) progress = true;
+  }
+  tick_samplers(t);
+}
+
+void MultiQueueFrontend::tick_samplers(Microseconds t) {
+  for (Queue& q : queues_) {
+    if (q.sampler == nullptr) continue;
+    q.sampler->set_utilization(
+        q.config.in_flight_cap == 0
+            ? 0.0
+            : static_cast<double>(q.in_flight) /
+                  static_cast<double>(q.config.in_flight_cap));
+    q.sampler->tick(t);
+  }
+}
+
+MultiQueueResult MultiQueueFrontend::run(Microseconds crash_time_us) {
+  assert(!queues_.empty());
+  const auto n = static_cast<std::uint32_t>(queues_.size());
+  ctrl::ArbiterConfig arb = config_.arbiter;
+  if (arb.weights.empty()) {
+    arb.weights.reserve(n);
+    for (const Queue& q : queues_) arb.weights.push_back(q.config.weight);
+  }
+  arbiter_ = std::make_unique<ctrl::QueueArbiter>(n, arb);
+  eligible_.assign(n, 0);
+  head_cost_.assign(n, 0);
+
+  while (true) {
+    const Microseconds na = next_arrival();
+    Microseconds nc = completions_.empty() ? kTimeNever : completions_.top().at;
+    if (nc == kTimeNever && !pending_.empty()) {
+      // Commands in flight but no known completion: their ops wait on
+      // controller-internal wake-ups (busy chips). Run the controller
+      // forward to the next external decision point and harvest.
+      controller_->drain(std::min(na, crash_time_us));
+      harvest(cur_time_);
+      nc = completions_.empty() ? kTimeNever : completions_.top().at;
+      if (nc == kTimeNever && na == kTimeNever) break;  // crash-capped tail
+    }
+    const Microseconds t = std::min(na, nc);
+    if (t == kTimeNever) break;
+    if (t >= crash_time_us) break;  // nothing at or after the cut happens
+    if (t == na && completions_.empty() && pending_.empty() &&
+        t > last_completion_ + config_.idle_threshold_us) {
+      // Same semantics as sim::Simulator's idle-window detection: the
+      // device has drained and the next arrival leaves a real gap.
+      ftl_.on_idle(last_completion_, t);
+      ++idle_windows_;
+    }
+    process_instant(t);
+  }
+
+  MultiQueueResult result;
+  result.crashed = crash_time_us != kTimeNever;
+  result.idle_windows = idle_windows_;
+  result.end_time_us = last_completion_;
+  result.tenants.reserve(n);
+  for (const Queue& q : queues_) result.tenants.push_back(q.result);
+  return result;
+}
+
+ctrl::PowerLossOutcome MultiQueueFrontend::power_loss(Microseconds t,
+                                                      MultiQueueResult& result) {
+  const ctrl::PowerLossOutcome outcome = controller_->power_loss(t);
+  harvest(t);  // aborted commands surface as finished results
+  for (std::uint32_t i = 0; i < num_tenants(); ++i) result.tenants[i] = queues_[i].result;
+  result.end_time_us = std::max(result.end_time_us, last_completion_);
+  return outcome;
+}
+
+}  // namespace rps::host

@@ -1,0 +1,59 @@
+#include "src/host/tenant.hpp"
+
+#include <cassert>
+
+#include "src/util/parallel.hpp"
+
+namespace rps::host {
+
+LpnPartition tenant_partition(std::uint32_t id, std::uint32_t tenants,
+                              Lpn exported_pages) {
+  assert(tenants > 0 && id < tenants);
+  const Lpn span = exported_pages / tenants;
+  LpnPartition p;
+  p.first = static_cast<Lpn>(id) * span;
+  p.pages = id + 1 == tenants ? exported_pages - p.first : span;
+  return p;
+}
+
+std::uint32_t tenant_of_lpn(Lpn lpn, std::uint32_t tenants, Lpn exported_pages) {
+  assert(tenants > 0 && lpn < exported_pages);
+  const Lpn span = exported_pages / tenants;
+  if (span == 0) return tenants - 1;
+  const Lpn idx = lpn / span;
+  return static_cast<std::uint32_t>(idx >= tenants ? tenants - 1 : idx);
+}
+
+workload::Trace tenant_trace(const TenantConfig& config, const LpnPartition& partition,
+                             std::uint64_t base_seed) {
+  assert(partition.pages > 0);
+  workload::OpenLoopConfig ol;
+  ol.name = "tenant-" + std::to_string(config.id);
+  ol.arrival = config.arrival;
+  ol.read_fraction = config.read_fraction;
+  ol.first_lpn = partition.first;
+  ol.working_set_pages = partition.pages;
+  ol.zipf_theta = config.zipf_theta;
+  ol.size_dist = config.size_dist;
+  ol.mean_interarrival_us = config.mean_interarrival_us;
+  ol.on_mean_us = config.on_mean_us;
+  ol.off_mean_us = config.off_mean_us;
+  ol.start_us = config.start_us;
+  ol.total_requests = config.requests;
+  ol.seed = util::derive_seed(base_seed, config.id);
+  return workload::generate_open_loop(ol);
+}
+
+std::vector<workload::Trace> build_tenant_traces(
+    const std::vector<TenantConfig>& tenants, Lpn exported_pages,
+    std::uint64_t base_seed, std::uint32_t jobs) {
+  std::vector<workload::Trace> traces(tenants.size());
+  util::parallel_for_indexed(tenants.size(), jobs, [&](std::size_t i) {
+    const LpnPartition partition = tenant_partition(
+        tenants[i].id, static_cast<std::uint32_t>(tenants.size()), exported_pages);
+    traces[i] = tenant_trace(tenants[i], partition, base_seed);
+  });
+  return traces;
+}
+
+}  // namespace rps::host

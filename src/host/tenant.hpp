@@ -1,0 +1,80 @@
+// Tenant model for the multi-queue frontend.
+//
+// A tenant is one independent open-loop request source: its own arrival
+// process, its own disjoint LPN partition, its own QoS parameters
+// (arbitration weight, in-flight cap) and its own FDP-style write
+// stream. Everything a tenant does is a pure function of
+// (TenantConfig, partition, derive_seed(base_seed, id)) — which is what
+// makes a multi-tenant run bit-identical at any --jobs value: traces may
+// be generated in parallel, but each one depends only on its own seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/types.hpp"
+#include "src/workload/generator.hpp"
+
+namespace rps::host {
+
+struct TenantConfig {
+  std::uint32_t id = 0;
+
+  /// Open-loop arrival process (see workload::OpenLoopConfig).
+  workload::ArrivalProcess arrival = workload::ArrivalProcess::kPoisson;
+  double read_fraction = 0.2;
+  double zipf_theta = 0.85;
+  workload::SizeDistribution size_dist{{1, 0.6}, {2, 0.3}, {4, 0.1}};
+  Microseconds mean_interarrival_us = 500;
+  Microseconds on_mean_us = 20'000;   // kBurstyOnOff only
+  Microseconds off_mean_us = 100'000; // kBurstyOnOff only
+  Microseconds start_us = 0;
+  std::uint64_t requests = 1'000;
+
+  /// QoS: arbitration weight (WRR/WDRR) and the NVMe-queue-depth-style
+  /// cap on commands admitted but not yet completed.
+  std::uint32_t weight = 1;
+  std::uint32_t in_flight_cap = 8;
+
+  /// Write-stream / placement hint carried by every command. The default
+  /// sentinel resolves to the tenant id, so tenant 0 rides the device's
+  /// default stream (slot 0) — which is what makes the N=1 frontend
+  /// bit-identical to the single-stream path.
+  static constexpr std::uint32_t kStreamFromId = 0xffffffffu;
+  std::uint32_t stream = kStreamFromId;
+
+  [[nodiscard]] std::uint32_t effective_stream() const {
+    return stream == kStreamFromId ? id : stream;
+  }
+};
+
+/// A tenant's disjoint slice of the exported LPN space.
+struct LpnPartition {
+  Lpn first = 0;
+  Lpn pages = 0;
+};
+
+/// Partition `exported_pages` evenly across `tenants`; the remainder goes
+/// to the last tenant. Partitions tile the space: tenant_of_lpn below is
+/// its exact inverse.
+[[nodiscard]] LpnPartition tenant_partition(std::uint32_t id, std::uint32_t tenants,
+                                            Lpn exported_pages);
+
+/// Which tenant's partition `lpn` falls in (the faultsim stream audit
+/// uses this to derive the expected stream tag of every mapped LPN).
+[[nodiscard]] std::uint32_t tenant_of_lpn(Lpn lpn, std::uint32_t tenants,
+                                          Lpn exported_pages);
+
+/// The tenant's open-loop trace over its partition, seeded with
+/// derive_seed(base_seed, config.id).
+[[nodiscard]] workload::Trace tenant_trace(const TenantConfig& config,
+                                           const LpnPartition& partition,
+                                           std::uint64_t base_seed);
+
+/// All tenants' traces, generated `jobs`-wide (parallel_for_indexed with
+/// slot-per-index merge: bit-identical to sequential for any jobs).
+[[nodiscard]] std::vector<workload::Trace> build_tenant_traces(
+    const std::vector<TenantConfig>& tenants, Lpn exported_pages,
+    std::uint64_t base_seed, std::uint32_t jobs = 1);
+
+}  // namespace rps::host

@@ -23,6 +23,18 @@ namespace rps::nand {
 /// flagged pages; host pages never set it.
 inline constexpr std::uint64_t kNonHostSpareFlag = 1ull << 63;
 
+/// Low spare bits of a *host* page carry its write-stream tag (the
+/// FDP-style placement hint the multi-queue frontend assigns per tenant).
+/// Tag 0 is the default stream; GC copies inherit the tag with the rest
+/// of the page, so stream ownership survives relocation. Metadata pages
+/// (kNonHostSpareFlag) reuse these bits for their own purposes.
+inline constexpr std::uint64_t kStreamSpareMask = 0xffffull;
+
+/// The stream tag stored in a host page's spare word.
+[[nodiscard]] inline constexpr std::uint32_t stream_of_spare(std::uint64_t spare) {
+  return static_cast<std::uint32_t>(spare & kStreamSpareMask);
+}
+
 /// What a program operation stores into a page.
 ///
 /// `spare` models the out-of-band area; FTLs use it for the reverse map

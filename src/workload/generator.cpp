@@ -140,6 +140,66 @@ Trace generate(const SyntheticConfig& config) {
   return trace;
 }
 
+Trace generate_open_loop(const OpenLoopConfig& config) {
+  assert(config.working_set_pages > 0);
+  assert(!config.size_dist.empty());
+  Rng rng(config.seed);
+  const std::uint32_t chunk_pages =
+      std::max_element(config.size_dist.begin(), config.size_dist.end(),
+                       [](const auto& a, const auto& b) { return a.first < b.first; })
+          ->first;
+  const std::uint64_t chunks =
+      std::max<std::uint64_t>(1, config.working_set_pages / chunk_pages);
+  const ZipfGenerator zipf(chunks, config.zipf_theta);
+
+  Trace trace(config.name);
+  trace.reserve(config.total_requests);
+
+  const auto emit = [&](Microseconds at) {
+    IoRequest r;
+    r.arrival_us = at;
+    r.kind = rng.chance(config.read_fraction) ? IoKind::kRead : IoKind::kWrite;
+    r.page_count = static_cast<std::uint32_t>(std::min<Lpn>(
+        sample_size(config.size_dist, rng), config.working_set_pages));
+    const std::uint64_t chunk = zipf.sample(rng);
+    const Lpn base = static_cast<Lpn>(chunk) * chunk_pages;
+    const std::uint32_t slack = chunk_pages - std::min(chunk_pages, r.page_count);
+    const Lpn offset = slack == 0 ? 0 : rng.next_below(slack + 1);
+    r.lpn = config.first_lpn +
+            std::min<Lpn>(base + offset, config.working_set_pages - r.page_count);
+    trace.add(r);
+  };
+
+  // The clock below is *sim-time*: every gap and OFF period advances a
+  // running `now` that each arrival is stamped with. (An earlier design
+  // stamped arrival k at k x mean_interarrival — a uniform grid with no
+  // long gaps, which silently disabled the idle-window GC/scrub path for
+  // bursty tenants. The scrub-count regression test pins this behavior.)
+  Microseconds now = config.start_us;
+  std::uint64_t emitted = 0;
+  const auto gap = [&](Microseconds mean) {
+    return static_cast<Microseconds>(rng.exponential(static_cast<double>(mean)) + 1.0);
+  };
+  if (config.arrival == ArrivalProcess::kPoisson) {
+    while (emitted < config.total_requests) {
+      now += gap(config.mean_interarrival_us);
+      emit(now);
+      ++emitted;
+    }
+  } else {
+    while (emitted < config.total_requests) {
+      const Microseconds on_end = now + gap(config.on_mean_us);
+      while (now < on_end && emitted < config.total_requests) {
+        emit(now);
+        ++emitted;
+        now += gap(config.mean_interarrival_us);
+      }
+      now = std::max(now, on_end) + gap(config.off_mean_us);
+    }
+  }
+  return trace;
+}
+
 Trace sequential_fill(Lpn pages, std::uint32_t pages_per_request) {
   Trace trace("sequential-fill");
   trace.reserve(pages / pages_per_request + 1);

@@ -70,6 +70,54 @@ SyntheticConfig preset_config(Preset preset, Lpn working_set_pages,
 /// Generate a trace from a configuration.
 Trace generate(const SyntheticConfig& config);
 
+/// Open-loop arrival processes for the multi-queue frontend's tenants.
+/// Open-loop = arrivals are a function of time alone, never of service
+/// completions: a tenant keeps submitting on its own clock whether or not
+/// the device has caught up, which is what makes contention (and QoS
+/// arbitration) visible.
+enum class ArrivalProcess : std::uint8_t {
+  kPoisson = 0,     // exponential inter-arrival gaps
+  kBurstyOnOff = 1, // exponential ON/OFF periods; Poisson arrivals while ON
+};
+
+constexpr const char* to_string(ArrivalProcess process) {
+  switch (process) {
+    case ArrivalProcess::kPoisson: return "poisson";
+    case ArrivalProcess::kBurstyOnOff: return "bursty";
+  }
+  return "?";
+}
+
+struct OpenLoopConfig {
+  std::string name = "open-loop";
+  ArrivalProcess arrival = ArrivalProcess::kPoisson;
+  double read_fraction = 0.5;
+  /// Requests address [first_lpn, first_lpn + working_set_pages): the
+  /// frontend gives each tenant a disjoint LPN partition.
+  Lpn first_lpn = 0;
+  Lpn working_set_pages = 1 << 16;
+  double zipf_theta = 0.85;
+  SizeDistribution size_dist{{1, 0.6}, {2, 0.3}, {4, 0.1}};
+
+  /// kPoisson: mean inter-arrival gap. kBurstyOnOff: mean gap while ON.
+  Microseconds mean_interarrival_us = 500;
+  /// kBurstyOnOff period lengths (exponential means).
+  Microseconds on_mean_us = 20'000;
+  Microseconds off_mean_us = 100'000;
+  /// Delay before the first arrival (lets an adversary hold fire early).
+  Microseconds start_us = 0;
+
+  std::uint64_t total_requests = 1'000;
+  std::uint64_t seed = 1;
+};
+
+/// Generate an open-loop trace. Arrival timestamps are accumulated
+/// *sim-time* (a running clock advanced by sampled gaps and OFF periods)
+/// — never request_index x mean, which would flatten every OFF period
+/// into a uniform arrival grid and starve the idle-window GC/scrub path
+/// of the gaps it triggers on.
+Trace generate_open_loop(const OpenLoopConfig& config);
+
 /// A sequential full-span write pass (one request per `pages_per_request`
 /// chunk, back to back). Used to precondition an FTL to steady state.
 Trace sequential_fill(Lpn pages, std::uint32_t pages_per_request = 8);

@@ -246,5 +246,60 @@ TEST(FaultSim, CutDuringParityFlushIsCountedNotTrusted) {
   EXPECT_TRUE(ftl.check_consistency());
 }
 
+// Multi-tenant crash sweeps: the power loss lands mid-arbitration of the
+// multi-queue frontend. Recovery must preserve (or explicitly drop to
+// tag 0) the per-tenant stream→block mappings — a nonzero cross-tenant
+// tag is a violation the stream audit counts — and every crash must
+// still replay bit-identically from its reproducer line, which now
+// round-trips --tenants / --arb.
+TEST(FaultSim, MultiTenantSweepSurvivesAllPoliciesAndFtls) {
+  for (const sim::FtlKind kind :
+       {sim::FtlKind::kPage, sim::FtlKind::kFlex, sim::FtlKind::kParity}) {
+    for (const ctrl::ArbPolicy arb : ctrl::kAllArbPolicies) {
+      FaultSimConfig config;
+      config.kind = kind;
+      config.seed = 7;
+      config.requests = 200;
+      config.tenants = 4;
+      config.arb = arb;
+      const SweepResult result = sweep(config, quick_sweep_options());
+      const std::string cell = std::string(sim::to_string(kind)) + "/" +
+                               ctrl::to_string(arb);
+      EXPECT_EQ(result.replay_mismatches, 0u) << cell;
+      EXPECT_TRUE(result.ok()) << cell << ": " << [&] {
+        std::string lines;
+        for (const SweepFailure& f : result.failures) lines += f.line + "\n";
+        return lines;
+      }();
+      EXPECT_GT(result.crashes_injected, 0u) << cell;
+    }
+  }
+}
+
+TEST(FaultSim, MultiTenantReproducerRoundTripsOnlyNonDefaultFlags) {
+  FaultSimConfig config;
+  config.tenants = 8;
+  config.arb = ctrl::ArbPolicy::kWeightedDeficitRoundRobin;
+  config.crash_time_us = 123456;
+  const std::string line = reproducer(config);
+  EXPECT_NE(line.find("--tenants=8"), std::string::npos) << line;
+  EXPECT_NE(line.find("--arb=wdrr"), std::string::npos) << line;
+
+  const std::optional<FaultSimConfig> parsed = parse_reproducer(line);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->tenants, 8u);
+  EXPECT_EQ(parsed->arb, ctrl::ArbPolicy::kWeightedDeficitRoundRobin);
+  EXPECT_EQ(parsed->crash_time_us, 123456);
+
+  // Defaults stay invisible: a single-tenant config emits the exact
+  // legacy line (byte-compatible with pre-multi-tenant reproducers).
+  const std::string legacy_line = reproducer(FaultSimConfig{});
+  EXPECT_EQ(legacy_line.find("--tenants"), std::string::npos) << legacy_line;
+  EXPECT_EQ(legacy_line.find("--arb"), std::string::npos) << legacy_line;
+  // And unknown policies are rejected, not defaulted.
+  EXPECT_FALSE(parse_reproducer("faultsim --arb=bogus").has_value());
+  EXPECT_FALSE(parse_reproducer("faultsim --tenants=0").has_value());
+}
+
 }  // namespace
 }  // namespace rps::faultsim
