@@ -9,9 +9,15 @@
 //      acceptance bar is "no worse than baseline" for every cell.
 //   2. Sweep scaling: wall time of a faultsim seed x density matrix at
 //      --jobs 1 vs --jobs 8, plus an FNV-1a digest of every cell's
-//      numeric results at both job counts. bit_identical must hold on
-//      any host; the speedup is only meaningful on multi-core hosts
-//      (host.cpus is recorded so CI can judge).
+//      numeric results at both job counts — and a third, cold arm
+//      (--jobs 1, fill re-run per trial) whose digest must equal the
+//      warm arms'. bit_identical must hold on any host; the speedup is
+//      only meaningful on multi-core hosts (host.cpus is recorded so CI
+//      can judge).
+//   3. Fork cost: per-FTL wall time of Simulator::precondition (the cold
+//      fork path every trial used to pay) vs Snapshot restore (the warm
+//      path), with checkpoint digests proving the restored state is
+//      bit-identical. fork_speedup is the headline warm-start number.
 //
 // Usage: bench_simcore [--quick] [--jobs=N] [--out=PATH]
 //   --quick   smaller request counts / fewer seeds (CI smoke)
@@ -176,11 +182,13 @@ struct SweepScaling {
   std::uint64_t seeds = 0;
   std::uint64_t density = 0;
   std::uint32_t jobs = 8;
-  double jobs1_secs = 0.0;
+  double cold_jobs1_secs = 0.0;  // fill re-run inside every trial
+  double jobs1_secs = 0.0;       // warm: trials fork from one snapshot
   double jobsn_secs = 0.0;
+  std::uint64_t digest_cold = 0;
   std::uint64_t digest_jobs1 = 0;
   std::uint64_t digest_jobsn = 0;
-  bool bit_identical = false;
+  bool bit_identical = false;  // cold == warm(jobs1) == warm(jobsN)
 };
 
 SweepScaling measure_sweep(std::uint64_t seeds, std::uint64_t density,
@@ -195,8 +203,17 @@ SweepScaling measure_sweep(std::uint64_t seeds, std::uint64_t density,
   options.seeds = seeds;
   options.densities = {density};
 
+  // Cold arm: the pre-snapshot behavior, fill phase re-run per trial.
   options.jobs = 1;
+  options.sweep.warm_start = false;
   double t0 = now_secs();
+  const std::vector<faultsim::MatrixCell> cold =
+      faultsim::sweep_matrix(base, options);
+  scaling.cold_jobs1_secs = now_secs() - t0;
+  scaling.digest_cold = digest_matrix(cold);
+
+  options.sweep.warm_start = true;
+  t0 = now_secs();
   const std::vector<faultsim::MatrixCell> sequential =
       faultsim::sweep_matrix(base, options);
   scaling.jobs1_secs = now_secs() - t0;
@@ -209,12 +226,53 @@ SweepScaling measure_sweep(std::uint64_t seeds, std::uint64_t density,
   scaling.jobsn_secs = now_secs() - t0;
   scaling.digest_jobsn = digest_matrix(parallel);
 
-  scaling.bit_identical = scaling.digest_jobs1 == scaling.digest_jobsn;
+  scaling.bit_identical = scaling.digest_jobs1 == scaling.digest_jobsn &&
+                          scaling.digest_cold == scaling.digest_jobs1;
   return scaling;
 }
 
+/// The fixed per-trial fork cost warm-starting eliminates: wall time of
+/// Simulator::precondition (what every Fig. 8 / runner trial used to pay)
+/// vs restoring the same state from a Snapshot, per FTL kind on the
+/// simcore geometry. Checkpoint digests of both paths must match — the
+/// restored device is bit-identical to the preconditioned one.
+struct ForkCost {
+  double precondition_secs = 0.0;  // summed over all FTL kinds
+  double restore_secs = 0.0;
+  std::uint64_t snapshot_bytes = 0;  // summed
+  bool digests_match = true;
+};
+
+ForkCost measure_fork_cost() {
+  ForkCost cost;
+  sim::ExperimentSpec spec = sim::ExperimentSpec::bench_default();
+  spec.ftl_config.geometry = simcore_geometry();
+  constexpr sim::FtlKind kKinds[] = {sim::FtlKind::kPage, sim::FtlKind::kParity,
+                                     sim::FtlKind::kRtf, sim::FtlKind::kFlex,
+                                     sim::FtlKind::kSlc};
+  for (const sim::FtlKind kind : kKinds) {
+    std::unique_ptr<ftl::FtlBase> ftl = sim::make_ftl(kind, spec.ftl_config);
+    sim::Simulator simulator(*ftl, spec.sim);
+    double t0 = now_secs();
+    simulator.precondition();
+    cost.precondition_secs += now_secs() - t0;
+    const sim::Snapshot snapshot = simulator.checkpoint();
+    cost.snapshot_bytes += snapshot.bytes().size();
+
+    std::unique_ptr<ftl::FtlBase> fork = sim::make_ftl(kind, spec.ftl_config);
+    sim::Simulator forked(*fork, spec.sim);
+    t0 = now_secs();
+    const bool restored = forked.warm_start(snapshot);
+    cost.restore_secs += now_secs() - t0;
+    cost.digests_match = cost.digests_match && restored &&
+                         forked.checkpoint().digest() == snapshot.digest();
+  }
+  return cost;
+}
+
 void write_json(const std::string& path, bool quick, std::uint64_t requests,
-                const std::vector<CellResult>& cells, const SweepScaling& sweep) {
+                const std::vector<CellResult>& cells, const SweepScaling& sweep,
+                const ForkCost& fork) {
   FILE* out = std::fopen(path.c_str(), "w");
   if (out == nullptr) {
     std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
@@ -250,17 +308,31 @@ void write_json(const std::string& path, bool quick, std::uint64_t requests,
   std::fprintf(out, "    \"density\": %llu,\n",
                static_cast<unsigned long long>(sweep.density));
   std::fprintf(out, "    \"jobs\": %u,\n", sweep.jobs);
+  std::fprintf(out, "    \"cold_jobs1_secs\": %.3f,\n", sweep.cold_jobs1_secs);
   std::fprintf(out, "    \"jobs1_secs\": %.3f,\n", sweep.jobs1_secs);
   std::fprintf(out, "    \"jobsN_secs\": %.3f,\n", sweep.jobsn_secs);
   std::fprintf(out, "    \"speedup\": %.3f,\n",
                sweep.jobsn_secs > 0 ? sweep.jobs1_secs / sweep.jobsn_secs : 0.0);
   std::fprintf(out, "    \"baseline_jobs1_secs\": %.3f,\n", kBaselineSweepSecs);
+  std::fprintf(out, "    \"digest_cold\": \"%016llx\",\n",
+               static_cast<unsigned long long>(sweep.digest_cold));
   std::fprintf(out, "    \"digest_jobs1\": \"%016llx\",\n",
                static_cast<unsigned long long>(sweep.digest_jobs1));
   std::fprintf(out, "    \"digest_jobsN\": \"%016llx\",\n",
                static_cast<unsigned long long>(sweep.digest_jobsn));
   std::fprintf(out, "    \"bit_identical\": %s\n",
                sweep.bit_identical ? "true" : "false");
+  std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"warm_start\": {\n");
+  std::fprintf(out, "    \"precondition_secs\": %.3f,\n", fork.precondition_secs);
+  std::fprintf(out, "    \"restore_secs\": %.3f,\n", fork.restore_secs);
+  std::fprintf(out, "    \"fork_speedup\": %.2f,\n",
+               fork.restore_secs > 0 ? fork.precondition_secs / fork.restore_secs
+                                     : 0.0);
+  std::fprintf(out, "    \"snapshot_bytes\": %llu,\n",
+               static_cast<unsigned long long>(fork.snapshot_bytes));
+  std::fprintf(out, "    \"digests_match\": %s\n",
+               fork.digests_match ? "true" : "false");
   std::fprintf(out, "  }\n");
   std::fprintf(out, "}\n");
   std::fclose(out);
@@ -317,11 +389,23 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(seeds),
               static_cast<unsigned long long>(kDensity), jobs);
   const SweepScaling sweep = measure_sweep(seeds, kDensity, jobs);
-  std::printf("  jobs=1: %.2fs  jobs=%u: %.2fs  speedup %.2fx  bit_identical=%s\n",
-              sweep.jobs1_secs, jobs, sweep.jobsn_secs,
+  std::printf("  cold jobs=1: %.2fs  warm jobs=1: %.2fs  jobs=%u: %.2fs  "
+              "speedup %.2fx  bit_identical=%s\n",
+              sweep.cold_jobs1_secs, sweep.jobs1_secs, jobs, sweep.jobsn_secs,
               sweep.jobsn_secs > 0 ? sweep.jobs1_secs / sweep.jobsn_secs : 0.0,
               sweep.bit_identical ? "yes" : "NO");
 
-  write_json(out_path, quick, requests, cells, sweep);
-  return sweep.bit_identical ? 0 : 1;
+  std::printf("fork cost: precondition vs snapshot-restore, all FTLs on the "
+              "simcore geometry\n");
+  const ForkCost fork = measure_fork_cost();
+  std::printf("  precondition %.3fs  restore %.3fs  fork_speedup %.1fx  "
+              "snapshot %.1f MiB  digests_match=%s\n",
+              fork.precondition_secs, fork.restore_secs,
+              fork.restore_secs > 0 ? fork.precondition_secs / fork.restore_secs
+                                    : 0.0,
+              static_cast<double>(fork.snapshot_bytes) / (1024.0 * 1024.0),
+              fork.digests_match ? "yes" : "NO");
+
+  write_json(out_path, quick, requests, cells, sweep, fork);
+  return sweep.bit_identical && fork.digests_match ? 0 : 1;
 }

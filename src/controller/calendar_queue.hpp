@@ -1,0 +1,88 @@
+// Two-tier (hierarchical) calendar queue: the time-ordered multiset under
+// the controller's EventQueue, replacing the binary heap.
+//
+// A calendar queue [Brown, CACM 1988] hashes each event time into a ring
+// of `nbuckets` buckets of `width` microseconds each (one "year" =
+// nbuckets * width). Near-future events — the controller's entire steady
+// state, where wake-ups cluster within a few op latencies of the clock —
+// land in a handful of buckets, so insert and pop are O(1) amortized
+// instead of the heap's O(log n).
+//
+// The hierarchy: events more than one year past the current minimum go to
+// an overflow tier (a sorted array, min at the back) instead of wrapping
+// around the ring and polluting year scans. As the clock advances,
+// overflow events within the new year migrate down into the calendar.
+//
+// Determinism contract: the structure stores bare timestamps, so "tie
+// order" of equal times is value-identity — pop order is exactly the
+// sorted multiset order, bit-identical to the heap it replaces. Growth
+// (bucket doubling) is a pure function of the insert/pop sequence; no
+// clocks, no sampling, no randomness.
+//
+// find-min after a pop walks the ring one bucket-width window at a time,
+// starting at the popped time's bucket: the first bucket whose minimum
+// falls inside its current-year window holds the global minimum (windows
+// are disjoint and increasing). A full fruitless cycle — sparse or
+// past-scheduled events — falls back to a direct scan of the per-bucket
+// minima, which is always exact.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/types.hpp"
+
+namespace rps::ctrl {
+
+class CalendarQueue {
+ public:
+  /// `width` = bucket granularity in simulated microseconds. The default
+  /// spans a typical NAND op latency, so one dispatch round's wake-ups
+  /// share a few adjacent buckets.
+  explicit CalendarQueue(Microseconds width = 256);
+
+  void insert(Microseconds t);
+
+  /// Remove and return the minimum. Precondition: !empty().
+  Microseconds pop_min();
+
+  /// Cached exact minimum, O(1). Precondition: !empty().
+  [[nodiscard]] Microseconds min() const { return min_; }
+
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  void clear();
+
+  /// Ring capacity right now (growth observability for tests).
+  [[nodiscard]] std::size_t bucket_count() const { return buckets_.size(); }
+
+ private:
+  [[nodiscard]] std::size_t bucket_of(Microseconds t) const {
+    return static_cast<std::size_t>(t / width_) & mask_;
+  }
+
+  /// Insert into a bucket, keeping it sorted descending (min at back()).
+  void place(Microseconds t);
+
+  /// Exact minimum of the calendar tier, >= `floor`; kTimeNever if the
+  /// tier is empty. `floor` must lower-bound every calendar event.
+  [[nodiscard]] Microseconds calendar_min_from(Microseconds floor) const;
+
+  /// Double the ring when buckets get crowded; redistributes in place.
+  void maybe_grow();
+
+  /// Pull overflow events that now fall inside the current year down into
+  /// the calendar tier.
+  void migrate_overflow();
+
+  std::vector<std::vector<Microseconds>> buckets_;
+  std::vector<Microseconds> overflow_;  // sorted descending, min at back
+  Microseconds width_;
+  std::size_t mask_;          // buckets_.size() - 1 (power of two)
+  std::size_t size_ = 0;      // both tiers
+  std::size_t in_calendar_ = 0;
+  Microseconds min_ = 0;      // exact global min (valid when size_ > 0)
+};
+
+}  // namespace rps::ctrl

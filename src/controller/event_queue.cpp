@@ -7,19 +7,19 @@ namespace rps::ctrl {
 void EventQueue::schedule(Microseconds t) {
   // Stale wake-up for the instant being processed: dispatch_at runs to a
   // fixpoint there, so this wake-up can't make anything newly
-  // dispatchable. (Outside an instant nothing <= the heap top may be
-  // dropped — a post-drain submit may legitimately re-wake a past time.)
+  // dispatchable. (Outside an instant nothing <= the earliest entry may
+  // be dropped — a post-drain submit may legitimately re-wake a past
+  // time.)
   if (processing_ && t <= current_) return;
   // Exact duplicate of the current earliest: the drain loop coalesces
   // equal pops, so the second entry could never be observed.
-  if (!heap_.empty() && t == heap_.top()) return;
-  heap_.push(t);
+  if (!times_.empty() && t == times_.min()) return;
+  times_.insert(t);
 }
 
 Microseconds EventQueue::pop() {
-  assert(!heap_.empty());
-  const Microseconds t = heap_.top();
-  heap_.pop();
+  assert(!times_.empty());
+  const Microseconds t = times_.pop_min();
   current_ = t;
   processing_ = true;
   return t;

@@ -1,7 +1,11 @@
-// Minimal discrete-event core for the command controller: a min-heap of
-// wake-up times. The controller schedules a wake-up whenever something
-// will become dispatchable later (a dependency completes, a chip goes
-// idle, a command's issue time arrives) and drains events in time order.
+// Minimal discrete-event core for the command controller: an ordered
+// multiset of wake-up times over a hierarchical calendar queue
+// (src/controller/calendar_queue.hpp — O(1) amortized against the dense,
+// near-clock wake-up profile the controller produces, where the old
+// binary heap paid O(log n) per op). The controller schedules a wake-up
+// whenever something will become dispatchable later (a dependency
+// completes, a chip goes idle, a command's issue time arrives) and
+// drains events in time order.
 //
 // The controller schedules redundantly by design (every blocked op posts
 // its own wake-up, chips post theirs), so the queue coalesces at the
@@ -15,10 +19,7 @@
 //     cannot unblock anything the fixpoint didn't already try.
 #pragma once
 
-#include <functional>
-#include <queue>
-#include <vector>
-
+#include "src/controller/calendar_queue.hpp"
 #include "src/util/types.hpp"
 
 namespace rps::ctrl {
@@ -27,11 +28,11 @@ class EventQueue {
  public:
   void schedule(Microseconds t);
 
-  [[nodiscard]] bool empty() const { return heap_.empty(); }
-  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+  [[nodiscard]] bool empty() const { return times_.empty(); }
+  [[nodiscard]] std::size_t size() const { return times_.size(); }
 
   /// Earliest scheduled time. Precondition: !empty().
-  [[nodiscard]] Microseconds peek() const { return heap_.top(); }
+  [[nodiscard]] Microseconds peek() const { return times_.min(); }
 
   /// Pop and return the earliest scheduled time. Precondition: !empty().
   /// Starts an "instant": until end_instant(), schedule() drops any time
@@ -44,12 +45,12 @@ class EventQueue {
 
   /// Drop every scheduled wake-up (power-loss teardown).
   void clear() {
-    heap_ = {};
+    times_.clear();
     processing_ = false;
   }
 
  private:
-  std::priority_queue<Microseconds, std::vector<Microseconds>, std::greater<>> heap_;
+  CalendarQueue times_;
   Microseconds current_ = 0;  // last popped time (valid while processing_)
   bool processing_ = false;
 };

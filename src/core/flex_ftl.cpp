@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "src/obs/trace.hpp"
+#include "src/util/serialize.hpp"
 
 namespace rps::core {
 
@@ -393,6 +394,182 @@ std::optional<nand::PageAddress> FlexFtl::find_newest_copy(
     }
   }
   return best;
+}
+
+namespace {
+
+void save_address(ser::Writer& w, const nand::PageAddress& addr) {
+  w.u32(addr.chip);
+  w.u32(addr.block);
+  w.u32(addr.pos.wordline);
+  w.u8(static_cast<std::uint8_t>(addr.pos.type));
+}
+
+void load_address(ser::Reader& r, nand::PageAddress& addr) {
+  addr.chip = r.u32();
+  addr.block = r.u32();
+  addr.pos.wordline = r.u32();
+  addr.pos.type = static_cast<nand::PageType>(r.u8());
+}
+
+void save_opt_block(ser::Writer& w, const std::optional<std::uint32_t>& block) {
+  w.boolean(block.has_value());
+  w.u32(block.value_or(0));
+}
+
+void load_opt_block(ser::Reader& r, std::optional<std::uint32_t>& block) {
+  const bool has = r.boolean();
+  const std::uint32_t value = r.u32();
+  block = has ? std::optional<std::uint32_t>(value) : std::nullopt;
+}
+
+void save_deque(ser::Writer& w, const std::deque<std::uint32_t>& q) {
+  w.u64(q.size());
+  for (const std::uint32_t b : q) w.u32(b);
+}
+
+bool load_deque(ser::Reader& r, std::deque<std::uint32_t>& q) {
+  q.clear();
+  const std::uint64_t n = r.u64();
+  if (n > r.remaining()) {
+    r.fail();
+    return false;
+  }
+  for (std::uint64_t i = 0; i < n; ++i) q.push_back(r.u32());
+  return true;
+}
+
+}  // namespace
+
+void FlexFtl::save_extra(ser::Writer& w) const {
+  w.u64(chips_.size());
+  for (const ChipState& chip : chips_) {
+    save_opt_block(w, chip.fast);
+    save_deque(w, chip.sbqueue);
+    nand::save(w, chip.parity_acc);
+    save_opt_block(w, chip.cold_fast);
+    save_deque(w, chip.cold_sbqueue);
+    nand::save(w, chip.cold_acc);
+    w.boolean(chip.backup.has_value());
+    if (chip.backup) {
+      w.u32(chip.backup->block);
+      w.u32(chip.backup->next_lsb);
+      w.u32(chip.backup->live_pages);
+    }
+    w.u64(chip.retiring.size());
+    for (const BackupBlock& b : chip.retiring) {
+      w.u32(b.block);
+      w.u32(b.next_lsb);
+      w.u32(b.live_pages);
+    }
+    // Canonical byte stream: hash maps are emitted sorted by block key.
+    std::vector<std::pair<std::uint32_t, Microseconds>> durable(
+        chip.parity_durable.begin(), chip.parity_durable.end());
+    std::sort(durable.begin(), durable.end());
+    w.u64(durable.size());
+    for (const auto& [block, at] : durable) {
+      w.u32(block);
+      w.i64(at);
+    }
+    std::vector<std::pair<std::uint32_t, nand::PageAddress>> pages(
+        chip.parity_page.begin(), chip.parity_page.end());
+    std::sort(pages.begin(), pages.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    w.u64(pages.size());
+    for (const auto& [block, addr] : pages) {
+      w.u32(block);
+      save_address(w, addr);
+    }
+    w.u64(chip.retire_log.size());
+    for (const ChipState::RetirementLogEntry& entry : chip.retire_log) {
+      w.u32(entry.block);
+      w.i64(entry.at);
+      save_address(w, entry.parity);
+    }
+  }
+  policy_.save(w);
+  predictor_.save(w);
+  w.u64(lsb_since_idle_);
+  w.u64(skipped_backups_);
+}
+
+void FlexFtl::load_extra(ser::Reader& r) {
+  if (r.u64() != chips_.size()) {
+    r.fail();
+    return;
+  }
+  for (ChipState& chip : chips_) {
+    load_opt_block(r, chip.fast);
+    if (!load_deque(r, chip.sbqueue)) return;
+    nand::load(r, chip.parity_acc);
+    load_opt_block(r, chip.cold_fast);
+    if (!load_deque(r, chip.cold_sbqueue)) return;
+    nand::load(r, chip.cold_acc);
+    chip.backup.reset();
+    if (r.boolean()) {
+      BackupBlock b;
+      b.block = r.u32();
+      b.next_lsb = r.u32();
+      b.live_pages = r.u32();
+      chip.backup = b;
+    }
+    chip.retiring.clear();
+    const std::uint64_t retiring = r.u64();
+    if (retiring > r.remaining()) {
+      r.fail();
+      return;
+    }
+    chip.retiring.reserve(static_cast<std::size_t>(retiring));
+    for (std::uint64_t i = 0; i < retiring; ++i) {
+      BackupBlock b;
+      b.block = r.u32();
+      b.next_lsb = r.u32();
+      b.live_pages = r.u32();
+      chip.retiring.push_back(b);
+    }
+    chip.parity_durable.clear();
+    const std::uint64_t durable = r.u64();
+    if (durable > r.remaining()) {
+      r.fail();
+      return;
+    }
+    chip.parity_durable.reserve(static_cast<std::size_t>(durable));
+    for (std::uint64_t i = 0; i < durable; ++i) {
+      const std::uint32_t block = r.u32();
+      chip.parity_durable.emplace(block, r.i64());
+    }
+    chip.parity_page.clear();
+    const std::uint64_t pages = r.u64();
+    if (pages > r.remaining()) {
+      r.fail();
+      return;
+    }
+    chip.parity_page.reserve(static_cast<std::size_t>(pages));
+    for (std::uint64_t i = 0; i < pages; ++i) {
+      const std::uint32_t block = r.u32();
+      nand::PageAddress addr;
+      load_address(r, addr);
+      chip.parity_page.emplace(block, addr);
+    }
+    chip.retire_log.clear();
+    const std::uint64_t log = r.u64();
+    if (log > r.remaining()) {
+      r.fail();
+      return;
+    }
+    chip.retire_log.reserve(static_cast<std::size_t>(log));
+    for (std::uint64_t i = 0; i < log; ++i) {
+      ChipState::RetirementLogEntry entry;
+      entry.block = r.u32();
+      entry.at = r.i64();
+      load_address(r, entry.parity);
+      chip.retire_log.push_back(entry);
+    }
+  }
+  policy_.load(r);
+  predictor_.load(r);
+  lsb_since_idle_ = r.u64();
+  skipped_backups_ = r.u64();
 }
 
 }  // namespace rps::core

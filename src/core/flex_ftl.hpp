@@ -111,6 +111,9 @@ class FlexFtl : public ftl::FtlBase {
   Result<Microseconds> allocate_gc_page(std::uint32_t chip, Lpn lpn, nand::PageData data,
                                         Microseconds now, bool background) override;
 
+  void save_extra(ser::Writer& w) const override;
+  void load_extra(ser::Reader& r) override;
+
  private:
   /// A backup block holding per-block parity pages on its LSB pages.
   struct BackupBlock {

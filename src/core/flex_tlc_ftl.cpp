@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "src/util/serialize.hpp"
+
 namespace rps::core {
 
 namespace {
@@ -540,6 +542,228 @@ bool FlexTlcFtl::check_consistency() const {
     }
   }
   return valid_total == mapped;
+}
+
+namespace {
+
+void save_tlc_address(ser::Writer& w, const nand::TlcPageAddress& addr) {
+  w.u32(addr.chip);
+  w.u32(addr.block);
+  w.u32(addr.pos.wordline);
+  w.u8(static_cast<std::uint8_t>(addr.pos.type));
+}
+
+void load_tlc_address(ser::Reader& r, nand::TlcPageAddress& addr) {
+  addr.chip = r.u32();
+  addr.block = r.u32();
+  addr.pos.wordline = r.u32();
+  addr.pos.type = static_cast<nand::TlcPageType>(r.u8());
+}
+
+}  // namespace
+
+void FlexTlcFtl::save_state(ser::Writer& w) const {
+  device_.save(w);
+  w.u64(mapping_.size());
+  for (const std::optional<nand::TlcPageAddress>& entry : mapping_) {
+    w.boolean(entry.has_value());
+    if (entry) save_tlc_address(w, *entry);
+  }
+  w.u64(chips_.size());
+  for (const ChipState& chip : chips_) {
+    w.u64(chip.free.size());
+    for (const std::uint32_t b : chip.free) w.u32(b);
+    w.boolean(chip.fast.has_value());
+    w.u32(chip.fast.value_or(0));
+    w.u64(chip.csb_queue.size());
+    for (const std::uint32_t b : chip.csb_queue) w.u32(b);
+    w.u64(chip.msb_queue.size());
+    for (const std::uint32_t b : chip.msb_queue) w.u32(b);
+    w.u64(chip.use.size());
+    for (const Use u : chip.use) w.u8(static_cast<std::uint8_t>(u));
+    w.u64(chip.valid.size());
+    for (const std::uint32_t v : chip.valid) w.u32(v);
+    w.u64(chip.written.size());
+    for (const std::uint32_t v : chip.written) w.u32(v);
+    nand::save(w, chip.lsb_acc);
+    // Canonical byte stream: hash maps are emitted sorted by block key.
+    std::vector<std::uint32_t> acc_keys;
+    acc_keys.reserve(chip.csb_acc.size());
+    for (const auto& [block, acc] : chip.csb_acc) acc_keys.push_back(block);
+    std::sort(acc_keys.begin(), acc_keys.end());
+    w.u64(acc_keys.size());
+    for (const std::uint32_t block : acc_keys) {
+      w.u32(block);
+      nand::save(w, chip.csb_acc.at(block));
+    }
+    for (const auto* parity : {&chip.lsb_parity, &chip.csb_parity}) {
+      std::vector<std::pair<std::uint32_t, nand::TlcPageAddress>> entries(
+          parity->begin(), parity->end());
+      std::sort(entries.begin(), entries.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+      w.u64(entries.size());
+      for (const auto& [block, addr] : entries) {
+        w.u32(block);
+        save_tlc_address(w, addr);
+      }
+    }
+    w.boolean(chip.backup.has_value());
+    if (chip.backup) {
+      w.u32(chip.backup->block);
+      w.u32(chip.backup->next_lsb);
+      w.u32(chip.backup->live_pages);
+    }
+    w.u64(chip.retiring.size());
+    for (const BackupBlock& b : chip.retiring) {
+      w.u32(b.block);
+      w.u32(b.next_lsb);
+      w.u32(b.live_pages);
+    }
+  }
+  w.u64(stats_.host_write_pages);
+  for (const std::uint64_t n : stats_.host_writes_by_pass) w.u64(n);
+  w.u64(stats_.gc_copy_pages);
+  w.u64(stats_.backup_pages);
+  w.u64(stats_.gc_blocks);
+  w.i64(quota_);
+  w.i64(initial_quota_);
+  w.u64(rotate_.size());
+  for (const std::uint8_t t : rotate_) w.u8(t);
+  w.u32(rr_chip_);
+  w.u64(write_version_);
+}
+
+void FlexTlcFtl::load_state(ser::Reader& r) {
+  device_.load(r);
+  if (r.u64() != mapping_.size()) {
+    r.fail();
+    return;
+  }
+  for (std::optional<nand::TlcPageAddress>& entry : mapping_) {
+    if (r.boolean()) {
+      nand::TlcPageAddress addr;
+      load_tlc_address(r, addr);
+      entry = addr;
+    } else {
+      entry.reset();
+    }
+  }
+  if (r.u64() != chips_.size()) {
+    r.fail();
+    return;
+  }
+  for (ChipState& chip : chips_) {
+    chip.free.clear();
+    const std::uint64_t free = r.u64();
+    if (free > r.remaining()) {
+      r.fail();
+      return;
+    }
+    for (std::uint64_t i = 0; i < free; ++i) chip.free.push_back(r.u32());
+    const bool has_fast = r.boolean();
+    const std::uint32_t fast = r.u32();
+    chip.fast = has_fast ? std::optional<std::uint32_t>(fast) : std::nullopt;
+    chip.csb_queue.clear();
+    const std::uint64_t csb = r.u64();
+    if (csb > r.remaining()) {
+      r.fail();
+      return;
+    }
+    for (std::uint64_t i = 0; i < csb; ++i) chip.csb_queue.push_back(r.u32());
+    chip.msb_queue.clear();
+    const std::uint64_t msb = r.u64();
+    if (msb > r.remaining()) {
+      r.fail();
+      return;
+    }
+    for (std::uint64_t i = 0; i < msb; ++i) chip.msb_queue.push_back(r.u32());
+    if (r.u64() != chip.use.size()) {
+      r.fail();
+      return;
+    }
+    for (Use& u : chip.use) {
+      const std::uint8_t raw = r.u8();
+      if (raw > static_cast<std::uint8_t>(Use::kBackup)) {
+        r.fail();
+        return;
+      }
+      u = static_cast<Use>(raw);
+    }
+    if (r.u64() != chip.valid.size()) {
+      r.fail();
+      return;
+    }
+    for (std::uint32_t& v : chip.valid) v = r.u32();
+    if (r.u64() != chip.written.size()) {
+      r.fail();
+      return;
+    }
+    for (std::uint32_t& v : chip.written) v = r.u32();
+    nand::load(r, chip.lsb_acc);
+    chip.csb_acc.clear();
+    const std::uint64_t accs = r.u64();
+    if (accs > r.remaining()) {
+      r.fail();
+      return;
+    }
+    for (std::uint64_t i = 0; i < accs; ++i) {
+      const std::uint32_t block = r.u32();
+      nand::PageData acc;
+      nand::load(r, acc);
+      chip.csb_acc.emplace(block, std::move(acc));
+    }
+    for (auto* parity : {&chip.lsb_parity, &chip.csb_parity}) {
+      parity->clear();
+      const std::uint64_t entries = r.u64();
+      if (entries > r.remaining()) {
+        r.fail();
+        return;
+      }
+      parity->reserve(static_cast<std::size_t>(entries));
+      for (std::uint64_t i = 0; i < entries; ++i) {
+        const std::uint32_t block = r.u32();
+        nand::TlcPageAddress addr;
+        load_tlc_address(r, addr);
+        parity->emplace(block, addr);
+      }
+    }
+    chip.backup.reset();
+    if (r.boolean()) {
+      BackupBlock b;
+      b.block = r.u32();
+      b.next_lsb = r.u32();
+      b.live_pages = r.u32();
+      chip.backup = b;
+    }
+    chip.retiring.clear();
+    const std::uint64_t retiring = r.u64();
+    if (retiring > r.remaining()) {
+      r.fail();
+      return;
+    }
+    chip.retiring.reserve(static_cast<std::size_t>(retiring));
+    for (std::uint64_t i = 0; i < retiring; ++i) {
+      BackupBlock b;
+      b.block = r.u32();
+      b.next_lsb = r.u32();
+      b.live_pages = r.u32();
+      chip.retiring.push_back(b);
+    }
+  }
+  stats_.host_write_pages = r.u64();
+  for (std::uint64_t& n : stats_.host_writes_by_pass) n = r.u64();
+  stats_.gc_copy_pages = r.u64();
+  stats_.backup_pages = r.u64();
+  stats_.gc_blocks = r.u64();
+  quota_ = r.i64();
+  initial_quota_ = r.i64();
+  if (r.u64() != rotate_.size()) {
+    r.fail();
+    return;
+  }
+  for (std::uint8_t& t : rotate_) t = r.u8();
+  rr_chip_ = r.u32();
+  write_version_ = r.u64();
 }
 
 }  // namespace rps::core

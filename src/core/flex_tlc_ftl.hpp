@@ -29,6 +29,11 @@
 #include "src/util/result.hpp"
 #include "src/util/types.hpp"
 
+namespace rps::ser {
+class Writer;
+class Reader;
+}  // namespace rps::ser
+
 namespace rps::core {
 
 struct TlcFtlConfig {
@@ -108,6 +113,11 @@ class FlexTlcFtl {
   }
 
   [[nodiscard]] bool check_consistency() const;
+
+  /// Serializes the complete FTL + TLC device state; loading into a
+  /// same-config instance restores it bit-identically (sim::Snapshot).
+  void save_state(ser::Writer& w) const;
+  void load_state(ser::Reader& r);
 
  private:
   enum class Use : std::uint8_t { kFree, kActive, kFull, kBackup };

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/util/serialize.hpp"
+
 namespace rps::core {
 
 PolicyManager::PolicyManager(const Params& params)
@@ -33,6 +35,21 @@ void PolicyManager::note_lsb_write() { --quota_; }
 
 void PolicyManager::note_msb_write() {
   quota_ = std::min(quota_ + 1, params_.initial_quota);
+}
+
+void PolicyManager::save(ser::Writer& w) const {
+  w.i64(quota_);
+  w.u64(alternate_toggle_.size());
+  for (const std::uint8_t t : alternate_toggle_) w.u8(t);
+}
+
+void PolicyManager::load(ser::Reader& r) {
+  quota_ = r.i64();
+  if (r.u64() != alternate_toggle_.size()) {
+    r.fail();
+    return;
+  }
+  for (std::uint8_t& t : alternate_toggle_) t = r.u8();
 }
 
 }  // namespace rps::core

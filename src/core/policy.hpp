@@ -19,6 +19,11 @@
 
 #include "src/nand/address.hpp"
 
+namespace rps::ser {
+class Writer;
+class Reader;
+}  // namespace rps::ser
+
 namespace rps::core {
 
 class PolicyManager {
@@ -52,6 +57,10 @@ class PolicyManager {
   [[nodiscard]] std::int64_t quota() const { return quota_; }
   [[nodiscard]] std::int64_t initial_quota() const { return params_.initial_quota; }
   [[nodiscard]] const Params& params() const { return params_; }
+
+  /// Snapshot support (params are construction-time config).
+  void save(ser::Writer& w) const;
+  void load(ser::Reader& r);
 
  private:
   nand::PageType alternate(std::uint32_t chip, bool slow_block_available);

@@ -13,6 +13,8 @@
 #include <algorithm>
 #include <cstdint>
 
+#include "src/util/serialize.hpp"
+
 namespace rps::core {
 
 class WritePredictor {
@@ -43,6 +45,18 @@ class WritePredictor {
   [[nodiscard]] bool seeded() const { return seeded_; }
   [[nodiscard]] double ewma() const { return ewma_; }
   [[nodiscard]] std::uint64_t peak() const { return peak_; }
+
+  /// Snapshot support (smoothing is construction-time config).
+  void save(ser::Writer& w) const {
+    w.f64(ewma_);
+    w.u64(peak_);
+    w.boolean(seeded_);
+  }
+  void load(ser::Reader& r) {
+    ewma_ = r.f64();
+    peak_ = r.u64();
+    seeded_ = r.boolean();
+  }
 
  private:
   double smoothing_;

@@ -19,6 +19,17 @@
 // sweep forces --jobs=1; each crash point records under its own process
 // lane. Traces timestamp in simulated microseconds and are byte-identical
 // across runs of the same flags.
+//
+// Warm-start plumbing (results are bit-identical in all three modes):
+//   --snapshot=PATH       run only the fill phase of the config, save the
+//                         post-fill WarmStart (FTL + oracle) to PATH,
+//                         print its digest, and exit.
+//   --from-snapshot=PATH  fork every trial from a WarmStart saved by
+//                         --snapshot instead of re-running the fill. The
+//                         snapshot must match the config's --ftl.
+//   --cold                re-run the fill phase in every trial (disables
+//                         the internal warm start sweeps use by default);
+//                         the slow path kept for differential testing.
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -96,15 +107,17 @@ std::vector<std::uint64_t> parse_list(const std::string& value) {
 }
 
 int run_matrix(const FaultSimConfig& base, std::uint64_t seeds,
-               const std::vector<std::uint64_t>& densities, std::uint32_t jobs) {
+               const std::vector<std::uint64_t>& densities, std::uint32_t jobs,
+               bool warm_start, const WarmStart* warm) {
   MatrixOptions options;
   options.seeds = seeds;
   options.densities = densities;
   options.jobs = jobs;
+  options.sweep.warm_start = warm_start;
   // Cells fan out jobs-wide but come back in cell-enumeration order, so
   // the per-cell lines (and the totals) below are byte-identical to a
   // sequential run for any --jobs value.
-  const std::vector<MatrixCell> matrix = sweep_matrix(base, options);
+  const std::vector<MatrixCell> matrix = sweep_matrix(base, options, warm);
   SweepResult total;
   std::uint64_t cells = 0;
   for (const MatrixCell& cell : matrix) {
@@ -148,6 +161,9 @@ int main(int argc, char** argv) {
   std::uint64_t points = 16;
   std::uint32_t jobs = 1;
   std::string trace_path;
+  std::string snapshot_path;
+  std::string from_snapshot_path;
+  bool cold = false;
 
   // Split driver flags from reproducer flags; the rest of the line is
   // parsed by the same parser the sweep's replay check uses.
@@ -169,6 +185,12 @@ int main(int argc, char** argv) {
         jobs = static_cast<std::uint32_t>(std::stoul(arg.substr(7)));
       } else if (arg.rfind("--trace=", 0) == 0) {
         trace_path = arg.substr(8);
+      } else if (arg.rfind("--snapshot=", 0) == 0) {
+        snapshot_path = arg.substr(11);
+      } else if (arg.rfind("--from-snapshot=", 0) == 0) {
+        from_snapshot_path = arg.substr(16);
+      } else if (arg == "--cold") {
+        cold = true;
       } else {
         repro_line += ' ';
         repro_line += arg;
@@ -185,7 +207,40 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  if (matrix) return run_matrix(*config, seeds, densities, jobs);
+  if (!snapshot_path.empty()) {
+    // Snapshot-only mode: run the fill phase, persist the fork point.
+    const WarmStart warm = make_warm_start(*config);
+    if (!warm.save_file(snapshot_path)) {
+      std::fprintf(stderr, "failed to write snapshot: %s\n",
+                   snapshot_path.c_str());
+      return 2;
+    }
+    std::printf("snapshot: %s ftl=%s bytes=%zu digest=%016llx\n",
+                snapshot_path.c_str(), warm.ftl.ftl_name().c_str(),
+                warm.ftl.bytes().size() + warm.oracle.size(),
+                static_cast<unsigned long long>(warm.digest()));
+    return 0;
+  }
+
+  std::optional<WarmStart> loaded;
+  if (!from_snapshot_path.empty()) {
+    if (cold) {
+      std::fprintf(stderr, "--from-snapshot and --cold are exclusive\n");
+      return 2;
+    }
+    loaded = WarmStart::load_file(from_snapshot_path);
+    if (!loaded) {
+      std::fprintf(stderr, "failed to load snapshot: %s\n",
+                   from_snapshot_path.c_str());
+      return 2;
+    }
+    std::printf("from-snapshot: %s ftl=%s digest=%016llx\n",
+                from_snapshot_path.c_str(), loaded->ftl.ftl_name().c_str(),
+                static_cast<unsigned long long>(loaded->digest()));
+  }
+  const WarmStart* warm = loaded ? &*loaded : nullptr;
+
+  if (matrix) return run_matrix(*config, seeds, densities, jobs, !cold, warm);
 
   obs::TraceSink sink;
   obs::TraceSink* const sink_ptr = trace_path.empty() ? nullptr : &sink;
@@ -203,7 +258,8 @@ int main(int argc, char** argv) {
     SweepOptions options;
     options.crash_points = points;
     options.jobs = jobs;
-    const SweepResult result = sweep(*config, options, sink_ptr);
+    options.warm_start = !cold;
+    const SweepResult result = sweep(*config, options, sink_ptr, warm);
     if (!write_trace()) return 2;
     std::printf("boundaries=%llu crashes=%llu victims=%llu recovered=%llu "
                 "lost=%llu replay_mismatches=%llu failures=%zu\n",
@@ -217,8 +273,8 @@ int main(int argc, char** argv) {
     return report_failures(result);
   }
 
-  // Single-trial replay.
-  const TrialResult trial = run_trial(*config, sink_ptr);
+  // Single-trial replay (runs cold unless --from-snapshot is given).
+  const TrialResult trial = run_trial(*config, sink_ptr, warm);
   if (!write_trace()) return 2;
   std::printf("%s\n", reproducer(*config).c_str());
   print_report(trial.report);

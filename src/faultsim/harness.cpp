@@ -1,6 +1,7 @@
 #include "src/faultsim/harness.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
@@ -9,6 +10,7 @@
 #include "src/host/multi_queue.hpp"
 #include "src/obs/trace.hpp"
 #include "src/util/random.hpp"
+#include "src/util/serialize.hpp"
 
 namespace rps::faultsim {
 
@@ -113,7 +115,101 @@ std::vector<host::TenantConfig> make_tenants(const FaultSimConfig& config,
 
 }  // namespace
 
-TrialResult run_trial(const FaultSimConfig& config, obs::TraceSink* sink) {
+std::uint64_t WarmStart::digest() const {
+  std::uint64_t h = ser::fnv1a(ftl.bytes());
+  return ser::fnv1a(oracle.data(), oracle.size(), h);
+}
+
+namespace {
+constexpr std::uint64_t kWarmStartMagic = 0x314d524157535052ull;  // "RPSWARM1"
+}  // namespace
+
+bool WarmStart::save_file(const std::string& path) const {
+  ser::Writer w;
+  w.u64(kWarmStartMagic);
+  w.u64(ftl.bytes().size());
+  w.bytes(ftl.bytes().data(), ftl.bytes().size());
+  w.u64(oracle.size());
+  w.bytes(oracle.data(), oracle.size());
+  w.u64(digest());
+  const std::vector<std::uint8_t> bytes = w.take();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const std::size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  return std::fclose(f) == 0 && written == bytes.size();
+}
+
+std::optional<WarmStart> WarmStart::load_file(const std::string& path) {
+  // Reuse the snapshot file reader for the raw bytes; validation is ours.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return std::nullopt;
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t chunk[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(chunk, 1, sizeof chunk, f)) > 0) {
+    bytes.insert(bytes.end(), chunk, chunk + n);
+  }
+  const bool read_ok = std::ferror(f) == 0;
+  std::fclose(f);
+  if (!read_ok) return std::nullopt;
+  ser::Reader r(bytes);
+  if (r.u64() != kWarmStartMagic) return std::nullopt;
+  WarmStart warm;
+  const std::uint64_t snap_size = r.u64();
+  if (snap_size > r.remaining()) return std::nullopt;
+  std::vector<std::uint8_t> snap(static_cast<std::size_t>(snap_size));
+  r.bytes(snap.data(), snap.size());
+  warm.ftl = sim::Snapshot::from_bytes(std::move(snap));
+  const std::uint64_t oracle_size = r.u64();
+  if (oracle_size > r.remaining()) return std::nullopt;
+  warm.oracle.resize(static_cast<std::size_t>(oracle_size));
+  r.bytes(warm.oracle.data(), warm.oracle.size());
+  const std::uint64_t digest = r.u64();
+  if (!r.ok() || !r.at_end() || digest != warm.digest() || !warm.ftl.valid()) {
+    return std::nullopt;
+  }
+  return warm;
+}
+
+namespace {
+
+/// The seed-independent fill phase: one pass over the working set through
+/// the synchronous path while the device is idle. Everything here is
+/// durable long before any crash point (crash points come from main-phase
+/// completions). Ends with the oracle's epoch mark — exactly the fork
+/// point WarmStart captures.
+void run_fill_phase(ftl::FtlBase& ftl, ShadowOracle& oracle, Lpn working_set) {
+  for (Lpn lpn = 0; lpn < working_set; ++lpn) {
+    const Result<ftl::HostOp> op = ftl.write(lpn, ftl.device().all_idle_at(), 0.5);
+    if (op.is_ok()) oracle.ack_latest(lpn, op.value().complete);
+  }
+  oracle.mark_epoch();
+}
+
+Lpn fill_working_set(const ftl::FtlBase& ftl, const FaultSimConfig& config) {
+  return std::max<Lpn>(
+      1, static_cast<Lpn>(static_cast<double>(ftl.exported_pages()) *
+                          config.working_set_fraction));
+}
+
+}  // namespace
+
+WarmStart make_warm_start(const FaultSimConfig& config) {
+  std::unique_ptr<ftl::FtlBase> ftl = sim::make_ftl(config.kind, config.ftl_config);
+  ShadowOracle oracle;
+  oracle.attach(*ftl);
+  run_fill_phase(*ftl, oracle, fill_working_set(*ftl, config));
+  oracle.detach();
+  WarmStart warm;
+  warm.ftl = sim::Snapshot::capture(*ftl);
+  ser::Writer w;
+  oracle.save(w);
+  warm.oracle = w.take();
+  return warm;
+}
+
+TrialResult run_trial(const FaultSimConfig& config, obs::TraceSink* sink,
+                      const WarmStart* warm) {
   TrialResult out;
   CrashReport& report = out.report;
   report.crash_time_us = config.crash_time_us;
@@ -123,17 +219,20 @@ TrialResult run_trial(const FaultSimConfig& config, obs::TraceSink* sink) {
   ShadowOracle oracle;
   oracle.attach(*ftl);
 
-  // Fill phase: one pass over the working set through the synchronous
-  // path while the device is idle. Everything here is durable long before
-  // any crash point (crash points come from main-phase completions).
-  const Lpn working_set = std::max<Lpn>(
-      1, static_cast<Lpn>(static_cast<double>(ftl->exported_pages()) *
-                          config.working_set_fraction));
-  for (Lpn lpn = 0; lpn < working_set; ++lpn) {
-    const Result<ftl::HostOp> op = ftl->write(lpn, ftl->device().all_idle_at(), 0.5);
-    if (op.is_ok()) oracle.ack_latest(lpn, op.value().complete);
+  const Lpn working_set = fill_working_set(*ftl, config);
+  if (warm != nullptr) {
+    // Fork from the shared post-fill snapshot instead of re-filling: the
+    // restored device, mapping and oracle history are bit-identical to
+    // what the fill loop below would produce.
+    const bool restored = warm->ftl.restore(*ftl);
+    assert(restored);
+    (void)restored;
+    ser::Reader r(warm->oracle);
+    oracle.load(r);
+    assert(r.ok() && r.at_end());
+  } else {
+    run_fill_phase(*ftl, oracle, working_set);
   }
-  oracle.mark_epoch();
   // Trace the main phase only: fill-phase writes are setup, not behaviour
   // under test.
   if (sink != nullptr) {

@@ -26,6 +26,7 @@
 #include "src/ftl/config.hpp"
 #include "src/sim/runner.hpp"
 #include "src/sim/simulator.hpp"
+#include "src/sim/snapshot.hpp"
 
 namespace rps::faultsim {
 
@@ -98,12 +99,37 @@ struct TrialResult {
   std::vector<Microseconds> boundaries;
 };
 
+/// Steady post-fill state a trial can fork from instead of re-running
+/// the fill phase: the FTL/device snapshot plus the shadow oracle's
+/// write history at the epoch mark. The fill phase is a pure function of
+/// (kind, ftl_config, working_set_fraction) — never the seed, engine,
+/// tenancy, or crash point — so ONE WarmStart serves an entire sweep
+/// matrix, and a forked trial is bit-identical to a cold one.
+struct WarmStart {
+  sim::Snapshot ftl;
+  std::vector<std::uint8_t> oracle;
+
+  [[nodiscard]] bool empty() const { return ftl.empty(); }
+  /// FNV-1a over both sections (the snapshot-smoke CI digest).
+  [[nodiscard]] std::uint64_t digest() const;
+
+  /// File round-trip (faultsim --snapshot / --from-snapshot).
+  [[nodiscard]] bool save_file(const std::string& path) const;
+  static std::optional<WarmStart> load_file(const std::string& path);
+};
+
+/// Run the fill phase of `config` once and capture the fork point.
+WarmStart make_warm_start(const FaultSimConfig& config);
+
 /// Run one trial end to end: fill phase, seeded main phase, optional
 /// crash + reboot + oracle audit. With `sink` attached, the main phase
 /// (and crash / recovery) is traced: NandOp events per chip under the
 /// controller engine, GC and parity events from the FTL, plus the
 /// power-loss cut and the recovery phase. The fill phase is not traced.
-TrialResult run_trial(const FaultSimConfig& config, obs::TraceSink* sink = nullptr);
+/// With `warm` non-null the fill phase is skipped and the trial forks
+/// from the snapshot (which must match config's kind and geometry).
+TrialResult run_trial(const FaultSimConfig& config, obs::TraceSink* sink = nullptr,
+                      const WarmStart* warm = nullptr);
 
 /// One-line reproducer: a `faultsim` command line that replays this exact
 /// trial. Round-trips through parse_reproducer.

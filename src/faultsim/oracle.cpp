@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "src/util/serialize.hpp"
+
 namespace rps::faultsim {
 
 void ShadowOracle::attach(ftl::FtlBase& ftl) {
@@ -116,6 +118,53 @@ OracleCheck ShadowOracle::check(ftl::FtlBase& ftl, Microseconds crash_time,
     if (result.first_failed_lpn == kInvalidLpn) result.first_failed_lpn = lpn;
   }
   return result;
+}
+
+void ShadowOracle::save(ser::Writer& w) const {
+  w.u64(history_.size());
+  for (const std::vector<WriteRecord>& records : history_) {
+    w.u64(records.size());
+    for (const WriteRecord& rec : records) {
+      w.u64(rec.version);
+      w.u64(rec.signature);
+      w.i64(rec.acked_at);
+    }
+  }
+  w.u64(epoch_.size());
+  for (const std::size_t base : epoch_) w.u64(base);
+  w.u64(observed_commits_);
+}
+
+void ShadowOracle::load(ser::Reader& r) {
+  const std::uint64_t lpns = r.u64();
+  if (lpns > r.remaining()) {
+    r.fail();
+    return;
+  }
+  history_.assign(static_cast<std::size_t>(lpns), {});
+  for (std::vector<WriteRecord>& records : history_) {
+    const std::uint64_t n = r.u64();
+    if (n > r.remaining()) {
+      r.fail();
+      return;
+    }
+    records.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i) {
+      WriteRecord rec;
+      rec.version = r.u64();
+      rec.signature = r.u64();
+      rec.acked_at = r.i64();
+      records.push_back(rec);
+    }
+  }
+  const std::uint64_t epochs = r.u64();
+  if (epochs > r.remaining()) {
+    r.fail();
+    return;
+  }
+  epoch_.assign(static_cast<std::size_t>(epochs), 0);
+  for (std::size_t& base : epoch_) base = static_cast<std::size_t>(r.u64());
+  observed_commits_ = r.u64();
 }
 
 }  // namespace rps::faultsim

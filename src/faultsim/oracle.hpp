@@ -28,6 +28,11 @@
 #include "src/ftl/ftl_base.hpp"
 #include "src/util/types.hpp"
 
+namespace rps::ser {
+class Writer;
+class Reader;
+}  // namespace rps::ser
+
 namespace rps::faultsim {
 
 /// Post-recovery verdict over every acknowledged host write.
@@ -73,6 +78,12 @@ class ShadowOracle {
                                   Microseconds now) const;
 
   [[nodiscard]] std::uint64_t observed_commits() const { return observed_commits_; }
+
+  /// Snapshot support (warm-started trials): serialize / restore the full
+  /// write history and epoch cursors. load() expects an oracle already
+  /// attach()ed to a same-capacity FTL (attach sizes the tables).
+  void save(ser::Writer& w) const;
+  void load(ser::Reader& r);
 
  private:
   struct WriteRecord {

@@ -15,14 +15,16 @@ bool fails(const CrashReport& report) {
 
 }  // namespace
 
-FaultSimConfig minimize_failure(const FaultSimConfig& config) {
+FaultSimConfig minimize_failure(const FaultSimConfig& config, const WarmStart* warm) {
   FaultSimConfig best = config;
   // Requests arriving at or after the cut were never issued; dropping
   // them cannot change the trial. Start the search from the issued count.
   {
     FaultSimConfig probe = config;
-    probe.requests = run_trial(config).report.requests_issued;
-    if (probe.requests > 0 && fails(run_trial(probe).report)) best = probe;
+    probe.requests = run_trial(config, nullptr, warm).report.requests_issued;
+    if (probe.requests > 0 && fails(run_trial(probe, nullptr, warm).report)) {
+      best = probe;
+    }
   }
   // Bisect [1, best.requests] for the smallest still-failing prefix. The
   // failure is not strictly monotone in the prefix length (a dropped
@@ -34,7 +36,7 @@ FaultSimConfig minimize_failure(const FaultSimConfig& config) {
     const std::uint64_t mid = lo + (hi - lo) / 2;
     FaultSimConfig probe = best;
     probe.requests = mid;
-    if (fails(run_trial(probe).report)) {
+    if (fails(run_trial(probe, nullptr, warm).report)) {
       best = probe;
       hi = mid;
     } else {
@@ -60,7 +62,8 @@ struct PointOutcome {
 PointOutcome run_point(const FaultSimConfig& golden,
                        const std::vector<Microseconds>& boundaries,
                        std::uint64_t k, std::uint64_t points,
-                       const SweepOptions& options, obs::TraceSink* sink) {
+                       const SweepOptions& options, obs::TraceSink* sink,
+                       const WarmStart* warm) {
   // Evenly spaced boundary indices; crash one microsecond before the
   // completion so the op is mid-flight at the cut.
   const std::size_t idx = static_cast<std::size_t>(
@@ -71,7 +74,7 @@ PointOutcome run_point(const FaultSimConfig& golden,
   // replay verification and minimization below re-run the same config and
   // would double every event.
   if (sink != nullptr) sink->set_pid(static_cast<std::uint32_t>(1 + k));
-  const TrialResult trial = run_trial(crashed, sink);
+  const TrialResult trial = run_trial(crashed, sink, warm);
   PointOutcome outcome;
   outcome.victims = trial.report.victims;
   outcome.pages_lost = trial.report.recovery.pages_lost;
@@ -84,7 +87,7 @@ PointOutcome run_point(const FaultSimConfig& golden,
     const std::optional<FaultSimConfig> parsed =
         parse_reproducer(reproducer(crashed));
     outcome.replay_mismatch =
-        !parsed || !(run_trial(*parsed).report == trial.report);
+        !parsed || !(run_trial(*parsed, nullptr, warm).report == trial.report);
   }
 
   if (!fails(trial.report) && !outcome.replay_mismatch) return outcome;
@@ -92,9 +95,9 @@ PointOutcome run_point(const FaultSimConfig& golden,
   outcome.failed = true;
   outcome.failure.replay_mismatch = outcome.replay_mismatch;
   outcome.failure.config = (options.minimize && fails(trial.report))
-                               ? minimize_failure(crashed)
+                               ? minimize_failure(crashed, warm)
                                : crashed;
-  outcome.failure.report = run_trial(outcome.failure.config).report;
+  outcome.failure.report = run_trial(outcome.failure.config, nullptr, warm).report;
   outcome.failure.line = reproducer(outcome.failure.config);
   return outcome;
 }
@@ -102,13 +105,22 @@ PointOutcome run_point(const FaultSimConfig& golden,
 }  // namespace
 
 SweepResult sweep(const FaultSimConfig& base, const SweepOptions& options,
-                  obs::TraceSink* sink) {
+                  obs::TraceSink* sink, const WarmStart* warm) {
   SweepResult result;
+
+  // Precondition once, fork everywhere: the golden trial, every crash
+  // point, every replay-verify and minimization probe all share one
+  // post-fill snapshot. Read-only, so jobs-wide sharing is free.
+  WarmStart local;
+  if (warm == nullptr && options.warm_start) {
+    local = make_warm_start(base);
+    warm = &local;
+  }
 
   FaultSimConfig golden = base;
   golden.crash_time_us = kTimeNever;
   if (sink != nullptr) sink->set_pid(0);  // golden run's trace scope
-  const TrialResult golden_trial = run_trial(golden, sink);
+  const TrialResult golden_trial = run_trial(golden, sink, warm);
   const std::vector<Microseconds>& boundaries = golden_trial.boundaries;
   result.golden_boundaries = boundaries.size();
   if (boundaries.empty()) return result;
@@ -124,7 +136,7 @@ SweepResult sweep(const FaultSimConfig& base, const SweepOptions& options,
   std::vector<PointOutcome> outcomes(points);
   util::parallel_for_indexed(
       points, jobs, [&](std::size_t k) {
-        outcomes[k] = run_point(golden, boundaries, k, points, options, sink);
+        outcomes[k] = run_point(golden, boundaries, k, points, options, sink, warm);
       });
   for (PointOutcome& outcome : outcomes) {
     ++result.crashes_injected;
@@ -138,7 +150,8 @@ SweepResult sweep(const FaultSimConfig& base, const SweepOptions& options,
 }
 
 std::vector<MatrixCell> sweep_matrix(const FaultSimConfig& base,
-                                     const MatrixOptions& options) {
+                                     const MatrixOptions& options,
+                                     const WarmStart* warm) {
   std::vector<MatrixCell> cells;
   for (std::uint64_t seed = 1; seed <= options.seeds; ++seed) {
     for (const std::uint64_t points : options.densities) {
@@ -147,6 +160,13 @@ std::vector<MatrixCell> sweep_matrix(const FaultSimConfig& base,
       cell.points = points;
       cells.push_back(std::move(cell));
     }
+  }
+  // One warm start serves the whole matrix: the fill phase never sees the
+  // seed or crash density, so every (seed, density) cell forks from it.
+  WarmStart local;
+  if (warm == nullptr && options.sweep.warm_start) {
+    local = make_warm_start(base);
+    warm = &local;
   }
   // One level of parallelism only: when cells fan out across the pool,
   // each cell's inner sweep runs sequentially (nested pools would
@@ -158,7 +178,7 @@ std::vector<MatrixCell> sweep_matrix(const FaultSimConfig& base,
     config.seed = cells[i].seed;
     SweepOptions cell_options = per_cell;
     cell_options.crash_points = cells[i].points;
-    cells[i].result = sweep(config, cell_options);
+    cells[i].result = sweep(config, cell_options, nullptr, warm);
   });
   return cells;
 }

@@ -32,6 +32,11 @@ struct SweepOptions {
   /// crash-point order — the SweepResult is bit-identical for any jobs
   /// value, including 1 (which runs inline, the pre-pool path).
   std::uint32_t jobs = 1;
+  /// false (faultsim --cold) re-runs the fill phase in every trial
+  /// instead of forking from a shared post-fill snapshot. Results are
+  /// bit-identical either way — this exists so the differential test and
+  /// the CI smoke job can prove exactly that.
+  bool warm_start = true;
 };
 
 /// One surviving (post-minimization) failure.
@@ -60,8 +65,12 @@ struct SweepResult {
 /// pid 1 + k; tracing forces jobs = 1 (one sink, one recording thread —
 /// and a traced sweep must be byte-identical to its --jobs=1 self
 /// anyway). Replay-verify and minimization re-runs are never traced.
+/// Every trial forks from a shared post-fill WarmStart — `warm` when
+/// given (faultsim --from-snapshot), else one made internally — instead
+/// of re-running the fill phase per trial; results are bit-identical to
+/// the cold path at any jobs value.
 SweepResult sweep(const FaultSimConfig& base, const SweepOptions& options,
-                  obs::TraceSink* sink = nullptr);
+                  obs::TraceSink* sink = nullptr, const WarmStart* warm = nullptr);
 
 /// A full seed x crash-density matrix (the CI sweep and bench_simcore's
 /// scaling measurement).
@@ -82,13 +91,21 @@ struct MatrixCell {
   SweepResult result;
 };
 
+/// `warm` (optional, faultsim --from-snapshot) supplies the shared fork
+/// point; when null and options.sweep.warm_start is set, one is made
+/// internally from `base` (the fill phase ignores the seed and crash
+/// density, so a single WarmStart serves every cell).
 std::vector<MatrixCell> sweep_matrix(const FaultSimConfig& base,
-                                     const MatrixOptions& options);
+                                     const MatrixOptions& options,
+                                     const WarmStart* warm = nullptr);
 
 /// Smallest request count in [1, config.requests] whose trial still
 /// fails the same way (violations or inconsistency). The workload
 /// generator is prefix-stable — trimming requests never perturbs the
-/// surviving prefix — so plain bisection applies.
-FaultSimConfig minimize_failure(const FaultSimConfig& config);
+/// surviving prefix — so plain bisection applies. `warm` (optional)
+/// skips the fill phase of every probe trial; trimming requests never
+/// touches the fill, so the same WarmStart stays valid throughout.
+FaultSimConfig minimize_failure(const FaultSimConfig& config,
+                                const WarmStart* warm = nullptr);
 
 }  // namespace rps::faultsim

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/util/serialize.hpp"
+
 namespace rps::ftl {
 
 BlockManager::BlockManager(std::uint32_t chips, std::uint32_t blocks_per_chip,
@@ -122,6 +124,52 @@ std::uint32_t BlockManager::best_victim_gain(std::uint32_t chip) const {
     best_invalid = std::max(best_invalid, bi.written_pages - bi.valid_pages);
   }
   return best_invalid;
+}
+
+void BlockManager::save(ser::Writer& w) const {
+  w.u64(per_chip_.size());
+  for (const ChipState& chip : per_chip_) {
+    w.u64(chip.blocks.size());
+    for (const BlockInfo& bi : chip.blocks) {
+      w.u8(static_cast<std::uint8_t>(bi.use));
+      w.u32(bi.valid_pages);
+      w.u32(bi.written_pages);
+    }
+    w.u64(chip.free.size());
+    for (const std::uint32_t b : chip.free) w.u32(b);
+    w.u64(chip.valid_pages);
+  }
+}
+
+void BlockManager::load(ser::Reader& r) {
+  if (r.u64() != per_chip_.size()) {
+    r.fail();
+    return;
+  }
+  for (ChipState& chip : per_chip_) {
+    if (r.u64() != chip.blocks.size()) {
+      r.fail();
+      return;
+    }
+    for (BlockInfo& bi : chip.blocks) {
+      const std::uint8_t raw = r.u8();
+      if (raw > static_cast<std::uint8_t>(BlockUse::kRetired)) {
+        r.fail();
+        return;
+      }
+      bi.use = static_cast<BlockUse>(raw);
+      bi.valid_pages = r.u32();
+      bi.written_pages = r.u32();
+    }
+    chip.free.clear();
+    const std::uint64_t free = r.u64();
+    if (free > r.remaining()) {
+      r.fail();
+      return;
+    }
+    for (std::uint64_t i = 0; i < free; ++i) chip.free.push_back(r.u32());
+    chip.valid_pages = r.u64();
+  }
 }
 
 }  // namespace rps::ftl

@@ -10,6 +10,11 @@
 #include "src/nand/address.hpp"
 #include "src/util/result.hpp"
 
+namespace rps::ser {
+class Writer;
+class Reader;
+}  // namespace rps::ser
+
 namespace rps::ftl {
 
 /// How a block is currently used by the FTL.
@@ -95,6 +100,12 @@ class BlockManager {
 
   /// Invalid pages of a chip's best victim (0 if none).
   [[nodiscard]] std::uint32_t best_victim_gain(std::uint32_t chip) const;
+
+  /// Snapshot support. Free lists are deques whose ORDER is behavior
+  /// (allocation round-trips through them FIFO), so they serialize
+  /// front-to-back verbatim.
+  void save(ser::Writer& w) const;
+  void load(ser::Reader& r);
 
  private:
   struct BlockInfo {

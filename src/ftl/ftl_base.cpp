@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "src/obs/trace.hpp"
+#include "src/util/serialize.hpp"
 
 namespace rps::ftl {
 
@@ -497,5 +498,61 @@ bool FtlBase::check_consistency() const {
   }
   return true;
 }
+
+void FtlBase::save_state(ser::Writer& w) const {
+  device_.save(w);
+  mapping_.save(w);
+  blocks_.save(w);
+  w.u64(stats_.host_write_pages);
+  w.u64(stats_.host_read_pages);
+  w.u64(stats_.host_lsb_writes);
+  w.u64(stats_.host_msb_writes);
+  w.u64(stats_.gc_copy_pages);
+  w.u64(stats_.backup_pages);
+  w.u64(stats_.foreground_gc_blocks);
+  w.u64(stats_.background_gc_blocks);
+  w.u64(stats_.unmapped_reads);
+  w.u64(stats_.read_errors);
+  w.u64(stats_.scrubbed_blocks);
+  w.u64(stats_.remapped_blocks);
+  w.u64(stats_.retired_blocks);
+  w.u64(stats_.coalesced_erases);
+  w.u32(rr_chip_);
+  w.u32(bgc_rr_chip_);
+  w.u32(igc_rr_chip_);
+  w.u64(write_version_);
+  w.u32(current_stream_);
+  save_extra(w);
+}
+
+void FtlBase::load_state(ser::Reader& r) {
+  device_.load(r);
+  mapping_.load(r);
+  blocks_.load(r);
+  stats_.host_write_pages = r.u64();
+  stats_.host_read_pages = r.u64();
+  stats_.host_lsb_writes = r.u64();
+  stats_.host_msb_writes = r.u64();
+  stats_.gc_copy_pages = r.u64();
+  stats_.backup_pages = r.u64();
+  stats_.foreground_gc_blocks = r.u64();
+  stats_.background_gc_blocks = r.u64();
+  stats_.unmapped_reads = r.u64();
+  stats_.read_errors = r.u64();
+  stats_.scrubbed_blocks = r.u64();
+  stats_.remapped_blocks = r.u64();
+  stats_.retired_blocks = r.u64();
+  stats_.coalesced_erases = r.u64();
+  rr_chip_ = r.u32();
+  bgc_rr_chip_ = r.u32();
+  igc_rr_chip_ = r.u32();
+  write_version_ = r.u64();
+  current_stream_ = r.u32();
+  load_extra(r);
+}
+
+void FtlBase::save_extra(ser::Writer& w) const { (void)w; }
+
+void FtlBase::load_extra(ser::Reader& r) { (void)r; }
 
 }  // namespace rps::ftl

@@ -28,6 +28,11 @@ namespace rps::obs {
 class TraceSink;
 }  // namespace rps::obs
 
+namespace rps::ser {
+class Writer;
+class Reader;
+}  // namespace rps::ser
+
 namespace rps::ftl {
 
 struct FtlStats {
@@ -167,7 +172,22 @@ class FtlBase : public ctrl::Allocator {
   /// per-block valid counts sum to the mapped count.
   [[nodiscard]] bool check_consistency() const;
 
+  /// Snapshot support: serialize / restore the complete mutable FTL state
+  /// (device media + timelines, mapping, block pools, stats, cursors) so a
+  /// restored FTL is bit-identical to the one saved — same placements,
+  /// same timings, same digests. Policy-specific state (active cursors,
+  /// parity accumulators, SBQueues, ...) rides through the save_extra /
+  /// load_extra hooks each concrete FTL overrides. Borrowed pointers
+  /// (trace sink, placement observer) are not serialized.
+  void save_state(ser::Writer& w) const;
+  void load_state(ser::Reader& r);
+
  protected:
+  /// Policy-specific snapshot state. The base implementations serialize
+  /// nothing; every concrete FTL with mutable members overrides both.
+  virtual void save_extra(ser::Writer& w) const;
+  virtual void load_extra(ser::Reader& r);
+
   // The allocation policy itself — ctrl::Allocator's allocate_host_page /
   // allocate_gc_page / on_idle_plan — is what concrete FTLs implement.
 

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "src/util/serialize.hpp"
+
 namespace rps::ftl {
 
 MappingTable::MappingTable(Lpn exported_pages) : entries_(exported_pages) {}
@@ -39,6 +41,38 @@ std::optional<nand::PageAddress> MappingTable::unmap(Lpn lpn) {
 
 bool MappingTable::maps_to(Lpn lpn, const nand::PageAddress& addr) const {
   return lpn < entries_.size() && entries_[lpn].mapped && entries_[lpn].addr == addr;
+}
+
+void MappingTable::save(ser::Writer& w) const {
+  w.u64(entries_.size());
+  for (const Entry& e : entries_) {
+    w.boolean(e.mapped);
+    if (e.mapped) {
+      w.u32(e.addr.chip);
+      w.u32(e.addr.block);
+      w.u32(e.addr.pos.wordline);
+      w.u8(static_cast<std::uint8_t>(e.addr.pos.type));
+    }
+  }
+}
+
+void MappingTable::load(ser::Reader& r) {
+  if (r.u64() != entries_.size()) {
+    r.fail();
+    return;
+  }
+  mapped_count_ = 0;
+  for (Entry& e : entries_) {
+    e.mapped = r.boolean();
+    e.addr = nand::PageAddress{};
+    if (e.mapped) {
+      e.addr.chip = r.u32();
+      e.addr.block = r.u32();
+      e.addr.pos.wordline = r.u32();
+      e.addr.pos.type = static_cast<nand::PageType>(r.u8());
+      ++mapped_count_;
+    }
+  }
 }
 
 }  // namespace rps::ftl

@@ -8,6 +8,11 @@
 #include "src/util/result.hpp"
 #include "src/util/types.hpp"
 
+namespace rps::ser {
+class Writer;
+class Reader;
+}  // namespace rps::ser
+
 namespace rps::ftl {
 
 /// Dense LPN -> physical page map. All four FTLs in the paper are
@@ -32,6 +37,10 @@ class MappingTable {
   [[nodiscard]] bool maps_to(Lpn lpn, const nand::PageAddress& addr) const;
 
   [[nodiscard]] Lpn mapped_count() const { return mapped_count_; }
+
+  /// Snapshot support.
+  void save(ser::Writer& w) const;
+  void load(ser::Reader& r);
 
  private:
   struct Entry {

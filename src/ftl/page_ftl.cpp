@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "src/util/serialize.hpp"
+
 namespace rps::ftl {
 
 PageFtl::PageFtl(const FtlConfig& config, nand::SequenceKind kind)
@@ -79,6 +81,27 @@ Result<Microseconds> PageFtl::allocate_gc_page(std::uint32_t chip, Lpn lpn,
                                                bool background) {
   (void)background;
   return append_to_active(chip, lpn, std::move(data), now, /*gc=*/true);
+}
+
+void PageFtl::save_extra(ser::Writer& w) const {
+  w.u64(active_.size());
+  for (const ActiveCursor& c : active_) {
+    w.boolean(c.valid);
+    w.u32(c.block);
+    w.u32(c.next);
+  }
+}
+
+void PageFtl::load_extra(ser::Reader& r) {
+  if (r.u64() != active_.size()) {
+    r.fail();
+    return;
+  }
+  for (ActiveCursor& c : active_) {
+    c.valid = r.boolean();
+    c.block = r.u32();
+    c.next = r.u32();
+  }
 }
 
 }  // namespace rps::ftl

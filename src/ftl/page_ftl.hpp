@@ -43,6 +43,9 @@ class PageFtl : public FtlBase {
   Result<Microseconds> allocate_gc_page(std::uint32_t chip, Lpn lpn, nand::PageData data,
                                         Microseconds now, bool background) override;
 
+  void save_extra(ser::Writer& w) const override;
+  void load_extra(ser::Reader& r) override;
+
   /// Append one page at `chip`'s active cursor for `slot` (allocating /
   /// running foreground GC as needed) and commit the mapping. Slot 0 is
   /// the default-stream + GC cursor (the only one that exists

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/util/serialize.hpp"
+
 namespace rps::ftl {
 
 ParityFtl::ParityFtl(const FtlConfig& config)
@@ -102,6 +104,78 @@ Microseconds ParityFtl::before_program(const nand::PageAddress& addr,
     parity_durable_at_.erase(it);
   }
   return start;
+}
+
+void ParityFtl::save_extra(ser::Writer& w) const {
+  PageFtl::save_extra(w);
+  nand::save(w, parity_acc_);
+  w.u64(pending_.size());
+  for (const nand::PageAddress& addr : pending_) {
+    w.u32(addr.chip);
+    w.u32(addr.block);
+    w.u32(addr.pos.wordline);
+    w.u8(static_cast<std::uint8_t>(addr.pos.type));
+  }
+  std::vector<std::pair<std::uint64_t, Microseconds>> durable(parity_durable_at_.begin(),
+                                                              parity_durable_at_.end());
+  std::sort(durable.begin(), durable.end());
+  w.u64(durable.size());
+  for (const auto& [key, at] : durable) {
+    w.u64(key);
+    w.i64(at);
+  }
+  w.u64(backup_.size());
+  for (const SlcCursor& c : backup_) {
+    w.boolean(c.valid);
+    w.u32(c.block);
+    w.u32(c.next);
+  }
+  w.u32(backup_rr_);
+  w.u64(partial_flushes_);
+  w.u64(skipped_backups_);
+}
+
+void ParityFtl::load_extra(ser::Reader& r) {
+  PageFtl::load_extra(r);
+  nand::load(r, parity_acc_);
+  pending_.clear();
+  const std::uint64_t pending = r.u64();
+  if (pending > r.remaining()) {
+    r.fail();
+    return;
+  }
+  pending_.reserve(static_cast<std::size_t>(pending));
+  for (std::uint64_t i = 0; i < pending; ++i) {
+    nand::PageAddress addr;
+    addr.chip = r.u32();
+    addr.block = r.u32();
+    addr.pos.wordline = r.u32();
+    addr.pos.type = static_cast<nand::PageType>(r.u8());
+    pending_.push_back(addr);
+  }
+  parity_durable_at_.clear();
+  const std::uint64_t durable = r.u64();
+  if (durable > r.remaining()) {
+    r.fail();
+    return;
+  }
+  parity_durable_at_.reserve(static_cast<std::size_t>(durable));
+  for (std::uint64_t i = 0; i < durable; ++i) {
+    const std::uint64_t key = r.u64();
+    parity_durable_at_.emplace(key, r.i64());
+  }
+  if (r.u64() != backup_.size()) {
+    r.fail();
+    return;
+  }
+  for (SlcCursor& c : backup_) {
+    c.valid = r.boolean();
+    c.block = r.u32();
+    c.next = r.u32();
+  }
+  backup_rr_ = r.u32();
+  partial_flushes_ = r.u64();
+  skipped_backups_ = r.u64();
 }
 
 }  // namespace rps::ftl

@@ -39,6 +39,9 @@ class ParityFtl : public PageFtl {
   Microseconds before_program(const nand::PageAddress& addr, const nand::PageData& data,
                               Microseconds now, bool gc) override;
 
+  void save_extra(ser::Writer& w) const override;
+  void load_extra(ser::Reader& r) override;
+
  private:
   /// Flush the accumulated parity to a backup block; returns its durable
   /// time (or `now` when there was nothing to flush / no backup space).

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/util/serialize.hpp"
+
 namespace rps::ftl {
 
 RtfFtl::RtfFtl(const FtlConfig& config)
@@ -207,6 +209,60 @@ void RtfFtl::on_idle_plan(Microseconds now, Microseconds deadline) {
     while (replenish_slot(chip, now, /*gc=*/false)) {
     }
   }
+}
+
+void RtfFtl::save_extra(ser::Writer& w) const {
+  w.u64(actives_.size());
+  for (const std::vector<Cursor>& pool : actives_) {
+    w.u64(pool.size());
+    for (const Cursor& c : pool) {
+      w.boolean(c.valid);
+      w.u32(c.block);
+      w.u32(c.next);
+    }
+  }
+  w.u64(backup_.size());
+  for (const Cursor& c : backup_) {
+    w.boolean(c.valid);
+    w.u32(c.block);
+    w.u32(c.next);
+  }
+  w.u64(lsb_debt_.size());
+  for (const std::uint64_t debt : lsb_debt_) w.u64(debt);
+  w.u64(skipped_backups_);
+}
+
+void RtfFtl::load_extra(ser::Reader& r) {
+  if (r.u64() != actives_.size()) {
+    r.fail();
+    return;
+  }
+  for (std::vector<Cursor>& pool : actives_) {
+    if (r.u64() != pool.size()) {
+      r.fail();
+      return;
+    }
+    for (Cursor& c : pool) {
+      c.valid = r.boolean();
+      c.block = r.u32();
+      c.next = r.u32();
+    }
+  }
+  if (r.u64() != backup_.size()) {
+    r.fail();
+    return;
+  }
+  for (Cursor& c : backup_) {
+    c.valid = r.boolean();
+    c.block = r.u32();
+    c.next = r.u32();
+  }
+  if (r.u64() != lsb_debt_.size()) {
+    r.fail();
+    return;
+  }
+  for (std::uint64_t& debt : lsb_debt_) debt = r.u64();
+  skipped_backups_ = r.u64();
 }
 
 }  // namespace rps::ftl

@@ -39,6 +39,9 @@ class RtfFtl : public FtlBase {
   Result<Microseconds> allocate_gc_page(std::uint32_t chip, Lpn lpn, nand::PageData data,
                                         Microseconds now, bool background) override;
 
+  void save_extra(ser::Writer& w) const override;
+  void load_extra(ser::Reader& r) override;
+
  private:
   struct Cursor {
     bool valid = false;

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "src/util/serialize.hpp"
+
 namespace rps::ftl {
 
 SlcFtl::SlcFtl(const FtlConfig& config)
@@ -58,6 +60,27 @@ Result<Microseconds> SlcFtl::allocate_gc_page(std::uint32_t chip, Lpn lpn,
                                               bool background) {
   (void)background;
   return append(chip, lpn, std::move(data), now, /*gc=*/true);
+}
+
+void SlcFtl::save_extra(ser::Writer& w) const {
+  w.u64(cursors_.size());
+  for (const Cursor& c : cursors_) {
+    w.boolean(c.valid);
+    w.u32(c.block);
+    w.u32(c.next_wordline);
+  }
+}
+
+void SlcFtl::load_extra(ser::Reader& r) {
+  if (r.u64() != cursors_.size()) {
+    r.fail();
+    return;
+  }
+  for (Cursor& c : cursors_) {
+    c.valid = r.boolean();
+    c.block = r.u32();
+    c.next_wordline = r.u32();
+  }
 }
 
 }  // namespace rps::ftl

@@ -29,6 +29,9 @@ class SlcFtl : public FtlBase {
   Result<Microseconds> allocate_gc_page(std::uint32_t chip, Lpn lpn, nand::PageData data,
                                         Microseconds now, bool background) override;
 
+  void save_extra(ser::Writer& w) const override;
+  void load_extra(ser::Reader& r) override;
+
  private:
   struct Cursor {
     bool valid = false;

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <limits>
 
+#include "src/util/serialize.hpp"
+
 namespace rps::nand {
 
 namespace {
@@ -152,6 +154,80 @@ bool BadBlockTable::draw_program_failure(std::uint32_t unit, std::uint32_t physi
   if (config_.program_fail_ppm == 0) return false;
   return draw(/*salt=*/0xf441, unit, physical, erase_count) % kPpmScale <
          config_.program_fail_ppm;
+}
+
+void BadBlockTable::save(ser::Writer& w) const {
+  w.u64(units_.size());
+  for (const UnitState& unit : units_) {
+    // Canonical order: remap entries sorted by visible block. The reverse
+    // map is the exact inverse, so it is rebuilt on load rather than stored.
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> entries(unit.remap.begin(),
+                                                                 unit.remap.end());
+    std::sort(entries.begin(), entries.end());
+    w.u64(entries.size());
+    for (const auto& [visible, physical] : entries) {
+      w.u32(visible);
+      w.u32(physical);
+    }
+    w.u64(unit.spare_free.size());
+    for (const std::uint32_t spare : unit.spare_free) w.u32(spare);
+    w.u64(unit.bad.size());
+    for (const bool b : unit.bad) w.boolean(b);
+    w.u64(unit.retired.size());
+    for (const bool b : unit.retired) w.boolean(b);
+  }
+  w.u64(counters_.factory_bad);
+  w.u64(counters_.grown_bad);
+  w.u64(counters_.remapped);
+  w.u64(counters_.retired);
+  w.boolean(any_remap_);
+  w.boolean(any_retired_);
+}
+
+void BadBlockTable::load(ser::Reader& r) {
+  if (r.u64() != units_.size()) {
+    r.fail();
+    return;
+  }
+  for (UnitState& unit : units_) {
+    unit.remap.clear();
+    unit.reverse.clear();
+    const std::uint64_t remaps = r.u64();
+    if (remaps > r.remaining()) {
+      r.fail();
+      return;
+    }
+    for (std::uint64_t i = 0; i < remaps; ++i) {
+      const std::uint32_t visible = r.u32();
+      const std::uint32_t physical = r.u32();
+      unit.remap.emplace(visible, physical);
+      unit.reverse.emplace(physical, visible);
+    }
+    unit.spare_free.clear();
+    const std::uint64_t spares = r.u64();
+    if (spares > r.remaining()) {
+      r.fail();
+      return;
+    }
+    unit.spare_free.reserve(static_cast<std::size_t>(spares));
+    for (std::uint64_t i = 0; i < spares; ++i) unit.spare_free.push_back(r.u32());
+    if (r.u64() != unit.bad.size()) {
+      r.fail();
+      return;
+    }
+    for (std::size_t i = 0; i < unit.bad.size(); ++i) unit.bad[i] = r.boolean();
+    if (r.u64() != unit.retired.size()) {
+      r.fail();
+      return;
+    }
+    for (std::size_t i = 0; i < unit.retired.size(); ++i) unit.retired[i] = r.boolean();
+  }
+  counters_.factory_bad = r.u64();
+  counters_.grown_bad = r.u64();
+  counters_.remapped = r.u64();
+  counters_.retired = r.u64();
+  any_remap_ = r.boolean();
+  any_retired_ = r.boolean();
 }
 
 }  // namespace rps::nand

@@ -27,6 +27,11 @@
 
 #include "src/nand/address.hpp"
 
+namespace rps::ser {
+class Writer;
+class Reader;
+}  // namespace rps::ser
+
 namespace rps::nand {
 
 /// Knobs for the bad-block model. All-zero defaults = management off.
@@ -143,6 +148,13 @@ class BadBlockTable {
     std::uint64_t retired = 0;       // visible addresses permanently lost
   };
   [[nodiscard]] const Counters& counters() const { return counters_; }
+
+  /// Snapshot support. The remap maps are written sorted by visible block
+  /// (canonical order); `reverse` is rebuilt by inversion on load. The
+  /// endurance/failure draws are stateless splitmix64 over (seed, block),
+  /// so no RNG stream rides along.
+  void save(ser::Writer& w) const;
+  void load(ser::Reader& r);
 
  private:
   struct UnitState {

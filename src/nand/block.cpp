@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/util/serialize.hpp"
+
 namespace rps::nand {
 
 void PageData::xor_with(const PageData& other) {
@@ -78,6 +80,81 @@ std::optional<PagePos> Block::next_lsb() const {
   // LSB-programmed word lines.
   if (programmed_lsb_ >= wordlines()) return std::nullopt;
   return PagePos{programmed_lsb_, PageType::kLsb};
+}
+
+void save(ser::Writer& w, const PageData& d) {
+  w.u64(d.lpn);
+  w.u64(d.signature);
+  w.u64(d.spare);
+  w.u64(d.version);
+  w.u64(d.bytes.size());
+  w.bytes(d.bytes.data(), d.bytes.size());
+}
+
+void load(ser::Reader& r, PageData& d) {
+  d.lpn = r.u64();
+  d.signature = r.u64();
+  d.spare = r.u64();
+  d.version = r.u64();
+  const std::uint64_t n = r.u64();
+  if (n > r.remaining()) {
+    r.fail();
+    d.bytes.clear();
+    return;
+  }
+  d.bytes.resize(static_cast<std::size_t>(n));
+  r.bytes(d.bytes.data(), d.bytes.size());
+}
+
+void Block::save(ser::Writer& w) const {
+  w.u8(static_cast<std::uint8_t>(kind_));
+  w.u64(erase_count_);
+  w.u64(reads_since_erase_);
+  w.boolean(slc_mode_);
+  w.u64(slots_.size());
+  for (const PageSlot& s : slots_) {
+    w.u8(static_cast<std::uint8_t>(s.state));
+    // Erased and corrupted slots hold a default PageData by construction
+    // (erase()/corrupt() clear the record), so only valid pages carry one.
+    if (s.state == PageState::kValid) nand::save(w, s.data);
+  }
+}
+
+void Block::load(ser::Reader& r) {
+  if (r.u8() != static_cast<std::uint8_t>(kind_)) {
+    r.fail();
+    return;
+  }
+  erase_count_ = r.u64();
+  reads_since_erase_ = r.u64();
+  slc_mode_ = r.boolean();
+  if (r.u64() != slots_.size()) {
+    r.fail();
+    return;
+  }
+  program_state_.reset();
+  programmed_pages_ = 0;
+  programmed_lsb_ = 0;
+  for (std::uint32_t i = 0; i < slots_.size(); ++i) {
+    const std::uint8_t raw = r.u8();
+    if (raw > static_cast<std::uint8_t>(PageState::kCorrupted)) {
+      r.fail();
+      return;
+    }
+    PageSlot& s = slots_[i];
+    s.state = static_cast<PageState>(raw);
+    s.data = PageData{};
+    if (s.state == PageState::kValid) nand::load(r, s.data);
+    // Word-line program state and the programmed counters are derived from
+    // the slot states: a non-erased slot is programmed for ordering
+    // purposes, corrupted or not.
+    if (s.state != PageState::kErased) {
+      const PagePos pos = PagePos::from_flat(i);
+      program_state_.mark_programmed(pos);
+      ++programmed_pages_;
+      if (pos.type == PageType::kLsb) ++programmed_lsb_;
+    }
+  }
 }
 
 std::optional<PagePos> Block::next_msb() const {

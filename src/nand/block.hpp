@@ -16,6 +16,11 @@
 #include "src/util/result.hpp"
 #include "src/util/types.hpp"
 
+namespace rps::ser {
+class Writer;
+class Reader;
+}  // namespace rps::ser
+
 namespace rps::nand {
 
 /// Spare-area flag marking a page as FTL metadata (parity or paired-page
@@ -53,6 +58,10 @@ struct PageData {
 
   friend bool operator==(const PageData&, const PageData&) = default;
 };
+
+/// Canonical byte encoding of a stored page record (snapshots).
+void save(ser::Writer& w, const PageData& d);
+void load(ser::Reader& r, PageData& d);
 
 /// Lifecycle state of a stored page.
 enum class PageState : std::uint8_t {
@@ -137,6 +146,12 @@ class Block {
   /// Under RPS these are the two program frontiers flexFTL consumes.
   [[nodiscard]] std::optional<PagePos> next_lsb() const;
   [[nodiscard]] std::optional<PagePos> next_msb() const;
+
+  /// Snapshot support: serialize / restore the full mutable state (page
+  /// slots, program state, wear, read-disturb exposure, SLC mode). The
+  /// target block must have the same shape (wordlines, sequence kind).
+  void save(ser::Writer& w) const;
+  void load(ser::Reader& r);
 
  private:
   struct PageSlot {

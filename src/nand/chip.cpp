@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "src/util/serialize.hpp"
+
 namespace rps::nand {
 
 Chip::Chip(std::uint32_t blocks, std::uint32_t wordlines, SequenceKind kind,
@@ -174,6 +176,74 @@ std::optional<Chip::InFlightProgram> Chip::apply_power_loss(Microseconds t) {
     block.corrupt({in_flight.pos.wordline, PageType::kLsb});
   }
   return in_flight;
+}
+
+void Chip::save(ser::Writer& w) const {
+  // Serialize blocks_ directly, NOT through block(): the accessor
+  // materializes pending erases, and the lazy/settled distinction is
+  // observable (a power loss before a pending erase's start voids it).
+  w.u64(blocks_.size());
+  for (const Block& b : blocks_) b.save(w);
+  w.i64(busy_until_);
+  w.i64(busy_total_);
+  w.u64(counters_.reads);
+  w.u64(counters_.lsb_programs);
+  w.u64(counters_.msb_programs);
+  w.u64(counters_.erases);
+  w.boolean(last_program_.has_value());
+  if (last_program_) {
+    w.u32(last_program_->block);
+    w.u32(last_program_->pos.wordline);
+    w.u8(static_cast<std::uint8_t>(last_program_->pos.type));
+    w.i64(last_program_->start);
+    w.i64(last_program_->complete);
+    w.u32(last_program_->suspends);
+  }
+  w.u64(pending_erases_.size());
+  for (const PendingErase& pe : pending_erases_) {
+    w.u32(pe.block);
+    w.i64(pe.start);
+  }
+  w.boolean(program_suspend_);
+}
+
+void Chip::load(ser::Reader& r) {
+  if (r.u64() != blocks_.size()) {
+    r.fail();
+    return;
+  }
+  for (Block& b : blocks_) b.load(r);
+  busy_until_ = r.i64();
+  busy_total_ = r.i64();
+  counters_.reads = r.u64();
+  counters_.lsb_programs = r.u64();
+  counters_.msb_programs = r.u64();
+  counters_.erases = r.u64();
+  last_program_.reset();
+  if (r.boolean()) {
+    InFlightProgram p;
+    p.block = r.u32();
+    p.pos.wordline = r.u32();
+    p.pos.type = static_cast<PageType>(r.u8());
+    p.start = r.i64();
+    p.complete = r.i64();
+    p.suspends = r.u32();
+    last_program_ = p;
+  }
+  pending_erases_.clear();
+  const std::uint64_t pending = r.u64();
+  if (pending > r.remaining()) {
+    r.fail();
+    return;
+  }
+  pending_erases_.reserve(static_cast<std::size_t>(pending));
+  for (std::uint64_t i = 0; i < pending; ++i) {
+    PendingErase pe;
+    pe.block = r.u32();
+    pe.start = r.i64();
+    pending_erases_.push_back(pe);
+  }
+  program_suspend_ = r.boolean();
 }
 
 }  // namespace rps::nand

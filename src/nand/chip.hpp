@@ -15,6 +15,11 @@
 #include "src/nand/timing.hpp"
 #include "src/util/types.hpp"
 
+namespace rps::ser {
+class Writer;
+class Reader;
+}  // namespace rps::ser
+
 namespace rps::nand {
 
 /// Operation counters, aggregated per chip and per device.
@@ -112,6 +117,13 @@ class Chip {
   /// (after a reboot the chip is immediately available). Returns the
   /// victim, if any.
   std::optional<InFlightProgram> apply_power_loss(Microseconds t);
+
+  /// Snapshot support. Pending (lazy) erases are serialized as-is, NOT
+  /// settled first: whether an erase's cell reset has been applied is
+  /// observable through a later power loss, so a restore must reproduce
+  /// the exact lazy state, not an equivalent eager one.
+  void save(ser::Writer& w) const;
+  void load(ser::Reader& r);
 
  private:
   /// An erase charged to the timeline whose cell reset has not been

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <limits>
 
+#include "src/util/serialize.hpp"
+
 namespace rps::nand {
 
 NandDevice::NandDevice(const Geometry& geometry, const TimingSpec& timing,
@@ -301,6 +303,32 @@ Microseconds NandDevice::all_idle_at() const {
   for (const auto& chip : chips_) latest = std::max(latest, chip->busy_until());
   for (const Microseconds busy : channel_busy_until_) latest = std::max(latest, busy);
   return latest;
+}
+
+void NandDevice::save(ser::Writer& w) const {
+  w.u64(chips_.size());
+  for (const auto& chip : chips_) chip->save(w);
+  w.u64(channel_busy_until_.size());
+  for (const Microseconds busy : channel_busy_until_) w.i64(busy);
+  bad_blocks_.save(w);
+  w.boolean(cache_program_);
+  w.u64(power_loss_count_);
+}
+
+void NandDevice::load(ser::Reader& r) {
+  if (r.u64() != chips_.size()) {
+    r.fail();
+    return;
+  }
+  for (const auto& chip : chips_) chip->load(r);
+  if (r.u64() != channel_busy_until_.size()) {
+    r.fail();
+    return;
+  }
+  for (Microseconds& busy : channel_busy_until_) busy = r.i64();
+  bad_blocks_.load(r);
+  cache_program_ = r.boolean();
+  power_loss_count_ = r.u64();
 }
 
 }  // namespace rps::nand

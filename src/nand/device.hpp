@@ -35,6 +35,11 @@
 #include "src/nand/timing.hpp"
 #include "src/util/result.hpp"
 
+namespace rps::ser {
+class Writer;
+class Reader;
+}  // namespace rps::ser
+
 namespace rps::nand {
 
 /// What a power loss interrupted, per unit. Block numbers are FTL-visible
@@ -172,6 +177,14 @@ class NandDevice {
 
   /// The earliest time every chip and channel is free.
   [[nodiscard]] Microseconds all_idle_at() const;
+
+  /// Snapshot support: chips, channel timelines, bad-block table, power
+  /// loss count. Geometry/timing/kind are construction-time config — the
+  /// restore target must be built from the same config (validated upstream
+  /// by the snapshot header). The bad-block listener is borrowed and not
+  /// serialized.
+  void save(ser::Writer& w) const;
+  void load(ser::Reader& r);
 
  private:
   [[nodiscard]] bool in_range(const PageAddress& addr) const;

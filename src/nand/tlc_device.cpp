@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/util/serialize.hpp"
+
 namespace rps::nand {
 
 TlcBlock::TlcBlock(std::uint32_t wordlines, TlcSequenceKind kind)
@@ -216,6 +218,111 @@ Microseconds TlcDevice::all_idle_at() const {
   for (const auto& chip : chips_) latest = std::max(latest, chip->busy_until());
   for (const Microseconds busy : channel_busy_until_) latest = std::max(latest, busy);
   return latest;
+}
+
+void TlcBlock::save(ser::Writer& w) const {
+  w.u8(static_cast<std::uint8_t>(kind_));
+  w.u64(erase_count_);
+  w.u64(slots_.size());
+  for (const Slot& s : slots_) {
+    w.u8(static_cast<std::uint8_t>(s.state));
+    if (s.state == PageState::kValid) nand::save(w, s.data);
+  }
+}
+
+void TlcBlock::load(ser::Reader& r) {
+  if (r.u8() != static_cast<std::uint8_t>(kind_)) {
+    r.fail();
+    return;
+  }
+  erase_count_ = r.u64();
+  if (r.u64() != slots_.size()) {
+    r.fail();
+    return;
+  }
+  state_.reset();
+  pass_counts_ = {0, 0, 0};
+  programmed_ = 0;
+  for (std::uint32_t i = 0; i < slots_.size(); ++i) {
+    const std::uint8_t raw = r.u8();
+    if (raw > static_cast<std::uint8_t>(PageState::kCorrupted)) {
+      r.fail();
+      return;
+    }
+    Slot& s = slots_[i];
+    s.state = static_cast<PageState>(raw);
+    s.data = PageData{};
+    if (s.state == PageState::kValid) nand::load(r, s.data);
+    // Pass progression and counters derive from the slot states; iterating
+    // flat indices visits L, C, M of each word line in pass order.
+    if (s.state != PageState::kErased) {
+      const TlcPagePos pos{i / 3, static_cast<TlcPageType>(i % 3)};
+      state_.mark_programmed(pos);
+      ++programmed_;
+      ++pass_counts_[static_cast<std::size_t>(pos.type)];
+    }
+  }
+}
+
+void TlcChip::save(ser::Writer& w) const {
+  w.u64(blocks_.size());
+  for (const TlcBlock& b : blocks_) b.save(w);
+  w.i64(busy_until_);
+  w.u64(counters_.reads);
+  w.u64(counters_.lsb_programs);
+  w.u64(counters_.msb_programs);
+  w.u64(counters_.erases);
+  w.boolean(last_program_.has_value());
+  if (last_program_) {
+    w.u32(last_program_->block);
+    w.u32(last_program_->pos.wordline);
+    w.u8(static_cast<std::uint8_t>(last_program_->pos.type));
+    w.i64(last_program_->start);
+    w.i64(last_program_->complete);
+  }
+}
+
+void TlcChip::load(ser::Reader& r) {
+  if (r.u64() != blocks_.size()) {
+    r.fail();
+    return;
+  }
+  for (TlcBlock& b : blocks_) b.load(r);
+  busy_until_ = r.i64();
+  counters_.reads = r.u64();
+  counters_.lsb_programs = r.u64();
+  counters_.msb_programs = r.u64();
+  counters_.erases = r.u64();
+  last_program_.reset();
+  if (r.boolean()) {
+    InFlight p;
+    p.block = r.u32();
+    p.pos.wordline = r.u32();
+    p.pos.type = static_cast<TlcPageType>(r.u8());
+    p.start = r.i64();
+    p.complete = r.i64();
+    last_program_ = p;
+  }
+}
+
+void TlcDevice::save(ser::Writer& w) const {
+  w.u64(chips_.size());
+  for (const auto& chip : chips_) chip->save(w);
+  w.u64(channel_busy_until_.size());
+  for (const Microseconds busy : channel_busy_until_) w.i64(busy);
+}
+
+void TlcDevice::load(ser::Reader& r) {
+  if (r.u64() != chips_.size()) {
+    r.fail();
+    return;
+  }
+  for (const auto& chip : chips_) chip->load(r);
+  if (r.u64() != channel_busy_until_.size()) {
+    r.fail();
+    return;
+  }
+  for (Microseconds& busy : channel_busy_until_) busy = r.i64();
 }
 
 }  // namespace rps::nand

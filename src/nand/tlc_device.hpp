@@ -22,6 +22,11 @@
 #include "src/util/result.hpp"
 #include "src/util/types.hpp"
 
+namespace rps::ser {
+class Writer;
+class Reader;
+}  // namespace rps::ser
+
 namespace rps::nand {
 
 struct TlcTimingSpec {
@@ -103,6 +108,10 @@ class TlcBlock {
   /// Next legal page of pass `type` (the per-pass frontier), if any.
   [[nodiscard]] std::optional<TlcPagePos> next_in_pass(TlcPageType type) const;
 
+  /// Snapshot support (same contract as mlc Block::save/load).
+  void save(ser::Writer& w) const;
+  void load(ser::Reader& r);
+
  private:
   struct Slot {
     PageState state = PageState::kErased;
@@ -148,6 +157,10 @@ class TlcChip {
   [[nodiscard]] const OpCounters& counters() const { return counters_; }
   [[nodiscard]] std::uint64_t total_erase_count() const;
 
+  /// Snapshot support.
+  void save(ser::Writer& w) const;
+  void load(ser::Reader& r);
+
  private:
   Microseconds occupy(Microseconds now, Microseconds latency);
 
@@ -187,6 +200,10 @@ class TlcDevice {
   [[nodiscard]] OpCounters total_counters() const;
   [[nodiscard]] std::uint64_t total_erase_count() const;
   [[nodiscard]] Microseconds all_idle_at() const;
+
+  /// Snapshot support.
+  void save(ser::Writer& w) const;
+  void load(ser::Reader& r);
 
  private:
   [[nodiscard]] bool in_range(const TlcPageAddress& addr) const;

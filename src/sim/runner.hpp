@@ -13,6 +13,7 @@
 #include "src/ftl/ftl_base.hpp"
 #include "src/obs/sampler.hpp"
 #include "src/sim/simulator.hpp"
+#include "src/sim/snapshot.hpp"
 #include "src/workload/generator.hpp"
 
 namespace rps::sim {
@@ -90,10 +91,21 @@ struct ExperimentSpec {
 /// attach. Traced runs are meant to be single experiments: the parallel
 /// drivers below never attach observers, which is what keeps traced
 /// output trivially --jobs-invariant.
+/// With `warm` non-null, run_experiment forks from the snapshot instead
+/// of re-running precondition() — bit-identical results, minus the fill
+/// cost. The snapshot must come from make_precondition_snapshot with the
+/// same (kind, spec); warm-up still runs per experiment (it depends on
+/// the preset and seed, the snapshot does not).
 SimResult run_experiment(FtlKind kind, workload::Preset preset,
                          const ExperimentSpec& spec,
                          obs::TraceSink* sink = nullptr,
-                         obs::StateSampler* sampler = nullptr);
+                         obs::StateSampler* sampler = nullptr,
+                         const Snapshot* warm = nullptr);
+
+/// Precondition a fresh FTL of `kind` under `spec` and capture the
+/// steady-state device. Workload-independent: one snapshot per (kind,
+/// spec) serves every preset and seed of a sweep.
+Snapshot make_precondition_snapshot(FtlKind kind, const ExperimentSpec& spec);
 
 /// Build a StateSampler collector snapshotting `ftl` (quota, SBQueue
 /// depth, free-block fraction) and, when non-null, `controller`'s queue

@@ -7,6 +7,7 @@
 #include "src/obs/registry.hpp"
 #include "src/obs/sampler.hpp"
 #include "src/obs/trace.hpp"
+#include "src/sim/snapshot.hpp"
 #include "src/util/random.hpp"
 #include <vector>
 
@@ -51,6 +52,14 @@ void Simulator::precondition() {
     (void)op;
   }
   preconditioned_ = true;
+}
+
+Snapshot Simulator::checkpoint() const { return Snapshot::capture(ftl_); }
+
+bool Simulator::warm_start(const Snapshot& snapshot) {
+  if (!snapshot.restore(ftl_)) return false;
+  preconditioned_ = true;
+  return true;
 }
 
 void Simulator::warm_up(const workload::Trace& trace) {

@@ -28,6 +28,8 @@ class StateSampler;
 
 namespace rps::sim {
 
+class Snapshot;
+
 /// How the measured run executes requests against the FTL.
 enum class Engine {
   /// Whole requests go to the command controller, which splits them into
@@ -140,6 +142,17 @@ class Simulator {
 
   /// Sequentially fill the logical space to steady state. Not measured.
   void precondition();
+
+  /// Snapshot the FTL's complete state right now (typically after
+  /// precondition() / warm_up()) so sibling runs can fork from it.
+  [[nodiscard]] Snapshot checkpoint() const;
+
+  /// Restore a checkpoint instead of re-running precondition(): the FTL
+  /// must be a fresh instance of the snapshot's configuration. Returns
+  /// false (snapshot/config mismatch) without marking the simulator
+  /// preconditioned. A restored run is bit-identical to one that did the
+  /// preconditioning work in-process.
+  [[nodiscard]] bool warm_start(const Snapshot& snapshot);
 
   /// Replay the writes of `trace` (untimed, unmeasured) to push garbage
   /// collection into the steady state of that trace's locality. Run after

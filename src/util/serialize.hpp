@@ -1,0 +1,146 @@
+// Byte-level serialization primitives for device/FTL snapshots.
+//
+// The encoding is deliberately boring: fixed little-endian integers,
+// doubles as their IEEE-754 bit patterns, length-prefixed byte strings.
+// No varints, no alignment, no endianness detection — the canonical byte
+// stream must be identical on every platform because Snapshot::digest()
+// hashes it and tests pin those digests. Anything order-sensitive
+// (unordered_map contents) is the *caller's* job to canonicalize (sort by
+// key) before writing.
+//
+// Reader never throws: an underflow or explicit fail() poisons the stream
+// (all further reads return zeros) and the caller checks ok() once at the
+// top level. That keeps per-field load code branch-free.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rps::ser {
+
+class Writer {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+
+  void bytes(const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    buf_.insert(buf_.end(), b, b + n);
+  }
+
+  void str(std::string_view s) {
+    u64(s.size());
+    bytes(s.data(), s.size());
+  }
+
+  [[nodiscard]] const std::vector<std::uint8_t>& data() const { return buf_; }
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t size) : data_(data), size_(size) {}
+  explicit Reader(const std::vector<std::uint8_t>& data)
+      : Reader(data.data(), data.size()) {}
+
+  std::uint8_t u8() {
+    if (!take(1)) return 0;
+    return data_[pos_++];
+  }
+
+  std::uint32_t u32() {
+    if (!take(4)) return 0;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(data_[pos_++]) << (8 * i);
+    return v;
+  }
+
+  std::uint64_t u64() {
+    if (!take(8)) return 0;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(data_[pos_++]) << (8 * i);
+    return v;
+  }
+
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64() { return std::bit_cast<double>(u64()); }
+  bool boolean() { return u8() != 0; }
+
+  void bytes(void* out, std::size_t n) {
+    if (!take(n)) {
+      std::memset(out, 0, n);
+      return;
+    }
+    std::memcpy(out, data_ + pos_, n);
+    pos_ += n;
+  }
+
+  std::string str() {
+    const std::uint64_t n = u64();
+    if (!take(static_cast<std::size_t>(n))) return {};
+    std::string s(reinterpret_cast<const char*>(data_ + pos_),
+                  static_cast<std::size_t>(n));
+    pos_ += static_cast<std::size_t>(n);
+    return s;
+  }
+
+  /// Poison the stream: a shape/invariant mismatch was detected. All
+  /// subsequent reads return zeros; the top-level caller rejects the load.
+  void fail() { ok_ = false; }
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] bool at_end() const { return pos_ == size_; }
+  [[nodiscard]] std::size_t pos() const { return pos_; }
+  [[nodiscard]] std::size_t remaining() const { return size_ - pos_; }
+
+ private:
+  bool take(std::size_t n) {
+    if (!ok_ || size_ - pos_ < n) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+/// FNV-1a over a byte range — the digest primitive every determinism check
+/// in this repo uses (faultsim replay, bench_simcore matrix, snapshots).
+[[nodiscard]] inline std::uint64_t fnv1a(const std::uint8_t* data, std::size_t size,
+                                         std::uint64_t h = 0xcbf29ce484222325ull) {
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= data[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+[[nodiscard]] inline std::uint64_t fnv1a(const std::vector<std::uint8_t>& data,
+                                         std::uint64_t h = 0xcbf29ce484222325ull) {
+  return fnv1a(data.data(), data.size(), h);
+}
+
+}  // namespace rps::ser

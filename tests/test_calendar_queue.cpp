@@ -1,0 +1,272 @@
+// Differential lockdown of the controller's hierarchical calendar queue
+// (src/controller/calendar_queue.hpp) against a plain binary min-heap —
+// the structure it replaced. The EventQueue's determinism contract says
+// pop order is exactly the sorted multiset order of the inserted times,
+// so for any interleaving of inserts and pops the two structures must
+// agree on every pop and every min(). The property tests sweep the time
+// distributions that stress different code paths: clustered (steady-state
+// controller wake-ups, a handful of adjacent buckets), sparse (fruitless
+// year scans, direct-scan fallback), far-future (overflow tier and its
+// migration), and past-time inserts after the clock advanced (floor
+// decreases).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/controller/calendar_queue.hpp"
+#include "src/controller/event_queue.hpp"
+#include "src/util/random.hpp"
+
+namespace rps::ctrl {
+namespace {
+
+using MinHeap =
+    std::priority_queue<Microseconds, std::vector<Microseconds>, std::greater<>>;
+
+/// Drive both structures through the same insert/pop interleaving and
+/// require identical min() before and identical values from every pop.
+void run_differential(const std::vector<Microseconds>& times, Rng& rng,
+                      double pop_probability) {
+  CalendarQueue queue;
+  MinHeap heap;
+  std::size_t next = 0;
+  while (next < times.size() || !heap.empty()) {
+    const bool can_pop = !heap.empty();
+    const bool do_pop = can_pop && (next >= times.size() ||
+                                    rng.chance(pop_probability));
+    if (do_pop) {
+      ASSERT_EQ(queue.min(), heap.top());
+      ASSERT_EQ(queue.pop_min(), heap.top());
+      heap.pop();
+    } else {
+      queue.insert(times[next]);
+      heap.push(times[next]);
+      ++next;
+    }
+    ASSERT_EQ(queue.size(), heap.size());
+    if (!heap.empty()) ASSERT_EQ(queue.min(), heap.top());
+  }
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(CalendarQueue, PopsInSortedOrder) {
+  CalendarQueue queue;
+  const std::vector<Microseconds> times = {500, 100, 900, 100, 300, 0, 700};
+  for (const Microseconds t : times) queue.insert(t);
+  std::vector<Microseconds> sorted = times;
+  std::sort(sorted.begin(), sorted.end());
+  for (const Microseconds expect : sorted) {
+    ASSERT_FALSE(queue.empty());
+    EXPECT_EQ(queue.min(), expect);
+    EXPECT_EQ(queue.pop_min(), expect);
+  }
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(CalendarQueue, ClusteredTimesDifferential) {
+  // The controller's steady state: wake-ups within a few op latencies of
+  // an advancing clock.
+  Rng rng(101);
+  std::vector<Microseconds> times;
+  Microseconds clock = 0;
+  for (int i = 0; i < 4000; ++i) {
+    clock += static_cast<Microseconds>(rng.next_below(40));
+    times.push_back(clock + static_cast<Microseconds>(rng.next_below(1500)));
+  }
+  run_differential(times, rng, 0.5);
+}
+
+TEST(CalendarQueue, SparseTimesDifferential) {
+  // Events many empty years apart: every find-min walks a fruitless
+  // cycle and must fall back to the exact direct scan.
+  Rng rng(202);
+  std::vector<Microseconds> times;
+  for (int i = 0; i < 600; ++i) {
+    times.push_back(static_cast<Microseconds>(rng.next_below(1'000'000'000)));
+  }
+  run_differential(times, rng, 0.4);
+}
+
+TEST(CalendarQueue, FarFutureOverflowDifferential) {
+  // A near-clock cluster plus events far past one year: the latter land
+  // in the overflow tier and must migrate down as the cluster drains.
+  Rng rng(303);
+  std::vector<Microseconds> times;
+  for (int i = 0; i < 3000; ++i) {
+    const bool far = rng.chance(0.2);
+    times.push_back(far ? 10'000'000 + static_cast<Microseconds>(
+                                           rng.next_below(100'000'000))
+                        : static_cast<Microseconds>(rng.next_below(4'000)));
+  }
+  run_differential(times, rng, 0.45);
+}
+
+TEST(CalendarQueue, PastTimeInsertAfterClockAdvance) {
+  // Pop the queue forward, then insert times below everything popped —
+  // the cached min and the year-scan floor must handle a decrease.
+  CalendarQueue queue;
+  for (Microseconds t = 1000; t <= 5000; t += 1000) queue.insert(t);
+  EXPECT_EQ(queue.pop_min(), 1000);
+  EXPECT_EQ(queue.pop_min(), 2000);
+  queue.insert(7);
+  EXPECT_EQ(queue.min(), 7);
+  EXPECT_EQ(queue.pop_min(), 7);
+  EXPECT_EQ(queue.pop_min(), 3000);
+  queue.insert(1);
+  queue.insert(9'000'000);
+  EXPECT_EQ(queue.pop_min(), 1);
+  EXPECT_EQ(queue.pop_min(), 4000);
+  EXPECT_EQ(queue.pop_min(), 5000);
+  EXPECT_EQ(queue.pop_min(), 9'000'000);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(CalendarQueue, DuplicateTimestampsCollapseToValueIdentity) {
+  CalendarQueue queue;
+  for (int i = 0; i < 100; ++i) queue.insert(42);
+  queue.insert(41);
+  queue.insert(43);
+  EXPECT_EQ(queue.size(), 102u);
+  EXPECT_EQ(queue.pop_min(), 41);
+  for (int i = 0; i < 100; ++i) ASSERT_EQ(queue.pop_min(), 42);
+  EXPECT_EQ(queue.pop_min(), 43);
+}
+
+TEST(CalendarQueue, GrowsUnderLoadAndStaysSorted) {
+  CalendarQueue queue;
+  const std::size_t initial_buckets = queue.bucket_count();
+  Rng rng(404);
+  std::vector<Microseconds> times;
+  for (int i = 0; i < 20'000; ++i) {
+    times.push_back(static_cast<Microseconds>(rng.next_below(100'000)));
+  }
+  for (const Microseconds t : times) queue.insert(t);
+  EXPECT_GT(queue.bucket_count(), initial_buckets);
+  std::sort(times.begin(), times.end());
+  for (const Microseconds expect : times) ASSERT_EQ(queue.pop_min(), expect);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(CalendarQueue, ClearResets) {
+  CalendarQueue queue;
+  for (int i = 0; i < 50; ++i) queue.insert(i * 1000);
+  queue.insert(100'000'000);  // overflow tier too
+  queue.clear();
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(queue.size(), 0u);
+  queue.insert(5);
+  EXPECT_EQ(queue.min(), 5);
+  EXPECT_EQ(queue.pop_min(), 5);
+}
+
+/// Reference model of the EventQueue's coalescing semantics over a plain
+/// heap — the exact pre-calendar-queue implementation.
+class HeapEventQueue {
+ public:
+  void schedule(Microseconds t) {
+    if (processing_ && t <= current_) return;
+    if (!heap_.empty() && t == heap_.top()) return;
+    heap_.push(t);
+  }
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+  Microseconds pop() {
+    const Microseconds t = heap_.top();
+    heap_.pop();
+    current_ = t;
+    processing_ = true;
+    return t;
+  }
+  void end_instant() { processing_ = false; }
+
+ private:
+  MinHeap heap_;
+  Microseconds current_ = 0;
+  bool processing_ = false;
+};
+
+// The EventQueue over the calendar queue must behave exactly like the
+// heap-backed one under a recorded-controller-style stream: redundant
+// wake-ups at the current minimum, re-wakes at or before the instant
+// being processed, and fresh times in between.
+TEST(EventQueue, DifferentialAgainstHeapSemantics) {
+  Rng rng(505);
+  EventQueue queue;
+  HeapEventQueue reference;
+  Microseconds clock = 0;
+  for (int round = 0; round < 3000; ++round) {
+    const int inserts = 1 + static_cast<int>(rng.next_below(4));
+    for (int i = 0; i < inserts; ++i) {
+      // Mix in exact duplicates of the current min (the dominant
+      // controller pattern) and past times.
+      Microseconds t;
+      const double kind = rng.next_double();
+      if (kind < 0.3 && !reference.empty()) {
+        t = clock + static_cast<Microseconds>(rng.next_below(200));
+      } else if (kind < 0.5) {
+        t = clock > 100 ? clock - static_cast<Microseconds>(rng.next_below(100))
+                        : clock;
+      } else {
+        t = clock + static_cast<Microseconds>(rng.next_below(2000));
+      }
+      queue.schedule(t);
+      reference.schedule(t);
+      ASSERT_EQ(queue.size(), reference.size());
+    }
+    if (!reference.empty()) {
+      const Microseconds expect = reference.pop();
+      ASSERT_FALSE(queue.empty());
+      ASSERT_EQ(queue.pop(), expect);
+      clock = expect;
+      // Re-wakes during the instant are dropped by both.
+      queue.schedule(clock);
+      reference.schedule(clock);
+      queue.schedule(clock > 10 ? clock - 10 : 0);
+      reference.schedule(clock > 10 ? clock - 10 : 0);
+      ASSERT_EQ(queue.size(), reference.size());
+      if (rng.chance(0.9)) {
+        queue.end_instant();
+        reference.end_instant();
+      }
+    }
+  }
+  while (!reference.empty()) {
+    ASSERT_EQ(queue.pop(), reference.pop());
+    queue.end_instant();
+    reference.end_instant();
+  }
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueue, CoalescesDuplicateOfCurrentMin) {
+  EventQueue queue;
+  queue.schedule(100);
+  queue.schedule(100);  // exact duplicate of the min: dropped
+  queue.schedule(200);
+  EXPECT_EQ(queue.size(), 2u);
+  EXPECT_EQ(queue.pop(), 100);
+  queue.end_instant();
+  EXPECT_EQ(queue.pop(), 200);
+}
+
+TEST(EventQueue, DropsReWakesDuringProcessingWindow) {
+  EventQueue queue;
+  queue.schedule(100);
+  EXPECT_EQ(queue.pop(), 100);
+  // Mid-instant: anything at or before the popped time is redundant.
+  queue.schedule(100);
+  queue.schedule(50);
+  EXPECT_TRUE(queue.empty());
+  queue.schedule(150);  // strictly later: kept
+  EXPECT_EQ(queue.size(), 1u);
+  queue.end_instant();
+  // After the instant closes, earlier times are accepted again.
+  queue.schedule(120);
+  EXPECT_EQ(queue.pop(), 120);
+}
+
+}  // namespace
+}  // namespace rps::ctrl
