@@ -19,10 +19,14 @@
 //      path), with checkpoint digests proving the restored state is
 //      bit-identical. fork_speedup is the headline warm-start number.
 //
-// Usage: bench_simcore [--quick] [--jobs=N] [--out=PATH]
-//   --quick   smaller request counts / fewer seeds (CI smoke)
-//   --jobs=N  parallel arm of the sweep scaling run (default 8)
-//   --out     JSON path (default BENCH_simcore.json in the CWD)
+// Usage: bench_simcore [--quick] [--jobs=N] [--out=PATH] [--alloc-audit]
+//   --quick        smaller request counts / fewer seeds (CI smoke)
+//   --jobs=N       parallel arm of the sweep scaling run (default 8)
+//   --out          JSON path (default BENCH_simcore.json in the CWD)
+//   --alloc-audit  skip the measurements; instead assert that a warmed
+//                  controller-engine replay performs ZERO heap
+//                  allocations across its steady-state window, for every
+//                  FTL kind (exit 1 on any allocation)
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -35,6 +39,7 @@
 #include "src/faultsim/sweep.hpp"
 #include "src/sim/runner.hpp"
 #include "src/sim/simulator.hpp"
+#include "src/util/alloc_audit.hpp"
 #include "src/workload/generator.hpp"
 
 using namespace rps;
@@ -339,16 +344,89 @@ void write_json(const std::string& path, bool quick, std::uint64_t requests,
   std::printf("wrote %s\n", path.c_str());
 }
 
+/// --alloc-audit: the machine-checked form of the zero-allocation claim.
+/// For every FTL kind on the controller engine: precondition + warm-up,
+/// replay the measured trace once so every arena, pool and scratch vector
+/// reaches its high-water mark, then replay it again with the
+/// operator-new interposer armed across the steady-state window
+/// (Simulator's steady-state hook). Any allocation fails the audit.
+int run_alloc_audit(std::uint64_t requests) {
+  if (!util::alloc_audit_linked()) {
+    std::fprintf(stderr, "alloc audit: interposer not linked into this binary\n");
+    return 1;
+  }
+  std::printf("alloc audit: controller engine, Varmail, %llu requests, "
+              "third (warmed) replay\n",
+              static_cast<unsigned long long>(requests));
+  bool ok = true;
+  constexpr sim::FtlKind kKinds[] = {sim::FtlKind::kPage, sim::FtlKind::kParity,
+                                     sim::FtlKind::kRtf, sim::FtlKind::kFlex,
+                                     sim::FtlKind::kSlc};
+  // Debug aid: RPS_ALLOC_AUDIT_FTL=<name> audits just that FTL (pairs
+  // with RPS_ALLOC_AUDIT_BACKTRACE=N, which dumps offender stacks).
+  const char* only = std::getenv("RPS_ALLOC_AUDIT_FTL");
+  for (const sim::FtlKind kind : kKinds) {
+    if (only != nullptr && std::string(only) != sim::to_string(kind)) continue;
+    sim::ExperimentSpec spec = sim::ExperimentSpec::bench_default();
+    spec.ftl_config.geometry = simcore_geometry();
+    spec.sim.engine = sim::Engine::kController;
+    spec.requests = requests;
+    std::unique_ptr<ftl::FtlBase> ftl = sim::make_ftl(kind, spec.ftl_config);
+    sim::Simulator simulator(*ftl, spec.sim);
+    simulator.precondition();
+    const Lpn working_set = static_cast<Lpn>(
+        static_cast<double>(ftl->exported_pages()) * spec.working_set_fraction);
+    const workload::Trace warmup = workload::generate(workload::preset_config(
+        workload::Preset::kVarmail, working_set, spec.requests / 2,
+        spec.seed ^ 0x77777777ull));
+    simulator.warm_up(warmup);
+    const workload::Trace trace = workload::generate(workload::preset_config(
+        workload::Preset::kVarmail, working_set, spec.requests, spec.seed));
+
+    // Two warm replays before the audited one: container capacities only
+    // ever double, so a first replay leaves every arena, pool and scratch
+    // vector at (at least) half its converged capacity and the second
+    // replay's residual growth is what run three would have paid. After
+    // two, the high-water marks have converged and the audit is strict.
+    simulator.run(trace);
+    simulator.run(trace);
+    util::AllocAuditStats stats;
+    simulator.set_steady_state_hook([&stats](bool enter) {
+      if (enter) {
+        util::alloc_audit_arm();
+      } else {
+        stats = util::alloc_audit_disarm();
+      }
+    });
+    simulator.run(trace);  // audited
+    simulator.set_steady_state_hook(nullptr);
+    std::printf("  %-9s allocations=%llu bytes=%llu frees=%llu  %s\n",
+                sim::to_string(kind),
+                static_cast<unsigned long long>(stats.allocations),
+                static_cast<unsigned long long>(stats.bytes),
+                static_cast<unsigned long long>(stats.frees),
+                stats.allocations == 0 ? "OK" : "FAIL");
+    std::fflush(stdout);
+    ok = ok && stats.allocations == 0;
+  }
+  std::printf("alloc audit: %s\n",
+              ok ? "PASS (zero steady-state heap allocations)" : "FAIL");
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool quick = false;
+  bool alloc_audit = false;
   std::string out_path = "BENCH_simcore.json";
   std::uint32_t jobs = 8;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--quick") {
       quick = true;
+    } else if (arg == "--alloc-audit") {
+      alloc_audit = true;
     } else if (arg.rfind("--out=", 0) == 0) {
       out_path = arg.substr(6);
     } else if (arg.rfind("--jobs=", 0) == 0) {
@@ -363,6 +441,8 @@ int main(int argc, char** argv) {
   const std::uint64_t seeds = quick ? 8 : 64;
   const int reps = quick ? 2 : 3;
   constexpr std::uint64_t kDensity = 16;
+
+  if (alloc_audit) return run_alloc_audit(requests);
 
   std::printf("bench_simcore%s: single-trial throughput (Varmail, %llu requests)\n",
               quick ? " --quick" : "", static_cast<unsigned long long>(requests));

@@ -13,7 +13,13 @@ std::optional<ArbPolicy> arb_policy_from(const std::string& name) {
 }
 
 QueueArbiter::QueueArbiter(std::uint32_t queues, ArbiterConfig config)
-    : queues_(queues), config_(std::move(config)), deficit_(queues, 0) {
+    : queues_(queues),
+      config_(std::move(config)),
+      active_(queues),
+      head_cost_(queues, 0),
+      deficit_(queues, 0),
+      stamp_pos_(queues, 0),
+      stamped_(queues, 0) {
   assert(queues_ > 0);
   weights_.resize(queues_, 1);
   for (std::uint32_t q = 0; q < queues_ && q < config_.weights.size(); ++q) {
@@ -22,84 +28,123 @@ QueueArbiter::QueueArbiter(std::uint32_t queues, ArbiterConfig config)
   if (config_.quantum_pages == 0) config_.quantum_pages = 1;
 }
 
+void QueueArbiter::set_eligible(std::uint32_t queue, bool eligible,
+                                std::uint32_t head_cost) {
+  assert(queue < queues_);
+  if (eligible) {
+    head_cost_[queue] = head_cost;
+    if (!active_.test(queue)) {
+      // Materialize the lazy zeroing before the queue rejoins the walk:
+      // from here on its deficit is live again and must not be re-zeroed
+      // retroactively by an old stamp.
+      if (stamped_[queue] != 0) {
+        if (lazily_zeroed(queue)) deficit_[queue] = 0;
+        stamped_[queue] = 0;
+      }
+      active_.set(queue);
+    }
+  } else if (active_.test(queue)) {
+    active_.clear(queue);
+    head_cost_[queue] = 0;
+    stamp_pos_[queue] = pos_;
+    stamped_[queue] = 1;
+  }
+}
+
+std::optional<std::uint32_t> QueueArbiter::admit() {
+  switch (config_.policy) {
+    case ArbPolicy::kRoundRobin: return admit_rr();
+    case ArbPolicy::kWeightedRoundRobin: return admit_wrr();
+    case ArbPolicy::kWeightedDeficitRoundRobin: return admit_wdrr();
+  }
+  return std::nullopt;
+}
+
 std::optional<std::uint32_t> QueueArbiter::admit(
     const std::vector<std::uint8_t>& eligible,
     const std::vector<std::uint32_t>& head_cost) {
   assert(eligible.size() == queues_);
-  assert(head_cost.size() == queues_ || config_.policy != ArbPolicy::kWeightedDeficitRoundRobin);
-  switch (config_.policy) {
-    case ArbPolicy::kRoundRobin: return admit_rr(eligible);
-    case ArbPolicy::kWeightedRoundRobin: return admit_wrr(eligible);
-    case ArbPolicy::kWeightedDeficitRoundRobin: return admit_wdrr(eligible, head_cost);
-  }
-  return std::nullopt;
-}
-
-std::optional<std::uint32_t> QueueArbiter::admit_rr(
-    const std::vector<std::uint8_t>& eligible) {
-  for (std::uint32_t scan = 0; scan < queues_; ++scan) {
-    const std::uint32_t q = cur_;
-    cur_ = (cur_ + 1) % queues_;
-    if (eligible[q] != 0) return q;
-  }
-  return std::nullopt;
-}
-
-std::optional<std::uint32_t> QueueArbiter::admit_wrr(
-    const std::vector<std::uint8_t>& eligible) {
-  // One extra iteration: the first may only close out cur_'s spent visit.
-  for (std::uint32_t scan = 0; scan <= queues_; ++scan) {
-    if (eligible[cur_] != 0 && (!visiting_ || credit_ > 0)) {
-      if (!visiting_) {
-        visiting_ = true;
-        credit_ = weights_[cur_];
-      }
-      --credit_;
-      return cur_;
-    }
-    // Visit over (queue ineligible, or its credit spent): move on.
-    visiting_ = false;
-    cur_ = (cur_ + 1) % queues_;
-  }
-  return std::nullopt;
-}
-
-std::optional<std::uint32_t> QueueArbiter::admit_wdrr(
-    const std::vector<std::uint8_t>& eligible,
-    const std::vector<std::uint32_t>& head_cost) {
-  std::uint32_t max_cost = 1;
-  bool any = false;
+  assert(head_cost.size() == queues_ ||
+         config_.policy != ArbPolicy::kWeightedDeficitRoundRobin);
   for (std::uint32_t q = 0; q < queues_; ++q) {
-    if (eligible[q] == 0) continue;
-    any = true;
-    max_cost = std::max(max_cost, std::max<std::uint32_t>(1, head_cost[q]));
+    set_eligible(q, eligible[q] != 0, q < head_cost.size() ? head_cost[q] : 0);
   }
-  if (!any) return std::nullopt;
+  return admit();
+}
+
+std::optional<std::uint32_t> QueueArbiter::admit_rr() {
+  // Full-scan equivalent: advance cyclically from cur(), admit the first
+  // eligible queue and rest one past it; an empty round leaves the
+  // pointer where it started.
+  if (!active_.any()) return std::nullopt;
+  const std::uint32_t start = cur();
+  const std::uint32_t q = active_.next_cyclic(start);
+  pos_ += (q + queues_ - start) % queues_ + 1;
+  return q;
+}
+
+std::optional<std::uint32_t> QueueArbiter::admit_wrr() {
+  // Close out an in-progress visit first: the resting queue admits again
+  // only while it stays eligible with credit left; otherwise the pointer
+  // steps off it (which is also the full scan's net motion — +1 with
+  // visiting_ cleared — when nothing at all is eligible).
+  if (visiting_) {
+    if (active_.test(cur()) && credit_ > 0) {
+      --credit_;
+      return cur();
+    }
+    visiting_ = false;
+    ++pos_;
+    if (!active_.any()) return std::nullopt;
+  } else if (!active_.any()) {
+    ++pos_;
+    return std::nullopt;
+  }
+  const std::uint32_t start = cur();
+  const std::uint32_t q = active_.next_cyclic(start);
+  pos_ += (q + queues_ - start) % queues_;
+  visiting_ = true;
+  credit_ = weights_[q] - 1;
+  return q;
+}
+
+std::optional<std::uint32_t> QueueArbiter::admit_wdrr() {
+  // No eligible queue: the full scan returned before touching any state.
+  if (!active_.any()) return std::nullopt;
+  std::uint32_t max_cost = 1;
+  active_.for_each([&](std::uint32_t q) {
+    max_cost = std::max(max_cost, std::max<std::uint32_t>(1, head_cost_[q]));
+  });
   // Every full round grants each eligible queue quantum x weight pages, so
   // within max_cost / quantum + 1 rounds some head fits its deficit.
   const std::uint64_t rounds = 2 + max_cost / config_.quantum_pages;
-  for (std::uint64_t scan = 0; scan < rounds * queues_ + 1; ++scan) {
-    if (eligible[cur_] == 0) {
-      // Classic DRR: a queue with nothing to admit banks no service.
-      deficit_[cur_] = 0;
+  const std::uint64_t max_visits = rounds * active_.count() + 1;
+  for (std::uint64_t visits = 0; visits < max_visits;) {
+    const std::uint32_t q = cur();
+    if (!active_.test(q)) {
+      // The pointer sweeps the whole inactive run in one jump. Each
+      // skipped queue counts as visited-while-ineligible: its banked
+      // deficit reads as zero from now on (lazily_zeroed()).
       visiting_ = false;
-      cur_ = (cur_ + 1) % queues_;
+      const std::uint32_t nxt = active_.next_cyclic(q);
+      pos_ += (nxt + queues_ - q) % queues_;
       continue;
     }
+    ++visits;
     if (!visiting_) {
       visiting_ = true;
-      deficit_[cur_] +=
-          static_cast<std::uint64_t>(config_.quantum_pages) * weights_[cur_];
+      deficit_[q] += static_cast<std::uint64_t>(config_.quantum_pages) * weights_[q];
     }
-    const std::uint64_t cost = std::max<std::uint32_t>(1, head_cost[cur_]);
-    if (deficit_[cur_] >= cost) {
-      deficit_[cur_] -= cost;
-      return cur_;
+    const std::uint64_t cost = std::max<std::uint32_t>(1, head_cost_[q]);
+    if (deficit_[q] >= cost) {
+      deficit_[q] -= cost;
+      return q;
     }
     visiting_ = false;
-    cur_ = (cur_ + 1) % queues_;
+    ++pos_;
   }
-  return std::nullopt;  // unreachable: the round bound guarantees an admit
+  assert(false && "WDRR round bound must guarantee an admission");
+  return std::nullopt;
 }
 
 }  // namespace rps::ctrl

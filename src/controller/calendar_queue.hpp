@@ -27,7 +27,10 @@
 // minima, which is always exact.
 #pragma once
 
+#include <algorithm>
+#include <cassert>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "src/util/types.hpp"
@@ -41,10 +44,43 @@ class CalendarQueue {
   /// share a few adjacent buckets.
   explicit CalendarQueue(Microseconds width = 256);
 
-  void insert(Microseconds t);
+  void insert(Microseconds t) {
+    if (size_ == 0 || t < min_) min_ = t;
+    const Microseconds year = width_ * static_cast<Microseconds>(buckets_.size());
+    if (size_ > 0 && t - min_ >= year) {
+      // Beyond the current year: overflow tier, sorted descending.
+      overflow_.insert(
+          std::upper_bound(overflow_.begin(), overflow_.end(), t, std::greater<>()),
+          t);
+    } else {
+      place(t);
+      maybe_grow();
+    }
+    ++size_;
+  }
 
   /// Remove and return the minimum. Precondition: !empty().
-  Microseconds pop_min();
+  Microseconds pop_min() {
+    assert(size_ > 0);
+    const Microseconds t = min_;
+    std::vector<Microseconds>& b = buckets_[bucket_of(t)];
+    if (!b.empty() && b.back() == t) {
+      b.pop_back();
+      --in_calendar_;
+    } else {
+      // The minimum can only live in overflow when the calendar tier has
+      // no element this small (e.g. the tier is empty).
+      assert(!overflow_.empty() && overflow_.back() == t);
+      overflow_.pop_back();
+    }
+    --size_;
+    if (size_ == 0) return t;
+    Microseconds cand = in_calendar_ > 0 ? calendar_min_from(t) : kTimeNever;
+    if (!overflow_.empty() && overflow_.back() < cand) cand = overflow_.back();
+    min_ = cand;
+    if (!overflow_.empty()) migrate_overflow();
+    return t;
+  }
 
   /// Cached exact minimum, O(1). Precondition: !empty().
   [[nodiscard]] Microseconds min() const { return min_; }
@@ -63,18 +99,55 @@ class CalendarQueue {
   }
 
   /// Insert into a bucket, keeping it sorted descending (min at back()).
-  void place(Microseconds t);
+  void place(Microseconds t) {
+    std::vector<Microseconds>& b = buckets_[bucket_of(t)];
+    b.insert(std::upper_bound(b.begin(), b.end(), t, std::greater<>()), t);
+    ++in_calendar_;
+  }
 
   /// Exact minimum of the calendar tier, >= `floor`; kTimeNever if the
   /// tier is empty. `floor` must lower-bound every calendar event.
-  [[nodiscard]] Microseconds calendar_min_from(Microseconds floor) const;
+  [[nodiscard]] Microseconds calendar_min_from(Microseconds floor) const {
+    const auto n = static_cast<Microseconds>(buckets_.size());
+    // The windowed scan's bucket_end arithmetic must not overflow; absurdly
+    // large floors (near kTimeNever) skip straight to the exact fallback.
+    if (floor >= 0 && floor < kTimeNever - 2 * width_ * n) {
+      std::size_t i = bucket_of(floor);
+      Microseconds bucket_end = (floor / width_ + 1) * width_;
+      for (std::size_t k = 0; k < buckets_.size(); ++k) {
+        const std::vector<Microseconds>& b = buckets_[i];
+        // Windows are disjoint and increasing, so the first bucket whose
+        // minimum falls inside its current-year window holds the global
+        // minimum. A future-year resident of the same bucket is >= its
+        // window end and never matches.
+        if (!b.empty() && b.back() < bucket_end) return b.back();
+        i = (i + 1) & mask_;
+        bucket_end += width_;
+      }
+    }
+    // Sparse year (or wrap-hostile floor): direct minimum over the
+    // per-bucket minima — always exact.
+    Microseconds best = kTimeNever;
+    for (const std::vector<Microseconds>& b : buckets_) {
+      if (!b.empty() && b.back() < best) best = b.back();
+    }
+    return best;
+  }
 
   /// Double the ring when buckets get crowded; redistributes in place.
-  void maybe_grow();
+  void maybe_grow() {
+    if (in_calendar_ > kLoadFactor * buckets_.size() && buckets_.size() < kMaxBuckets) {
+      grow();
+    }
+  }
+  void grow();
 
   /// Pull overflow events that now fall inside the current year down into
   /// the calendar tier.
   void migrate_overflow();
+
+  static constexpr std::size_t kMaxBuckets = 1 << 16;  // ring growth ceiling
+  static constexpr std::size_t kLoadFactor = 8;  // grow past this per-bucket load
 
   std::vector<std::vector<Microseconds>> buckets_;
   std::vector<Microseconds> overflow_;  // sorted descending, min at back

@@ -1,28 +1,4 @@
 #include "src/controller/event_queue.hpp"
 
-#include <cassert>
-
-namespace rps::ctrl {
-
-void EventQueue::schedule(Microseconds t) {
-  // Stale wake-up for the instant being processed: dispatch_at runs to a
-  // fixpoint there, so this wake-up can't make anything newly
-  // dispatchable. (Outside an instant nothing <= the earliest entry may
-  // be dropped — a post-drain submit may legitimately re-wake a past
-  // time.)
-  if (processing_ && t <= current_) return;
-  // Exact duplicate of the current earliest: the drain loop coalesces
-  // equal pops, so the second entry could never be observed.
-  if (!times_.empty() && t == times_.min()) return;
-  times_.insert(t);
-}
-
-Microseconds EventQueue::pop() {
-  assert(!times_.empty());
-  const Microseconds t = times_.pop_min();
-  current_ = t;
-  processing_ = true;
-  return t;
-}
-
-}  // namespace rps::ctrl
+// All members are defined inline in the header (they sit on the
+// controller's per-event hot path); this TU anchors the target.

@@ -19,6 +19,8 @@
 //     cannot unblock anything the fixpoint didn't already try.
 #pragma once
 
+#include <cassert>
+
 #include "src/controller/calendar_queue.hpp"
 #include "src/util/types.hpp"
 
@@ -26,7 +28,18 @@ namespace rps::ctrl {
 
 class EventQueue {
  public:
-  void schedule(Microseconds t);
+  void schedule(Microseconds t) {
+    // Stale wake-up for the instant being processed: dispatch_at runs to a
+    // fixpoint there, so this wake-up can't make anything newly
+    // dispatchable. (Outside an instant nothing <= the earliest entry may
+    // be dropped — a post-drain submit may legitimately re-wake a past
+    // time.)
+    if (processing_ && t <= current_) return;
+    // Exact duplicate of the current earliest: the drain loop coalesces
+    // equal pops, so the second entry could never be observed.
+    if (!times_.empty() && t == times_.min()) return;
+    times_.insert(t);
+  }
 
   [[nodiscard]] bool empty() const { return times_.empty(); }
   [[nodiscard]] std::size_t size() const { return times_.size(); }
@@ -37,7 +50,13 @@ class EventQueue {
   /// Pop and return the earliest scheduled time. Precondition: !empty().
   /// Starts an "instant": until end_instant(), schedule() drops any time
   /// at or before the popped one.
-  Microseconds pop();
+  Microseconds pop() {
+    assert(!times_.empty());
+    const Microseconds t = times_.pop_min();
+    current_ = t;
+    processing_ = true;
+    return t;
+  }
 
   /// The caller's dispatch fixpoint for the popped instant is done;
   /// schedule() resumes accepting times at or before it.

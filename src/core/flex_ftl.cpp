@@ -52,7 +52,7 @@ Result<Microseconds> FlexFtl::write_lsb(std::uint32_t chip, Lpn lpn,
   ChipState& cs = chips_.at(chip);
   std::optional<std::uint32_t>& fast_slot = cold ? cs.cold_fast : cs.fast;
   nand::PageData& acc = cold ? cs.cold_acc : cs.parity_acc;
-  std::deque<std::uint32_t>& queue = cold ? cs.cold_sbqueue : cs.sbqueue;
+  RingBuffer<std::uint32_t>& queue = cold ? cs.cold_sbqueue : cs.sbqueue;
   if (!fast_slot) {
     // Host-path allocation may trigger foreground GC whose copies recurse
     // into write_lsb and install a fast block; re-check before installing
@@ -145,8 +145,9 @@ Microseconds FlexFtl::flush_parity_from(std::uint32_t chip, std::uint32_t fast_b
   blocks_.add_written({chip, cs.backup->block});
   ++stats_.backup_pages;
 
-  cs.parity_page[fast_block] = dst;
-  cs.parity_durable[fast_block] = timing.value().complete;
+  util::recycled_assign(cs.parity_page, cs.page_spares, fast_block, dst);
+  util::recycled_assign(cs.parity_durable, cs.durable_spares, fast_block,
+                        timing.value().complete);
 
   if (trace_ != nullptr) {
     trace_->record(obs::EventKind::kParityFlush, chip + 1, now,
@@ -164,11 +165,14 @@ Microseconds FlexFtl::flush_parity_from(std::uint32_t chip, std::uint32_t fast_b
 void FlexFtl::invalidate_parity(std::uint32_t chip, std::uint32_t slow_block,
                                 Microseconds now) {
   ChipState& cs = chips_.at(chip);
-  cs.parity_durable.erase(slow_block);
+  const auto durable = cs.parity_durable.find(slow_block);
+  if (durable != cs.parity_durable.end()) {
+    util::recycled_erase(cs.parity_durable, cs.durable_spares, durable);
+  }
   const auto it = cs.parity_page.find(slow_block);
   if (it == cs.parity_page.end()) return;  // was never protected
   const std::uint32_t backup_block = it->second.block;
-  cs.parity_page.erase(it);
+  util::recycled_erase(cs.parity_page, cs.page_spares, it);
   release_parity_page(chip, backup_block, now);
 }
 
@@ -207,8 +211,8 @@ Result<Microseconds> FlexFtl::write_msb(std::uint32_t chip, Lpn lpn,
                                         bool gc, bool prefer_cold) {
   ChipState& cs = chips_.at(chip);
   // Stream preference with cross-stream fallback (deadlock safety).
-  std::deque<std::uint32_t>* queue = prefer_cold ? &cs.cold_sbqueue : &cs.sbqueue;
-  std::deque<std::uint32_t>* other = prefer_cold ? &cs.sbqueue : &cs.cold_sbqueue;
+  RingBuffer<std::uint32_t>* queue = prefer_cold ? &cs.cold_sbqueue : &cs.sbqueue;
+  RingBuffer<std::uint32_t>* other = prefer_cold ? &cs.sbqueue : &cs.cold_sbqueue;
   if (queue->empty()) queue = other;
   if (queue->empty()) return ErrorCode::kNoFreePage;
   // FIFO: the head of the SBQueue is the active slow block (Section 3.1).
@@ -423,12 +427,12 @@ void load_opt_block(ser::Reader& r, std::optional<std::uint32_t>& block) {
   block = has ? std::optional<std::uint32_t>(value) : std::nullopt;
 }
 
-void save_deque(ser::Writer& w, const std::deque<std::uint32_t>& q) {
+void save_deque(ser::Writer& w, const RingBuffer<std::uint32_t>& q) {
   w.u64(q.size());
-  for (const std::uint32_t b : q) w.u32(b);
+  for (std::size_t i = 0; i < q.size(); ++i) w.u32(q[i]);
 }
 
-bool load_deque(ser::Reader& r, std::deque<std::uint32_t>& q) {
+bool load_deque(ser::Reader& r, RingBuffer<std::uint32_t>& q) {
   q.clear();
   const std::uint64_t n = r.u64();
   if (n > r.remaining()) {

@@ -18,7 +18,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -26,6 +25,8 @@
 #include "src/core/policy.hpp"
 #include "src/core/write_predictor.hpp"
 #include "src/ftl/ftl_base.hpp"
+#include "src/util/map_recycle.hpp"
+#include "src/util/ring_buffer.hpp"
 
 namespace rps::core {
 
@@ -124,11 +125,11 @@ class FlexFtl : public ftl::FtlBase {
 
   struct ChipState {
     std::optional<std::uint32_t> fast;   // active fast block (host stream)
-    std::deque<std::uint32_t> sbqueue;   // head = active slow block
+    RingBuffer<std::uint32_t> sbqueue;  // head = active slow block
     nand::PageData parity_acc;           // parity page buffer for `fast`
     /// Cold stream (GC relocation copies), used when separate_gc_stream:
     std::optional<std::uint32_t> cold_fast;
-    std::deque<std::uint32_t> cold_sbqueue;
+    RingBuffer<std::uint32_t> cold_sbqueue;
     nand::PageData cold_acc;
     std::optional<BackupBlock> backup;   // current backup block
     std::vector<BackupBlock> retiring;   // full backup blocks, still live
@@ -136,6 +137,12 @@ class FlexFtl : public ftl::FtlBase {
     std::unordered_map<std::uint32_t, Microseconds> parity_durable;
     /// slow block -> where its parity page lives.
     std::unordered_map<std::uint32_t, nand::PageAddress> parity_page;
+    /// Banked map nodes: the durable/page insert-erase cycle recycles
+    /// nodes instead of churning the heap (util/map_recycle.hpp).
+    std::vector<std::unordered_map<std::uint32_t, Microseconds>::node_type>
+        durable_spares;
+    std::vector<std::unordered_map<std::uint32_t, nand::PageAddress>::node_type>
+        page_spares;
     /// Retirement log for the final-MSB grace window. The full transition
     /// retires a block's parity page eagerly (bookkeeping must not lag, or
     /// free-pool dynamics diverge), but the final MSB program only

@@ -77,9 +77,15 @@ RecoveryReport FlexFtl::recover_from_power_loss(
     // Step 2: verify every slow block's LSB data by parity recomputation.
     // (Snapshot the queue: rewriting a recovered page may consume MSB pages
     // and retire the head slow block, mutating the deque.)
-    std::vector<std::uint32_t> slow_blocks(cs.sbqueue.begin(), cs.sbqueue.end());
-    slow_blocks.insert(slow_blocks.end(), cs.cold_sbqueue.begin(),
-                       cs.cold_sbqueue.end());
+    std::vector<std::uint32_t> slow_blocks;
+    slow_blocks.reserve(cs.sbqueue.size() + cs.cold_sbqueue.size() +
+                        voided_retirements.size());
+    for (std::size_t i = 0; i < cs.sbqueue.size(); ++i) {
+      slow_blocks.push_back(cs.sbqueue[i]);
+    }
+    for (std::size_t i = 0; i < cs.cold_sbqueue.size(); ++i) {
+      slow_blocks.push_back(cs.cold_sbqueue[i]);
+    }
     slow_blocks.insert(slow_blocks.end(), voided_retirements.begin(),
                        voided_retirements.end());
     for (const std::uint32_t blk : slow_blocks) {

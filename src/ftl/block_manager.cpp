@@ -20,7 +20,8 @@ BlockManager::BlockManager(std::uint32_t chips, std::uint32_t blocks_per_chip,
 Result<std::uint32_t> BlockManager::allocate(std::uint32_t chip, BlockUse use,
                                              std::uint32_t reserve) {
   assert(use != BlockUse::kFree);
-  ChipState& state = per_chip_.at(chip);
+  assert(chip < per_chip_.size());
+  ChipState& state = per_chip_[chip];
   if (state.free.size() <= reserve) return ErrorCode::kNoFreeBlock;
   const std::uint32_t block = state.free.front();
   state.free.pop_front();
@@ -29,39 +30,53 @@ Result<std::uint32_t> BlockManager::allocate(std::uint32_t chip, BlockUse use,
   bi.use = use;
   bi.valid_pages = 0;
   bi.written_pages = 0;
+  bi.gc_cursor = 0;  // fresh life: any stale scan position is void
   return block;
 }
 
 void BlockManager::set_use(nand::BlockAddress addr, BlockUse use) {
   assert(use != BlockUse::kFree);  // use release() to free a block
-  info(addr).use = use;
+  ChipState& chip = per_chip_[addr.chip];
+  BlockInfo& bi = chip.blocks[addr.block];
+  const BlockUse old = bi.use;
+  bi.use = use;
+  if (use == BlockUse::kFull) {
+    note_full_gain(chip, bi);  // new GC candidate may raise the max
+  } else if (old == BlockUse::kFull) {
+    chip.gain_dirty = true;  // candidate left the set; max may shrink
+  }
 }
 
 BlockUse BlockManager::use(nand::BlockAddress addr) const { return info(addr).use; }
 
 void BlockManager::release(nand::BlockAddress addr) {
-  BlockInfo& bi = info(addr);
+  ChipState& chip = per_chip_[addr.chip];
+  BlockInfo& bi = chip.blocks[addr.block];
   assert(bi.use != BlockUse::kFree);
   assert(bi.valid_pages == 0);
+  if (bi.use == BlockUse::kFull) chip.gain_dirty = true;
   bi.use = BlockUse::kFree;
   bi.valid_pages = 0;
   bi.written_pages = 0;
-  per_chip_.at(addr.chip).free.push_back(addr.block);
+  bi.gc_cursor = 0;
+  chip.free.push_back(addr.block);
 }
 
 void BlockManager::retire(nand::BlockAddress addr) {
-  BlockInfo& bi = info(addr);
+  ChipState& chip = per_chip_[addr.chip];
+  BlockInfo& bi = chip.blocks[addr.block];
   assert(bi.use != BlockUse::kRetired);
   assert(bi.valid_pages == 0);
   if (bi.use == BlockUse::kFree) {
-    std::deque<std::uint32_t>& free = per_chip_.at(addr.chip).free;
-    const auto it = std::find(free.begin(), free.end(), addr.block);
-    assert(it != free.end());
-    free.erase(it);
+    const std::size_t at = chip.free.find(addr.block);
+    assert(at < chip.free.size());
+    chip.free.erase_at(at);
   }
+  if (bi.use == BlockUse::kFull) chip.gain_dirty = true;
   bi.use = BlockUse::kRetired;
   bi.valid_pages = 0;
   bi.written_pages = 0;
+  bi.gc_cursor = 0;
 }
 
 std::uint32_t BlockManager::retired_blocks(std::uint32_t chip) const {
@@ -74,24 +89,29 @@ std::uint32_t BlockManager::retired_blocks(std::uint32_t chip) const {
 
 void BlockManager::reclaim(nand::BlockAddress addr, BlockUse use) {
   assert(use != BlockUse::kFree);
-  BlockInfo& bi = info(addr);
+  ChipState& chip = per_chip_[addr.chip];
+  BlockInfo& bi = chip.blocks[addr.block];
   if (bi.use != BlockUse::kFree) return;
-  std::deque<std::uint32_t>& free = per_chip_.at(addr.chip).free;
-  const auto it = std::find(free.begin(), free.end(), addr.block);
-  assert(it != free.end());
-  free.erase(it);
+  const std::size_t at = chip.free.find(addr.block);
+  assert(at < chip.free.size());
+  chip.free.erase_at(at);
   bi.use = use;
   // Every page of the block was written before its (voided) erase was
   // issued; valid counts are restored by the caller's mapping fixups.
   bi.written_pages = pages_per_block_;
   bi.valid_pages = 0;
+  bi.gc_cursor = 0;
+  if (use == BlockUse::kFull) note_full_gain(chip, bi);
 }
 
 void BlockManager::remove_valid(nand::BlockAddress addr) {
-  BlockInfo& bi = info(addr);
+  ChipState& chip = per_chip_[addr.chip];
+  BlockInfo& bi = chip.blocks[addr.block];
   assert(bi.valid_pages > 0);
   --bi.valid_pages;
-  --per_chip_.at(addr.chip).valid_pages;
+  --chip.valid_pages;
+  // Invalidation raises a full block's reclaim gain; keep the cache exact.
+  if (bi.use == BlockUse::kFull) note_full_gain(chip, bi);
 }
 
 std::uint64_t BlockManager::total_free_blocks() const {
@@ -101,29 +121,34 @@ std::uint64_t BlockManager::total_free_blocks() const {
 }
 
 std::optional<std::uint32_t> BlockManager::pick_victim(std::uint32_t chip) const {
-  const ChipState& state = per_chip_.at(chip);
-  std::optional<std::uint32_t> best;
-  std::uint32_t best_invalid = 0;
+  // The cached maximum makes this a first-hit scan: the earliest kFull
+  // block attaining it is exactly the block the greedy max scan returned
+  // (strict-greater kept the first of equal maxima).
+  const std::uint32_t best_invalid = best_victim_gain(chip);
+  if (best_invalid == 0) return std::nullopt;
+  const ChipState& state = per_chip_[chip];
   for (std::uint32_t b = 0; b < state.blocks.size(); ++b) {
     const BlockInfo& bi = state.blocks[b];
     if (bi.use != BlockUse::kFull) continue;
-    const std::uint32_t invalid = bi.written_pages - bi.valid_pages;
-    if (invalid > best_invalid) {
-      best_invalid = invalid;
-      best = b;
-    }
+    if (bi.written_pages - bi.valid_pages == best_invalid) return b;
   }
-  return best;
+  assert(false && "gain cache out of sync with block set");
+  return std::nullopt;
 }
 
 std::uint32_t BlockManager::best_victim_gain(std::uint32_t chip) const {
-  const ChipState& state = per_chip_.at(chip);
-  std::uint32_t best_invalid = 0;
-  for (const BlockInfo& bi : state.blocks) {
-    if (bi.use != BlockUse::kFull) continue;
-    best_invalid = std::max(best_invalid, bi.written_pages - bi.valid_pages);
+  assert(chip < per_chip_.size());
+  const ChipState& state = per_chip_[chip];
+  if (state.gain_dirty) {
+    std::uint32_t best_invalid = 0;
+    for (const BlockInfo& bi : state.blocks) {
+      if (bi.use != BlockUse::kFull) continue;
+      best_invalid = std::max(best_invalid, bi.written_pages - bi.valid_pages);
+    }
+    state.best_gain = best_invalid;
+    state.gain_dirty = false;
   }
-  return best_invalid;
+  return state.best_gain;
 }
 
 void BlockManager::save(ser::Writer& w) const {
@@ -136,7 +161,7 @@ void BlockManager::save(ser::Writer& w) const {
       w.u32(bi.written_pages);
     }
     w.u64(chip.free.size());
-    for (const std::uint32_t b : chip.free) w.u32(b);
+    for (std::size_t i = 0; i < chip.free.size(); ++i) w.u32(chip.free[i]);
     w.u64(chip.valid_pages);
   }
 }
@@ -160,6 +185,7 @@ void BlockManager::load(ser::Reader& r) {
       bi.use = static_cast<BlockUse>(raw);
       bi.valid_pages = r.u32();
       bi.written_pages = r.u32();
+      bi.gc_cursor = 0;  // conservative: restored blocks rescan from 0
     }
     chip.free.clear();
     const std::uint64_t free = r.u64();
@@ -169,6 +195,7 @@ void BlockManager::load(ser::Reader& r) {
     }
     for (std::uint64_t i = 0; i < free; ++i) chip.free.push_back(r.u32());
     chip.valid_pages = r.u64();
+    chip.gain_dirty = true;
   }
 }
 

@@ -2,13 +2,15 @@
 // valid-page counts and greedy victim selection.
 #pragma once
 
+#include <algorithm>
+#include <cassert>
 #include <cstdint>
-#include <deque>
 #include <optional>
 #include <vector>
 
 #include "src/nand/address.hpp"
 #include "src/util/result.hpp"
+#include "src/util/ring_buffer.hpp"
 
 namespace rps::ser {
 class Writer;
@@ -66,8 +68,13 @@ class BlockManager {
 
   /// Valid-page accounting (driven by mapping updates).
   void add_valid(nand::BlockAddress addr) {
-    ++info(addr).valid_pages;
-    ++per_chip_.at(addr.chip).valid_pages;
+    ChipState& chip = per_chip_[addr.chip];
+    BlockInfo& bi = chip.blocks[addr.block];
+    ++bi.valid_pages;
+    ++chip.valid_pages;
+    // A full block gaining a valid page loses reclaim gain; the cached
+    // per-chip maximum may shrink, so it must be recomputed on demand.
+    if (bi.use == BlockUse::kFull) chip.gain_dirty = true;
   }
   void remove_valid(nand::BlockAddress addr);
   [[nodiscard]] std::uint32_t valid_pages(nand::BlockAddress addr) const {
@@ -76,17 +83,24 @@ class BlockManager {
   /// Total valid pages on a chip. The chip's write headroom —
   /// physical pages minus this — is what host-write placement balances.
   [[nodiscard]] std::uint64_t chip_valid_pages(std::uint32_t chip) const {
-    return per_chip_.at(chip).valid_pages;
+    assert(chip < per_chip_.size());
+    return per_chip_[chip].valid_pages;
   }
 
   /// Written-page accounting (monotonic until erase).
-  void add_written(nand::BlockAddress addr) { ++info(addr).written_pages; }
+  void add_written(nand::BlockAddress addr) {
+    ChipState& chip = per_chip_[addr.chip];
+    BlockInfo& bi = chip.blocks[addr.block];
+    ++bi.written_pages;
+    if (bi.use == BlockUse::kFull) note_full_gain(chip, bi);
+  }
   [[nodiscard]] std::uint32_t written_pages(nand::BlockAddress addr) const {
     return info(addr).written_pages;
   }
 
   [[nodiscard]] std::uint32_t free_blocks(std::uint32_t chip) const {
-    return static_cast<std::uint32_t>(per_chip_.at(chip).free.size());
+    assert(chip < per_chip_.size());
+    return static_cast<std::uint32_t>(per_chip_[chip].free.size());
   }
   [[nodiscard]] std::uint64_t total_free_blocks() const;
   [[nodiscard]] double free_fraction(std::uint32_t chip) const {
@@ -101,7 +115,21 @@ class BlockManager {
   /// Invalid pages of a chip's best victim (0 if none).
   [[nodiscard]] std::uint32_t best_victim_gain(std::uint32_t chip) const;
 
-  /// Snapshot support. Free lists are deques whose ORDER is behavior
+  /// GC scan-resume cursor: the first wordline of `addr` that might still
+  /// hold a valid page. Pages below it were seen invalid (or relocated) by
+  /// an earlier scan of this block life — on a kFull block neither can
+  /// come back, so resuming there skips exactly the pages a fresh scan
+  /// would skip one by one. Purely an accelerator: never serialized
+  /// (snapshots restore it to 0, a conservative full rescan) and reset
+  /// whenever the block changes life (allocate/release/retire/reclaim).
+  [[nodiscard]] std::uint32_t gc_cursor(nand::BlockAddress addr) const {
+    return info(addr).gc_cursor;
+  }
+  void set_gc_cursor(nand::BlockAddress addr, std::uint32_t wl) {
+    info(addr).gc_cursor = wl;
+  }
+
+  /// Snapshot support. Free lists are FIFO rings whose ORDER is behavior
   /// (allocation round-trips through them FIFO), so they serialize
   /// front-to-back verbatim.
   void save(ser::Writer& w) const;
@@ -112,18 +140,39 @@ class BlockManager {
     BlockUse use = BlockUse::kFree;
     std::uint32_t valid_pages = 0;
     std::uint32_t written_pages = 0;
+    std::uint32_t gc_cursor = 0;  // see gc_cursor(); not serialized
   };
   struct ChipState {
     std::vector<BlockInfo> blocks;
-    std::deque<std::uint32_t> free;
+    RingBuffer<std::uint32_t> free;
     std::uint64_t valid_pages = 0;
+    // Cached best_victim_gain(): max invalid pages over kFull blocks. The
+    // cache is exact while clean; events that can only *raise* a block's
+    // gain update it in place (note_full_gain), events that may lower the
+    // maximum (a full block leaving the set or gaining a valid page) mark
+    // it dirty for a lazy O(blocks) rescan. Queried once per host write by
+    // the incremental-GC pacing check, so it must not rescan every call.
+    mutable std::uint32_t best_gain = 0;
+    mutable bool gain_dirty = true;
   };
 
   [[nodiscard]] const BlockInfo& info(nand::BlockAddress addr) const {
-    return per_chip_.at(addr.chip).blocks.at(addr.block);
+    assert(addr.chip < per_chip_.size());
+    assert(addr.block < per_chip_[addr.chip].blocks.size());
+    return per_chip_[addr.chip].blocks[addr.block];
   }
   [[nodiscard]] BlockInfo& info(nand::BlockAddress addr) {
-    return per_chip_.at(addr.chip).blocks.at(addr.block);
+    assert(addr.chip < per_chip_.size());
+    assert(addr.block < per_chip_[addr.chip].blocks.size());
+    return per_chip_[addr.chip].blocks[addr.block];
+  }
+
+  /// A kFull block's gain grew (valid dropped or written rose): fold it
+  /// into the clean cache; a dirty cache will rescan anyway.
+  static void note_full_gain(const ChipState& chip, const BlockInfo& bi) {
+    if (!chip.gain_dirty) {
+      chip.best_gain = std::max(chip.best_gain, bi.written_pages - bi.valid_pages);
+    }
   }
 
   std::uint32_t blocks_per_chip_;

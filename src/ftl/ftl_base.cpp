@@ -179,7 +179,15 @@ bool FtlBase::collect_block_impl(std::uint32_t chip, std::uint32_t victim,
   nand::Block& block = device_.block_mut({chip, victim});
   const nand::BlockAddress victim_addr{chip, victim};
   std::uint32_t copies = 0;
-  for (std::uint32_t wl = 0; wl < block.wordlines(); ++wl) {
+  // Resume where the last (budget-capped) scan of this block life left
+  // off: everything below the cursor was invalid or already relocated,
+  // and on a kFull block neither comes back — a fresh scan would walk
+  // those pages only to skip them. The cursor freezes at the first
+  // unreadable page so corrupted data is revisited, not silently passed.
+  bool frozen = false;
+  for (std::uint32_t wl = blocks_.gc_cursor(victim_addr); wl < block.wordlines();
+       ++wl) {
+    if (!frozen) blocks_.set_gc_cursor(victim_addr, wl);
     for (const nand::PageType type : {nand::PageType::kLsb, nand::PageType::kMsb}) {
       if (blocks_.valid_pages(victim_addr) == 0) break;
       const nand::PagePos pos{wl, type};
@@ -194,7 +202,10 @@ bool FtlBase::collect_block_impl(std::uint32_t chip, std::uint32_t victim,
       // Charge the copy: page read, then FTL-policy program.
       Result<nand::NandDevice::ReadResult> got = device_.read(page_addr, now);
       assert(got.is_ok());
-      if (!got.value().data.is_ok()) continue;  // corrupted page: leave for recovery
+      if (!got.value().data.is_ok()) {
+        frozen = true;  // corrupted page: leave for recovery, keep it in view
+        continue;
+      }
       Result<Microseconds> programmed =
           allocate_gc_page(chip, lpn, std::move(got.value().data).take(),
                            got.value().timing.complete, background);
@@ -210,7 +221,9 @@ bool FtlBase::collect_block_impl(std::uint32_t chip, std::uint32_t victim,
   // planes: the group's erase latency is paid once in wall-clock time.
   const nand::Geometry& geometry = device_.geometry();
   if (geometry.planes_per_chip > 1) {
-    std::vector<nand::BlockAddress> group{victim_addr};
+    std::vector<nand::BlockAddress>& group = erase_group_;
+    group.clear();
+    group.push_back(victim_addr);
     const std::uint32_t die = geometry.chip_of_unit(chip);
     for (std::uint32_t p = 0; p < geometry.planes_per_chip; ++p) {
       const std::uint32_t sibling = geometry.unit_of(die, p);
@@ -287,15 +300,17 @@ std::uint32_t FtlBase::pick_chip_impl(const std::vector<std::uint8_t>* eligible)
   bool found = false;
   std::uint32_t best = start;
   std::uint64_t best_headroom = 0;
+  std::uint32_t chip = start;
   for (std::uint32_t i = 0; i < chips; ++i) {
-    const std::uint32_t chip = (start + i) % chips;
-    if (eligible != nullptr && (*eligible)[chip] == 0) continue;
-    const std::uint64_t headroom = chip_pages - blocks_.chip_valid_pages(chip);
-    if (!found || headroom > best_headroom) {
-      found = true;
-      best = chip;
-      best_headroom = headroom;
+    if (eligible == nullptr || (*eligible)[chip] != 0) {
+      const std::uint64_t headroom = chip_pages - blocks_.chip_valid_pages(chip);
+      if (!found || headroom > best_headroom) {
+        found = true;
+        best = chip;
+        best_headroom = headroom;
+      }
     }
+    if (++chip == chips) chip = 0;
   }
   // Callers guarantee a nonempty eligible set; `start` is a safe fallback.
   return best;

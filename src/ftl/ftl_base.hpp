@@ -284,6 +284,9 @@ class FtlBase : public ctrl::Allocator {
   std::uint32_t current_stream_ = 0;  // see current_stream()
   PlacementObserver placement_observer_;
   obs::TraceSink* trace_ = nullptr;  // borrowed; null = tracing off
+  /// Scratch for collect_block_impl's multi-plane erase group — a member
+  /// so per-collection group building stays off the heap at steady state.
+  std::vector<nand::BlockAddress> erase_group_;
 };
 
 }  // namespace rps::ftl

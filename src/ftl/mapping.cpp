@@ -8,41 +8,6 @@ namespace rps::ftl {
 
 MappingTable::MappingTable(Lpn exported_pages) : entries_(exported_pages) {}
 
-bool MappingTable::is_mapped(Lpn lpn) const {
-  return lpn < entries_.size() && entries_[lpn].mapped;
-}
-
-Result<nand::PageAddress> MappingTable::lookup(Lpn lpn) const {
-  if (lpn >= entries_.size()) return ErrorCode::kOutOfRange;
-  if (!entries_[lpn].mapped) return ErrorCode::kNotFound;
-  return entries_[lpn].addr;
-}
-
-std::optional<nand::PageAddress> MappingTable::update(Lpn lpn, const nand::PageAddress& addr) {
-  assert(lpn < entries_.size());
-  Entry& e = entries_[lpn];
-  std::optional<nand::PageAddress> old;
-  if (e.mapped) {
-    old = e.addr;
-  } else {
-    ++mapped_count_;
-  }
-  e.addr = addr;
-  e.mapped = true;
-  return old;
-}
-
-std::optional<nand::PageAddress> MappingTable::unmap(Lpn lpn) {
-  if (lpn >= entries_.size() || !entries_[lpn].mapped) return std::nullopt;
-  entries_[lpn].mapped = false;
-  --mapped_count_;
-  return entries_[lpn].addr;
-}
-
-bool MappingTable::maps_to(Lpn lpn, const nand::PageAddress& addr) const {
-  return lpn < entries_.size() && entries_[lpn].mapped && entries_[lpn].addr == addr;
-}
-
 void MappingTable::save(ser::Writer& w) const {
   w.u64(entries_.size());
   for (const Entry& e : entries_) {

@@ -1,6 +1,7 @@
 // Page-level logical-to-physical mapping table.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <vector>
 
@@ -23,18 +24,44 @@ class MappingTable {
 
   [[nodiscard]] Lpn exported_pages() const { return static_cast<Lpn>(entries_.size()); }
 
-  [[nodiscard]] bool is_mapped(Lpn lpn) const;
-  [[nodiscard]] Result<nand::PageAddress> lookup(Lpn lpn) const;
+  [[nodiscard]] bool is_mapped(Lpn lpn) const {
+    return lpn < entries_.size() && entries_[lpn].mapped;
+  }
+
+  [[nodiscard]] Result<nand::PageAddress> lookup(Lpn lpn) const {
+    if (lpn >= entries_.size()) return ErrorCode::kOutOfRange;
+    if (!entries_[lpn].mapped) return ErrorCode::kNotFound;
+    return entries_[lpn].addr;
+  }
 
   /// Map `lpn` to `addr`, returning the previous address if one existed
   /// (the caller invalidates it in its block bookkeeping).
-  std::optional<nand::PageAddress> update(Lpn lpn, const nand::PageAddress& addr);
+  std::optional<nand::PageAddress> update(Lpn lpn, const nand::PageAddress& addr) {
+    assert(lpn < entries_.size());
+    Entry& e = entries_[lpn];
+    std::optional<nand::PageAddress> old;
+    if (e.mapped) {
+      old = e.addr;
+    } else {
+      ++mapped_count_;
+    }
+    e.addr = addr;
+    e.mapped = true;
+    return old;
+  }
 
   /// Drop the mapping (TRIM). Returns the old address if mapped.
-  std::optional<nand::PageAddress> unmap(Lpn lpn);
+  std::optional<nand::PageAddress> unmap(Lpn lpn) {
+    if (lpn >= entries_.size() || !entries_[lpn].mapped) return std::nullopt;
+    entries_[lpn].mapped = false;
+    --mapped_count_;
+    return entries_[lpn].addr;
+  }
 
   /// True iff `lpn` currently maps exactly to `addr` — the GC validity test.
-  [[nodiscard]] bool maps_to(Lpn lpn, const nand::PageAddress& addr) const;
+  [[nodiscard]] bool maps_to(Lpn lpn, const nand::PageAddress& addr) const {
+    return lpn < entries_.size() && entries_[lpn].mapped && entries_[lpn].addr == addr;
+  }
 
   [[nodiscard]] Lpn mapped_count() const { return mapped_count_; }
 

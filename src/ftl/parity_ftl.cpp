@@ -56,7 +56,8 @@ Microseconds ParityFtl::flush_parity(Microseconds now) {
 
   const Microseconds durable = timing.value().complete;
   for (const nand::PageAddress& covered : pending_) {
-    parity_durable_at_[wl_key(covered)] = durable;
+    util::recycled_assign(parity_durable_at_, durable_spares_, wl_key(covered),
+                          durable);
   }
   pending_.clear();
   parity_acc_ = nand::PageData{};
@@ -101,7 +102,7 @@ Microseconds ParityFtl::before_program(const nand::PageAddress& addr,
   const auto it = parity_durable_at_.find(wl_key(paired));
   if (it != parity_durable_at_.end()) {
     start = std::max(start, it->second);
-    parity_durable_at_.erase(it);
+    util::recycled_erase(parity_durable_at_, durable_spares_, it);
   }
   return start;
 }

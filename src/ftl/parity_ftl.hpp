@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "src/ftl/page_ftl.hpp"
+#include "src/util/map_recycle.hpp"
 
 namespace rps::ftl {
 
@@ -65,7 +66,9 @@ class ParityFtl : public PageFtl {
   std::vector<nand::PageAddress> pending_;  // LSB pages in the accumulator
   /// Word lines whose LSB data is covered by a durable parity page, with
   /// the flush completion time (MSB programs wait on it, then consume it).
-  std::unordered_map<std::uint64_t, Microseconds> parity_durable_at_;
+  using DurableMap = std::unordered_map<std::uint64_t, Microseconds>;
+  DurableMap parity_durable_at_;
+  std::vector<DurableMap::node_type> durable_spares_;  // recycled nodes
   std::vector<SlcCursor> backup_;  // per-chip backup block cursors
   std::uint32_t backup_rr_ = 0;
   std::uint64_t partial_flushes_ = 0;

@@ -48,6 +48,9 @@ void MultiQueueFrontend::add_tenant(const TenantConfig& config,
   q.config = config;
   q.trace = std::move(trace);
   q.result.id = config.id;
+  if (!q.trace.requests().empty()) {
+    arrivals_.push(Arrival{q.trace.requests().front().arrival_us, config.id, 0});
+  }
   queues_.push_back(std::move(q));
 }
 
@@ -80,21 +83,30 @@ void MultiQueueFrontend::set_observability(obs::TraceSink* sink,
   controller_->set_observability(sink, sampler);
 }
 
-Microseconds MultiQueueFrontend::next_arrival() const {
-  // A head whose arrival already passed is cap-blocked (the admission
-  // loop admits every other kind on the spot): its next chance comes from
-  // a completion, not from the arrival clock — skip it here, or the event
-  // loop would spin on an instant it cannot make progress at. Before the
-  // first instant runs nothing was ever admitted, so that reasoning does
-  // not apply yet — an arrival at exactly cur_time_ (a trace that starts
-  // at t = 0) must still open the loop.
-  Microseconds next = kTimeNever;
-  for (const Queue& q : queues_) {
-    if (q.next >= q.trace.size()) continue;
-    const Microseconds arrival = q.trace.requests()[q.next].arrival_us;
-    if (arrival > cur_time_ || !started_) next = std::min(next, arrival);
+Microseconds MultiQueueFrontend::next_arrival() {
+  // A head whose arrival already passed is cap- or budget-blocked (the
+  // admission loop admits every other kind on the spot): its next chance
+  // comes from a completion, not from the arrival clock — and since
+  // cur_time_ is monotone such an entry can never drive the clock again,
+  // so it pops for good. Its tenant's eligibility was already recomputed
+  // when the head arrived (process_instant's release loop, or the
+  // admission that created it mid-instant), so dropping the entry loses
+  // nothing. Before the first instant runs nothing was ever admitted, so
+  // that reasoning does not apply yet — an arrival at exactly cur_time_
+  // (a trace that starts at t = 0) must still open the loop.
+  while (!arrivals_.empty()) {
+    const Arrival a = arrivals_.top();
+    if (a.seq != queues_[a.tenant].next) {
+      arrivals_.pop();  // stale: that head was admitted
+      continue;
+    }
+    if (started_ && a.at <= cur_time_) {
+      arrivals_.pop();  // blocked head: completions drive it now
+      continue;
+    }
+    return a.at;
   }
-  return next;
+  return kTimeNever;
 }
 
 double MultiQueueFrontend::buffer_utilization() const {
@@ -136,25 +148,65 @@ void MultiQueueFrontend::harvest(Microseconds /*t*/) {
   }
 }
 
+bool MultiQueueFrontend::budget_fits(std::uint32_t pages) const {
+  if (config_.shared_page_budget == 0) return true;
+  if (in_flight_pages_ + pages <= config_.shared_page_budget) return true;
+  // Oversized command: admit alone rather than deadlock.
+  return in_flight_pages_ == 0 && pages > config_.shared_page_budget;
+}
+
+void MultiQueueFrontend::recompute_eligibility(std::uint32_t i) {
+  const Queue& q = queues_[i];
+  const bool ready = q.next < q.trace.size() &&
+                     q.trace.requests()[q.next].arrival_us <= cur_time_ &&
+                     q.in_flight < q.config.in_flight_cap;
+  const std::uint32_t pages = ready ? q.trace.requests()[q.next].page_count : 0;
+  const bool ok = ready && budget_fits(pages);
+  if (config_.shared_page_budget != 0) {
+    if (ready && !ok) {
+      budget_blocked_.set(i);
+    } else {
+      budget_blocked_.clear(i);
+    }
+  }
+  if (ok) {
+    admissible_.set(i);
+  } else {
+    admissible_.clear(i);
+  }
+  arbiter_->set_eligible(i, ok, ok ? pages : 0);
+}
+
+void MultiQueueFrontend::on_budget_grabbed() {
+  // A shrinking budget can only evict: rescan the currently-admissible
+  // set (this also catches an oversized head that was eligible solely
+  // because nothing was in flight). Snapshot first — recompute mutates
+  // the set under iteration.
+  if (config_.shared_page_budget == 0) return;
+  rescan_scratch_.clear();
+  admissible_.for_each([&](std::uint32_t i) { rescan_scratch_.push_back(i); });
+  for (const std::uint32_t i : rescan_scratch_) recompute_eligibility(i);
+}
+
+void MultiQueueFrontend::on_budget_released() {
+  // A growing budget can only promote: rescan the budget-blocked set.
+  if (config_.shared_page_budget == 0) return;
+  rescan_scratch_.clear();
+  budget_blocked_.for_each([&](std::uint32_t i) { rescan_scratch_.push_back(i); });
+  for (const std::uint32_t i : rescan_scratch_) recompute_eligibility(i);
+}
+
 void MultiQueueFrontend::process_instant(Microseconds t) {
   cur_time_ = t;
   started_ = true;
-  const std::uint32_t n = num_tenants();
-  const auto budget_fits = [&](std::uint32_t pages) {
-    if (config_.shared_page_budget == 0) return true;
-    if (in_flight_pages_ + pages <= config_.shared_page_budget) return true;
-    // Oversized command: admit alone rather than deadlock.
-    return in_flight_pages_ == 0 && pages > config_.shared_page_budget;
-  };
-  const auto refresh = [&](std::uint32_t i) {
-    const Queue& q = queues_[i];
-    const bool ok = q.next < q.trace.size() &&
-                    q.trace.requests()[q.next].arrival_us <= t &&
-                    q.in_flight < q.config.in_flight_cap &&
-                    budget_fits(q.trace.requests()[q.next].page_count);
-    eligible_[i] = ok ? 1 : 0;
-    head_cost_[i] = ok ? q.trace.requests()[q.next].page_count : 0;
-  };
+  // Heads arriving by this instant join the admissible set. Each entry
+  // releases once; later heads of the same tenant push fresh entries on
+  // admission. Stale entries (head already admitted) drop silently.
+  while (!arrivals_.empty() && arrivals_.top().at <= t) {
+    const Arrival a = arrivals_.top();
+    arrivals_.pop();
+    if (a.seq == queues_[a.tenant].next) recompute_eligibility(a.tenant);
+  }
   bool progress = true;
   while (progress) {
     progress = false;
@@ -170,12 +222,13 @@ void MultiQueueFrontend::process_instant(Microseconds t) {
       in_flight_pages_ -= c.pages;
       assert(in_flight_write_pages_ >= c.write_pages);
       in_flight_write_pages_ -= c.write_pages;
+      recompute_eligibility(c.tenant);
+      on_budget_released();
       progress = true;
     }
-    // Arbitration: hand the arbiter the eligible heads until it runs dry.
-    for (std::uint32_t i = 0; i < n; ++i) refresh(i);
-    while (const std::optional<std::uint32_t> pick =
-               arbiter_->admit(eligible_, head_cost_)) {
+    // Arbitration: the arbiter holds the eligibility pushed above and
+    // admits in O(active) until it runs dry.
+    while (const std::optional<std::uint32_t> pick = arbiter_->admit()) {
       Queue& q = queues_[*pick];
       const workload::IoRequest& r = q.trace.requests()[q.next];
       const bool write = r.kind == workload::IoKind::kWrite;
@@ -203,9 +256,16 @@ void MultiQueueFrontend::process_instant(Microseconds t) {
       } else {
         ++q.result.read_requests;
       }
-      // An admission changes the shared budget, which can flip any
-      // queue's eligibility — refresh them all.
-      for (std::uint32_t i = 0; i < n; ++i) refresh(i);
+      // The tenant's next head (if it already arrived) re-arms its
+      // eligibility here; a future head goes through the arrival heap.
+      if (q.next < q.trace.size()) {
+        arrivals_.push(
+            Arrival{q.trace.requests()[q.next].arrival_us, *pick, q.next});
+      }
+      recompute_eligibility(*pick);
+      // The admission grabbed budget pages, which can evict other
+      // eligible heads.
+      on_budget_grabbed();
       progress = true;
     }
     controller_->drain(t);
@@ -237,8 +297,9 @@ MultiQueueResult MultiQueueFrontend::run(Microseconds crash_time_us) {
     for (const Queue& q : queues_) arb.weights.push_back(q.config.weight);
   }
   arbiter_ = std::make_unique<ctrl::QueueArbiter>(n, arb);
-  eligible_.assign(n, 0);
-  head_cost_.assign(n, 0);
+  admissible_.resize(n);
+  budget_blocked_.resize(n);
+  rescan_scratch_.reserve(n);
 
   while (true) {
     const Microseconds na = next_arrival();

@@ -34,6 +34,7 @@
 #include "src/host/tenant.hpp"
 #include "src/obs/histogram.hpp"
 #include "src/obs/sampler.hpp"
+#include "src/util/index_bitset.hpp"
 
 namespace rps::host {
 
@@ -163,9 +164,31 @@ class MultiQueueFrontend {
       return at != o.at ? at > o.at : tenant > o.tenant;
     }
   };
+  /// One tenant's next-unadmitted-head arrival — min-heap on time. `seq`
+  /// pins the entry to the head it was pushed for: once the tenant
+  /// advances past it (or the clock does), the entry is stale and pops
+  /// lazily. This replaces an O(N) scan per event instant.
+  struct Arrival {
+    Microseconds at;
+    std::uint32_t tenant;
+    std::uint64_t seq;
+    bool operator>(const Arrival& o) const {
+      return at != o.at ? at > o.at : tenant > o.tenant;
+    }
+  };
 
-  [[nodiscard]] Microseconds next_arrival() const;
+  [[nodiscard]] Microseconds next_arrival();
   [[nodiscard]] double buffer_utilization() const;
+  [[nodiscard]] bool budget_fits(std::uint32_t pages) const;
+  /// Recompute tenant `i`'s admissibility (head arrived, under its cap,
+  /// budget fits) and push the delta into the arbiter. O(1).
+  void recompute_eligibility(std::uint32_t i);
+  /// Shared-budget side effects of in-flight page-count changes: a grab
+  /// can only evict currently-eligible queues, a release can only promote
+  /// budget-blocked ones — each rescans just that set. No-ops with the
+  /// budget disabled (eligibility is then tenant-local).
+  void on_budget_grabbed();
+  void on_budget_released();
   void process_instant(Microseconds t);
   void harvest(Microseconds t);
   void tick_samplers(Microseconds t);
@@ -177,6 +200,7 @@ class MultiQueueFrontend {
   std::vector<Queue> queues_;
   std::unordered_map<ctrl::CommandId, Pending> pending_;
   std::priority_queue<Completion, std::vector<Completion>, std::greater<>> completions_;
+  std::priority_queue<Arrival, std::vector<Arrival>, std::greater<>> arrivals_;
   std::vector<AdmissionRecord> admission_log_;
   std::uint64_t in_flight_write_pages_ = 0;
   std::uint64_t in_flight_pages_ = 0;  // all commands; the shared budget
@@ -184,9 +208,11 @@ class MultiQueueFrontend {
   Microseconds cur_time_ = 0;  // samplers' collectors read this
   bool started_ = false;       // true once the first instant was processed
   std::uint64_t idle_windows_ = 0;
-  // scratch for the arbitration loop
-  std::vector<std::uint8_t> eligible_;
-  std::vector<std::uint32_t> head_cost_;
+  // Incremental-eligibility mirrors: tenants the arbiter currently sees
+  // as admissible, and tenants held back only by the shared page budget.
+  util::IndexBitSet admissible_;
+  util::IndexBitSet budget_blocked_;
+  std::vector<std::uint32_t> rescan_scratch_;
 };
 
 }  // namespace rps::host

@@ -18,39 +18,6 @@ void PageData::xor_with(const PageData& other) {
 Block::Block(std::uint32_t wordlines, SequenceKind kind)
     : kind_(kind), program_state_(wordlines), slots_(wordlines * 2) {}
 
-Status Block::program(PagePos pos, PageData data) {
-  const Status legal = can_program(pos);
-  if (!legal.is_ok()) return legal;
-  program_state_.mark_programmed(pos);
-  PageSlot& s = slot(pos);
-  s.state = PageState::kValid;
-  s.data = std::move(data);
-  ++programmed_pages_;
-  if (pos.type == PageType::kLsb) ++programmed_lsb_;
-  return Status::ok();
-}
-
-Result<PageData> Block::read(PagePos pos) const {
-  if (pos.wordline >= wordlines()) return ErrorCode::kOutOfRange;
-  ++reads_since_erase_;
-  const PageSlot& s = slot(pos);
-  switch (s.state) {
-    case PageState::kErased: return ErrorCode::kNotProgrammed;
-    case PageState::kCorrupted: return ErrorCode::kEccUncorrectable;
-    case PageState::kValid: return s.data;
-  }
-  return ErrorCode::kInvalidArgument;
-}
-
-const PageData* Block::peek(PagePos pos) const {
-  if (pos.wordline >= wordlines()) return nullptr;
-  ++reads_since_erase_;
-  const PageSlot& s = slot(pos);
-  return s.state == PageState::kValid ? &s.data : nullptr;
-}
-
-PageState Block::page_state(PagePos pos) const { return slot(pos).state; }
-
 void Block::erase() {
   for (PageSlot& s : slots_) s = PageSlot{};
   program_state_.reset();
@@ -73,13 +40,6 @@ void Block::corrupt(PagePos pos) {
     s.state = PageState::kCorrupted;
     s.data = PageData{};
   }
-}
-
-std::optional<PagePos> Block::next_lsb() const {
-  // C1 forces ascending LSB order, so the frontier is the count of
-  // LSB-programmed word lines.
-  if (programmed_lsb_ >= wordlines()) return std::nullopt;
-  return PagePos{programmed_lsb_, PageType::kLsb};
 }
 
 void save(ser::Writer& w, const PageData& d) {

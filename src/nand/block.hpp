@@ -7,8 +7,10 @@
 // in memory while recovery tests can still verify real data.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "src/nand/address.hpp"
@@ -89,11 +91,34 @@ class Block {
   }
 
   /// Program a page; fails (and changes nothing) if the order is illegal.
-  Status program(PagePos pos, PageData data);
+  Status program(PagePos pos, PageData data) {
+    const Status legal = can_program(pos);
+    if (!legal.is_ok()) return legal;
+    store_programmed(pos, std::move(data));
+    return Status::ok();
+  }
+
+  /// Program a page whose legality the caller has already established via
+  /// can_program() on this exact block state (the device's resolve step).
+  /// Skips the redundant re-validation; asserts the physical invariant.
+  void program_prechecked(PagePos pos, PageData data) {
+    assert(!program_state_.is_programmed(pos));
+    store_programmed(pos, std::move(data));
+  }
 
   /// Read a page: kNotProgrammed for erased pages, kEccUncorrectable for
   /// pages destroyed by a power loss.
-  [[nodiscard]] Result<PageData> read(PagePos pos) const;
+  [[nodiscard]] Result<PageData> read(PagePos pos) const {
+    if (pos.wordline >= wordlines()) return ErrorCode::kOutOfRange;
+    ++reads_since_erase_;
+    const PageSlot& s = slot(pos);
+    switch (s.state) {
+      case PageState::kErased: return ErrorCode::kNotProgrammed;
+      case PageState::kCorrupted: return ErrorCode::kEccUncorrectable;
+      case PageState::kValid: return s.data;
+    }
+    return ErrorCode::kInvalidArgument;
+  }
 
   /// Zero-copy read: the stored record in place, or nullptr unless the
   /// page is kValid. Counts toward reads_since_erase exactly like read()
@@ -101,10 +126,15 @@ class Block {
   /// the pointer is invalidated by the next program/erase/corrupt of this
   /// block. For hot paths (GC validity tests, mapping rebuild, oracle
   /// audits) that only inspect the record; read() copies the payload.
-  [[nodiscard]] const PageData* peek(PagePos pos) const;
+  [[nodiscard]] const PageData* peek(PagePos pos) const {
+    if (pos.wordline >= wordlines()) return nullptr;
+    ++reads_since_erase_;
+    const PageSlot& s = slot(pos);
+    return s.state == PageState::kValid ? &s.data : nullptr;
+  }
 
   /// Raw page state (for FTL bookkeeping and tests).
-  [[nodiscard]] PageState page_state(PagePos pos) const;
+  [[nodiscard]] PageState page_state(PagePos pos) const { return slot(pos).state; }
   [[nodiscard]] WordlineState wordline_state(std::uint32_t wl) const {
     return program_state_.state(wl);
   }
@@ -144,7 +174,12 @@ class Block {
 
   /// Next legal LSB / MSB page in ascending word-line order, if any.
   /// Under RPS these are the two program frontiers flexFTL consumes.
-  [[nodiscard]] std::optional<PagePos> next_lsb() const;
+  [[nodiscard]] std::optional<PagePos> next_lsb() const {
+    // C1 forces ascending LSB order, so the frontier is the count of
+    // LSB-programmed word lines.
+    if (programmed_lsb_ >= wordlines()) return std::nullopt;
+    return PagePos{programmed_lsb_, PageType::kLsb};
+  }
   [[nodiscard]] std::optional<PagePos> next_msb() const;
 
   /// Snapshot support: serialize / restore the full mutable state (page
@@ -161,6 +196,15 @@ class Block {
 
   [[nodiscard]] const PageSlot& slot(PagePos pos) const { return slots_[pos.flat_index()]; }
   [[nodiscard]] PageSlot& slot(PagePos pos) { return slots_[pos.flat_index()]; }
+
+  void store_programmed(PagePos pos, PageData&& data) {
+    program_state_.mark_programmed(pos);
+    PageSlot& s = slot(pos);
+    s.state = PageState::kValid;
+    s.data = std::move(data);
+    ++programmed_pages_;
+    if (pos.type == PageType::kLsb) ++programmed_lsb_;
+  }
 
   SequenceKind kind_;
   BlockProgramState program_state_;

@@ -13,99 +13,47 @@ Chip::Chip(std::uint32_t blocks, std::uint32_t wordlines, SequenceKind kind,
   for (std::uint32_t b = 0; b < blocks; ++b) blocks_.emplace_back(wordlines, kind);
 }
 
-Microseconds Chip::occupy(Microseconds now, Microseconds latency) {
-  const Microseconds start = std::max(now, busy_until_);
-  busy_until_ = start + latency;
-  busy_total_ += latency;
-  return start;
-}
-
-void Chip::settle_erases(Microseconds now) {
-  if (pending_erases_.empty()) return;
+void Chip::settle_erases_slow(Microseconds now) {
   // An erase that started by the present can never be voided (a power
   // loss is always injected at or after the current wall clock), so its
   // cell reset is safe to apply. One charged to start in the future must
-  // stay pending: a cut landing before its start voids it.
-  std::vector<PendingErase> keep;
-  for (const PendingErase& pending : pending_erases_) {
+  // stay pending: a cut landing before its start voids it. Compact
+  // in-place — this runs on the program/read hot path and must not
+  // allocate.
+  std::size_t kept = 0;
+  for (PendingErase& pending : pending_erases_) {
     if (pending.start <= now) {
       blocks_[pending.block].erase();
     } else {
-      keep.push_back(pending);
+      pending_erases_[kept++] = pending;
     }
   }
-  pending_erases_ = std::move(keep);
+  pending_erases_.resize(kept);
 }
 
-void Chip::materialize_erase(std::uint32_t b) const {
-  if (pending_erases_.empty()) return;
+void Chip::materialize_erase_slow(std::uint32_t b) const {
   // Logically const: ops serialize on the chip timeline, so an op touching
   // block `b` is charged after any pending erase of `b` completed.
   Chip& self = const_cast<Chip&>(*this);
-  for (auto it = self.pending_erases_.begin(); it != self.pending_erases_.end();) {
-    if (it->block == b) {
+  std::size_t kept = 0;
+  for (PendingErase& pending : self.pending_erases_) {
+    if (pending.block == b) {
       self.blocks_[b].erase();
-      it = self.pending_erases_.erase(it);
     } else {
-      ++it;
+      self.pending_erases_[kept++] = pending;
     }
   }
+  self.pending_erases_.resize(kept);
 }
 
 Result<OpTiming> Chip::program(std::uint32_t b, PagePos pos, PageData data, Microseconds now) {
   if (b >= blocks_.size()) return ErrorCode::kOutOfRange;
   settle_erases(now);
   materialize_erase(b);
-  Block& block = blocks_[b];
   // Validate before touching the timeline so a rejected program is free.
-  const Status legal = block.can_program(pos);
+  const Status legal = blocks_[b].can_program(pos);
   if (!legal.is_ok()) return legal.code();
-
-  const Microseconds latency = pos.type == PageType::kLsb
-                                   ? timing_.program_lsb_us
-                                   : timing_.program_msb_us;
-  const Microseconds start = occupy(now, latency);
-  const Status programmed = block.program(pos, std::move(data));
-  assert(programmed.is_ok());
-  (void)programmed;
-
-  if (pos.type == PageType::kLsb) {
-    ++counters_.lsb_programs;
-  } else {
-    ++counters_.msb_programs;
-  }
-  const OpTiming timing{start, busy_until_};
-  last_program_ = InFlightProgram{b, pos, timing.start, timing.complete};
-  return timing;
-}
-
-Result<Chip::ReadOutcome> Chip::read(std::uint32_t b, PagePos pos, Microseconds now) {
-  if (b >= blocks_.size()) return ErrorCode::kOutOfRange;
-  if (pos.wordline >= blocks_[b].wordlines()) return ErrorCode::kOutOfRange;
-  settle_erases(now);
-  materialize_erase(b);
-  ++counters_.reads;
-  ReadOutcome outcome;
-  outcome.data = blocks_[b].read(pos);
-
-  // Program suspension: jump the queue past an in-flight program. The read
-  // runs immediately; the program (and the chip) is pushed back by the
-  // read plus the suspend/resume overhead.
-  if (program_suspend_ && last_program_ && last_program_->start <= now &&
-      now < last_program_->complete &&
-      last_program_->suspends < timing_.max_suspends_per_program) {
-    ++last_program_->suspends;
-    const Microseconds stretch = timing_.read_us + timing_.suspend_resume_us;
-    last_program_->complete += stretch;
-    busy_until_ += stretch;
-    busy_total_ += timing_.read_us;
-    outcome.timing = OpTiming{now, now + timing_.read_us};
-    return outcome;
-  }
-
-  const Microseconds start = occupy(now, timing_.read_us);
-  outcome.timing = OpTiming{start, busy_until_};
-  return outcome;
+  return commit_program(b, pos, std::move(data), now);
 }
 
 Result<OpTiming> Chip::erase(std::uint32_t b, Microseconds now) {

@@ -7,6 +7,8 @@
 // the exact page being programmed (destructive MSB programming).
 #pragma once
 
+#include <algorithm>
+#include <cassert>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -62,17 +64,33 @@ class Chip {
 
   [[nodiscard]] std::uint32_t num_blocks() const { return static_cast<std::uint32_t>(blocks_.size()); }
   [[nodiscard]] const Block& block(std::uint32_t b) const {
+    assert(b < blocks_.size());
     materialize_erase(b);
-    return blocks_.at(b);
+    return blocks_[b];
   }
   [[nodiscard]] Block& block(std::uint32_t b) {
+    assert(b < blocks_.size());
     materialize_erase(b);
-    return blocks_.at(b);
+    return blocks_[b];
   }
 
   /// Program `pos` of block `b` at (or after) `now`. On success the chip
   /// timeline advances; on failure nothing changes.
   Result<OpTiming> program(std::uint32_t b, PagePos pos, PageData data, Microseconds now);
+
+  /// Program whose legality the caller has just validated against this
+  /// block (NandDevice::resolve_program checks can_program through the
+  /// block() accessor, which also materialized any pending erase of `b`).
+  /// Skips the duplicate legality checks; otherwise identical to program().
+  OpTiming program_resolved(std::uint32_t b, PagePos pos, PageData data, Microseconds now) {
+    assert(b < blocks_.size());
+    // The caller validated via block(b).can_program(), which also
+    // materialized any pending erase of `b`; settling other blocks' erases
+    // here cannot change this block's legality.
+    settle_erases(now);
+    materialize_erase(b);
+    return commit_program(b, pos, std::move(data), now);
+  }
 
   /// Read a page. Timing advances even for ECC-uncorrectable reads (the
   /// sensing happened); the data result is reported separately.
@@ -80,7 +98,32 @@ class Chip {
     OpTiming timing;
     Result<PageData> data = ErrorCode::kNotProgrammed;
   };
-  Result<ReadOutcome> read(std::uint32_t b, PagePos pos, Microseconds now);
+  Result<ReadOutcome> read(std::uint32_t b, PagePos pos, Microseconds now) {
+    if (b >= blocks_.size()) return ErrorCode::kOutOfRange;
+    if (pos.wordline >= blocks_[b].wordlines()) return ErrorCode::kOutOfRange;
+    settle_erases(now);
+    materialize_erase(b);
+    ++counters_.reads;
+    ReadOutcome outcome;
+    outcome.data = blocks_[b].read(pos);
+    // Program suspension: jump the queue past an in-flight program. The
+    // read runs immediately; the program (and the chip) is pushed back by
+    // the read plus the suspend/resume overhead.
+    if (program_suspend_ && last_program_ && last_program_->start <= now &&
+        now < last_program_->complete &&
+        last_program_->suspends < timing_.max_suspends_per_program) {
+      ++last_program_->suspends;
+      const Microseconds stretch = timing_.read_us + timing_.suspend_resume_us;
+      last_program_->complete += stretch;
+      busy_until_ += stretch;
+      busy_total_ += timing_.read_us;
+      outcome.timing = OpTiming{now, now + timing_.read_us};
+      return outcome;
+    }
+    const Microseconds start = occupy(now, timing_.read_us);
+    outcome.timing = OpTiming{start, busy_until_};
+    return outcome;
+  }
 
   /// Erase block `b`. The timeline charge (and the erase counter) is
   /// immediate; the destructive cell reset is *lazy* — it is applied once
@@ -133,18 +176,49 @@ class Chip {
     Microseconds start = 0;
   };
 
-  Microseconds occupy(Microseconds now, Microseconds latency);
+  Microseconds occupy(Microseconds now, Microseconds latency) {
+    const Microseconds start = std::max(now, busy_until_);
+    busy_until_ = start + latency;
+    busy_total_ += latency;
+    return start;
+  }
+
+  /// Timeline charge + page store + counters, shared by program() and
+  /// program_resolved() once legality is established.
+  OpTiming commit_program(std::uint32_t b, PagePos pos, PageData&& data,
+                          Microseconds now) {
+    const Microseconds latency = pos.type == PageType::kLsb
+                                     ? timing_.program_lsb_us
+                                     : timing_.program_msb_us;
+    const Microseconds start = occupy(now, latency);
+    blocks_[b].program_prechecked(pos, std::move(data));
+    if (pos.type == PageType::kLsb) {
+      ++counters_.lsb_programs;
+    } else {
+      ++counters_.msb_programs;
+    }
+    const OpTiming timing{start, busy_until_};
+    last_program_ = InFlightProgram{b, pos, timing.start, timing.complete};
+    return timing;
+  }
 
   /// Apply the cell resets of pending erases that started by `now`. A
   /// power loss is always injected at or after the present, so these can
   /// no longer be voided. Erases charged to start in the future stay
-  /// pending (a cut before their start time voids them).
-  void settle_erases(Microseconds now);
+  /// pending (a cut before their start time voids them). The common case
+  /// (no erase pending) is a branch, not a call.
+  void settle_erases(Microseconds now) {
+    if (!pending_erases_.empty()) settle_erases_slow(now);
+  }
+  void settle_erases_slow(Microseconds now);
 
   /// Apply the pending erase of block `b` (if any) regardless of its
   /// start time: an op touching `b` serializes after the erase on the
   /// chip timeline, so it must observe the erased state. Logically const.
-  void materialize_erase(std::uint32_t b) const;
+  void materialize_erase(std::uint32_t b) const {
+    if (!pending_erases_.empty()) materialize_erase_slow(b);
+  }
+  void materialize_erase_slow(std::uint32_t b) const;
 
   std::vector<Block> blocks_;
   TimingSpec timing_;

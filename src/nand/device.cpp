@@ -29,19 +29,6 @@ void NandDevice::set_program_suspend(bool enabled) {
   for (auto& chip : chips_) chip->set_program_suspend(enabled);
 }
 
-bool NandDevice::in_range(const PageAddress& addr) const {
-  return addr.chip < geometry_.num_units() &&
-         addr.block < bad_blocks_.visible_blocks() &&
-         addr.pos.wordline < geometry_.wordlines_per_block;
-}
-
-Microseconds NandDevice::occupy_channel(std::uint32_t channel, Microseconds now) {
-  Microseconds& busy = channel_busy_until_.at(channel);
-  const Microseconds start = std::max(now, busy);
-  busy = start + timing_.transfer_us;
-  return start;
-}
-
 std::optional<std::uint32_t> NandDevice::grow_bad(std::uint32_t unit,
                                                   std::uint32_t block,
                                                   std::uint32_t old_physical,
@@ -54,32 +41,6 @@ std::optional<std::uint32_t> NandDevice::grow_bad(std::uint32_t unit,
         spare ? static_cast<std::int64_t>(*spare) : -1, cause, now});
   }
   return spare;
-}
-
-Result<std::uint32_t> NandDevice::resolve_program(const PageAddress& addr,
-                                                  Microseconds now) {
-  const std::uint32_t unit = addr.chip;
-  if (bad_blocks_.enabled() && bad_blocks_.is_retired(unit, addr.block)) {
-    return ErrorCode::kBlockBad;
-  }
-  std::uint32_t physical = bad_blocks_.translate(unit, addr.block);
-  const Status legal = chips_[unit]->block(physical).can_program(addr.pos);
-  if (!legal.is_ok()) return legal.code();
-  // Program-failure injection, restricted to the first page of a fresh
-  // block and to units with a spare left: remapping there is loss-free
-  // (no earlier page of the block holds data, and the spare is blank).
-  if (bad_blocks_.enabled() && addr.pos.flat_index() == 0 &&
-      bad_blocks_.has_spare(unit) &&
-      bad_blocks_.draw_program_failure(unit, physical,
-                                       chips_[unit]->block(physical).erase_count())) {
-    const std::optional<std::uint32_t> spare =
-        grow_bad(unit, addr.block, physical, BadBlockCause::kProgramFailure, now);
-    assert(spare.has_value());  // has_spare() held above
-    physical = *spare;
-    const Status retry = chips_[unit]->block(physical).can_program(addr.pos);
-    if (!retry.is_ok()) return retry.code();
-  }
-  return physical;
 }
 
 Result<std::uint32_t> NandDevice::resolve_erase(const BlockAddress& addr,
@@ -107,39 +68,6 @@ Status NandDevice::can_program(const PageAddress& addr) const {
   }
   const std::uint32_t physical = bad_blocks_.translate(addr.chip, addr.block);
   return chips_[addr.chip]->block(physical).can_program(addr.pos);
-}
-
-Result<OpTiming> NandDevice::program(const PageAddress& addr, PageData data, Microseconds now) {
-  if (!in_range(addr)) return ErrorCode::kOutOfRange;
-  // Validate first so a rejected program leaves the bus timeline untouched.
-  Result<std::uint32_t> physical = resolve_program(addr, now);
-  if (!physical.is_ok()) return physical.code();
-
-  const std::uint32_t channel = geometry_.channel_of_unit(addr.chip);
-  // Cache-program off: the transfer also waits for the unit's cell array
-  // to go idle (no on-chip page cache to land the data in early).
-  const Microseconds ready =
-      cache_program_ ? now : std::max(now, chips_[addr.chip]->busy_until());
-  const Microseconds bus_start = occupy_channel(channel, ready);
-  const Microseconds bus_end = bus_start + timing_.transfer_us;
-  Result<OpTiming> cell = chips_[addr.chip]->program(physical.value(), addr.pos,
-                                                     std::move(data), bus_end);
-  assert(cell.is_ok());
-  return OpTiming{bus_start, cell.value().complete};
-}
-
-Result<NandDevice::ReadResult> NandDevice::read(const PageAddress& addr, Microseconds now) {
-  if (!in_range(addr)) return ErrorCode::kOutOfRange;
-  const std::uint32_t physical = bad_blocks_.translate(addr.chip, addr.block);
-  Result<Chip::ReadOutcome> sensed = chips_[addr.chip]->read(physical, addr.pos, now);
-  if (!sensed.is_ok()) return sensed.code();
-  const std::uint32_t channel = geometry_.channel_of_unit(addr.chip);
-  const Microseconds bus_start =
-      occupy_channel(channel, sensed.value().timing.complete);
-  ReadResult result;
-  result.timing = OpTiming{sensed.value().timing.start, bus_start + timing_.transfer_us};
-  result.data = std::move(sensed.value().data);
-  return result;
 }
 
 Result<OpTiming> NandDevice::erase(BlockAddress addr, Microseconds now) {
@@ -194,10 +122,9 @@ Result<OpTiming> NandDevice::multi_plane_program(
   }
   Microseconds complete = cell_start;
   for (std::size_t i = 0; i < group.size(); ++i) {
-    Result<OpTiming> cell = chips_[group[i].chip]->program(
+    const OpTiming cell = chips_[group[i].chip]->program_resolved(
         physical[i], group[i].pos, std::move(data[i]), cell_start);
-    assert(cell.is_ok());
-    complete = std::max(complete, cell.value().complete);
+    complete = std::max(complete, cell.complete);
   }
   return OpTiming{first_bus, complete};
 }

@@ -23,9 +23,12 @@
 // identity and nothing fails — bit-identical to a device without a table.
 #pragma once
 
+#include <algorithm>
+#include <cassert>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "src/nand/address.hpp"
@@ -119,14 +122,42 @@ class NandDevice {
   /// chip finishes; the caller's view of service time is complete - now.
   /// May transparently remap the block (first-page program failure with a
   /// spare available); returns kBlockBad only for retired blocks.
-  Result<OpTiming> program(const PageAddress& addr, PageData data, Microseconds now);
+  Result<OpTiming> program(const PageAddress& addr, PageData data, Microseconds now) {
+    if (!in_range(addr)) return ErrorCode::kOutOfRange;
+    // Validate first so a rejected program leaves the bus timeline untouched.
+    Result<std::uint32_t> physical = resolve_program(addr, now);
+    if (!physical.is_ok()) return physical.code();
+    const std::uint32_t channel = geometry_.channel_of_unit(addr.chip);
+    // Cache-program off: the transfer also waits for the unit's cell array
+    // to go idle (no on-chip page cache to land the data in early).
+    const Microseconds ready =
+        cache_program_ ? now : std::max(now, chips_[addr.chip]->busy_until());
+    const Microseconds bus_start = occupy_channel(channel, ready);
+    const Microseconds bus_end = bus_start + timing_.transfer_us;
+    // resolve_program() just validated legality against this block state.
+    const OpTiming cell = chips_[addr.chip]->program_resolved(
+        physical.value(), addr.pos, std::move(data), bus_end);
+    return OpTiming{bus_start, cell.complete};
+  }
 
   /// Read: cell sensing, then bus-out transfer.
   struct ReadResult {
     OpTiming timing;             // start of sensing .. end of bus transfer
     Result<PageData> data = ErrorCode::kNotProgrammed;
   };
-  Result<ReadResult> read(const PageAddress& addr, Microseconds now);
+  Result<ReadResult> read(const PageAddress& addr, Microseconds now) {
+    if (!in_range(addr)) return ErrorCode::kOutOfRange;
+    const std::uint32_t physical = bad_blocks_.translate(addr.chip, addr.block);
+    Result<Chip::ReadOutcome> sensed = chips_[addr.chip]->read(physical, addr.pos, now);
+    if (!sensed.is_ok()) return sensed.code();
+    const std::uint32_t channel = geometry_.channel_of_unit(addr.chip);
+    const Microseconds bus_start =
+        occupy_channel(channel, sensed.value().timing.complete);
+    ReadResult result;
+    result.timing = OpTiming{sensed.value().timing.start, bus_start + timing_.transfer_us};
+    result.data = std::move(sensed.value().data);
+    return result;
+  }
 
   /// Erase. A block at its endurance limit fails: it is remapped to a
   /// spare (and the erase retried there) while the pool lasts, else the
@@ -187,15 +218,48 @@ class NandDevice {
   void load(ser::Reader& r);
 
  private:
-  [[nodiscard]] bool in_range(const PageAddress& addr) const;
+  [[nodiscard]] bool in_range(const PageAddress& addr) const {
+    return addr.chip < geometry_.num_units() &&
+           addr.block < bad_blocks_.visible_blocks() &&
+           addr.pos.wordline < geometry_.wordlines_per_block;
+  }
 
-  Microseconds occupy_channel(std::uint32_t channel, Microseconds now);
+  Microseconds occupy_channel(std::uint32_t channel, Microseconds now) {
+    assert(channel < channel_busy_until_.size());
+    Microseconds& busy = channel_busy_until_[channel];
+    const Microseconds start = std::max(now, busy);
+    busy = start + timing_.transfer_us;
+    return start;
+  }
 
   /// Resolve `addr` for programming: retired check, translation, legality,
   /// and the first-page program-failure draw (remap + re-resolve when a
   /// spare is available, silently suppressed otherwise — a failure that
   /// cannot be remapped loss-free is not injected).
-  Result<std::uint32_t> resolve_program(const PageAddress& addr, Microseconds now);
+  Result<std::uint32_t> resolve_program(const PageAddress& addr, Microseconds now) {
+    const std::uint32_t unit = addr.chip;
+    if (bad_blocks_.enabled() && bad_blocks_.is_retired(unit, addr.block)) {
+      return ErrorCode::kBlockBad;
+    }
+    std::uint32_t physical = bad_blocks_.translate(unit, addr.block);
+    const Status legal = chips_[unit]->block(physical).can_program(addr.pos);
+    if (!legal.is_ok()) return legal.code();
+    // Program-failure injection, restricted to the first page of a fresh
+    // block and to units with a spare left: remapping there is loss-free
+    // (no earlier page of the block holds data, and the spare is blank).
+    if (bad_blocks_.enabled() && addr.pos.flat_index() == 0 &&
+        bad_blocks_.has_spare(unit) &&
+        bad_blocks_.draw_program_failure(unit, physical,
+                                         chips_[unit]->block(physical).erase_count())) {
+      const std::optional<std::uint32_t> spare =
+          grow_bad(unit, addr.block, physical, BadBlockCause::kProgramFailure, now);
+      assert(spare.has_value());  // has_spare() held above
+      physical = *spare;
+      const Status retry = chips_[unit]->block(physical).can_program(addr.pos);
+      if (!retry.is_ok()) return retry.code();
+    }
+    return physical;
+  }
 
   /// Resolve `addr` for erasing: retired check, translation, endurance
   /// limit (remap while spares last; retire + kBlockBad when dry).

@@ -5,55 +5,6 @@
 
 namespace rps::nand {
 
-void BlockProgramState::mark_programmed(PagePos pos) {
-  WordlineState& s = states_.at(pos.wordline);
-  if (pos.type == PageType::kLsb) {
-    assert(s == WordlineState::kErased);
-    s = WordlineState::kLsbProgrammed;
-  } else {
-    assert(s == WordlineState::kLsbProgrammed);
-    s = WordlineState::kFullyProgrammed;
-  }
-}
-
-Status check_program_legality(const BlockProgramState& block, PagePos pos, SequenceKind kind) {
-  const std::uint32_t n = block.wordlines();
-  if (pos.wordline >= n) return Status{ErrorCode::kOutOfRange};
-  const std::uint32_t k = pos.wordline;
-
-  // Physical constraints first: no reprogram, and the MSB program refines
-  // LSB-programmed cells so the paired LSB must exist.
-  if (block.is_programmed(pos)) return Status{ErrorCode::kAlreadyProgrammed};
-  if (pos.type == PageType::kMsb &&
-      block.state(k) != WordlineState::kLsbProgrammed) {
-    return Status{ErrorCode::kNotErased};
-  }
-
-  if (kind == SequenceKind::kUnconstrained) return Status::ok();
-
-  if (pos.type == PageType::kLsb) {
-    // C1: LSB pages are written in ascending word-line order.
-    if (k >= 1 && !block.is_programmed({k - 1, PageType::kLsb})) {
-      return Status{ErrorCode::kSequenceViolation};
-    }
-    // C4 (FPS only): before LSB(k), MSB(k-2) must be written.
-    if (kind == SequenceKind::kFps && k >= 2 &&
-        !block.is_programmed({k - 2, PageType::kMsb})) {
-      return Status{ErrorCode::kSequenceViolation};
-    }
-  } else {
-    // C2: MSB pages are written in ascending word-line order.
-    if (k >= 1 && !block.is_programmed({k - 1, PageType::kMsb})) {
-      return Status{ErrorCode::kSequenceViolation};
-    }
-    // C3: before MSB(k), LSB(k+1) must be written (when WL(k+1) exists).
-    if (k + 1 < n && !block.is_programmed({k + 1, PageType::kLsb})) {
-      return Status{ErrorCode::kSequenceViolation};
-    }
-  }
-  return Status::ok();
-}
-
 std::vector<PagePos> legal_programs(const BlockProgramState& block, SequenceKind kind) {
   std::vector<PagePos> legal;
   for (std::uint32_t k = 0; k < block.wordlines(); ++k) {

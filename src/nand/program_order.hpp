@@ -18,6 +18,7 @@
 //   - order analysis (aggressor counting) used by the reliability study.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <vector>
 
@@ -59,16 +60,30 @@ class BlockProgramState {
   explicit BlockProgramState(std::uint32_t wordlines) : states_(wordlines, WordlineState::kErased) {}
 
   [[nodiscard]] std::uint32_t wordlines() const { return static_cast<std::uint32_t>(states_.size()); }
-  [[nodiscard]] WordlineState state(std::uint32_t wl) const { return states_.at(wl); }
+  [[nodiscard]] WordlineState state(std::uint32_t wl) const {
+    assert(wl < states_.size());
+    return states_[wl];
+  }
 
   [[nodiscard]] bool is_programmed(PagePos pos) const {
-    const WordlineState s = states_.at(pos.wordline);
+    assert(pos.wordline < states_.size());
+    const WordlineState s = states_[pos.wordline];
     return pos.type == PageType::kLsb ? s != WordlineState::kErased
                                       : s == WordlineState::kFullyProgrammed;
   }
 
   /// Records a program without legality checking (callers check first).
-  void mark_programmed(PagePos pos);
+  void mark_programmed(PagePos pos) {
+    assert(pos.wordline < states_.size());
+    WordlineState& s = states_[pos.wordline];
+    if (pos.type == PageType::kLsb) {
+      assert(s == WordlineState::kErased);
+      s = WordlineState::kLsbProgrammed;
+    } else {
+      assert(s == WordlineState::kLsbProgrammed);
+      s = WordlineState::kFullyProgrammed;
+    }
+  }
 
   void reset() { std::fill(states_.begin(), states_.end(), WordlineState::kErased); }
 
@@ -80,7 +95,47 @@ class BlockProgramState {
 ///
 /// Returns kOk, kAlreadyProgrammed, kNotErased (MSB before paired LSB,
 /// physically impossible), kOutOfRange, or kSequenceViolation.
-Status check_program_legality(const BlockProgramState& block, PagePos pos, SequenceKind kind);
+///
+/// Inline: this is the per-program legality gate on the simulator hot path
+/// (multiple invocations per page program before deduplication).
+inline Status check_program_legality(const BlockProgramState& block, PagePos pos,
+                                     SequenceKind kind) {
+  const std::uint32_t n = block.wordlines();
+  if (pos.wordline >= n) return Status{ErrorCode::kOutOfRange};
+  const std::uint32_t k = pos.wordline;
+
+  // Physical constraints first: no reprogram, and the MSB program refines
+  // LSB-programmed cells so the paired LSB must exist.
+  if (block.is_programmed(pos)) return Status{ErrorCode::kAlreadyProgrammed};
+  if (pos.type == PageType::kMsb &&
+      block.state(k) != WordlineState::kLsbProgrammed) {
+    return Status{ErrorCode::kNotErased};
+  }
+
+  if (kind == SequenceKind::kUnconstrained) return Status::ok();
+
+  if (pos.type == PageType::kLsb) {
+    // C1: LSB pages are written in ascending word-line order.
+    if (k >= 1 && !block.is_programmed({k - 1, PageType::kLsb})) {
+      return Status{ErrorCode::kSequenceViolation};
+    }
+    // C4 (FPS only): before LSB(k), MSB(k-2) must be written.
+    if (kind == SequenceKind::kFps && k >= 2 &&
+        !block.is_programmed({k - 2, PageType::kMsb})) {
+      return Status{ErrorCode::kSequenceViolation};
+    }
+  } else {
+    // C2: MSB pages are written in ascending word-line order.
+    if (k >= 1 && !block.is_programmed({k - 1, PageType::kMsb})) {
+      return Status{ErrorCode::kSequenceViolation};
+    }
+    // C3: before MSB(k), LSB(k+1) must be written (when WL(k+1) exists).
+    if (k + 1 < n && !block.is_programmed({k + 1, PageType::kLsb})) {
+      return Status{ErrorCode::kSequenceViolation};
+    }
+  }
+  return Status::ok();
+}
 
 /// All pages currently legal to program under `kind`. At most a handful for
 /// FPS; potentially one LSB and one MSB frontier page for RPS.

@@ -39,6 +39,17 @@ class LatencyHistogram {
 
   void clear();
 
+  /// Pre-size the bucket array to its maximum possible extent (~58 KiB)
+  /// so no later add() grows it — lets a caller front-load every
+  /// allocation before an allocation-audited window. Semantics are
+  /// unchanged: trailing zero buckets are invisible to ==, to_json and
+  /// the quantile queries.
+  void reserve_max() {
+    const std::size_t full =
+        bucket_index(std::numeric_limits<std::uint64_t>::max()) + 1;
+    if (counts_.size() < full) counts_.resize(full, 0);
+  }
+
   [[nodiscard]] std::uint64_t count() const { return total_; }
   [[nodiscard]] bool empty() const { return total_ == 0; }
   /// Exact sum of every added value (not bucket-quantized).

@@ -95,8 +95,10 @@ SimResult Simulator::run(const workload::Trace& trace) {
 
   // Closed-loop window: at most queue_depth requests outstanding. A new
   // request issues when the earliest-finishing outstanding one completes.
-  std::priority_queue<Microseconds, std::vector<Microseconds>, std::greater<>>
-      outstanding;
+  // (This and the containers below are member scratch — capacity persists
+  // across runs so a warmed replay of a known trace allocates nothing.)
+  auto& outstanding = outstanding_;
+  while (!outstanding.empty()) outstanding.pop();
 
   // Write-buffer model. Writes are acknowledged when the RAM write buffer
   // accepts them — instantly while there is room, otherwise when enough
@@ -108,10 +110,8 @@ SimResult Simulator::run(const workload::Trace& trace) {
   // programs have not finished (gates ACKs); the arrival-based counters
   // additionally include queued-but-unissued writes (that total is the
   // utilization u the policy manager sees).
-  std::priority_queue<std::pair<Microseconds, std::uint32_t>,
-                      std::vector<std::pair<Microseconds, std::uint32_t>>,
-                      std::greater<>>
-      in_flush;  // (device completion, pages)
+  auto& in_flush = in_flush_;  // (device completion, pages)
+  while (!in_flush.empty()) in_flush.pop();
   std::uint64_t flush_pending_pages = 0;
   std::uint64_t arrived_write_pages = 0;
   std::uint64_t completed_write_pages = 0;
@@ -126,14 +126,79 @@ SimResult Simulator::run(const workload::Trace& trace) {
   // map's semantics exactly: only windows some write completed in emit a
   // sample, even a zero-byte one.
   const std::int64_t window_base = base / config_.bw_window_us;
-  std::vector<std::uint64_t> bw_bytes;
-  std::vector<bool> bw_touched;
+  auto& bw_bytes = bw_bytes_;
+  auto& bw_touched = bw_touched_;
+  bw_bytes.clear();
+  bw_touched.clear();
   const auto page_bytes =
       static_cast<std::uint64_t>(ftl_.config().geometry.page_size_bytes);
 
   Microseconds busy_start = 0;
   Microseconds busy_end = -1;  // current merged busy interval; empty
   Microseconds last_completion = base;
+
+  // Batched admission (controller engine, no observability attached):
+  // consecutive writes acknowledged at the same tick submit to the
+  // controller without draining between them — one drain retires the
+  // whole batch, and the FIFO write queue preserves the serial dispatch
+  // order exactly (each member sees the chip-busy state its predecessors
+  // created at the tick, just as per-request drains would produce). Only
+  // the controller work and the pieces derived from it (in_flush entries,
+  // bandwidth windows — both need last_complete) are deferred; the
+  // closed-loop models advance inline because a batched write's
+  // completion IS its ack tick. The batch must flush before anything
+  // that could observe a member's flush time: a read, a different
+  // admission tick, an idle window, a buffer-full ack wait, the crash
+  // cut, or the end of the trace (members' flush times always exceed the
+  // batch tick, so same-tick admissions can never pop them).
+  const bool batch_admission = config_.engine == Engine::kController &&
+                               trace_ == nullptr && sampler_ == nullptr;
+  auto& batch = batch_;
+  auto& batch_results = batch_results_;
+  batch.clear();
+  Microseconds batch_tick = 0;
+  const auto flush_batch = [&] {
+    if (batch.empty()) return;
+    controller_.drain();
+    controller_.take_all_results_into(batch_results);
+    assert(batch_results.size() == batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const ctrl::CommandResult& cr = batch_results[i];
+      assert(cr.ok);
+      const Microseconds flushed = std::max(batch[i].ack, cr.last_complete);
+      in_flush.emplace(flushed, batch[i].pages);
+      const auto window =
+          static_cast<std::size_t>(flushed / config_.bw_window_us - window_base);
+      if (window >= bw_bytes.size()) {
+        bw_bytes.resize(window + 1, 0);
+        bw_touched.resize(window + 1, false);
+      }
+      bw_bytes[window] += page_bytes * batch[i].pages;
+      bw_touched[window] = true;
+    }
+    batch.clear();
+  };
+
+  // Front-load the result's per-request growth, then open the steady-state
+  // window: from here to the end of the replay loop, a simulator whose
+  // scratch is warm from a prior run of this trace allocates nothing
+  // (bench_simcore --alloc-audit arms the interposer in this hook).
+  result.latency_us.reserve(trace.requests().size());
+  result.latency_hist_us.reserve_max();
+  if (config_.engine == Engine::kController) {
+    // Closed loop: at most queue_depth commands are ever outstanding, so
+    // a batch can never exceed it, and the controller's in-flight
+    // structures are pre-sized from the same bound — hard caps, immune to
+    // the run-to-run concurrency drift that warm-up alone can't pin down.
+    batch.reserve(config_.queue_depth);
+    batch_results.reserve(config_.queue_depth);
+    std::uint32_t max_pages = 1;
+    for (const workload::IoRequest& req : trace.requests()) {
+      max_pages = std::max(max_pages, req.page_count);
+    }
+    controller_.reserve_inflight(config_.queue_depth, max_pages);
+  }
+  if (steady_hook_) steady_hook_(true);
 
   Microseconds prev_arrival = base;       // adjusted arrival of previous request
   Microseconds prev_raw = first_arrival;  // raw trace arrival of previous request
@@ -165,6 +230,7 @@ SimResult Simulator::run(const workload::Trace& trace) {
     // steps.) Device-side flush backlog is handled by on_idle's per-chip
     // deadline checks.
     if (arrival > last_completion + config_.idle_threshold_us) {
+      flush_batch();  // the FTL must be settled before its idle window
       ++result.idle_windows;
       result.idle_time_us += arrival - last_completion;
       if (trace_ != nullptr) {
@@ -180,6 +246,13 @@ SimResult Simulator::run(const workload::Trace& trace) {
     while (outstanding.size() >= config_.queue_depth) {
       issue = std::max(issue, outstanding.top());
       outstanding.pop();
+    }
+
+    // A later admission tick (or a read, whose completion the loop needs
+    // immediately) ends the batch before the buffer model can observe it.
+    if (!batch.empty() &&
+        (issue != batch_tick || req.kind != workload::IoKind::kWrite)) {
+      flush_batch();
     }
 
     // Advance the buffer model to the issue time: pages of every write that
@@ -211,6 +284,12 @@ SimResult Simulator::run(const workload::Trace& trace) {
     if (req.kind == workload::IoKind::kWrite) {
       ++result.write_requests;
       // ACK when the buffer has room: wait for earlier flushes if needed.
+      // A pending batch flushes first — its members' flush times belong
+      // in the queue this wait consumes.
+      if (!batch.empty() &&
+          flush_pending_pages + req.page_count > buffer_capacity) {
+        flush_batch();
+      }
       Microseconds ack = issue;
       while (flush_pending_pages + req.page_count > buffer_capacity &&
              !in_flush.empty()) {
@@ -220,6 +299,7 @@ SimResult Simulator::run(const workload::Trace& trace) {
         in_flush.pop();
       }
       Microseconds flushed = ack;
+      bool deferred = false;
       if (config_.engine == Engine::kController) {
         // Whole request to the controller: its pages become a batch of
         // page ops striped across idle chips.
@@ -229,9 +309,21 @@ SimResult Simulator::run(const workload::Trace& trace) {
         cmd.page_count = req.page_count;
         cmd.issue = ack;
         cmd.buffer_utilization = utilization;
-        const ctrl::CommandResult cr = controller_.execute(cmd);
-        assert(cr.ok);
-        flushed = std::max(flushed, cr.last_complete);
+        if (batch_admission && req.page_count > 0) {
+          // A nonempty batch here means ack == batch_tick: the earlier
+          // flush points cleared any tick change, and the ack wait above
+          // flushed before raising ack.
+          if (batch.empty()) batch_tick = ack;
+          assert(ack == batch_tick);
+          controller_.submit(cmd);
+          batch.push_back(BatchMember{ack, req.page_count});
+          deferred = true;
+        } else {
+          flush_batch();  // zero-page corner: keep strict serial order
+          const ctrl::CommandResult cr = controller_.execute(cmd);
+          assert(cr.ok);
+          flushed = std::max(flushed, cr.last_complete);
+        }
         result.pages_written += req.page_count;
       } else {
         for (std::uint32_t j = 0; j < req.page_count; ++j) {
@@ -241,16 +333,18 @@ SimResult Simulator::run(const workload::Trace& trace) {
           ++result.pages_written;
         }
       }
-      in_flush.emplace(flushed, req.page_count);
       flush_pending_pages += req.page_count;
-      const auto window =
-          static_cast<std::size_t>(flushed / config_.bw_window_us - window_base);
-      if (window >= bw_bytes.size()) {
-        bw_bytes.resize(window + 1, 0);
-        bw_touched.resize(window + 1, false);
+      if (!deferred) {
+        in_flush.emplace(flushed, req.page_count);
+        const auto window =
+            static_cast<std::size_t>(flushed / config_.bw_window_us - window_base);
+        if (window >= bw_bytes.size()) {
+          bw_bytes.resize(window + 1, 0);
+          bw_touched.resize(window + 1, false);
+        }
+        bw_bytes[window] += page_bytes * req.page_count;
+        bw_touched[window] = true;
       }
-      bw_bytes[window] += page_bytes * req.page_count;
-      bw_touched[window] = true;
       completion = ack;
     } else {
       ++result.read_requests;
@@ -300,6 +394,8 @@ SimResult Simulator::run(const workload::Trace& trace) {
     outstanding.push(completion);
     last_completion = std::max(last_completion, completion);
   }
+  flush_batch();  // end of trace (or crash cut): retire the tail batch
+  if (steady_hook_) steady_hook_(false);
   if (busy_end >= busy_start) result.busy_us += busy_end - busy_start;
 
   if (result.crashed) {

@@ -13,7 +13,11 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <queue>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "src/controller/controller.hpp"
 #include "src/ftl/ftl_base.hpp"
@@ -186,6 +190,16 @@ class Simulator {
   /// ticks it at every event-queue instant between them.
   void set_state_sampler(obs::StateSampler* sampler);
 
+  /// Observe run()'s steady-state window: called with `true` right before
+  /// the replay loop starts (after per-run setup — result strings, counter
+  /// capture, container reserves) and with `false` right after it ends
+  /// (before harvest). The allocation audit arms/disarms here: on a
+  /// simulator whose scratch is warm from a previous run of the same
+  /// trace, everything between the two calls is allocation-free.
+  void set_steady_state_hook(std::function<void(bool)> hook) {
+    steady_hook_ = std::move(hook);
+  }
+
  private:
   ftl::FtlBase& ftl_;
   SimConfig config_;
@@ -193,6 +207,26 @@ class Simulator {
   bool preconditioned_ = false;
   obs::TraceSink* trace_ = nullptr;      // borrowed; null = tracing off
   obs::StateSampler* sampler_ = nullptr; // borrowed; null = sampling off
+  std::function<void(bool)> steady_hook_;  // steady-state window observer
+
+  // Replay-loop scratch, hoisted out of run() so capacity persists across
+  // calls: a warmed simulator replaying a trace it has seen before (the
+  // --alloc-audit regime) grows nothing here. Cleared, never shrunk, at
+  // the top of each run().
+  struct BatchMember {
+    Microseconds ack = 0;
+    std::uint32_t pages = 0;
+  };
+  std::priority_queue<Microseconds, std::vector<Microseconds>, std::greater<>>
+      outstanding_;
+  std::priority_queue<std::pair<Microseconds, std::uint32_t>,
+                      std::vector<std::pair<Microseconds, std::uint32_t>>,
+                      std::greater<>>
+      in_flush_;  // (device completion, pages)
+  std::vector<std::uint64_t> bw_bytes_;
+  std::vector<bool> bw_touched_;
+  std::vector<BatchMember> batch_;
+  std::vector<ctrl::CommandResult> batch_results_;
 };
 
 }  // namespace rps::sim

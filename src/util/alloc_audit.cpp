@@ -1,0 +1,167 @@
+#include "src/util/alloc_audit.hpp"
+
+#include <atomic>
+#include <cstddef>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+
+#if defined(__GLIBC__)
+#include <execinfo.h>
+#endif
+
+namespace rps::util {
+namespace {
+
+std::atomic<bool> g_armed{false};
+std::atomic<std::uint64_t> g_allocations{0};
+std::atomic<std::uint64_t> g_bytes{0};
+std::atomic<std::uint64_t> g_frees{0};
+bool g_linked = false;
+
+// Set at static-init time by this TU; alloc_audit_linked() reads it so a
+// caller can tell "zero allocations" apart from "interposer not linked".
+struct LinkMarker {
+  LinkMarker() { g_linked = true; }
+} g_link_marker;
+
+// With RPS_ALLOC_AUDIT_BACKTRACE=N in the environment, the first N armed
+// allocations print a symbolized backtrace to stderr — the way to find
+// what broke the zero-allocation gate. Off by default (backtrace() itself
+// allocates on first use, so the printout self-reports too).
+int backtrace_budget() {
+  static const int budget = [] {
+    const char* v = std::getenv("RPS_ALLOC_AUDIT_BACKTRACE");
+    return v == nullptr ? 0 : std::atoi(v);
+  }();
+  return budget;
+}
+
+void maybe_print_backtrace(std::size_t size) {
+#if defined(__GLIBC__)
+  static thread_local bool in_hook = false;
+  static std::atomic<int> printed{0};
+  if (in_hook || backtrace_budget() == 0) return;
+  if (printed.fetch_add(1, std::memory_order_relaxed) >= backtrace_budget()) return;
+  in_hook = true;
+  std::fprintf(stderr, "alloc-audit: armed allocation of %zu bytes at:\n", size);
+  void* frames[32];
+  const int n = backtrace(frames, 32);
+  backtrace_symbols_fd(frames, n, 2);
+  in_hook = false;
+#else
+  (void)size;
+#endif
+}
+
+void* audited_alloc(std::size_t size, std::size_t alignment) {
+  if (g_armed.load(std::memory_order_relaxed)) {
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+    g_bytes.fetch_add(size, std::memory_order_relaxed);
+    maybe_print_backtrace(size);
+  }
+  void* p = nullptr;
+  if (alignment > alignof(std::max_align_t)) {
+    if (posix_memalign(&p, alignment, size == 0 ? alignment : size) != 0) {
+      p = nullptr;
+    }
+  } else {
+    p = std::malloc(size == 0 ? 1 : size);
+  }
+  return p;
+}
+
+void audited_free(void* p) noexcept {
+  if (p != nullptr && g_armed.load(std::memory_order_relaxed)) {
+    g_frees.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::free(p);
+}
+
+}  // namespace
+
+void alloc_audit_arm() {
+  g_allocations.store(0, std::memory_order_relaxed);
+  g_bytes.store(0, std::memory_order_relaxed);
+  g_frees.store(0, std::memory_order_relaxed);
+  g_armed.store(true, std::memory_order_relaxed);
+}
+
+AllocAuditStats alloc_audit_disarm() {
+  g_armed.store(false, std::memory_order_relaxed);
+  AllocAuditStats stats;
+  stats.allocations = g_allocations.load(std::memory_order_relaxed);
+  stats.bytes = g_bytes.load(std::memory_order_relaxed);
+  stats.frees = g_frees.load(std::memory_order_relaxed);
+  return stats;
+}
+
+bool alloc_audit_linked() { return g_linked; }
+
+}  // namespace rps::util
+
+// Global replacement allocator. Defining any of these in a linked TU
+// replaces the toolchain's definitions binary-wide (ISO C++ replaceable
+// allocation functions), which is exactly the interposition we want —
+// and only binaries linking rps_alloc_audit get it.
+
+void* operator new(std::size_t size) {
+  void* p = rps::util::audited_alloc(size, 0);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size) {
+  void* p = rps::util::audited_alloc(size, 0);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  void* p = rps::util::audited_alloc(size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  void* p = rps::util::audited_alloc(size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return rps::util::audited_alloc(size, 0);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return rps::util::audited_alloc(size, 0);
+}
+
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return rps::util::audited_alloc(size, static_cast<std::size_t>(align));
+}
+
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return rps::util::audited_alloc(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { rps::util::audited_free(p); }
+void operator delete[](void* p) noexcept { rps::util::audited_free(p); }
+void operator delete(void* p, std::size_t) noexcept { rps::util::audited_free(p); }
+void operator delete[](void* p, std::size_t) noexcept { rps::util::audited_free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { rps::util::audited_free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { rps::util::audited_free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  rps::util::audited_free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  rps::util::audited_free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  rps::util::audited_free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  rps::util::audited_free(p);
+}

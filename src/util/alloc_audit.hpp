@@ -1,0 +1,36 @@
+// Allocation-counting interposer for the zero-allocation hot-path gate.
+//
+// A translation unit (alloc_audit.cpp) replaces the global operator
+// new/delete family with malloc/free wrappers that bump atomic counters
+// while the audit is armed. The replacement is link-time: only binaries
+// that link the rps_alloc_audit library pay for it (one relaxed atomic
+// load per allocation when disarmed) — the simulator libraries and every
+// other binary keep the stock allocator.
+//
+// Intended use (bench_simcore --alloc-audit): warm a simulator to steady
+// state, arm around the steady-state replay window, and assert the count
+// stayed zero — the machine-checked form of "the hot path performs no
+// heap allocation once its arenas are warm".
+#pragma once
+
+#include <cstdint>
+
+namespace rps::util {
+
+struct AllocAuditStats {
+  std::uint64_t allocations = 0;  // operator new calls while armed
+  std::uint64_t bytes = 0;        // sum of requested sizes while armed
+  std::uint64_t frees = 0;        // operator delete calls while armed
+};
+
+/// Start counting. Counters reset to zero on each arm.
+void alloc_audit_arm();
+
+/// Stop counting and return what happened since the matching arm().
+AllocAuditStats alloc_audit_disarm();
+
+/// True when the interposing operator new/delete definitions are linked
+/// into this binary (i.e. the counters can actually observe anything).
+[[nodiscard]] bool alloc_audit_linked();
+
+}  // namespace rps::util

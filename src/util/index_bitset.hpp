@@ -1,0 +1,101 @@
+// Dense fixed-universe index set over packed 64-bit words.
+//
+// The active-queue sets of the arbiter and the multi-queue frontend need
+// membership flips in O(1) and "first member at or after position i,
+// cyclically" in O(n/64) — against universes of at most a few thousand
+// tenants that is a handful of word reads, so a scan over packed words
+// beats a linked structure on both locality and simplicity. All
+// operations are allocation-free after construction/resize.
+#pragma once
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace rps::util {
+
+class IndexBitSet {
+ public:
+  static constexpr std::uint32_t kNpos = 0xffffffffu;
+
+  IndexBitSet() = default;
+  explicit IndexBitSet(std::uint32_t universe) { resize(universe); }
+
+  /// Reset to an empty set over [0, universe).
+  void resize(std::uint32_t universe) {
+    universe_ = universe;
+    words_.assign((universe + 63) / 64, 0);
+    count_ = 0;
+  }
+
+  [[nodiscard]] std::uint32_t universe() const { return universe_; }
+  [[nodiscard]] std::uint32_t count() const { return count_; }
+  [[nodiscard]] bool any() const { return count_ != 0; }
+
+  [[nodiscard]] bool test(std::uint32_t i) const {
+    assert(i < universe_);
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  void set(std::uint32_t i) {
+    assert(i < universe_);
+    std::uint64_t& w = words_[i >> 6];
+    const std::uint64_t bit = std::uint64_t{1} << (i & 63);
+    count_ += (w & bit) == 0;
+    w |= bit;
+  }
+
+  void clear(std::uint32_t i) {
+    assert(i < universe_);
+    std::uint64_t& w = words_[i >> 6];
+    const std::uint64_t bit = std::uint64_t{1} << (i & 63);
+    count_ -= (w & bit) != 0;
+    w &= ~bit;
+  }
+
+  /// First member >= `from`, or kNpos when there is none.
+  [[nodiscard]] std::uint32_t next(std::uint32_t from) const {
+    if (from >= universe_) return kNpos;
+    std::uint32_t wi = from >> 6;
+    std::uint64_t w = words_[wi] & (~std::uint64_t{0} << (from & 63));
+    while (true) {
+      if (w != 0) {
+        return (wi << 6) + static_cast<std::uint32_t>(std::countr_zero(w));
+      }
+      if (++wi == words_.size()) return kNpos;
+      w = words_[wi];
+    }
+  }
+
+  /// First member at or after `from` in cyclic order (wrapping to 0).
+  /// Precondition: the set is non-empty.
+  [[nodiscard]] std::uint32_t next_cyclic(std::uint32_t from) const {
+    assert(any());
+    const std::uint32_t hit = next(from);
+    if (hit != kNpos) return hit;
+    const std::uint32_t wrapped = next(0);
+    assert(wrapped != kNpos);
+    return wrapped;
+  }
+
+  /// Visit every member in ascending order. `f` must not mutate the set.
+  template <typename F>
+  void for_each(F&& f) const {
+    for (std::uint32_t wi = 0; wi < words_.size(); ++wi) {
+      std::uint64_t w = words_[wi];
+      while (w != 0) {
+        const auto bit = static_cast<std::uint32_t>(std::countr_zero(w));
+        f((wi << 6) + bit);
+        w &= w - 1;
+      }
+    }
+  }
+
+ private:
+  std::vector<std::uint64_t> words_;
+  std::uint32_t universe_ = 0;
+  std::uint32_t count_ = 0;
+};
+
+}  // namespace rps::util

@@ -1,0 +1,49 @@
+// Node recycling for node-based maps on allocation-free hot paths.
+//
+// std::unordered_map allocates one node per insert and frees it per
+// erase — steady-state churn that breaks the zero-allocation gate even
+// when the map's *population* is in equilibrium. These helpers keep a
+// side stack of extracted node handles: erases bank their node instead
+// of freeing it, inserts drain the bank instead of allocating. Once the
+// bank covers the working set's churn amplitude, the insert/erase cycle
+// never touches the heap (bucket arrays still need a prior reserve()).
+//
+// Map semantics are untouched — the same nodes, keys and values end up
+// in the same buckets — so serialization and iteration behavior are
+// byte-for-byte what the plain map produces.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+namespace rps::util {
+
+/// map[key] = value, reusing a banked node when one is available.
+template <typename Map>
+void recycled_assign(Map& map, std::vector<typename Map::node_type>& spares,
+                     const typename Map::key_type& key,
+                     typename Map::mapped_type value) {
+  if (spares.empty()) {
+    map[key] = std::move(value);
+    return;
+  }
+  typename Map::node_type node = std::move(spares.back());
+  spares.pop_back();
+  node.key() = key;
+  node.mapped() = std::move(value);
+  auto res = map.insert(std::move(node));
+  if (!res.inserted) {
+    // Key already present: refresh in place, bank the spare again.
+    res.position->second = std::move(res.node.mapped());
+    spares.push_back(std::move(res.node));
+  }
+}
+
+/// map.erase(it), banking the node instead of freeing it.
+template <typename Map>
+void recycled_erase(Map& map, std::vector<typename Map::node_type>& spares,
+                    typename Map::iterator it) {
+  spares.push_back(map.extract(it));
+}
+
+}  // namespace rps::util

@@ -1,0 +1,131 @@
+// Power-of-two ring buffer: the FIFO primitive of the allocation-free hot
+// path (controller op queues, BlockManager free lists).
+//
+// std::deque's segmented storage allocates and frees 512-byte map nodes as
+// a queue cycles, so a steady-state submit/retire loop keeps touching the
+// allocator. A ring buffer reaches a high-water capacity once and then
+// recycles it forever: push/pop are an index mask each, and iteration is
+// front-to-back over at most two contiguous spans. Capacity grows by
+// doubling (amortized O(1)); it never shrinks — steady state is the point.
+//
+// Order-preserving middle erase (erase_at) is provided for the rare slow
+// paths (block retirement pulls a specific entry out of a free list); it is
+// O(n) by design and keeps FIFO order identical to the deque it replaces.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace rps {
+
+template <typename T>
+class RingBuffer {
+ public:
+  RingBuffer() = default;
+
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+  [[nodiscard]] std::size_t size() const { return count_; }
+  [[nodiscard]] std::size_t capacity() const { return data_.size(); }
+
+  void push_back(const T& value) { emplace_back(value); }
+  void push_back(T&& value) { emplace_back(std::move(value)); }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (count_ == data_.size()) grow();
+    T& slot = data_[(head_ + count_) & mask_];
+    slot = T(std::forward<Args>(args)...);
+    ++count_;
+    return slot;
+  }
+
+  void pop_front() {
+    assert(count_ > 0);
+    head_ = (head_ + 1) & mask_;
+    --count_;
+  }
+
+  [[nodiscard]] T& front() {
+    assert(count_ > 0);
+    return data_[head_];
+  }
+  [[nodiscard]] const T& front() const {
+    assert(count_ > 0);
+    return data_[head_];
+  }
+  [[nodiscard]] T& back() {
+    assert(count_ > 0);
+    return data_[(head_ + count_ - 1) & mask_];
+  }
+  [[nodiscard]] const T& back() const {
+    assert(count_ > 0);
+    return data_[(head_ + count_ - 1) & mask_];
+  }
+
+  [[nodiscard]] T& operator[](std::size_t i) {
+    assert(i < count_);
+    return data_[(head_ + i) & mask_];
+  }
+  [[nodiscard]] const T& operator[](std::size_t i) const {
+    assert(i < count_);
+    return data_[(head_ + i) & mask_];
+  }
+
+  /// Drop all elements; storage (the steady-state high-water mark) is kept.
+  void clear() {
+    head_ = 0;
+    count_ = 0;
+  }
+
+  /// Remove the element at logical index `i`, preserving FIFO order of the
+  /// rest (slow path: O(n) shift toward the back).
+  void erase_at(std::size_t i) {
+    assert(i < count_);
+    for (std::size_t j = i; j + 1 < count_; ++j) {
+      data_[(head_ + j) & mask_] = std::move(data_[(head_ + j + 1) & mask_]);
+    }
+    --count_;
+  }
+
+  /// First logical index holding `value`, or size() when absent.
+  [[nodiscard]] std::size_t find(const T& value) const {
+    for (std::size_t i = 0; i < count_; ++i) {
+      if (data_[(head_ + i) & mask_] == value) return i;
+    }
+    return count_;
+  }
+
+  /// Pre-size the storage to at least `n` slots (rounded up to a power of
+  /// two) so the first `n` pushes touch no allocator.
+  void reserve(std::size_t n) {
+    if (n <= data_.size()) return;
+    std::size_t cap = data_.empty() ? kInitialCapacity : data_.size();
+    while (cap < n) cap *= 2;
+    rebase(cap);
+  }
+
+ private:
+  static constexpr std::size_t kInitialCapacity = 8;
+
+  void grow() { rebase(data_.empty() ? kInitialCapacity : data_.size() * 2); }
+
+  void rebase(std::size_t cap) {
+    std::vector<T> fresh(cap);
+    for (std::size_t i = 0; i < count_; ++i) {
+      fresh[i] = std::move(data_[(head_ + i) & mask_]);
+    }
+    data_ = std::move(fresh);
+    head_ = 0;
+    mask_ = data_.size() - 1;
+  }
+
+  std::vector<T> data_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+  std::size_t mask_ = 0;
+};
+
+}  // namespace rps

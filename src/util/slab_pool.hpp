@@ -1,0 +1,83 @@
+// Recycling slab pool with power-of-two size classes.
+//
+// acquire(n) hands out a block of capacity 2^ceil(log2(n)) items from the
+// matching size class's freelist, touching the allocator only when the
+// freelist is dry; release(p, n) returns the block to its class. After
+// warm-up a steady-state acquire/release cycle is allocation-free: the
+// pool's high-water population of each class circulates forever. Blocks
+// are never returned to the system until the pool is destroyed.
+//
+// The controller uses this for per-command op-state batches: commands of
+// similar page counts share size classes, so the submit→retire cycle of a
+// long run recycles a handful of slabs instead of hitting the heap per
+// command.
+#pragma once
+
+#include <array>
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace rps {
+
+template <typename T>
+class SlabPool {
+ public:
+  SlabPool() = default;
+  SlabPool(const SlabPool&) = delete;
+  SlabPool& operator=(const SlabPool&) = delete;
+
+  ~SlabPool() {
+    for (auto& list : free_) {
+      for (T* slab : list) delete[] slab;
+    }
+  }
+
+  /// A block holding at least `n` items (capacity 2^size_class(n)).
+  /// Contents are unspecified — recycled slabs keep their old values;
+  /// callers initialize what they use.
+  [[nodiscard]] T* acquire(std::size_t n) {
+    auto& list = free_[size_class(n)];
+    if (!list.empty()) {
+      T* slab = list.back();
+      list.pop_back();
+      return slab;
+    }
+    return new T[std::size_t{1} << size_class(n)];
+  }
+
+  /// Bank free blocks until `n`'s size class holds at least `count`, so
+  /// the first `count` concurrent acquires of the class never allocate.
+  /// (Blocks already circulating through acquire/release also count
+  /// toward a class's population, so prefill after warm-up over-reserves
+  /// at worst.)
+  void prefill(std::size_t n, std::size_t count) {
+    auto& list = free_[size_class(n)];
+    list.reserve(count);
+    while (list.size() < count) {
+      list.push_back(new T[std::size_t{1} << size_class(n)]);
+    }
+  }
+
+  /// Return a block acquired with the same `n` (or any n in the same size
+  /// class) to its freelist.
+  void release(T* slab, std::size_t n) {
+    assert(slab != nullptr);
+    free_[size_class(n)].push_back(slab);
+  }
+
+  /// Index of the smallest power-of-two class holding `n` items.
+  [[nodiscard]] static std::size_t size_class(std::size_t n) {
+    std::size_t cls = 0;
+    while ((std::size_t{1} << cls) < n) ++cls;
+    assert(cls < kClasses);
+    return cls;
+  }
+
+ private:
+  static constexpr std::size_t kClasses = 32;  // up to 2^31 items per slab
+
+  std::array<std::vector<T*>, kClasses> free_;
+};
+
+}  // namespace rps

@@ -13,13 +13,16 @@
 //     (the regression the generator fix exists for).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
+#include <optional>
 #include <vector>
 
 #include "src/controller/arbiter.hpp"
 #include "src/host/multi_queue.hpp"
 #include "src/host/tenant.hpp"
 #include "src/sim/runner.hpp"
+#include "src/util/random.hpp"
 
 namespace rps::host {
 namespace {
@@ -121,6 +124,163 @@ TEST(QueueArbiter, WdrrDropsBankedDeficitWhenQueueGoesIdle) {
   // so queue 0 cannot later burst through service it never queued for.
   for (int i = 0; i < 6; ++i) (void)arb.admit({0, 1}, cost);
   EXPECT_EQ(arb.deficit(0), 0u);
+}
+
+// --- O(active) arbiter vs full-scan reference model ------------------------
+
+/// The pre-optimization full-scan arbiter, kept verbatim as an executable
+/// specification. The production QueueArbiter replaced the per-admission
+/// O(N) scan with an intrusive active set and lazy deficit zeroing; this
+/// reference pins the contract those tricks must preserve: identical
+/// admission sequences AND identical observable deficits, admission by
+/// admission, under arbitrary eligibility/cost schedules.
+class ReferenceArbiter {
+ public:
+  ReferenceArbiter(std::uint32_t queues, ctrl::ArbiterConfig config)
+      : queues_(queues), config_(std::move(config)), deficit_(queues, 0) {
+    weights_.resize(queues_, 1);
+    for (std::uint32_t q = 0; q < queues_ && q < config_.weights.size(); ++q) {
+      weights_[q] = std::max<std::uint32_t>(1, config_.weights[q]);
+    }
+    if (config_.quantum_pages == 0) config_.quantum_pages = 1;
+  }
+
+  std::optional<std::uint32_t> admit(const std::vector<std::uint8_t>& eligible,
+                                     const std::vector<std::uint32_t>& head_cost) {
+    switch (config_.policy) {
+      case ctrl::ArbPolicy::kRoundRobin: {
+        for (std::uint32_t scan = 0; scan < queues_; ++scan) {
+          const std::uint32_t q = cur_;
+          cur_ = (cur_ + 1) % queues_;
+          if (eligible[q] != 0) return q;
+        }
+        return std::nullopt;
+      }
+      case ctrl::ArbPolicy::kWeightedRoundRobin: {
+        for (std::uint32_t scan = 0; scan <= queues_; ++scan) {
+          if (eligible[cur_] != 0 && (!visiting_ || credit_ > 0)) {
+            if (!visiting_) {
+              visiting_ = true;
+              credit_ = weights_[cur_];
+            }
+            --credit_;
+            return cur_;
+          }
+          visiting_ = false;
+          cur_ = (cur_ + 1) % queues_;
+        }
+        return std::nullopt;
+      }
+      case ctrl::ArbPolicy::kWeightedDeficitRoundRobin: {
+        std::uint32_t max_cost = 1;
+        bool any = false;
+        for (std::uint32_t q = 0; q < queues_; ++q) {
+          if (eligible[q] == 0) continue;
+          any = true;
+          max_cost = std::max(max_cost, std::max<std::uint32_t>(1, head_cost[q]));
+        }
+        if (!any) return std::nullopt;
+        const std::uint64_t rounds = 2 + max_cost / config_.quantum_pages;
+        for (std::uint64_t scan = 0; scan < rounds * queues_ + 1; ++scan) {
+          if (eligible[cur_] == 0) {
+            deficit_[cur_] = 0;  // eager form of the production lazy zeroing
+            visiting_ = false;
+            cur_ = (cur_ + 1) % queues_;
+            continue;
+          }
+          if (!visiting_) {
+            visiting_ = true;
+            deficit_[cur_] +=
+                static_cast<std::uint64_t>(config_.quantum_pages) * weights_[cur_];
+          }
+          const std::uint64_t cost = std::max<std::uint32_t>(1, head_cost[cur_]);
+          if (deficit_[cur_] >= cost) {
+            deficit_[cur_] -= cost;
+            return cur_;
+          }
+          visiting_ = false;
+          cur_ = (cur_ + 1) % queues_;
+        }
+        return std::nullopt;
+      }
+    }
+    return std::nullopt;
+  }
+
+  [[nodiscard]] std::uint64_t deficit(std::uint32_t queue) const {
+    return deficit_[queue];
+  }
+
+ private:
+  std::uint32_t queues_;
+  ctrl::ArbiterConfig config_;
+  std::vector<std::uint32_t> weights_;
+  std::uint32_t cur_ = 0;
+  std::uint32_t credit_ = 0;
+  bool visiting_ = false;
+  std::vector<std::uint64_t> deficit_;
+};
+
+TEST(QueueArbiter, MatchesFullScanReferenceOnRandomSchedules) {
+  // Drive three implementations of the same contract with random
+  // eligibility churn: the reference full scan, the production arbiter
+  // through its full-sync vector admit(), and a second production
+  // instance through the incremental set_eligible()/admit() interface
+  // (the O(active) path the frontend actually uses). Every admission and
+  // every WDRR deficit must agree step by step.
+  for (const ctrl::ArbPolicy policy : ctrl::kAllArbPolicies) {
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+      Rng rng(seed * 7919 + static_cast<std::uint64_t>(policy));
+      const auto queues =
+          static_cast<std::uint32_t>(2 + rng.next_below(15));  // 2..16
+      ctrl::ArbiterConfig config;
+      config.policy = policy;
+      config.quantum_pages = static_cast<std::uint32_t>(1 + rng.next_below(8));
+      for (std::uint32_t q = 0; q < queues; ++q) {
+        config.weights.push_back(static_cast<std::uint32_t>(rng.next_below(4)));
+      }
+      ReferenceArbiter reference(queues, config);
+      ctrl::QueueArbiter full_sync(queues, config);
+      ctrl::QueueArbiter incremental(queues, config);
+
+      std::vector<std::uint8_t> eligible(queues, 0);
+      std::vector<std::uint32_t> cost(queues, 1);
+      const auto report = [&](std::uint32_t q) {
+        incremental.set_eligible(q, eligible[q] != 0, cost[q]);
+      };
+      for (int step = 0; step < 600; ++step) {
+        // Churn a few queues: arrivals, departures, head-cost changes.
+        const std::uint64_t churn = rng.next_below(3);
+        for (std::uint64_t c = 0; c <= churn; ++c) {
+          const auto q = static_cast<std::uint32_t>(rng.next_below(queues));
+          eligible[q] = rng.chance(0.6) ? 1 : 0;
+          cost[q] = static_cast<std::uint32_t>(rng.next_below(17));
+          report(q);
+        }
+        const std::optional<std::uint32_t> want = reference.admit(eligible, cost);
+        ASSERT_EQ(full_sync.admit(eligible, cost), want)
+            << to_string(policy) << " seed " << seed << " step " << step;
+        ASSERT_EQ(incremental.admit(), want)
+            << to_string(policy) << " seed " << seed << " step " << step;
+        for (std::uint32_t q = 0; q < queues; ++q) {
+          ASSERT_EQ(incremental.deficit(q), reference.deficit(q))
+              << to_string(policy) << " seed " << seed << " step " << step
+              << " queue " << q;
+          ASSERT_EQ(full_sync.deficit(q), reference.deficit(q))
+              << to_string(policy) << " seed " << seed << " step " << step
+              << " queue " << q;
+        }
+        if (want) {
+          // The admitted head leaves its queue: either another command is
+          // behind it (new cost) or the queue drains.
+          const std::uint32_t q = *want;
+          eligible[q] = rng.chance(0.7) ? 1 : 0;
+          cost[q] = static_cast<std::uint32_t>(rng.next_below(17));
+          report(q);
+        }
+      }
+    }
+  }
 }
 
 // --- Frontend properties ---------------------------------------------------
