@@ -3,9 +3,18 @@
 // an 80/20-style hot/cold split concentrates erases on the blocks cycling
 // the hot data, and the device dies by its hottest block. Static leveling
 // migrates trailing cold blocks during idle periods.
+//
+// Reads the obs metrics layer (ISSUE 10): the wear numbers come from the
+// device's per-block wear ledger via obs::collect_wear, and the erase
+// total is decomposed by WriteCause — showing directly that the leveler
+// buys its bounded spread with wear_level-tagged erases, not host ones.
+// --metrics=PATH additionally writes the full per-threshold report.
 #include <cstdio>
+#include <string>
 
 #include "src/core/flex_ftl.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/sim/runner.hpp"
 #include "src/util/random.hpp"
 #include "src/util/table.hpp"
 
@@ -14,8 +23,8 @@ using namespace rps;
 namespace {
 
 struct Outcome {
-  nand::NandDevice::WearStats wear;
-  std::uint64_t erases = 0;
+  obs::WearSummary wear;
+  nand::AttributionCounters attribution;
   std::uint64_t gc_copies = 0;
 };
 
@@ -43,33 +52,52 @@ Outcome run(std::uint64_t threshold) {
       ftl.on_idle(t, t + 30'000'000);
     }
   }
-  return Outcome{ftl.device().wear_stats(), ftl.device().total_erase_count(),
+  return Outcome{obs::collect_wear(ftl.device()), ftl.device().attribution(),
                  ftl.stats().gc_copy_pages};
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("Ablation: static wear leveling, flexFTL, 90%% cold / 10%% hot writes\n\n");
 
-  TablePrinter table({"wear threshold", "total erases", "max erase", "min erase",
-                      "spread", "stddev", "GC copies"});
-  for (const std::uint64_t threshold : {0ull, 32ull, 16ull, 8ull}) {
+  TablePrinter table({"wear threshold", "total erases", "max PE", "min PE",
+                      "max/mean", "CoV", "wl erases", "gc erases", "GC copies"});
+  obs::MetricsReport report;
+  const std::uint64_t thresholds[] = {0, 32, 16, 8};
+  for (const std::uint64_t threshold : thresholds) {
     const Outcome o = run(threshold);
     table.add_row(
         {threshold == 0 ? "off"
                         : TablePrinter::fmt_int(static_cast<std::int64_t>(threshold)),
-         TablePrinter::fmt_int(static_cast<std::int64_t>(o.erases)),
+         TablePrinter::fmt_int(static_cast<std::int64_t>(o.wear.total_erases)),
          TablePrinter::fmt_int(static_cast<std::int64_t>(o.wear.max_erases)),
          TablePrinter::fmt_int(static_cast<std::int64_t>(o.wear.min_erases)),
-         TablePrinter::fmt_int(
-             static_cast<std::int64_t>(o.wear.max_erases - o.wear.min_erases)),
-         TablePrinter::fmt(o.wear.stddev, 2),
+         TablePrinter::fmt(o.wear.max_over_mean_erases, 2),
+         TablePrinter::fmt(o.wear.cov_erases, 2),
+         TablePrinter::fmt_int(static_cast<std::int64_t>(
+             o.attribution.cause_erases(nand::WriteCause::kWearLevel))),
+         TablePrinter::fmt_int(static_cast<std::int64_t>(
+             o.attribution.cause_erases(nand::WriteCause::kGcCopy))),
          TablePrinter::fmt_int(static_cast<std::int64_t>(o.gc_copies))});
+    report.begin(threshold == 0 ? "threshold_off"
+                                : "threshold_" + std::to_string(threshold));
+    report.add_attribution(o.attribution);
+    report.add_wear(o.wear);
+    report.end();
     std::fflush(stdout);
   }
   std::printf("%s\n", table.to_string().c_str());
   std::printf("Leveling trades migration copies for a bounded wear spread: the\n");
   std::printf("device's end of life moves from the hottest block toward the mean.\n");
+  const std::string metrics_path = sim::parse_metrics_flag(argc, argv);
+  if (!metrics_path.empty()) {
+    if (!report.write_file(metrics_path)) {
+      std::fprintf(stderr, "failed to write metrics report at: %s\n",
+                   metrics_path.c_str());
+      return 2;
+    }
+    std::printf("metrics: %s\n", metrics_path.c_str());
+  }
   return 0;
 }

@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <string>
 
+#include "src/obs/metrics.hpp"
 #include "src/obs/sampler.hpp"
 #include "src/obs/trace.hpp"
 #include "src/sim/runner.hpp"
@@ -84,6 +85,35 @@ inline bool maybe_write_flex_trace(int argc, char** argv,
   std::printf("trace: %s (%zu events); state series: %s (%zu samples)\n",
               path.c_str(), sink.size(), state_path.c_str(),
               sampler.samples().size());
+  return true;
+}
+
+/// --metrics=PATH support for the Fig. 8 benches: write one structured
+/// obs::MetricsReport over the already-computed result matrix — one
+/// "<preset>/<ftl>" section per cell with headline numbers, the
+/// cause-tagged WAF breakdown and the wear-ledger digest. The report
+/// serializes finished SimResults (which are --jobs-invariant), so the
+/// file is byte-identical for any --jobs value. Returns false only when
+/// the file cannot be written; true when the flag is absent.
+inline bool maybe_write_metrics(int argc, char** argv,
+                                const std::vector<workload::Preset>& presets,
+                                const std::vector<std::vector<sim::SimResult>>& matrix) {
+  const std::string path = sim::parse_metrics_flag(argc, argv);
+  if (path.empty()) return true;
+  obs::MetricsReport report;
+  for (std::size_t p = 0; p < presets.size(); ++p) {
+    for (const sim::SimResult& result : matrix[p]) {
+      report.begin(std::string(workload::to_string(presets[p])) + "/" +
+                   result.ftl_name);
+      sim::add_result_metrics(report, result);
+      report.end();
+    }
+  }
+  if (!report.write_file(path)) {
+    std::fprintf(stderr, "failed to write metrics report at: %s\n", path.c_str());
+    return false;
+  }
+  std::printf("metrics: %s\n", path.c_str());
   return true;
 }
 

@@ -53,6 +53,7 @@ int main(int argc, char** argv) {
               "vs parityFTL %+.0f%% (paper: +35%%), vs rtfFTL %+.0f%% (paper: +29%%)\n",
               (sums[0] / 5 - 1) * 100, (sums[1] / 5 - 1) * 100,
               (sums[2] / 5 - 1) * 100);
+  if (!bench::maybe_write_metrics(argc, argv, presets, matrix)) return 2;
   return bench::maybe_write_flex_trace(argc, argv, workload::kAllPresets[0], spec)
              ? 0
              : 2;

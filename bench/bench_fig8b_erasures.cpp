@@ -52,6 +52,7 @@ int main(int argc, char** argv) {
   std::printf("flexFTL average erasure reduction: vs parityFTL %.0f%% (paper: 23%%), "
               "vs rtfFTL %.0f%% (paper: 28%%)\n",
               reduction_parity / 5 * 100, reduction_rtf / 5 * 100);
+  if (!bench::maybe_write_metrics(argc, argv, presets, matrix)) return 2;
   return bench::maybe_write_flex_trace(argc, argv, workload::kAllPresets[0], spec)
              ? 0
              : 2;

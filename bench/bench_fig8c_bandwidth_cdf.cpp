@@ -70,6 +70,10 @@ int main(int argc, char** argv) {
   std::printf("flexFTL mean = %+.0f%% vs parityFTL (paper: +24%%), %+.0f%% vs rtfFTL (paper: +17%%)\n",
               (results[3].write_bw_kbps.mean() / results[1].write_bw_kbps.mean() - 1) * 100,
               (results[3].write_bw_kbps.mean() / results[2].write_bw_kbps.mean() - 1) * 100);
+  if (!bench::maybe_write_metrics(argc, argv, {workload::Preset::kVarmail},
+                                  {results})) {
+    return 2;
+  }
   return bench::maybe_write_flex_trace(argc, argv, workload::Preset::kVarmail,
                                        spec)
              ? 0

@@ -30,11 +30,15 @@
 //
 // Usage: bench_multitenant_qos [--quick] [--tenants=N] [--jobs=N]
 //                              [--seed=N] [--out=PATH] [--trace=PATH]
+//                              [--metrics=PATH]
 //   --quick    smaller request counts (CI smoke)
 //   --tenants  tenant count, clamped to [8, 1024] (default 16)
 //   --jobs     parallelism across cells and trace generation (default 1)
 //   --out      JSON path (default BENCH_multitenant_qos.json in the CWD)
 //   --trace    write a Perfetto-loadable trace of the WDRR cell
+//   --metrics  write an obs::MetricsReport of a dedicated WDRR re-run
+//              (fresh device, so device totals == run delta), including
+//              the per-tenant stream_programs breakdown and wear ledger
 #include <algorithm>
 #include <cstdio>
 #include <memory>
@@ -43,6 +47,7 @@
 
 #include "src/host/multi_queue.hpp"
 #include "src/host/tenant.hpp"
+#include "src/obs/metrics.hpp"
 #include "src/obs/trace.hpp"
 #include "src/sim/runner.hpp"
 #include "src/util/parallel.hpp"
@@ -148,12 +153,16 @@ std::unique_ptr<ftl::FtlBase> make_device() {
   return sim::make_ftl(sim::FtlKind::kPage, config);
 }
 
-/// One multi-tenant replay of the full tenant set under `policy`.
+/// One multi-tenant replay of the full tenant set under `policy`. With
+/// `keep_device` non-null the freshly built FTL is handed back to the
+/// caller after the run (--metrics reads its attribution + wear ledger;
+/// a fresh device means totals == the run's delta).
 host::MultiQueueResult run_policy_cell(const BenchParams& params,
                                        const std::vector<host::TenantConfig>& tenants,
                                        const std::vector<workload::Trace>& traces,
                                        ctrl::ArbPolicy policy,
-                                       obs::TraceSink* sink = nullptr) {
+                                       obs::TraceSink* sink = nullptr,
+                                       std::unique_ptr<ftl::FtlBase>* keep_device = nullptr) {
   std::unique_ptr<ftl::FtlBase> ftl = make_device();
   host::MultiQueueConfig mq;
   mq.arbiter.policy = policy;
@@ -165,7 +174,9 @@ host::MultiQueueResult run_policy_cell(const BenchParams& params,
     frontend.add_tenant(tenants[i], traces[i]);
   }
   if (sink != nullptr) frontend.set_observability(sink, nullptr);
-  return frontend.run();
+  host::MultiQueueResult result = frontend.run();
+  if (keep_device != nullptr) *keep_device = std::move(ftl);
+  return result;
 }
 
 /// Victim `id` alone on a fresh device: the same trace, no contention.
@@ -289,6 +300,7 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 1;
   std::string out_path = "BENCH_multitenant_qos.json";
   std::string trace_path;
+  std::string metrics_path;
   BenchParams params;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -304,6 +316,8 @@ int main(int argc, char** argv) {
       out_path = arg.substr(6);
     } else if (arg.rfind("--trace=", 0) == 0) {
       trace_path = arg.substr(8);
+    } else if (arg.rfind("--metrics=", 0) == 0) {
+      metrics_path = arg.substr(10);
     } else if (arg.rfind("--budget=", 0) == 0) {
       // Undocumented tuning knobs (kept for experiments/regeneration).
       params.shared_page_budget = static_cast<std::uint32_t>(std::stoul(arg.substr(9)));
@@ -410,6 +424,39 @@ int main(int argc, char** argv) {
 
   write_json(out_path, params, quick, policies, policy_results, summaries,
              solo_p50, solo_p99, digest);
+
+  if (!metrics_path.empty()) {
+    // Dedicated WDRR re-run on a fresh device: the replay is deterministic
+    // (same traces, single-threaded), and the fresh device makes the
+    // attribution totals exactly the run's own delta. The per-tenant
+    // program breakdown is the stream_programs array — every tenant's
+    // commands carry its stream tag (slot-per-tenant up to 32, then the
+    // shared overflow slot).
+    std::unique_ptr<ftl::FtlBase> device;
+    const host::MultiQueueResult wdrr_rerun =
+        run_policy_cell(params, tenant_configs, traces,
+                        ctrl::ArbPolicy::kWeightedDeficitRoundRobin,
+                        /*sink=*/nullptr, &device);
+    const PolicySummary wdrr_summary =
+        summarize(wdrr_rerun, solo_pooled_p99, ctrl::ArbPolicy::kWeightedDeficitRoundRobin);
+    obs::MetricsReport report;
+    report.begin("wdrr");
+    report.add_u64("tenants", params.tenants);
+    report.add_u64("seed", params.seed);
+    report.add_u64("victim_p50_us", wdrr_summary.victim_p50);
+    report.add_u64("victim_p99_us", wdrr_summary.victim_p99);
+    report.add_f64("ratio_vs_solo", wdrr_summary.ratio_vs_solo);
+    report.add_u64("flood_p99_us", wdrr_summary.flood_p99);
+    report.add_attribution(device->device().attribution());
+    report.add_wear(obs::collect_wear(device->device()));
+    report.end();
+    if (!report.write_file(metrics_path)) {
+      std::fprintf(stderr, "failed to write metrics report at: %s\n",
+                   metrics_path.c_str());
+      return 2;
+    }
+    std::printf("metrics: %s\n", metrics_path.c_str());
+  }
 
   // Acceptance: WDRR bounds the victims' tails, cost-blind RR does not.
   const PolicySummary& rr = summaries.front();

@@ -20,6 +20,7 @@
 //      bit-identical. fork_speedup is the headline warm-start number.
 //
 // Usage: bench_simcore [--quick] [--jobs=N] [--out=PATH] [--alloc-audit]
+//                      [--metrics=PATH]
 //   --quick        smaller request counts / fewer seeds (CI smoke)
 //   --jobs=N       parallel arm of the sweep scaling run (default 8)
 //   --out          JSON path (default BENCH_simcore.json in the CWD)
@@ -27,6 +28,10 @@
 //                  controller-engine replay performs ZERO heap
 //                  allocations across its steady-state window, for every
 //                  FTL kind (exit 1 on any allocation)
+//   --metrics=PATH write an obs::MetricsReport with one "<ftl>/<engine>"
+//                  section per throughput cell (first-replay simulation
+//                  results only — no wall-clock numbers, so the file is
+//                  deterministic across hosts and --jobs values)
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -37,6 +42,7 @@
 
 #include "src/faultsim/harness.hpp"
 #include "src/faultsim/sweep.hpp"
+#include "src/obs/metrics.hpp"
 #include "src/sim/runner.hpp"
 #include "src/sim/simulator.hpp"
 #include "src/util/alloc_audit.hpp"
@@ -112,6 +118,7 @@ struct CellResult {
   double kops = 0.0;       // measured simulated page ops / wall sec / 1e3
   double secs = 0.0;       // wall seconds of the measured run
   std::uint64_t ops = 0;   // pages read + written in the measured run
+  sim::SimResult result;   // first replay's simulation results (deterministic)
 };
 
 CellResult measure_cell(sim::FtlKind kind, sim::Engine engine,
@@ -151,6 +158,10 @@ CellResult measure_cell(sim::FtlKind kind, sim::Engine engine,
       cell.ops = ops;
       cell.kops = kops;
     }
+    // Keep the first replay's SimResult for --metrics: replay 0 starts
+    // from the preconditioned + warmed state, so its counters depend only
+    // on the spec — not on which rep happened to be fastest.
+    if (rep == 0) cell.result = result;
   }
   return cell;
 }
@@ -420,6 +431,7 @@ int main(int argc, char** argv) {
   bool quick = false;
   bool alloc_audit = false;
   std::string out_path = "BENCH_simcore.json";
+  std::string metrics_path;
   std::uint32_t jobs = 8;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -429,6 +441,8 @@ int main(int argc, char** argv) {
       alloc_audit = true;
     } else if (arg.rfind("--out=", 0) == 0) {
       out_path = arg.substr(6);
+    } else if (arg.rfind("--metrics=", 0) == 0) {
+      metrics_path = arg.substr(10);
     } else if (arg.rfind("--jobs=", 0) == 0) {
       jobs = static_cast<std::uint32_t>(std::stoul(arg.substr(7)));
     } else {
@@ -487,5 +501,21 @@ int main(int argc, char** argv) {
               fork.digests_match ? "yes" : "NO");
 
   write_json(out_path, quick, requests, cells, sweep, fork);
+
+  if (!metrics_path.empty()) {
+    obs::MetricsReport report;
+    for (const CellResult& cell : cells) {
+      report.begin(std::string(sim::to_string(cell.kind)) + "/" +
+                   engine_name(cell.engine));
+      sim::add_result_metrics(report, cell.result);
+      report.end();
+    }
+    if (!report.write_file(metrics_path)) {
+      std::fprintf(stderr, "failed to write metrics report at: %s\n",
+                   metrics_path.c_str());
+      return 2;
+    }
+    std::printf("metrics: %s\n", metrics_path.c_str());
+  }
   return sweep.bit_identical && fork.digests_match ? 0 : 1;
 }

@@ -107,6 +107,9 @@ Microseconds FlexFtl::flush_parity(std::uint32_t chip, std::uint32_t fast_block,
 
 Microseconds FlexFtl::flush_parity_from(std::uint32_t chip, std::uint32_t fast_block,
                                         const nand::PageData& acc, Microseconds now) {
+  // Attribution: the parity program is backup overhead, whatever write
+  // path (host LSB completion, GC) triggered the flush.
+  const nand::CauseScope cause(device_, nand::WriteCause::kParity);
   ChipState& cs = chips_.at(chip);
   if (!cs.backup) {
     // Never take the final free block: GC depends on it as a relocation
@@ -189,6 +192,8 @@ void FlexFtl::release_parity_page(std::uint32_t chip, std::uint32_t backup_block
     assert(retiring->live_pages > 0);
     if (--retiring->live_pages == 0) {
       // Every parity page in this retired backup block is stale: recycle.
+      // The erase is parity overhead regardless of what released the page.
+      const nand::CauseScope cause(device_, nand::WriteCause::kParity);
       const Result<nand::OpTiming> erased = erase_block({chip, backup_block}, now);
       assert(erased.is_ok());
       (void)erased;

@@ -103,6 +103,9 @@ void FlexTlcFtl::commit_mapping(Lpn lpn, const nand::TlcPageAddress& addr) {
 Microseconds FlexTlcFtl::flush_parity(std::uint32_t chip, std::uint32_t block,
                                       const nand::PageData& acc, bool csb_pass,
                                       Microseconds now) {
+  // Attribution: the parity program is protection overhead, not part of the
+  // host or GC pass whose completion triggered the flush.
+  const nand::CauseScope cause(device_, nand::WriteCause::kParity);
   ChipState& cs = chips_.at(chip);
   if (!cs.backup) {
     // Never take the final free block: garbage collection depends on it as
@@ -138,6 +141,8 @@ void FlexTlcFtl::drop_backup_reference(std::uint32_t chip, std::uint32_t backup_
   for (auto it = cs.retiring.begin(); it != cs.retiring.end(); ++it) {
     if (it->block != backup_block) continue;
     if (--it->live_pages == 0) {
+      // The recycled backup block's erase is parity overhead too.
+      const nand::CauseScope cause(device_, nand::WriteCause::kParity);
       const Result<nand::OpTiming> erased = device_.erase(chip, backup_block, now);
       assert(erased.is_ok());
       (void)erased;
@@ -295,8 +300,12 @@ Result<Microseconds> FlexTlcFtl::write_data(Lpn lpn, std::vector<std::uint8_t> b
       cs.free.size() <= config_.gc_reserve_blocks + 1 && (has_c || has_m)) {
     pass = has_m ? nand::TlcPageType::kMsb : nand::TlcPageType::kCsb;
   }
-  Result<Microseconds> done = write_pass(chip, pass, lpn, std::move(data), now,
-                                         /*gc=*/false);
+  // Attribution: the pass program is host work; nested scopes re-tag any
+  // parity flush or foreground GC it triggers.
+  const Result<Microseconds> done = [&] {
+    const nand::CauseScope cause(device_, nand::WriteCause::kHost);
+    return write_pass(chip, pass, lpn, std::move(data), now, /*gc=*/false);
+  }();
   if (done.is_ok()) ++stats_.host_write_pages;
   return done;
 }
@@ -340,6 +349,9 @@ std::optional<std::uint32_t> FlexTlcFtl::pick_victim(std::uint32_t chip) const {
 
 bool FlexTlcFtl::collect_block(std::uint32_t chip, std::uint32_t victim,
                                Microseconds now, Microseconds deadline) {
+  // Attribution: relocation reads/copies and the victim erase are GC work
+  // regardless of which path (host pressure or idle) requested them.
+  const nand::CauseScope cause(device_, nand::WriteCause::kGcCopy);
   nand::TlcBlock& block = device_.chip(chip).block(victim);
   for (std::uint32_t wl = 0; wl < block.wordlines(); ++wl) {
     for (const nand::TlcPageType pass :
@@ -417,6 +429,9 @@ std::optional<Lpn> FlexTlcFtl::find_lpn_of(const nand::TlcPageAddress& addr) con
 TlcRecoveryReport FlexTlcFtl::recover_from_power_loss(
     const std::vector<nand::TlcDevice::PowerLossVictim>& victims, Microseconds now) {
   TlcRecoveryReport report;
+  // Attribution: reboot-time parity checks and rewrites are recovery
+  // metadata work, not host traffic.
+  const nand::CauseScope cause(device_, nand::WriteCause::kMeta);
 
   // Interrupted, unacknowledged writes roll back.
   for (const nand::TlcDevice::PowerLossVictim& victim : victims) {

@@ -20,6 +20,9 @@ RecoveryReport FlexFtl::recover_from_power_loss(
     const std::vector<nand::PowerLossVictim>& victims, Microseconds now) {
   RecoveryReport report;
   const Microseconds start = now;
+  // Attribution: everything the reboot does — parity re-reads, rewritten
+  // reconstructed pages — is recovery/metadata work, not host traffic.
+  const nand::CauseScope cause(device_, nand::WriteCause::kMeta);
 
   // Step 1: interrupted programs never completed. If the destroyed page
   // was a relocation copy, its source still exists (a victim block is only

@@ -20,6 +20,12 @@
 // lane. Traces timestamp in simulated microseconds and are byte-identical
 // across runs of the same flags.
 //
+// --metrics=PATH (sweep and single-trial modes) writes an
+// obs::MetricsReport with the cause-tagged attribution breakdown and the
+// wear-ledger digest. Single-trial mode reports the replayed trial
+// itself; sweep mode reports the config's golden (no-crash) trial, which
+// is deterministic and --jobs-invariant.
+//
 // Warm-start plumbing (results are bit-identical in all three modes):
 //   --snapshot=PATH       run only the fill phase of the config, save the
 //                         post-fill WarmStart (FTL + oracle) to PATH,
@@ -36,6 +42,7 @@
 
 #include "src/faultsim/harness.hpp"
 #include "src/faultsim/sweep.hpp"
+#include "src/obs/metrics.hpp"
 #include "src/obs/trace.hpp"
 
 namespace {
@@ -90,6 +97,28 @@ int report_failures(const SweepResult& result) {
                  f.report.consistent ? 1 : 0);
   }
   return result.ok() ? 0 : 1;
+}
+
+/// One trial's metrics report: crash/oracle headline numbers, then the
+/// attribution and wear sections collected by run_trial.
+bool write_metrics(const std::string& path, const char* label,
+                   const TrialResult& trial) {
+  obs::MetricsReport report;
+  report.begin(label);
+  report.add_u64("requests_issued", trial.report.requests_issued);
+  report.add_i64("crash_time_us", trial.report.crash_time_us);
+  report.add_u64("victims", trial.report.victims);
+  report.add_u64("violations", trial.report.violations);
+  report.add_u64("boundaries", trial.boundaries.size());
+  report.add_attribution(trial.attribution);
+  report.add_wear(trial.wear);
+  report.end();
+  if (!report.write_file(path)) {
+    std::fprintf(stderr, "failed to write metrics report at: %s\n", path.c_str());
+    return false;
+  }
+  std::printf("metrics: %s\n", path.c_str());
+  return true;
 }
 
 std::vector<std::uint64_t> parse_list(const std::string& value) {
@@ -161,6 +190,7 @@ int main(int argc, char** argv) {
   std::uint64_t points = 16;
   std::uint32_t jobs = 1;
   std::string trace_path;
+  std::string metrics_path;
   std::string snapshot_path;
   std::string from_snapshot_path;
   bool cold = false;
@@ -185,6 +215,8 @@ int main(int argc, char** argv) {
         jobs = static_cast<std::uint32_t>(std::stoul(arg.substr(7)));
       } else if (arg.rfind("--trace=", 0) == 0) {
         trace_path = arg.substr(8);
+      } else if (arg.rfind("--metrics=", 0) == 0) {
+        metrics_path = arg.substr(10);
       } else if (arg.rfind("--snapshot=", 0) == 0) {
         snapshot_path = arg.substr(11);
       } else if (arg.rfind("--from-snapshot=", 0) == 0) {
@@ -261,6 +293,16 @@ int main(int argc, char** argv) {
     options.warm_start = !cold;
     const SweepResult result = sweep(*config, options, sink_ptr, warm);
     if (!write_trace()) return 2;
+    if (!metrics_path.empty()) {
+      // The sweep's attribution view: its golden (no-crash) trial — the
+      // same run that defines the sweep's crash boundaries, so the report
+      // is deterministic and independent of --jobs or crash density.
+      FaultSimConfig golden = *config;
+      golden.crash_time_us = kTimeNever;
+      if (!write_metrics(metrics_path, "golden", run_trial(golden, nullptr, warm))) {
+        return 2;
+      }
+    }
     std::printf("boundaries=%llu crashes=%llu victims=%llu recovered=%llu "
                 "lost=%llu replay_mismatches=%llu failures=%zu\n",
                 static_cast<unsigned long long>(result.golden_boundaries),
@@ -276,6 +318,9 @@ int main(int argc, char** argv) {
   // Single-trial replay (runs cold unless --from-snapshot is given).
   const TrialResult trial = run_trial(*config, sink_ptr, warm);
   if (!write_trace()) return 2;
+  if (!metrics_path.empty() && !write_metrics(metrics_path, "trial", trial)) {
+    return 2;
+  }
   std::printf("%s\n", reproducer(*config).c_str());
   print_report(trial.report);
   return (trial.report.violations > 0 || !trial.report.consistent) ? 1 : 0;

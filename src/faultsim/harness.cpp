@@ -395,6 +395,8 @@ TrialResult run_trial(const FaultSimConfig& config, obs::TraceSink* sink,
     report.violations += report.stream_tag_mismatches;
   }
   report.consistent = ftl->check_consistency();
+  out.attribution = ftl->device().attribution();
+  out.wear = obs::collect_wear(ftl->device());
   ftl->set_trace_sink(nullptr);
   oracle.detach();
   return out;

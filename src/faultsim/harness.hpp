@@ -24,6 +24,8 @@
 #include "src/core/flex_ftl.hpp"
 #include "src/faultsim/oracle.hpp"
 #include "src/ftl/config.hpp"
+#include "src/nand/attribution.hpp"
+#include "src/obs/metrics.hpp"
 #include "src/sim/runner.hpp"
 #include "src/sim/simulator.hpp"
 #include "src/sim/snapshot.hpp"
@@ -97,6 +99,12 @@ struct TrialResult {
   /// Sorted, deduplicated host-op completion times (golden runs; crash
   /// runs return the boundaries observed before the cut).
   std::vector<Microseconds> boundaries;
+  /// The trial device's cause-tagged op attribution and wear-ledger
+  /// digest at the end of the trial (post-recovery for crash trials).
+  /// Totals over the whole trial including the fill phase — the trial
+  /// builds its device fresh, so totals == the trial's own delta.
+  nand::AttributionCounters attribution;
+  obs::WearSummary wear;
 };
 
 /// Steady post-fill state a trial can fork from instead of re-running

@@ -75,8 +75,14 @@ Result<HostOp> FtlBase::host_program(std::uint32_t chip, Lpn lpn,
   data.spare = stream & nand::kStreamSpareMask;
   data.bytes = std::move(bytes);
   current_stream_ = stream;
-  Result<Microseconds> done =
-      allocate_host_page(chip, lpn, std::move(data), now, buffer_utilization);
+  // Attribution: everything the policy does to place this page — the
+  // program itself plus any synchronous backup the policy wraps around
+  // it — is host-caused unless a narrower scope (parity flush, GC)
+  // re-tags its own ops.
+  const Result<Microseconds> done = [&] {
+    const nand::CauseScope scope(device_, nand::WriteCause::kHost);
+    return allocate_host_page(chip, lpn, std::move(data), now, buffer_utilization);
+  }();
   current_stream_ = 0;
   if (!done.is_ok()) return done.code();
   ++stats_.host_write_pages;
@@ -151,7 +157,12 @@ void FtlBase::commit_mapping(Lpn lpn, const nand::PageAddress& addr) {
 
 bool FtlBase::collect_block(std::uint32_t chip, std::uint32_t victim, Microseconds now,
                             Microseconds deadline, bool background,
-                            std::uint32_t max_copies) {
+                            std::uint32_t max_copies, nand::WriteCause cause) {
+  // Everything this collection does — copy reads, relocation programs,
+  // the victim (and coalesced sibling) erases — is charged to `cause`:
+  // kGcCopy by default, kWearLevel/kScrub when the wear leveler or
+  // scrubber drives the collection.
+  const nand::CauseScope scope(device_, cause);
   if (trace_ == nullptr) {
     return collect_block_impl(chip, victim, now, deadline, background, max_copies);
   }
@@ -473,7 +484,8 @@ void FtlBase::static_wear_level(Microseconds now, Microseconds deadline) {
         break;
       }
       const Microseconds start = std::max(now, device_.chip(chip).busy_until());
-      if (!collect_block(chip, *coldest, start, deadline, /*background=*/true)) {
+      if (!collect_block(chip, *coldest, start, deadline, /*background=*/true,
+                         UINT32_MAX, nand::WriteCause::kWearLevel)) {
         break;  // out of idle budget mid-block; resume next idle
       }
     }
@@ -490,7 +502,8 @@ void FtlBase::scrub_read_disturbed(Microseconds now, Microseconds deadline) {
         continue;
       }
       const Microseconds start = std::max(now, device_.chip(chip).busy_until());
-      if (collect_block(chip, b, start, deadline, /*background=*/true)) {
+      if (collect_block(chip, b, start, deadline, /*background=*/true, UINT32_MAX,
+                        nand::WriteCause::kScrub)) {
         ++stats_.scrubbed_blocks;
       }
     }
@@ -518,20 +531,11 @@ void FtlBase::save_state(ser::Writer& w) const {
   device_.save(w);
   mapping_.save(w);
   blocks_.save(w);
-  w.u64(stats_.host_write_pages);
-  w.u64(stats_.host_read_pages);
-  w.u64(stats_.host_lsb_writes);
-  w.u64(stats_.host_msb_writes);
-  w.u64(stats_.gc_copy_pages);
-  w.u64(stats_.backup_pages);
-  w.u64(stats_.foreground_gc_blocks);
-  w.u64(stats_.background_gc_blocks);
-  w.u64(stats_.unmapped_reads);
-  w.u64(stats_.read_errors);
-  w.u64(stats_.scrubbed_blocks);
-  w.u64(stats_.remapped_blocks);
-  w.u64(stats_.retired_blocks);
-  w.u64(stats_.coalesced_erases);
+  // Stats stream in X-macro list order: a new counter added to the list
+  // serializes automatically (bump sim::Snapshot::kVersion when it does).
+#define RPS_FIELD(name) w.u64(stats_.name);
+  RPS_FTL_STAT_FIELDS(RPS_FIELD)
+#undef RPS_FIELD
   w.u32(rr_chip_);
   w.u32(bgc_rr_chip_);
   w.u32(igc_rr_chip_);
@@ -544,20 +548,9 @@ void FtlBase::load_state(ser::Reader& r) {
   device_.load(r);
   mapping_.load(r);
   blocks_.load(r);
-  stats_.host_write_pages = r.u64();
-  stats_.host_read_pages = r.u64();
-  stats_.host_lsb_writes = r.u64();
-  stats_.host_msb_writes = r.u64();
-  stats_.gc_copy_pages = r.u64();
-  stats_.backup_pages = r.u64();
-  stats_.foreground_gc_blocks = r.u64();
-  stats_.background_gc_blocks = r.u64();
-  stats_.unmapped_reads = r.u64();
-  stats_.read_errors = r.u64();
-  stats_.scrubbed_blocks = r.u64();
-  stats_.remapped_blocks = r.u64();
-  stats_.retired_blocks = r.u64();
-  stats_.coalesced_erases = r.u64();
+#define RPS_FIELD(name) stats_.name = r.u64();
+  RPS_FTL_STAT_FIELDS(RPS_FIELD)
+#undef RPS_FIELD
   rr_chip_ = r.u32();
   bgc_rr_chip_ = r.u32();
   igc_rr_chip_ = r.u32();

@@ -21,6 +21,7 @@
 #include "src/ftl/config.hpp"
 #include "src/ftl/mapping.hpp"
 #include "src/nand/device.hpp"
+#include "src/util/counter_fields.hpp"
 #include "src/util/result.hpp"
 #include "src/util/types.hpp"
 
@@ -35,21 +36,14 @@ class Reader;
 
 namespace rps::ftl {
 
+/// FTL-level accounting. Fields come from the shared X-macro list
+/// (src/util/counter_fields.hpp, where each is documented) so the struct,
+/// Registry::delta, serialization and the metrics report can never
+/// disagree on the field set.
 struct FtlStats {
-  std::uint64_t host_write_pages = 0;
-  std::uint64_t host_read_pages = 0;
-  std::uint64_t host_lsb_writes = 0;   // host writes served by LSB pages
-  std::uint64_t host_msb_writes = 0;
-  std::uint64_t gc_copy_pages = 0;     // pages relocated by GC
-  std::uint64_t backup_pages = 0;      // parity / paired-page backup writes
-  std::uint64_t foreground_gc_blocks = 0;
-  std::uint64_t background_gc_blocks = 0;
-  std::uint64_t unmapped_reads = 0;
-  std::uint64_t read_errors = 0;
-  std::uint64_t scrubbed_blocks = 0;   // read-disturb refreshes
-  std::uint64_t remapped_blocks = 0;   // grown-bad blocks redirected to spares
-  std::uint64_t retired_blocks = 0;    // blocks permanently lost (no spare left)
-  std::uint64_t coalesced_erases = 0;  // sibling-plane blocks erased alongside a GC victim
+#define RPS_FIELD(name) std::uint64_t name = 0;
+  RPS_FTL_STAT_FIELDS(RPS_FIELD)
+#undef RPS_FIELD
 
   /// Write amplification: NAND programs per host page write.
   [[nodiscard]] double waf(const nand::OpCounters& device) const {
@@ -197,10 +191,13 @@ class FtlBase : public ctrl::Allocator {
   /// Relocate valid pages out of `victim` until done, `deadline`, or
   /// `max_copies` pages; erases and frees the block when fully cleaned.
   /// Returns true if the block was freed. With a trace sink attached this
-  /// also records the GC migration (and block reclaim) events.
+  /// also records the GC migration (and block reclaim) events. All device
+  /// ops of the collection are attributed to `cause` (wear leveling and
+  /// scrubbing pass their own).
   bool collect_block(std::uint32_t chip, std::uint32_t victim, Microseconds now,
                      Microseconds deadline, bool background,
-                     std::uint32_t max_copies = UINT32_MAX);
+                     std::uint32_t max_copies = UINT32_MAX,
+                     nand::WriteCause cause = nand::WriteCause::kGcCopy);
 
   /// Amortized foreground GC: a few relocation copies per host write on a
   /// low-free chip. Keeps reclaim incremental — a whole-block relocation in

@@ -19,6 +19,9 @@ ParityFtl::ParityFtl(const FtlConfig& config)
 Microseconds ParityFtl::flush_parity(Microseconds now) {
   if (pending_.empty()) return now;
   if (pending_.size() < kLsbPagesPerParity) ++partial_flushes_;
+  // Attribution: the parity program and the cycled backup-block erase are
+  // parity overhead, not part of whatever write path triggered the flush.
+  const nand::CauseScope cause(device_, nand::WriteCause::kParity);
 
   // Round-robin the parity writes over chips to use channel parallelism.
   const std::uint32_t chips = device_.geometry().num_units();

@@ -67,6 +67,10 @@ Microseconds RtfFtl::backup_paired_lsb(const nand::PageAddress& msb_addr,
   // Only still-referenced data needs protecting.
   if (lpn == kInvalidLpn || !mapping_.maps_to(lpn, paired)) return now;
 
+  // Attribution: the paired-LSB copy (and the cycled backup-block erase)
+  // is backup overhead, not part of the host MSB write that required it.
+  const nand::CauseScope cause(device_, nand::WriteCause::kBackup);
+
   // The copy is a real page read followed by a program to a backup block.
   Result<nand::NandDevice::ReadResult> got = device_.read(paired, now);
   assert(got.is_ok() && got.value().data.is_ok());

@@ -1,0 +1,62 @@
+#include "src/nand/attribution.hpp"
+
+#include "src/util/serialize.hpp"
+
+namespace rps::nand {
+
+const char* to_string(WriteCause cause) {
+  switch (cause) {
+    case WriteCause::kHost: return "host";
+    case WriteCause::kGcCopy: return "gc_copy";
+    case WriteCause::kWearLevel: return "wear_level";
+    case WriteCause::kParity: return "parity";
+    case WriteCause::kBackup: return "backup";
+    case WriteCause::kScrub: return "scrub";
+    case WriteCause::kMeta: return "meta";
+  }
+  return "?";
+}
+
+AttributionCounters delta(const AttributionCounters& a, const AttributionCounters& b) {
+  AttributionCounters d;
+  for (std::size_t i = 0; i < kNumWriteCauses; ++i) {
+    d.lsb_programs[i] = a.lsb_programs[i] - b.lsb_programs[i];
+    d.msb_programs[i] = a.msb_programs[i] - b.msb_programs[i];
+    d.erases[i] = a.erases[i] - b.erases[i];
+  }
+  for (std::size_t i = 0; i < d.stream_programs.size(); ++i) {
+    d.stream_programs[i] = a.stream_programs[i] - b.stream_programs[i];
+  }
+  d.meta_programs = a.meta_programs - b.meta_programs;
+  return d;
+}
+
+void save(ser::Writer& w, const AttributionCounters& c) {
+  for (const std::uint64_t v : c.lsb_programs) w.u64(v);
+  for (const std::uint64_t v : c.msb_programs) w.u64(v);
+  for (const std::uint64_t v : c.erases) w.u64(v);
+  for (const std::uint64_t v : c.stream_programs) w.u64(v);
+  w.u64(c.meta_programs);
+}
+
+void load(ser::Reader& r, AttributionCounters& c) {
+  for (std::uint64_t& v : c.lsb_programs) v = r.u64();
+  for (std::uint64_t& v : c.msb_programs) v = r.u64();
+  for (std::uint64_t& v : c.erases) v = r.u64();
+  for (std::uint64_t& v : c.stream_programs) v = r.u64();
+  c.meta_programs = r.u64();
+}
+
+void save(ser::Writer& w, const BlockWear& wear) {
+  w.u64(wear.programs);
+  w.u64(wear.erases);
+  w.i64(wear.last_erase_us);
+}
+
+void load(ser::Reader& r, BlockWear& wear) {
+  wear.programs = r.u64();
+  wear.erases = r.u64();
+  wear.last_erase_us = r.i64();
+}
+
+}  // namespace rps::nand

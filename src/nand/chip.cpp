@@ -11,6 +11,7 @@ Chip::Chip(std::uint32_t blocks, std::uint32_t wordlines, SequenceKind kind,
     : timing_(timing) {
   blocks_.reserve(blocks);
   for (std::uint32_t b = 0; b < blocks; ++b) blocks_.emplace_back(wordlines, kind);
+  wear_.resize(blocks);  // preallocated up front: the ledger never grows
 }
 
 void Chip::settle_erases_slow(Microseconds now) {
@@ -65,7 +66,13 @@ Result<OpTiming> Chip::erase(std::uint32_t b, Microseconds now) {
   // now, reset the cells only once the erase provably started — so a
   // power cut landing before `start` voids it and the data survives.
   ++counters_.erases;
-  pending_erases_.push_back({b, start});
+  const WriteCause cause = attr_ != nullptr ? attr_->cause : WriteCause::kHost;
+  if (attr_ != nullptr) attr_->note_erase();
+  // Ledger charge mirrors the counter; the pending record keeps what a
+  // voiding power loss must restore (cause bucket, previous last-erase).
+  pending_erases_.push_back({b, start, cause, wear_[b].last_erase_us});
+  ++wear_[b].erases;
+  wear_[b].last_erase_us = start;
   return OpTiming{start, busy_until_};
 }
 
@@ -98,7 +105,15 @@ std::optional<Chip::InFlightProgram> Chip::apply_power_loss(Microseconds t) {
       if (erase.start <= t) {
         blocks_[erase.block].erase();
       } else {
-        --counters_.erases;  // charged at issue; the erase never happened
+        // Charged at issue; the erase never happened. Roll back the
+        // counter, the attribution bucket it was charged under (the FTL's
+        // cause scope may have moved on since), and the ledger — at most
+        // one pending erase per block exists, so the saved previous
+        // last-erase time is exact.
+        --counters_.erases;
+        if (attr_ != nullptr) attr_->void_erase(erase.cause);
+        --wear_[erase.block].erases;
+        wear_[erase.block].last_erase_us = erase.prev_last_erase;
       }
     }
   }
@@ -151,8 +166,11 @@ void Chip::save(ser::Writer& w) const {
   for (const PendingErase& pe : pending_erases_) {
     w.u32(pe.block);
     w.i64(pe.start);
+    w.u8(static_cast<std::uint8_t>(pe.cause));
+    w.i64(pe.prev_last_erase);
   }
   w.boolean(program_suspend_);
+  for (const BlockWear& wear : wear_) rps::nand::save(w, wear);
 }
 
 void Chip::load(ser::Reader& r) {
@@ -189,9 +207,12 @@ void Chip::load(ser::Reader& r) {
     PendingErase pe;
     pe.block = r.u32();
     pe.start = r.i64();
+    pe.cause = static_cast<WriteCause>(r.u8());
+    pe.prev_last_erase = r.i64();
     pending_erases_.push_back(pe);
   }
   program_suspend_ = r.boolean();
+  for (BlockWear& wear : wear_) rps::nand::load(r, wear);
 }
 
 }  // namespace rps::nand

@@ -13,8 +13,10 @@
 #include <optional>
 #include <vector>
 
+#include "src/nand/attribution.hpp"
 #include "src/nand/block.hpp"
 #include "src/nand/timing.hpp"
+#include "src/util/counter_fields.hpp"
 #include "src/util/types.hpp"
 
 namespace rps::ser {
@@ -24,20 +26,20 @@ class Reader;
 
 namespace rps::nand {
 
-/// Operation counters, aggregated per chip and per device.
+/// Operation counters, aggregated per chip and per device. Fields come
+/// from the shared X-macro list (src/util/counter_fields.hpp) so the
+/// struct, Registry::delta and the metrics report can never disagree.
 struct OpCounters {
-  std::uint64_t reads = 0;
-  std::uint64_t lsb_programs = 0;
-  std::uint64_t msb_programs = 0;
-  std::uint64_t erases = 0;
+#define RPS_FIELD(name) std::uint64_t name = 0;
+  RPS_OP_COUNTER_FIELDS(RPS_FIELD)
+#undef RPS_FIELD
 
   [[nodiscard]] std::uint64_t programs() const { return lsb_programs + msb_programs; }
 
   OpCounters& operator+=(const OpCounters& other) {
-    reads += other.reads;
-    lsb_programs += other.lsb_programs;
-    msb_programs += other.msb_programs;
-    erases += other.erases;
+#define RPS_FIELD(name) name += other.name;
+    RPS_OP_COUNTER_FIELDS(RPS_FIELD)
+#undef RPS_FIELD
     return *this;
   }
 };
@@ -142,6 +144,19 @@ class Chip {
   /// Total erases across all blocks of this chip.
   [[nodiscard]] std::uint64_t total_erase_count() const;
 
+  /// Point this chip at its device's attribution state (null = standalone
+  /// chip, ops stay unattributed). Borrowed; the device outlives the chip.
+  void attach_attribution(DeviceAttribution* attr) { attr_ = attr; }
+
+  /// The per-physical-block wear ledger, charged at the same instants as
+  /// OpCounters (timeline charge time, rolled back on power-loss voiding).
+  /// Indexed by *physical* block: bad-block remaps need no ledger fixup.
+  [[nodiscard]] const std::vector<BlockWear>& wear_ledger() const { return wear_; }
+  [[nodiscard]] const BlockWear& block_wear(std::uint32_t b) const {
+    assert(b < wear_.size());
+    return wear_[b];
+  }
+
   /// The program operation in flight at time `t`, if any.
   struct InFlightProgram {
     std::uint32_t block = 0;
@@ -170,10 +185,15 @@ class Chip {
 
  private:
   /// An erase charged to the timeline whose cell reset has not been
-  /// applied yet (see erase()).
+  /// applied yet (see erase()). Carries the cause it was attributed to and
+  /// the ledger's previous last-erase time so a power loss that voids the
+  /// erase can roll both back exactly (at most one pending erase per block
+  /// exists — erase() materializes any earlier one first).
   struct PendingErase {
     std::uint32_t block = 0;
     Microseconds start = 0;
+    WriteCause cause = WriteCause::kHost;
+    Microseconds prev_last_erase = -1;
   };
 
   Microseconds occupy(Microseconds now, Microseconds latency) {
@@ -191,11 +211,17 @@ class Chip {
                                      ? timing_.program_lsb_us
                                      : timing_.program_msb_us;
     const Microseconds start = occupy(now, latency);
+    const std::uint64_t spare = data.spare;
     blocks_[b].program_prechecked(pos, std::move(data));
     if (pos.type == PageType::kLsb) {
       ++counters_.lsb_programs;
     } else {
       ++counters_.msb_programs;
+    }
+    ++wear_[b].programs;
+    if (attr_ != nullptr) {
+      attr_->note_program(pos.type == PageType::kLsb,
+                          (spare & kNonHostSpareFlag) != 0, stream_of_spare(spare));
     }
     const OpTiming timing{start, busy_until_};
     last_program_ = InFlightProgram{b, pos, timing.start, timing.complete};
@@ -221,10 +247,12 @@ class Chip {
   void materialize_erase_slow(std::uint32_t b) const;
 
   std::vector<Block> blocks_;
+  std::vector<BlockWear> wear_;  // physical-block-indexed, preallocated
   TimingSpec timing_;
   Microseconds busy_until_ = 0;
   Microseconds busy_total_ = 0;
   OpCounters counters_;
+  DeviceAttribution* attr_ = nullptr;  // borrowed; null = unattributed
   std::optional<InFlightProgram> last_program_;
   std::vector<PendingErase> pending_erases_;
   bool program_suspend_ = false;

@@ -22,6 +22,7 @@ NandDevice::NandDevice(const Geometry& geometry, const TimingSpec& timing,
     chips_.push_back(std::make_unique<Chip>(geometry.blocks_per_chip,
                                             geometry.wordlines_per_block, kind,
                                             timing));
+    chips_.back()->attach_attribution(&attribution_);
   }
 }
 
@@ -240,6 +241,7 @@ void NandDevice::save(ser::Writer& w) const {
   bad_blocks_.save(w);
   w.boolean(cache_program_);
   w.u64(power_loss_count_);
+  rps::nand::save(w, attribution_.counters);
 }
 
 void NandDevice::load(ser::Reader& r) {
@@ -256,6 +258,7 @@ void NandDevice::load(ser::Reader& r) {
   bad_blocks_.load(r);
   cache_program_ = r.boolean();
   power_loss_count_ = r.u64();
+  rps::nand::load(r, attribution_.counters);
 }
 
 }  // namespace rps::nand

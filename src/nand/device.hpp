@@ -197,6 +197,20 @@ class NandDevice {
   [[nodiscard]] OpCounters total_counters() const;
   [[nodiscard]] std::uint64_t total_erase_count() const;
 
+  /// Cause-tagged attribution: the FTL layer brackets its write paths with
+  /// CauseScope so every program/erase is charged to the right bucket.
+  /// Always on (one enum store per bracket); conservation against
+  /// total_counters() is a device invariant.
+  WriteCause set_write_cause(WriteCause cause) {
+    const WriteCause previous = attribution_.cause;
+    attribution_.cause = cause;
+    return previous;
+  }
+  [[nodiscard]] WriteCause write_cause() const { return attribution_.cause; }
+  [[nodiscard]] const AttributionCounters& attribution() const {
+    return attribution_.counters;
+  }
+
   /// Wear summary across all blocks — lifetime evenness at a glance.
   struct WearStats {
     std::uint64_t min_erases = 0;
@@ -278,6 +292,7 @@ class NandDevice {
   std::vector<Microseconds> channel_busy_until_;
   BadBlockTable bad_blocks_;
   BadBlockListener bad_block_listener_;
+  DeviceAttribution attribution_;  // chips hold borrowed pointers into this
   bool cache_program_ = true;
   std::uint64_t power_loss_count_ = 0;
 };

@@ -62,6 +62,7 @@ TlcChip::TlcChip(std::uint32_t blocks, std::uint32_t wordlines, TlcSequenceKind 
     : timing_(timing) {
   blocks_.reserve(blocks);
   for (std::uint32_t b = 0; b < blocks; ++b) blocks_.emplace_back(wordlines, kind);
+  wear_.resize(blocks);  // preallocated up front: the ledger never grows
 }
 
 Microseconds TlcChip::occupy(Microseconds now, Microseconds latency) {
@@ -76,6 +77,7 @@ Result<OpTiming> TlcChip::program(std::uint32_t b, TlcPagePos pos, PageData data
   const Status legal = blocks_[b].can_program(pos);
   if (!legal.is_ok()) return legal.code();
   const Microseconds start = occupy(now, timing_.program_us(pos.type));
+  const std::uint64_t spare = data.spare;
   const Status programmed = blocks_[b].program(pos, std::move(data));
   assert(programmed.is_ok());
   (void)programmed;
@@ -83,6 +85,11 @@ Result<OpTiming> TlcChip::program(std::uint32_t b, TlcPagePos pos, PageData data
     ++counters_.lsb_programs;
   } else {
     ++counters_.msb_programs;  // CSB+MSB both count as slow programs
+  }
+  ++wear_[b].programs;
+  if (attr_ != nullptr) {
+    attr_->note_program(pos.type == TlcPageType::kLsb,
+                        (spare & kNonHostSpareFlag) != 0, stream_of_spare(spare));
   }
   const OpTiming timing{start, busy_until_};
   last_program_ = InFlight{b, pos, timing.start, timing.complete};
@@ -106,6 +113,9 @@ Result<OpTiming> TlcChip::erase(std::uint32_t b, Microseconds now) {
   const Microseconds start = occupy(now, timing_.erase_us);
   blocks_[b].erase();
   ++counters_.erases;
+  ++wear_[b].erases;
+  wear_[b].last_erase_us = start;
+  if (attr_ != nullptr) attr_->note_erase();
   return OpTiming{start, busy_until_};
 }
 
@@ -140,6 +150,7 @@ TlcDevice::TlcDevice(const TlcGeometry& geometry, const TlcTimingSpec& timing,
   for (std::uint32_t c = 0; c < geometry.num_chips(); ++c) {
     chips_.push_back(std::make_unique<TlcChip>(
         geometry.blocks_per_chip, geometry.wordlines_per_block, kind, timing));
+    chips_.back()->attach_attribution(&attribution_);
   }
 }
 
@@ -280,6 +291,7 @@ void TlcChip::save(ser::Writer& w) const {
     w.i64(last_program_->start);
     w.i64(last_program_->complete);
   }
+  for (const BlockWear& wear : wear_) nand::save(w, wear);
 }
 
 void TlcChip::load(ser::Reader& r) {
@@ -303,6 +315,7 @@ void TlcChip::load(ser::Reader& r) {
     p.complete = r.i64();
     last_program_ = p;
   }
+  for (BlockWear& wear : wear_) nand::load(r, wear);
 }
 
 void TlcDevice::save(ser::Writer& w) const {
@@ -310,6 +323,7 @@ void TlcDevice::save(ser::Writer& w) const {
   for (const auto& chip : chips_) chip->save(w);
   w.u64(channel_busy_until_.size());
   for (const Microseconds busy : channel_busy_until_) w.i64(busy);
+  nand::save(w, attribution_.counters);
 }
 
 void TlcDevice::load(ser::Reader& r) {
@@ -323,6 +337,7 @@ void TlcDevice::load(ser::Reader& r) {
     return;
   }
   for (Microseconds& busy : channel_busy_until_) busy = r.i64();
+  nand::load(r, attribution_.counters);
 }
 
 }  // namespace rps::nand

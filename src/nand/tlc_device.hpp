@@ -16,6 +16,7 @@
 #include <optional>
 #include <vector>
 
+#include "src/nand/attribution.hpp"
 #include "src/nand/block.hpp"  // PageData, PageState, kNonHostSpareFlag
 #include "src/nand/chip.hpp"   // OpTiming, OpCounters
 #include "src/nand/tlc.hpp"
@@ -157,6 +158,11 @@ class TlcChip {
   [[nodiscard]] const OpCounters& counters() const { return counters_; }
   [[nodiscard]] std::uint64_t total_erase_count() const;
 
+  /// Attribution + wear ledger, same contract as the MLC Chip (TLC erases
+  /// are eager, so there is no voiding path to roll back).
+  void attach_attribution(DeviceAttribution* attr) { attr_ = attr; }
+  [[nodiscard]] const std::vector<BlockWear>& wear_ledger() const { return wear_; }
+
   /// Snapshot support.
   void save(ser::Writer& w) const;
   void load(ser::Reader& r);
@@ -165,9 +171,11 @@ class TlcChip {
   Microseconds occupy(Microseconds now, Microseconds latency);
 
   std::vector<TlcBlock> blocks_;
+  std::vector<BlockWear> wear_;  // physical-block-indexed, preallocated
   TlcTimingSpec timing_;
   Microseconds busy_until_ = 0;
   OpCounters counters_;
+  DeviceAttribution* attr_ = nullptr;  // borrowed; null = unattributed
   std::optional<InFlight> last_program_;
 };
 
@@ -201,6 +209,19 @@ class TlcDevice {
   [[nodiscard]] std::uint64_t total_erase_count() const;
   [[nodiscard]] Microseconds all_idle_at() const;
 
+  /// Cause-tagged attribution (same contract as NandDevice): always on,
+  /// bracketed by the FTL via CauseScope, conserved against
+  /// total_counters().
+  WriteCause set_write_cause(WriteCause cause) {
+    const WriteCause previous = attribution_.cause;
+    attribution_.cause = cause;
+    return previous;
+  }
+  [[nodiscard]] WriteCause write_cause() const { return attribution_.cause; }
+  [[nodiscard]] const AttributionCounters& attribution() const {
+    return attribution_.counters;
+  }
+
   /// Snapshot support.
   void save(ser::Writer& w) const;
   void load(ser::Reader& r);
@@ -214,6 +235,7 @@ class TlcDevice {
   TlcSequenceKind kind_;
   std::vector<std::unique_ptr<TlcChip>> chips_;
   std::vector<Microseconds> channel_busy_until_;
+  DeviceAttribution attribution_;  // chips hold borrowed pointers into this
 };
 
 }  // namespace rps::nand

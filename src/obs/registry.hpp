@@ -3,10 +3,11 @@
 // The simulator measures every phase (warm-up, main run) as a *delta* of
 // the FTL's monotonic counters. Before this helper, each call site copied
 // the subtraction field by field — and drifted: simulator.cpp's main-run
-// delta had silently dropped `scrubbed_blocks`. Registry captures all
-// three counter families (NAND op counters, FTL stats, total erases) in
-// one struct, and delta() subtracts every field in one place, so adding a
-// counter means touching exactly two functions here.
+// delta had silently dropped `scrubbed_blocks`, and the helper itself
+// later dropped `remapped_blocks`/`retired_blocks`/`coalesced_erases`
+// when those were added. delta() is now generated from the same X-macro
+// field lists that declare the counter structs (src/util/counter_fields.hpp),
+// so a field added to a struct is subtracted here by construction.
 //
 // Header-only on purpose: it reads ftl::FtlBase accessors but must not
 // create a link cycle (rps_ftl links rps_obs for the trace sink).
@@ -15,13 +16,16 @@
 #include <cstdint>
 
 #include "src/ftl/ftl_base.hpp"
+#include "src/nand/attribution.hpp"
 #include "src/nand/chip.hpp"
+#include "src/util/counter_fields.hpp"
 
 namespace rps::obs {
 
 struct CounterSnapshot {
   nand::OpCounters ops;
   ftl::FtlStats ftl;
+  nand::AttributionCounters attribution;
   std::uint64_t erases = 0;
 };
 
@@ -32,6 +36,7 @@ class Registry {
     CounterSnapshot snap;
     snap.ops = f.device().total_counters();
     snap.ftl = f.stats();
+    snap.attribution = f.device().attribution();
     snap.erases = f.device().total_erase_count();
     return snap;
   }
@@ -41,23 +46,13 @@ class Registry {
   [[nodiscard]] static CounterSnapshot delta(const CounterSnapshot& before,
                                              const CounterSnapshot& after) {
     CounterSnapshot d;
-    d.ops.reads = after.ops.reads - before.ops.reads;
-    d.ops.lsb_programs = after.ops.lsb_programs - before.ops.lsb_programs;
-    d.ops.msb_programs = after.ops.msb_programs - before.ops.msb_programs;
-    d.ops.erases = after.ops.erases - before.ops.erases;
-    d.ftl.host_write_pages = after.ftl.host_write_pages - before.ftl.host_write_pages;
-    d.ftl.host_read_pages = after.ftl.host_read_pages - before.ftl.host_read_pages;
-    d.ftl.host_lsb_writes = after.ftl.host_lsb_writes - before.ftl.host_lsb_writes;
-    d.ftl.host_msb_writes = after.ftl.host_msb_writes - before.ftl.host_msb_writes;
-    d.ftl.gc_copy_pages = after.ftl.gc_copy_pages - before.ftl.gc_copy_pages;
-    d.ftl.backup_pages = after.ftl.backup_pages - before.ftl.backup_pages;
-    d.ftl.foreground_gc_blocks =
-        after.ftl.foreground_gc_blocks - before.ftl.foreground_gc_blocks;
-    d.ftl.background_gc_blocks =
-        after.ftl.background_gc_blocks - before.ftl.background_gc_blocks;
-    d.ftl.unmapped_reads = after.ftl.unmapped_reads - before.ftl.unmapped_reads;
-    d.ftl.read_errors = after.ftl.read_errors - before.ftl.read_errors;
-    d.ftl.scrubbed_blocks = after.ftl.scrubbed_blocks - before.ftl.scrubbed_blocks;
+#define RPS_FIELD(name) d.ops.name = after.ops.name - before.ops.name;
+    RPS_OP_COUNTER_FIELDS(RPS_FIELD)
+#undef RPS_FIELD
+#define RPS_FIELD(name) d.ftl.name = after.ftl.name - before.ftl.name;
+    RPS_FTL_STAT_FIELDS(RPS_FIELD)
+#undef RPS_FIELD
+    d.attribution = nand::delta(after.attribution, before.attribution);
     d.erases = after.erases - before.erases;
     return d;
   }

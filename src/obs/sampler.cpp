@@ -1,7 +1,10 @@
 #include "src/obs/sampler.hpp"
 
+#include <cmath>
 #include <cstdio>
 #include <utility>
+
+#include "src/obs/trace.hpp"
 
 namespace rps::obs {
 
@@ -48,7 +51,28 @@ void StateSampler::tick(Microseconds now) {
   sample.ts = slot;
   sample.u = u_;
   if (collector_) collector_(sample);
+  if (counter_sink_ != nullptr) forward_counters(sample);
   samples_.push_back(std::move(sample));
+}
+
+void StateSampler::forward_counters(const StateSample& s) {
+  // Fixed-point scaling (x1e6, round-to-nearest) keeps the trace stream
+  // all-integer; the exporter restores the natural unit with %.6f.
+  const auto micro = [](double v) {
+    return static_cast<std::uint64_t>(std::llround(v * 1e6));
+  };
+  TraceSink& sink = *counter_sink_;
+  sink.record_counter(CounterTrack::kUtilization, s.ts, micro(s.u));
+  sink.record_counter(CounterTrack::kFreeFraction, s.ts, micro(s.free_fraction));
+  sink.record_counter(CounterTrack::kWriteQueue, s.ts, s.queued_write_ops * 1000000);
+  sink.record_counter(CounterTrack::kSbQueue, s.ts, s.sbqueue * 1000000);
+  if (s.q >= 0) {
+    sink.record_counter(CounterTrack::kLsbQuota, s.ts,
+                        static_cast<std::uint64_t>(s.q) * 1000000);
+  }
+  sink.record_counter(CounterTrack::kWaf, s.ts, micro(s.waf));
+  sink.record_counter(CounterTrack::kMaxPe, s.ts, s.wear_max_pe * 1000000);
+  sink.record_counter(CounterTrack::kMeanPe, s.ts, micro(s.wear_mean_pe));
 }
 
 void StateSampler::clear() {
@@ -63,6 +87,7 @@ std::string StateSampler::to_csv() const {
     out += ",chip";
     append_u64(out, c);
   }
+  out += ",max_pe,mean_pe,waf";
   out += '\n';
   for (const StateSample& s : samples_) {
     append_i64(out, s.ts);
@@ -80,6 +105,12 @@ std::string StateSampler::to_csv() const {
       out += ',';
       append_u64(out, c < s.chip_queue.size() ? s.chip_queue[c] : 0);
     }
+    out += ',';
+    append_u64(out, s.wear_max_pe);
+    out += ',';
+    append_f64(out, s.wear_mean_pe);
+    out += ',';
+    append_f64(out, s.waf);
     out += '\n';
   }
   return out;
@@ -110,7 +141,13 @@ std::string StateSampler::to_json() const {
       if (c != 0) out += ',';
       append_u64(out, s.chip_queue[c]);
     }
-    out += "]}";
+    out += "],\"max_pe\":";
+    append_u64(out, s.wear_max_pe);
+    out += ",\"mean_pe\":";
+    append_f64(out, s.wear_mean_pe);
+    out += ",\"waf\":";
+    append_f64(out, s.waf);
+    out += '}';
     out += i + 1 < samples_.size() ? ",\n" : "\n";
   }
   out += "]\n";

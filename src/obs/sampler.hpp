@@ -24,6 +24,8 @@
 
 namespace rps::obs {
 
+class TraceSink;
+
 /// One snapshot of the internal dynamics the paper's flexFTL is governed
 /// by (Section 3.2), plus scheduler state. Fields an FTL has no notion of
 /// keep their defaults (q = -1, sbqueue = 0).
@@ -35,6 +37,14 @@ struct StateSample {
   double free_fraction = 0.0; // free blocks / total blocks, device-wide
   std::uint64_t queued_write_ops = 0;  // controller write FIFO depth
   std::vector<std::uint64_t> chip_queue;  // per-chip queued read ops
+
+  // Wear / write-amplification lanes (ISSUE 10). Appended after the chip
+  // columns in the CSV/JSON exports so pre-existing column positions are
+  // stable. Filled by collectors with wear-ledger access; defaults mean
+  // "not collected".
+  std::uint64_t wear_max_pe = 0;  // max per-block erase count, device-wide
+  double wear_mean_pe = 0.0;      // mean per-block erase count, device-wide
+  double waf = 0.0;  // cumulative WAF (attributed programs / host programs)
 };
 
 class StateSampler {
@@ -51,6 +61,13 @@ class StateSampler {
   /// The latest host buffer utilization, stamped into every sample (the
   /// simulator updates it per request; it is not derivable from the FTL).
   void set_utilization(double u) { u_ = u; }
+
+  /// Mirror every emitted sample into `sink` as Perfetto counter tracks
+  /// ("C" events: utilization, free fraction, queue depths, WAF, wear).
+  /// nullptr detaches. The sink is borrowed, same discipline as the
+  /// simulator's trace sink; traced runs are single-threaded so the
+  /// forwarded stream is deterministic.
+  void set_counter_sink(TraceSink* sink) { counter_sink_ = sink; }
 
   /// Advance the sampler to simulated time `now`: emits one sample at
   /// floor(now / period) * period if that grid point has not been sampled
@@ -71,10 +88,13 @@ class StateSampler {
   bool write_json(const std::string& path) const;
 
  private:
+  void forward_counters(const StateSample& sample);
+
   Microseconds period_;
   Microseconds last_slot_ = -1;  // grid point of the newest sample
   double u_ = 0.0;
   Collector collector_;
+  TraceSink* counter_sink_ = nullptr;  // borrowed; null = no counter tracks
   std::vector<StateSample> samples_;
 };
 

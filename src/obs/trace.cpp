@@ -23,6 +23,21 @@ const char* to_string(EventKind kind) {
     case EventKind::kRecovery: return "recovery";
     case EventKind::kBlockRemapped: return "block_remapped";
     case EventKind::kBlockRetired: return "block_retired";
+    case EventKind::kCounter: return "counter";
+  }
+  __builtin_unreachable();
+}
+
+const char* to_string(CounterTrack track) {
+  switch (track) {
+    case CounterTrack::kUtilization: return "buffer_utilization";
+    case CounterTrack::kFreeFraction: return "free_fraction";
+    case CounterTrack::kWriteQueue: return "write_queue";
+    case CounterTrack::kSbQueue: return "sbqueue";
+    case CounterTrack::kLsbQuota: return "lsb_quota";
+    case CounterTrack::kWaf: return "waf";
+    case CounterTrack::kMaxPe: return "max_pe";
+    case CounterTrack::kMeanPe: return "mean_pe";
   }
   __builtin_unreachable();
 }
@@ -51,6 +66,8 @@ const char* category(EventKind kind) {
     case EventKind::kBlockRemapped:
     case EventKind::kBlockRetired:
       return "badblock";
+    case EventKind::kCounter:
+      return "counter";
   }
   __builtin_unreachable();
 }
@@ -92,6 +109,8 @@ ArgNames arg_names(EventKind kind) {
       return {"block", "old_physical", "new_physical"};
     case EventKind::kBlockRetired:
       return {"block", "old_physical", "cause"};
+    case EventKind::kCounter:
+      return {nullptr, nullptr, nullptr};  // rendered as a "C" event instead
   }
   __builtin_unreachable();
 }
@@ -171,6 +190,26 @@ std::string TraceSink::to_chrome_json() const {
 
   for (std::size_t i = 0; i < events_.size(); ++i) {
     const TraceEvent& e = events_[i];
+    if (e.kind == EventKind::kCounter) {
+      // Perfetto counter sample: one "C" event per track per grid point.
+      // The fixed-point payload prints as its natural unit with pinned
+      // precision, keeping the export byte-deterministic.
+      out += "{\"name\":\"";
+      out += to_string(static_cast<CounterTrack>(e.a));
+      out += "\",\"cat\":\"counter\",\"ph\":\"C\",\"ts\":";
+      append_i64(out, e.ts);
+      out += ",\"pid\":";
+      append_u64(out, e.pid);
+      out += ",\"tid\":";
+      append_u64(out, e.tid);
+      out += ",\"args\":{\"value\":";
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), "%.6f", static_cast<double>(e.b) / 1e6);
+      out += buf;
+      out += "}}";
+      out += i + 1 < events_.size() ? ",\n" : "\n";
+      continue;
+    }
     out += "{\"name\":\"";
     out += to_string(e.kind);
     out += "\",\"cat\":\"";

@@ -52,7 +52,26 @@ enum class EventKind : std::uint8_t {
   kRecovery,
   kBlockRemapped,  // grown-bad block redirected to a spare
   kBlockRetired,   // grown-bad block with no spare left: capacity lost
+  kCounter,        // Perfetto counter sample ("C" phase): a=track, b=value*1e6
 };
+
+/// Counter-track taxonomy for kCounter events (ISSUE 10): each track is a
+/// named time series Perfetto renders as a counter lane. Values are fixed-
+/// point (scaled by 1e6 into TraceEvent::b) so the export stays integer-
+/// deterministic while the JSON prints the natural unit.
+enum class CounterTrack : std::uint8_t {
+  kUtilization,   // host write-buffer utilization [0, 1]
+  kFreeFraction,  // free blocks / total blocks, device-wide
+  kWriteQueue,    // controller write FIFO depth
+  kSbQueue,       // flexFTL slow-block queue depth (all chips)
+  kLsbQuota,      // flexFTL LSB quota (clamped at 0 for the track)
+  kWaf,           // cumulative write amplification (device programs / host)
+  kMaxPe,         // max per-block erase count, device-wide
+  kMeanPe,        // mean per-block erase count, device-wide
+};
+inline constexpr std::uint32_t kNumCounterTracks = 8;
+
+const char* to_string(CounterTrack track);
 
 /// Exporter metadata for a kind: Chrome trace name + category.
 const char* to_string(EventKind kind);
@@ -88,6 +107,15 @@ class TraceSink {
   void record(EventKind kind, std::uint32_t tid, Microseconds ts, Microseconds dur,
               std::uint64_t a = 0, std::uint64_t b = 0, std::uint64_t c = 0) {
     events_.push_back(TraceEvent{kind, pid_, tid, ts, dur, a, b, c});
+  }
+
+  /// Record one counter sample on `track` at simulated time `ts`.
+  /// `value_micro` is the value scaled by 1e6 (fixed-point, so the sample
+  /// stream is pure integers; the exporter prints value_micro / 1e6 with
+  /// %.6f). Counter lanes live on tid 0 of the current pid.
+  void record_counter(CounterTrack track, Microseconds ts, std::uint64_t value_micro) {
+    events_.push_back(TraceEvent{EventKind::kCounter, pid_, 0, ts, -1,
+                                 static_cast<std::uint64_t>(track), value_micro, 0});
   }
 
   [[nodiscard]] std::size_t size() const { return events_.size(); }

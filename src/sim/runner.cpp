@@ -9,6 +9,7 @@
 #include "src/ftl/parity_ftl.hpp"
 #include "src/ftl/rtf_ftl.hpp"
 #include "src/ftl/slc_ftl.hpp"
+#include "src/obs/metrics.hpp"
 #include "src/obs/trace.hpp"
 #include "src/util/parallel.hpp"
 
@@ -95,6 +96,23 @@ obs::StateSampler::Collector make_state_collector(const ftl::FtlBase& ftl,
         sample.chip_queue[chip] = controller->read_queue_depth(chip);
       }
     }
+    // Wear / WAF lanes (ISSUE 10). Cumulative device-lifetime values, not
+    // per-run deltas: the time series shows wear accumulating and WAF
+    // converging. The ledger scan is O(blocks) but runs only on emitted
+    // (grid-point) samples; everything here is allocation-free.
+    const nand::AttributionCounters& attribution = ftl.device().attribution();
+    sample.waf = obs::waf_total(attribution);
+    std::uint64_t max_pe = 0;
+    std::uint64_t total_pe = 0;
+    for (std::uint32_t chip = 0; chip < geometry.num_units(); ++chip) {
+      for (const nand::BlockWear& wear : ftl.device().chip(chip).wear_ledger()) {
+        max_pe = std::max(max_pe, wear.erases);
+        total_pe += wear.erases;
+      }
+    }
+    sample.wear_max_pe = max_pe;
+    sample.wear_mean_pe =
+        static_cast<double>(total_pe) / static_cast<double>(geometry.total_blocks());
   };
 }
 
@@ -126,6 +144,9 @@ SimResult run_experiment(FtlKind kind, workload::Preset preset,
     sampler->set_collector(make_state_collector(
         *ftl, spec.sim.engine == Engine::kController ? &simulator.controller()
                                                      : nullptr));
+    // With both observers attached, every emitted sample also lands in the
+    // trace as Perfetto counter tracks ("C" events).
+    if (sink != nullptr) sampler->set_counter_sink(sink);
     simulator.set_state_sampler(sampler);
   }
   SimResult result = simulator.run(trace);
@@ -133,6 +154,7 @@ SimResult run_experiment(FtlKind kind, workload::Preset preset,
     // The collector closes over this experiment's FTL, which dies with
     // this frame — never leave it installed.
     sampler->set_collector({});
+    sampler->set_counter_sink(nullptr);
   }
   return result;
 }
@@ -208,6 +230,29 @@ std::string parse_trace_flag(int argc, char** argv) {
     if (arg == "--trace" && i + 1 < argc) return argv[i + 1];
   }
   return {};
+}
+
+std::string parse_metrics_flag(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--metrics=", 0) == 0) return arg.substr(10);
+    if (arg == "--metrics" && i + 1 < argc) return argv[i + 1];
+  }
+  return {};
+}
+
+void add_result_metrics(obs::MetricsReport& report, const SimResult& result) {
+  report.add_str("ftl", result.ftl_name);
+  report.add_str("workload", result.workload_name);
+  report.add_u64("requests", result.requests);
+  report.add_u64("pages_written", result.pages_written);
+  report.add_u64("pages_read", result.pages_read);
+  report.add_i64("makespan_us", result.makespan_us);
+  report.add_f64("iops_busy", result.iops_busy());
+  report.add_f64("waf", result.waf());
+  report.add_u64("erases", result.erases);
+  report.add_attribution(result.attribution);
+  report.add_wear(result.wear);
 }
 
 std::uint64_t parse_requests_flag(int argc, char** argv, std::uint64_t fallback) {

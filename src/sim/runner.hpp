@@ -140,4 +140,15 @@ std::string parse_trace_flag(int argc, char** argv);
 /// absent or malformed (CI smoke runs shrink the benches with this).
 std::uint64_t parse_requests_flag(int argc, char** argv, std::uint64_t fallback);
 
+/// Parse `--metrics=PATH` / `--metrics PATH` out of argv (bench drivers:
+/// where to write the obs::MetricsReport JSON). Empty string = absent.
+std::string parse_metrics_flag(int argc, char** argv);
+
+/// Append one experiment's results to an open MetricsReport: headline
+/// numbers, then the attribution and wear sections. Callers wrap each
+/// experiment in its own report.begin(label)/end() pair, so a sweep's
+/// report is one JSON object per cell in sweep order — deterministic and
+/// --jobs-invariant because SimResult itself is.
+void add_result_metrics(obs::MetricsReport& report, const SimResult& result);
+
 }  // namespace rps::sim

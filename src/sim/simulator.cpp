@@ -419,6 +419,8 @@ SimResult Simulator::run(const workload::Trace& trace) {
   result.erases = counters_delta.erases;
   result.ops = counters_delta.ops;
   result.ftl_stats = counters_delta.ftl;
+  result.attribution = counters_delta.attribution;
+  result.wear = obs::collect_wear(ftl_.device());
 
   // Windowed bandwidth samples (windows in which writes completed).
   const double window_seconds =

@@ -22,6 +22,7 @@
 #include "src/controller/controller.hpp"
 #include "src/ftl/ftl_base.hpp"
 #include "src/obs/histogram.hpp"
+#include "src/obs/metrics.hpp"
 #include "src/util/stats.hpp"
 #include "src/workload/trace.hpp"
 
@@ -112,6 +113,13 @@ struct SimResult {
   std::uint64_t erases = 0;       // block erasures during the measured run
   nand::OpCounters ops;           // device op deltas during the measured run
   ftl::FtlStats ftl_stats;        // FTL counter deltas during the measured run
+
+  /// Cause-tagged program/erase deltas for the measured run (same charge
+  /// instants as `ops`, so the per-cause split sums exactly to it) and a
+  /// wear-ledger digest of the device at run end. Both feed the
+  /// --metrics=PATH report (obs::MetricsReport).
+  nand::AttributionCounters attribution;
+  obs::WearSummary wear;
 
   /// Set when SimConfig::crash_time_us cut the run short; `power_loss`
   /// holds what the cut destroyed (device victims, cancelled controller

@@ -48,7 +48,9 @@ namespace rps::sim {
 class Snapshot {
  public:
   static constexpr std::uint64_t kMagic = 0x3150414e53535052ull;  // "RPSSNAP1"
-  static constexpr std::uint32_t kVersion = 1;
+  // v2: per-block wear ledger + cause-attributed op counters appended to
+  // the chip/device payload streams (old v1 payloads lack those fields).
+  static constexpr std::uint32_t kVersion = 2;
 
   Snapshot() = default;
 

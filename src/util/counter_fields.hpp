@@ -1,0 +1,53 @@
+// Single source of truth for the repo's counter families.
+//
+// Every counter struct that participates in snapshot/delta/report flows
+// declares its fields through one of these X-macro lists, and every
+// consumer (struct declaration, obs::Registry::delta, FtlBase
+// serialization, the metrics-report emitter) expands the same list — so
+// adding a counter automatically adds it everywhere, and a field can no
+// longer be silently dropped from delta() (the exact bug PR 4 once fixed
+// by hand for remapped/retired/coalesced counters).
+//
+// Usage:
+//   #define F(name) std::uint64_t name = 0;
+//   RPS_FTL_STAT_FIELDS(F)
+//   #undef F
+//
+// Field order is ABI: serialization streams fields in list order, so
+// append new fields at the end and bump sim::Snapshot::kVersion.
+#pragma once
+
+/// nand::OpCounters — per-chip/device media op totals.
+#define RPS_OP_COUNTER_FIELDS(X) \
+  X(reads)                       \
+  X(lsb_programs)                \
+  X(msb_programs)                \
+  X(erases)
+
+/// ftl::FtlStats — FTL-level accounting:
+///   host_write_pages/host_read_pages  host ops served
+///   host_lsb_writes/host_msb_writes   host writes by landing page type
+///   gc_copy_pages                     pages relocated by GC
+///   backup_pages                      parity / paired-page backup writes
+///   foreground_gc_blocks/background_gc_blocks  blocks reclaimed by mode
+///   unmapped_reads                    zero-fill reads of unwritten LPNs
+///   read_errors                       ECC-uncorrectable host reads
+///   scrubbed_blocks                   read-disturb refreshes
+///   remapped_blocks                   grown-bad blocks redirected to spares
+///   retired_blocks                    blocks permanently lost (no spare)
+///   coalesced_erases                  sibling-plane blocks erased with a victim
+#define RPS_FTL_STAT_FIELDS(X) \
+  X(host_write_pages)          \
+  X(host_read_pages)           \
+  X(host_lsb_writes)           \
+  X(host_msb_writes)           \
+  X(gc_copy_pages)             \
+  X(backup_pages)              \
+  X(foreground_gc_blocks)      \
+  X(background_gc_blocks)      \
+  X(unmapped_reads)            \
+  X(read_errors)               \
+  X(scrubbed_blocks)           \
+  X(remapped_blocks)           \
+  X(retired_blocks)            \
+  X(coalesced_erases)
